@@ -1,0 +1,119 @@
+// Ablation: the unspecified knobs of Algorithm 2, resolved in DESIGN.md.
+//
+//   * ChangeProbs rule   — accuracy-deficit (default) vs rank-based;
+//   * interval I         — how often stalled accuracy may trigger a
+//                          probability update;
+//   * credits schedule   — halving default vs flat vs aggressive decay.
+//
+// All variants run the paper's "Combine" scenario (resource + quantity +
+// non-IID); the table reports simulated training time, final/best
+// accuracy and how many times ChangeProbs actually fired.
+#include <cmath>
+#include <iostream>
+
+#include "core/adaptive_policy.h"
+#include "scenarios.h"
+
+namespace tifl::bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  core::AdaptiveConfig config;
+};
+
+std::vector<double> flat_credits(std::size_t rounds, std::size_t tiers) {
+  // Every tier may serve at most rounds/tiers + slack rounds.
+  return std::vector<double>(
+      tiers, std::ceil(static_cast<double>(rounds) /
+                       static_cast<double>(tiers) * 1.5));
+}
+
+std::vector<double> aggressive_credits(std::size_t rounds,
+                                       std::size_t tiers) {
+  // Quartering schedule: slow tiers almost never run.
+  std::vector<double> credits(tiers);
+  double budget = static_cast<double>(rounds);
+  for (std::size_t t = 0; t < tiers; ++t) {
+    credits[t] = std::ceil(budget);
+    budget /= 4.0;
+  }
+  return credits;
+}
+
+}  // namespace
+}  // namespace tifl::bench
+
+int main(int argc, char** argv) {
+  using namespace tifl::bench;
+  using tifl::core::AdaptiveConfig;
+  const auto options = BenchOptions::from_cli(argc, argv);
+  std::cout << "Ablation: Algorithm 2 design choices on the Combine "
+               "scenario\n";
+
+  Scenario scenario = build_scenario(cifar_combine_scenario(options));
+  const std::size_t rounds = scenario.config.rounds;
+  const std::size_t tiers = scenario.system->tiers().tier_count();
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"deficit, I=R/25, halving credits (default)", {}};
+    v.config.interval = std::max<std::size_t>(2, rounds / 25);
+    variants.push_back(v);
+  }
+  {
+    Variant v{"rank rule", {}};
+    v.config.interval = std::max<std::size_t>(2, rounds / 25);
+    v.config.prob_rule = AdaptiveConfig::ProbRule::kRank;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"short interval I=2", {}};
+    v.config.interval = 2;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"long interval I=R/4", {}};
+    v.config.interval = std::max<std::size_t>(2, rounds / 4);
+    variants.push_back(v);
+  }
+  {
+    Variant v{"flat credits (1.5R/T each)", {}};
+    v.config.interval = std::max<std::size_t>(2, rounds / 25);
+    v.config.credits = flat_credits(rounds, tiers);
+    variants.push_back(v);
+  }
+  {
+    Variant v{"aggressive credits (quartering)", {}};
+    v.config.interval = std::max<std::size_t>(2, rounds / 25);
+    v.config.credits = aggressive_credits(rounds, tiers);
+    variants.push_back(v);
+  }
+
+  tifl::util::TablePrinter table({"variant", "time [s]", "final acc [%]",
+                                  "best acc [%]", "ChangeProbs calls"});
+  for (Variant& variant : variants) {
+    variant.config.clients_per_round = scenario.config.clients_per_round;
+    tifl::core::AdaptiveTierPolicy policy(scenario.system->tiers(),
+                                          variant.config, rounds);
+    const tifl::fl::RunResult result = scenario.system->run(policy);
+    table.add_row(
+        {variant.name, tifl::util::format_double(result.total_time(), 0),
+         tifl::util::format_double(result.final_accuracy() * 100, 2),
+         tifl::util::format_double(result.best_accuracy() * 100, 2),
+         std::to_string(policy.change_probs_invocations())});
+    std::cerr << "  [ablation] " << variant.name << " done\n";
+  }
+  // Baselines for reference.
+  {
+    auto vanilla = scenario.system->make_vanilla();
+    const tifl::fl::RunResult result = scenario.system->run(*vanilla);
+    table.add_row({"(vanilla baseline)",
+                   tifl::util::format_double(result.total_time(), 0),
+                   tifl::util::format_double(result.final_accuracy() * 100, 2),
+                   tifl::util::format_double(result.best_accuracy() * 100, 2),
+                   "-"});
+  }
+  std::cout << "\n" << table.to_string();
+  return 0;
+}

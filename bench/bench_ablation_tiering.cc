@@ -1,0 +1,62 @@
+// Ablation: the tiering step's two unspecified knobs (§4.2).
+//
+//   * binning strategy — quantile (equal population, the default) vs
+//     equal-width latency bins;
+//   * tier count m     — 2 / 5 / 10 tiers.
+//
+// For each combination over the resource-heterogeneity scenario: tier
+// occupancy, and the uniform static policy's training time + accuracy.
+// Expected: quantile keeps every tier selectable at every m; equal-width
+// lumps the fast groups into one bin when latencies are spread
+// geometrically (the CPU-share testbed), so fewer tiers are usable and
+// the time/accuracy trade-off degrades — the reason quantile is the
+// default (DESIGN.md).
+#include <iostream>
+#include <sstream>
+
+#include "scenarios.h"
+
+int main(int argc, char** argv) {
+  using namespace tifl::bench;
+  using tifl::core::TieringStrategy;
+  const auto options = BenchOptions::from_cli(argc, argv);
+  std::cout << "Ablation: tiering strategy x tier count on the resource "
+               "scenario\n";
+
+  tifl::util::TablePrinter table({"strategy", "m", "tier sizes",
+                                  "uniform time [s]", "final acc [%]"});
+  for (const std::size_t m : {2ul, 5ul, 10ul}) {
+    // One scenario (profiling included) per tier count; both strategies
+    // re-bin the same profile, exactly what §4.2's module would do.
+    ScenarioConfig config = cifar_resource_scenario(options);
+    config.num_tiers = m;
+    Scenario scenario = build_scenario(std::move(config));
+
+    for (const auto& [strategy, strategy_name] :
+         {std::pair{TieringStrategy::kQuantile, "quantile"},
+          std::pair{TieringStrategy::kEqualWidth, "equal-width"}}) {
+      const tifl::core::TierInfo tiers =
+          tifl::core::build_tiers(scenario.system->profile(), m, strategy);
+      std::ostringstream sizes;
+      for (std::size_t t = 0; t < tiers.tier_count(); ++t) {
+        if (t) sizes << "/";
+        sizes << tiers.members[t].size();
+      }
+
+      // Uniform static policy over the ablated tiers; undersized tiers
+      // get their probability mass redistributed by the policy.
+      tifl::core::StaticTierPolicy policy(
+          tiers, std::vector<double>(m, 1.0 / static_cast<double>(m)),
+          scenario.config.clients_per_round, "uniform");
+      const tifl::fl::RunResult result = scenario.system->run(policy);
+      table.add_row({strategy_name, std::to_string(m), sizes.str(),
+                     tifl::util::format_double(result.total_time(), 0),
+                     tifl::util::format_double(
+                         result.final_accuracy() * 100, 2)});
+      std::cerr << "  [ablation] " << strategy_name << " m=" << m
+                << " done\n";
+    }
+  }
+  std::cout << "\n" << table.to_string();
+  return 0;
+}

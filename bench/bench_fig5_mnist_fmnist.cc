@@ -1,0 +1,41 @@
+// Figure 5 — MNIST (column 1) and Fashion-MNIST (column 2) under
+// combined resource + data heterogeneity, sweeping how aggressively the
+// static policy avoids the slowest tier (uniform -> fast1 -> fast2 ->
+// fast3, Table 1's MNIST presets).
+//
+// Expected shape: training time shrinks monotonically from vanilla to
+// fast3; accuracies stay close to vanilla except fast3, which ignores
+// tier 5's data entirely and falls short.
+#include <iostream>
+
+#include "scenarios.h"
+
+namespace tifl::bench {
+namespace {
+
+void run_dataset(bool fashion, const BenchOptions& options) {
+  const std::string label = fashion ? "FMNIST" : "MNIST";
+  Scenario scenario = build_scenario(mnist_scenario(options, fashion));
+  const std::vector<std::string> policies{"vanilla", "uniform", "fast1",
+                                          "fast2", "fast3"};
+  const std::vector<PolicyRun> runs =
+      run_policies(scenario, policies, options);
+  print_time_table("Fig. 5: " + label + " training time, " +
+                       std::to_string(scenario.config.rounds) + " rounds",
+                   runs);
+  print_accuracy_over_rounds("Fig. 5: " + label, runs);
+  maybe_write_csv(options, "fig5_" + label, runs);
+}
+
+}  // namespace
+}  // namespace tifl::bench
+
+int main(int argc, char** argv) {
+  using namespace tifl::bench;
+  const auto options = BenchOptions::from_cli(argc, argv);
+  std::cout << "Fig. 5: MNIST / Fashion-MNIST with resource + data "
+               "heterogeneity\n";
+  run_dataset(/*fashion=*/false, options);
+  run_dataset(/*fashion=*/true, options);
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrate pieces: GEMM kernels, conv2d forward/backward, FedAvg
+// reductions (flat vs hierarchical), client selection and profiling
+// throughput.  These guard the constants behind the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "core/profiler.h"
+#include "core/static_policy.h"
+#include "core/tiering.h"
+#include "fl/aggregator.h"
+#include "fl/policy.h"
+#include "nn/conv2d.h"
+#include "nn/model_zoo.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tifl;
+
+void BM_GemmNn(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(1);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm_nn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNn)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNt(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(2);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor bt = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm_nt(a, bt, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNt)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::int64_t hw = state.range(0);
+  util::Rng rng(3);
+  nn::Conv2D conv(3, 32, 3, rng);
+  tensor::Tensor x = tensor::Tensor::randn({8, 3, hw, hw}, rng);
+  nn::PassContext ctx{};
+  for (auto _ : state) {
+    tensor::Tensor y = conv.forward(x, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(28);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  const std::int64_t hw = state.range(0);
+  util::Rng rng(4);
+  nn::Conv2D conv(3, 16, 3, rng);
+  tensor::Tensor x = tensor::Tensor::randn({4, 3, hw, hw}, rng);
+  nn::PassContext ctx{.training = true, .rng = &rng};
+  for (auto _ : state) {
+    tensor::Tensor y = conv.forward(x, ctx);
+    conv.zero_grads();
+    tensor::Tensor dx = conv.backward(y);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep)->Arg(8)->Arg(16);
+
+void BM_MnistCnnBatchForward(benchmark::State& state) {
+  nn::Sequential model = nn::mnist_cnn({1, 12, 12}, 10, 5);
+  util::Rng rng(5);
+  tensor::Tensor x = tensor::Tensor::randn({10, 1, 12, 12}, rng);
+  nn::PassContext ctx{};
+  for (auto _ : state) {
+    tensor::Tensor y = model.forward(x, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MnistCnnBatchForward);
+
+void BM_FedAvgFlat(benchmark::State& state) {
+  const std::size_t clients = state.range(0);
+  const std::size_t params = 100000;
+  util::Rng rng(6);
+  std::vector<std::vector<float>> weights(clients,
+                                          std::vector<float>(params));
+  for (auto& w : weights) {
+    for (float& v : w) v = static_cast<float>(rng.normal());
+  }
+  std::vector<fl::WeightedUpdate> updates;
+  for (auto& w : weights) updates.push_back({w, 100.0});
+  for (auto _ : state) {
+    auto result = fl::fedavg(updates);
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(state.iterations() * clients * params);
+}
+BENCHMARK(BM_FedAvgFlat)->Arg(5)->Arg(10)->Arg(50);
+
+void BM_FedAvgHierarchical(benchmark::State& state) {
+  const std::size_t clients = 50;
+  const std::size_t params = 100000;
+  util::Rng rng(7);
+  std::vector<std::vector<float>> weights(clients,
+                                          std::vector<float>(params));
+  for (auto& w : weights) {
+    for (float& v : w) v = static_cast<float>(rng.normal());
+  }
+  std::vector<fl::WeightedUpdate> updates;
+  for (auto& w : weights) updates.push_back({w, 100.0});
+  fl::HierarchicalAggregator agg(state.range(0));
+  for (auto _ : state) {
+    auto result = agg.aggregate(updates);
+    benchmark::DoNotOptimize(result.data());
+  }
+}
+BENCHMARK(BM_FedAvgHierarchical)->Arg(2)->Arg(5)->Arg(10);
+
+core::TierInfo micro_tiers(std::size_t tiers, std::size_t per_tier) {
+  core::TierInfo info;
+  info.members.resize(tiers);
+  info.avg_latency.resize(tiers);
+  std::size_t id = 0;
+  for (std::size_t t = 0; t < tiers; ++t) {
+    for (std::size_t i = 0; i < per_tier; ++i) info.members[t].push_back(id++);
+    info.avg_latency[t] = static_cast<double>(t + 1);
+  }
+  return info;
+}
+
+void BM_StaticTierSelection(benchmark::State& state) {
+  const core::TierInfo tiers = micro_tiers(5, state.range(0));
+  core::StaticTierPolicy policy(tiers, core::table1_probs("random"), 10,
+                                "random");
+  util::Rng rng(8);
+  std::size_t round = 0;
+  for (auto _ : state) {
+    auto selection = policy.select(round++, rng);
+    benchmark::DoNotOptimize(selection.clients.data());
+  }
+}
+BENCHMARK(BM_StaticTierSelection)->Arg(100)->Arg(10000);
+
+void BM_VanillaSelection(benchmark::State& state) {
+  fl::VanillaPolicy policy(state.range(0), 10);
+  util::Rng rng(9);
+  std::size_t round = 0;
+  for (auto _ : state) {
+    auto selection = policy.select(round++, rng);
+    benchmark::DoNotOptimize(selection.clients.data());
+  }
+}
+BENCHMARK(BM_VanillaSelection)->Arg(1000)->Arg(100000);
+
+void BM_TieringFromLatencies(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  util::Rng rng(10);
+  std::vector<double> latencies(n);
+  for (double& l : latencies) l = rng.lognormal(2.0, 0.7);
+  const std::vector<bool> dropout(n, false);
+  for (auto _ : state) {
+    auto tiers = core::build_tiers(latencies, dropout, 5);
+    benchmark::DoNotOptimize(tiers.members.data());
+  }
+}
+BENCHMARK(BM_TieringFromLatencies)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// §4.6 — compatibility with privacy-preserving FL.
+//
+// Prints, for each Table 1 policy over the standard 50-client/5-tier/
+// |C|=5 setup: the per-client sampling rate q (closed form q_j =
+// P(tier j) * |C| / n_j, worst tier), the amplified per-round privacy
+// guarantee (q*eps, q*delta) from a (1.0, 1e-5)-DP local round, a
+// Monte-Carlo validation of q, and the Gaussian-mechanism noise scale a
+// client would add for that guarantee.
+#include <iostream>
+
+#include "core/privacy.h"
+#include "core/static_policy.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tifl;
+  constexpr std::size_t kClients = 50, kTiers = 5, kPerRound = 5;
+  const std::vector<std::size_t> tier_sizes(kTiers, kClients / kTiers);
+  const core::PrivacyParams per_round{1.0, 1e-5};
+
+  std::cout << "Privacy accounting (S4.6): 50 clients, 5 tiers, |C| = 5, "
+               "per-round local DP (eps=1, delta=1e-5)\n";
+
+  const double q_uniform = core::uniform_sampling_rate(kPerRound, kClients);
+  const core::PrivacyParams vanilla_amplified =
+      core::amplify(per_round, q_uniform);
+  util::TablePrinter table({"policy", "q_max", "amplified eps",
+                            "amplified delta", "MC q (worst tier)",
+                            "gaussian sigma (S=1)"});
+  util::Rng rng(7);
+
+  table.add_row({"vanilla (q=|C|/|K|)", util::format_double(q_uniform, 4),
+                 util::format_double(vanilla_amplified.epsilon, 4),
+                 util::format_double(vanilla_amplified.delta * 1e6, 4) + "e-6",
+                 util::format_double(q_uniform, 4),
+                 util::format_double(
+                     core::gaussian_sigma(per_round, 1.0), 3)});
+
+  for (const char* name : {"slow", "uniform", "random", "fast"}) {
+    const std::vector<double> probs = core::table1_probs(name, kTiers);
+    const double q_max =
+        core::max_tier_sampling_rate(probs, tier_sizes, kPerRound);
+    const core::PrivacyParams amplified = core::amplify(per_round, q_max);
+
+    // Monte-Carlo check on the tier achieving q_max.
+    std::size_t worst_tier = 0;
+    double worst_q = 0.0;
+    for (std::size_t t = 0; t < kTiers; ++t) {
+      const double q =
+          core::tier_sampling_rate(probs[t], kPerRound, tier_sizes[t]);
+      if (q > worst_q) {
+        worst_q = q;
+        worst_tier = t;
+      }
+    }
+    const double mc = core::simulate_client_selection_rate(
+        probs, tier_sizes, kPerRound, worst_tier, 100000, rng);
+
+    table.add_row({name, util::format_double(q_max, 4),
+                   util::format_double(amplified.epsilon, 4),
+                   util::format_double(amplified.delta * 1e6, 4) + "e-6",
+                   util::format_double(mc, 4),
+                   util::format_double(
+                       core::gaussian_sigma(per_round, 1.0), 3)});
+  }
+  std::cout << table.to_string();
+
+  std::cout << "\nNotes:\n"
+               "  * uniform tiering over equal tiers matches vanilla's q "
+               "exactly — tiering does not weaken the guarantee;\n"
+               "  * skewed policies (random/fast/slow) concentrate "
+               "selection and raise q_max, i.e. weaker amplification for "
+               "members of the favoured tier;\n"
+               "  * composed over R rounds the guarantee scales linearly "
+               "(compose_rounds), matching the paper's O(q eps) form.\n";
+  return 0;
+}

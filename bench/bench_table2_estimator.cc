@@ -1,0 +1,78 @@
+// Tables 1 & 2 — scheduling-policy configurations and the training-time
+// estimation model (§4.5, §5.2.1).
+//
+// Prints Table 1 (per-tier selection probabilities of every named
+// policy), then Table 2: Eq. 6's estimated total training time vs the
+// engine-measured actual time and the MAPE (Eq. 7) for the slow /
+// uniform / random / fast policies.  The paper reports MAPE <= 5.01 %.
+#include <iostream>
+
+#include "core/estimator.h"
+#include "scenarios.h"
+
+namespace tifl::bench {
+namespace {
+
+void print_table1() {
+  util::TablePrinter table(
+      {"policy", "tier 1", "tier 2", "tier 3", "tier 4", "tier 5"});
+  table.add_row({"vanilla", "N/A", "N/A", "N/A", "N/A", "N/A"});
+  for (const char* name :
+       {"slow", "uniform", "random", "fast", "fast1", "fast2", "fast3"}) {
+    const auto probs = core::table1_probs(name);
+    std::vector<std::string> row{name};
+    for (double p : probs) row.push_back(util::format_double(p, 4));
+    table.add_row(std::move(row));
+  }
+  std::cout << "\n== Table 1: scheduling policy configurations ==\n"
+            << table.to_string();
+}
+
+void table2(const BenchOptions& options) {
+  ScenarioConfig config = cifar_resource_scenario(options);
+  // Eq. 6 predicts the *expected* per-round latency; short runs leave
+  // binomial noise on how often each tier is drawn (~1/sqrt(R)), so this
+  // bench defaults to 400 rounds even in CI mode.  Evaluation cadence is
+  // irrelevant to timing, so it is stretched to keep the bench fast.
+  if (options.rounds == 0 && !options.full) config.rounds = 400;
+  config.eval_every = 100;
+  Scenario scenario = build_scenario(std::move(config));
+  print_tiering(*scenario.system);
+
+  // §5.1: "Every experiment is run 5 times and we use the average" — the
+  // actual time below averages `repeats` independent runs (2 in CI mode).
+  const std::size_t repeats = options.runs > 1 ? options.runs : 2;
+  util::TablePrinter table(
+      {"policy", "estimated [s]", "actual [s]", "MAPE [%]"});
+  for (const char* name : {"slow", "uniform", "random", "fast"}) {
+    double actual_sum = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      auto policy = scenario.system->make_static(name);
+      actual_sum += scenario.system
+                        ->run(*policy, util::mix_seed(options.seed, r, 0x72))
+                        .total_time();
+    }
+    const double estimated = scenario.system->estimate_time(name);
+    const double actual = actual_sum / static_cast<double>(repeats);
+    table.add_row({name, util::format_double(estimated, 0),
+                   util::format_double(actual, 0),
+                   util::format_double(
+                       core::estimation_mape(estimated, actual), 2)});
+    std::cerr << "  [table2] " << name << " done\n";
+  }
+  std::cout << "\n== Table 2: estimated vs actual training time ("
+            << scenario.config.rounds << " rounds) ==\n"
+            << table.to_string();
+}
+
+}  // namespace
+}  // namespace tifl::bench
+
+int main(int argc, char** argv) {
+  const auto options = tifl::bench::BenchOptions::from_cli(argc, argv);
+  std::cout << "Tables 1 & 2: policy configurations and the Eq. 6 "
+               "training-time estimator\n";
+  tifl::bench::print_table1();
+  tifl::bench::table2(options);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// The paper's hardest setting (§5.2.4 "Combine"): 50 clients with
+// resource heterogeneity (4/2/1/0.5/0.1 CPUs), data-quantity skew
+// (10-30 % per group) and non-IID class skew — then vanilla vs the best
+// static policy (uniform) vs adaptive TiFL, including the Eq. 6
+// training-time estimate.
+//
+//   ./build/examples/heterogeneous_cifar [--rounds N]
+#include <iostream>
+
+#include "core/system.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tifl;
+  util::set_log_level(util::LogLevel::kWarn);
+  const util::Cli cli(argc, argv);
+  const std::size_t rounds =
+      static_cast<std::size_t>(cli.get_int("rounds", 60));
+
+  // --- CIFAR-10-like data with every heterogeneity the paper studies ------
+  const data::SyntheticData dataset =
+      data::make_synthetic(data::cifar_like_spec(/*scale=*/0.25));
+
+  constexpr std::size_t kClients = 50;
+  constexpr std::size_t kGroups = 5;
+  util::Rng rng(11);
+
+  data::ClassSkewOptions skew;
+  skew.classes_per_client = 5;  // non-IID(5), §5.1
+  skew.client_weights.resize(kClients);
+  skew.client_groups.resize(kClients);
+  const std::vector<double> fractions{0.10, 0.15, 0.20, 0.25, 0.30};
+  for (std::size_t c = 0; c < kClients; ++c) {
+    const std::size_t g = c * kGroups / kClients;
+    skew.client_groups[c] = g;
+    skew.client_weights[c] = fractions[g];
+  }
+  skew.group_class_affinity = 4.0;  // class content tracks device cohort
+  const data::Partition partition =
+      data::partition_classes_skewed(dataset.train, kClients, skew, rng);
+
+  const auto test_shards = data::matched_test_indices(
+      dataset.train, partition, dataset.test, rng);
+  const auto resources = sim::assign_equal_groups(
+      kClients, sim::cifar_cpu_groups(), 0.5, 0.02, rng);
+  std::vector<fl::Client> clients = fl::make_clients(
+      &dataset.train, partition, test_shards, resources);
+
+  // --- System ---------------------------------------------------------------
+  core::SystemConfig config;
+  config.num_tiers = 5;
+  config.clients_per_round = 5;
+  config.profiler.tmax = 1000.0;
+  config.engine.rounds = rounds;
+  config.engine.local.optimizer.kind = nn::OptimizerConfig::Kind::kRmsProp;
+  config.engine.local.optimizer.lr = 0.01;
+  config.engine.lr_decay_per_round = 0.995;
+  config.engine.eval_every = 2;
+  const auto dims = dataset.train.dims();
+  nn::ModelFactory factory = [dims](std::uint64_t seed) {
+    return nn::mlp(dims.flat(), 48, 10, seed);
+  };
+  core::TiflSystem system(config, factory, &dataset.test, std::move(clients),
+                          sim::LatencyModel(sim::cifar_cost_model()));
+  std::cout << system.tiers().to_string() << "\n";
+
+  // --- Sweep the three policies the paper compares in Fig. 7 ---------------
+  util::TablePrinter table({"policy", "time [s]", "estimated [s]",
+                            "final acc [%]", "best acc [%]"});
+  auto report = [&table](const std::string& name,
+                         const fl::RunResult& result, double estimate) {
+    table.add_row(
+        {name, util::format_double(result.total_time(), 0),
+         estimate > 0 ? util::format_double(estimate, 0) : std::string("-"),
+         util::format_double(result.final_accuracy() * 100, 2),
+         util::format_double(result.best_accuracy() * 100, 2)});
+  };
+
+  {
+    auto vanilla = system.make_vanilla();
+    report("vanilla", system.run(*vanilla), 0.0);
+  }
+  {
+    auto uniform = system.make_static("uniform");
+    report("uniform", system.run(*uniform),
+           system.estimate_time("uniform"));
+  }
+  {
+    auto adaptive = system.make_adaptive();
+    report("TiFL (adaptive)", system.run(*adaptive), 0.0);
+  }
+
+  std::cout << table.to_string()
+            << "\nThe adaptive policy reaches vanilla-level accuracy at a "
+               "fraction of its simulated training time (cf. Fig. 7).\n";
+  return 0;
+}

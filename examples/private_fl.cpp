@@ -1,0 +1,96 @@
+// Privacy-preserving TiFL (§4.6): clients clip their weight updates and
+// add Gaussian noise (client-level DP), while the accountant reports the
+// amplified per-round guarantee under tiered selection:
+//   q_j   = P(tier j) * |C| / n_j,  q_max = max_j q_j,
+//   (eps, delta) -> (q_max * eps, q_max * delta).
+// Sweeps three noise levels to show the privacy/accuracy trade-off.
+//
+//   ./build/examples/private_fl [--rounds N]
+#include <iostream>
+
+#include "core/privacy.h"
+#include "core/system.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tifl;
+  util::set_log_level(util::LogLevel::kWarn);
+  const util::Cli cli(argc, argv);
+  const std::size_t rounds =
+      static_cast<std::size_t>(cli.get_int("rounds", 40));
+
+  // --- Federation: 30 clients, 5 CPU groups, IID shards ---------------------
+  data::SyntheticSpec spec;
+  spec.classes = 10;
+  spec.dims = data::ImageDims{1, 8, 8};
+  spec.train_samples = 6000;
+  spec.test_samples = 1200;
+  const data::SyntheticData dataset = data::make_synthetic(spec);
+
+  constexpr std::size_t kClients = 30;
+  util::Rng rng(5);
+  const data::Partition partition =
+      data::partition_iid(dataset.train, kClients, rng);
+  const auto test_shards = data::matched_test_indices(
+      dataset.train, partition, dataset.test, rng);
+  const auto resources = sim::assign_equal_groups(
+      kClients, sim::cifar_cpu_groups(), 0.5, 0.02, rng);
+
+  const auto dims = dataset.train.dims();
+  nn::ModelFactory factory = [dims](std::uint64_t seed) {
+    return nn::mlp(dims.flat(), 32, 10, seed);
+  };
+
+  // --- Accounting under uniform tiered selection ----------------------------
+  constexpr std::size_t kPerRound = 5;
+  const std::vector<double> uniform_probs(5, 0.2);
+  const std::vector<std::size_t> tier_sizes(5, kClients / 5);
+  const core::PrivacyParams local_round{1.0, 1e-5};
+  const double q_max = core::max_tier_sampling_rate(
+      uniform_probs, tier_sizes, kPerRound);
+  const core::PrivacyParams amplified = core::amplify(local_round, q_max);
+  const core::PrivacyParams total =
+      core::compose_rounds(amplified, rounds);
+  std::cout << "Tiered selection (uniform probs): q_max = " << q_max
+            << "; per-round guarantee (" << amplified.epsilon << ", "
+            << amplified.delta << "); after " << rounds << " rounds ("
+            << total.epsilon << ", " << total.delta << ").\n\n";
+
+  // --- Sweep local noise levels ---------------------------------------------
+  util::TablePrinter table(
+      {"dp_noise_sigma", "clip L2", "final acc [%]", "time [s]"});
+  for (const double sigma : {0.0, 1e-4, 5e-4}) {
+    core::SystemConfig config;
+    config.num_tiers = 5;
+    config.clients_per_round = kPerRound;
+    config.profiler.tmax = 1000.0;
+    config.engine.rounds = rounds;
+    config.engine.local.optimizer.kind = nn::OptimizerConfig::Kind::kRmsProp;
+    config.engine.local.optimizer.lr = 0.01;
+    config.engine.eval_every = 4;
+    config.engine.local.dp_clip_norm = 1.0;   // sensitivity bound
+    config.engine.local.dp_noise_sigma = sigma;
+
+    std::vector<fl::Client> clients = fl::make_clients(
+        &dataset.train, partition, test_shards, resources);
+    core::TiflSystem system(config, factory, &dataset.test,
+                            std::move(clients),
+                            sim::LatencyModel(sim::cifar_cost_model()));
+    auto policy = system.make_static("uniform");
+    const fl::RunResult result = system.run(*policy);
+    table.add_row({util::format_double(sigma, 5), "1.0",
+                   util::format_double(result.final_accuracy() * 100, 2),
+                   util::format_double(result.total_time(), 0)});
+  }
+  std::cout << table.to_string()
+            << "\nLarger per-update noise buys stronger local DP at an "
+               "accuracy cost; the tier structure itself leaves the "
+               "amplification bound unchanged for uniform selection "
+               "(q_max = |C|/|K|).\n";
+  return 0;
+}

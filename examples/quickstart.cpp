@@ -1,0 +1,116 @@
+// Quickstart: the whole TiFL pipeline in one file.
+//
+//   synthetic dataset -> IID partition over 20 clients -> 5 CPU groups
+//   -> profiling & tiering -> adaptive tier selection -> train -> report.
+//
+// One client is configured as permanently unavailable to show the
+// profiler's dropout handling (§4.2).  Runs in a few seconds.
+//
+//   ./build/examples/quickstart
+#include <cmath>
+#include <iostream>
+
+#include "core/system.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tifl;
+  util::set_log_level(util::LogLevel::kWarn);
+
+  // --- 1. Data: a 10-class synthetic image dataset -------------------------
+  data::SyntheticSpec spec;
+  spec.classes = 10;
+  spec.dims = data::ImageDims{1, 8, 8};
+  spec.train_samples = 4000;
+  spec.test_samples = 1000;
+  spec.seed = 42;
+  const data::SyntheticData dataset = data::make_synthetic(spec);
+
+  // --- 2. Clients: IID shards + matched test shards + 5 CPU groups ---------
+  constexpr std::size_t kClients = 20;
+  util::Rng rng(7);
+  const data::Partition partition =
+      data::partition_iid(dataset.train, kClients, rng);
+  const auto test_shards = data::matched_test_indices(
+      dataset.train, partition, dataset.test, rng);
+  auto resources = sim::assign_equal_groups(
+      kClients, sim::cifar_cpu_groups(), /*comm_seconds=*/0.5,
+      /*jitter_sigma=*/0.05, rng);
+  resources[13].unavailable = true;  // a dead device -> profiler dropout
+
+  std::vector<fl::Client> clients = fl::make_clients(
+      &dataset.train, partition, test_shards, resources);
+
+  // --- 3. TiFL system: profiling + tiering + engine ------------------------
+  core::SystemConfig config;
+  config.num_tiers = 5;
+  config.clients_per_round = 3;
+  config.profiler.sync_rounds = 5;
+  config.profiler.tmax = 120.0;
+  config.engine.rounds = 40;
+  config.engine.local.batch_size = 10;
+  config.engine.local.optimizer.kind = nn::OptimizerConfig::Kind::kRmsProp;
+  config.engine.local.optimizer.lr = 0.01;
+  config.engine.seed = 1;
+
+  nn::ModelFactory factory = [&spec](std::uint64_t seed) {
+    return nn::mlp(spec.dims.flat(), 32, spec.classes, seed);
+  };
+
+  core::TiflSystem system(config, factory, &dataset.test, std::move(clients),
+                          sim::LatencyModel(sim::cifar_cost_model()));
+
+  std::cout << "Profiling done in " << system.profile().profiling_time
+            << " virtual seconds; " << system.profile().dropout_count()
+            << " dropout(s) excluded.\n\n"
+            << system.tiers().to_string() << "\n";
+
+  // --- 4. Train with adaptive tier selection (Algorithm 2) -----------------
+  core::AdaptiveConfig adaptive;
+  adaptive.interval = 5;
+  auto policy = system.make_adaptive(adaptive);
+  const fl::RunResult result = system.run(*policy);
+
+  // --- 5. Report -----------------------------------------------------------
+  util::TablePrinter table({"round", "tier", "virtual time [s]", "accuracy"});
+  for (std::size_t r = 0; r < result.rounds.size(); r += 8) {
+    const fl::RoundRecord& record = result.rounds[r];
+    table.add_row({std::to_string(record.round + 1),
+                   std::to_string(record.selected_tier + 1),
+                   util::format_double(record.virtual_time, 1),
+                   util::format_double(record.global_accuracy, 4)});
+  }
+  std::cout << table.to_string() << "\nFinal accuracy "
+            << util::format_double(result.final_accuracy() * 100, 2)
+            << " % after " << util::format_double(result.total_time(), 0)
+            << " simulated seconds (" << result.rounds.size()
+            << " rounds).\n";
+
+  // Compare with the conventional-FL baseline.  Vanilla selection knows
+  // nothing about the dead device: the first round that picks client 13
+  // waits forever (Eq. 1's max never resolves), which is precisely the
+  // failure mode TiFL's profiling-based dropout exclusion removes.
+  auto vanilla = system.make_vanilla();
+  const fl::RunResult baseline = system.run(*vanilla);
+  if (std::isinf(baseline.total_time())) {
+    std::cout << "Vanilla FedAvg baseline: "
+              << util::format_double(baseline.final_accuracy() * 100, 2)
+              << " % accuracy, but total time is unbounded — a round "
+                 "selected the dead client and conventional FL has no way "
+                 "to know it will never answer. TiFL excluded it during "
+                 "profiling.\n";
+  } else {
+    std::cout << "Vanilla FedAvg baseline: "
+              << util::format_double(baseline.final_accuracy() * 100, 2)
+              << " % after " << util::format_double(baseline.total_time(), 0)
+              << " simulated seconds -> TiFL speedup "
+              << util::format_double(
+                     baseline.total_time() / result.total_time(), 2)
+              << "x.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "core/adaptive_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/stats.h"
+
+namespace tifl::core {
+
+std::vector<double> default_credits(std::size_t rounds,
+                                    std::size_t num_tiers) {
+  std::vector<double> credits(num_tiers);
+  double budget = static_cast<double>(rounds);
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    credits[t] = std::ceil(budget);
+    budget /= 2.0;
+  }
+  return credits;
+}
+
+AdaptiveTierPolicy::AdaptiveTierPolicy(const TierInfo& tiers,
+                                       AdaptiveConfig config,
+                                       std::size_t total_rounds)
+    : members_(tiers.members), config_(config) {
+  const std::size_t T = members_.size();
+  if (T == 0) throw std::invalid_argument("AdaptiveTierPolicy: no tiers");
+  if (config_.interval == 0) {
+    throw std::invalid_argument("AdaptiveTierPolicy: interval must be >= 1");
+  }
+  probs_.assign(T, 1.0 / static_cast<double>(T));  // Alg. 2 line 1
+  credits_ = config_.credits.empty() ? default_credits(total_rounds, T)
+                                     : config_.credits;
+  if (credits_.size() != T) {
+    throw std::invalid_argument("AdaptiveTierPolicy: credits size mismatch");
+  }
+}
+
+bool AdaptiveTierPolicy::tier_eligible(std::size_t t) const {
+  return members_[t].size() >= config_.clients_per_round;
+}
+
+void AdaptiveTierPolicy::change_probs() {
+  // NewProbs = ChangeProbs(A_1^r .. A_T^r): lower accuracy -> higher
+  // selection probability, restricted to tiers that still have credits
+  // and enough members.
+  const std::vector<double>& latest = accuracy_history_.back();
+  const std::size_t T = members_.size();
+  std::vector<double> weight(T, 0.0);
+
+  if (config_.prob_rule == AdaptiveConfig::ProbRule::kDeficit) {
+    double max_acc = 0.0;
+    for (std::size_t t = 0; t < T; ++t) max_acc = std::max(max_acc, latest[t]);
+    for (std::size_t t = 0; t < T; ++t) {
+      if (credits_[t] <= 0.0 || !tier_eligible(t)) continue;
+      weight[t] = (max_acc - latest[t]) + config_.deficit_epsilon;
+    }
+  } else {
+    // Rank rule: sort by accuracy ascending; worst tier gets weight T,
+    // best gets 1.
+    std::vector<std::size_t> order(T);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&latest](std::size_t a, std::size_t b) {
+                       return latest[a] < latest[b];
+                     });
+    for (std::size_t rank = 0; rank < T; ++rank) {
+      const std::size_t t = order[rank];
+      if (credits_[t] <= 0.0 || !tier_eligible(t)) continue;
+      weight[t] = static_cast<double>(T - rank);
+    }
+  }
+
+  const double total = std::accumulate(weight.begin(), weight.end(), 0.0);
+  if (total > 0.0) {
+    for (double& w : weight) w /= total;
+    probs_ = std::move(weight);
+    ++prob_changes_;
+  }
+}
+
+fl::Selection AdaptiveTierPolicy::select(std::size_t round, util::Rng& rng) {
+  // Alg. 2 lines 3-7: every I rounds, re-derive probabilities if the
+  // current tier's accuracy stalled relative to I rounds ago.
+  if (round % config_.interval == 0 && round >= config_.interval &&
+      accuracy_history_.size() >= config_.interval + 1) {
+    const std::vector<double>& now = accuracy_history_.back();
+    const std::vector<double>& before =
+        accuracy_history_[accuracy_history_.size() - 1 - config_.interval];
+    if (now[current_tier_] <= before[current_tier_]) {
+      change_probs();
+    }
+  }
+
+  // Alg. 2 lines 8-14: draw tiers until one with credits remains.
+  const std::size_t T = members_.size();
+  std::vector<double> effective = probs_;
+  for (std::size_t t = 0; t < T; ++t) {
+    if (credits_[t] <= 0.0 || !tier_eligible(t)) effective[t] = 0.0;
+  }
+  double mass = std::accumulate(effective.begin(), effective.end(), 0.0);
+  if (mass <= 0.0) {
+    // Custom credit schedules can exhaust every tier; restore liveness.
+    util::log_warn("AdaptiveTierPolicy: all tier credits exhausted; "
+                   "granting one credit per eligible tier");
+    for (std::size_t t = 0; t < T; ++t) {
+      if (tier_eligible(t)) {
+        credits_[t] = 1.0;
+        effective[t] = 1.0;
+      }
+    }
+    mass = std::accumulate(effective.begin(), effective.end(), 0.0);
+    if (mass <= 0.0) {
+      throw std::logic_error("AdaptiveTierPolicy: no eligible tier");
+    }
+  }
+
+  current_tier_ = rng.weighted_index(effective);
+  credits_[current_tier_] -= 1.0;  // Alg. 2 line 11
+
+  const std::vector<std::size_t>& pool = members_[current_tier_];
+  const std::vector<std::size_t> picks = fl::sample_without_replacement(
+      pool.size(), config_.clients_per_round, rng);
+
+  fl::Selection selection;
+  selection.tier = static_cast<int>(current_tier_);
+  selection.clients.reserve(picks.size());
+  for (std::size_t p : picks) selection.clients.push_back(pool[p]);
+  return selection;
+}
+
+void AdaptiveTierPolicy::observe(const fl::RoundFeedback& feedback) {
+  // Alg. 2 lines 22-24: record A_t^r for every tier.  If the engine did
+  // not evaluate tiers this round, carry the previous values forward.
+  if (!feedback.tier_accuracies.empty()) {
+    if (feedback.tier_accuracies.size() != members_.size()) {
+      throw std::invalid_argument(
+          "AdaptiveTierPolicy: tier accuracy count mismatch");
+    }
+    accuracy_history_.push_back(feedback.tier_accuracies);
+  } else if (!accuracy_history_.empty()) {
+    accuracy_history_.push_back(accuracy_history_.back());
+  } else {
+    accuracy_history_.emplace_back(members_.size(), 0.0);
+  }
+}
+
+}  // namespace tifl::core

@@ -1,0 +1,81 @@
+// Adaptive tier selection (Algorithm 2, §4.4) — TiFL's headline policy.
+//
+// State per tier t: selection probability p_t, remaining Credits_t, and
+// the test-accuracy history A_t^r measured by the engine on TestData_t
+// (a held-out set matching the tier's training distribution).
+//
+// Every I rounds, if the current tier's accuracy has not improved since
+// I rounds ago, `ChangeProbs` recomputes the probabilities from the
+// latest per-tier accuracies so *lower-accuracy tiers are selected more*.
+// Tier credits bound how often a (typically slow) tier can be chosen:
+// selection loops until it draws a tier with credits remaining, then
+// decrements that tier's credits.  Together the two mechanisms trade off
+// accuracy (deficit-driven probabilities) against training time (credits
+// throttling slow tiers).
+//
+// Unspecified details in the paper, resolved here (see DESIGN.md):
+//  * ChangeProbs rule — default kDeficit: p_t proportional to
+//    (max_s A_s − A_t + epsilon); alternative kRank: probabilities
+//    proportional to the tier's accuracy rank (worst accuracy gets the
+//    largest weight).  Both make low-accuracy tiers likelier, as the text
+//    requires.
+//  * Initial credits — default: tier t gets ceil(rounds / 2^t), i.e. the
+//    fastest tier is effectively unbounded and each slower tier can serve
+//    at most half as many rounds as the one before; total credits ~2x
+//    rounds so selection never deadlocks.
+//  * If every tier's credits hit zero (possible only with custom credit
+//    vectors), all credits are reset to 1 rather than looping forever.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/tiering.h"
+#include "fl/policy.h"
+
+namespace tifl::core {
+
+struct AdaptiveConfig {
+  std::size_t clients_per_round = 5;
+  std::size_t interval = 20;  // I: rounds between ChangeProbs evaluations
+  enum class ProbRule { kDeficit, kRank };
+  ProbRule prob_rule = ProbRule::kDeficit;
+  double deficit_epsilon = 0.01;  // keeps every credited tier selectable
+  // Per-tier credits; when empty, default_credits(rounds) is used.
+  std::vector<double> credits;
+};
+
+// The default Credits_t schedule described above.
+std::vector<double> default_credits(std::size_t rounds,
+                                    std::size_t num_tiers);
+
+class AdaptiveTierPolicy final : public fl::SelectionPolicy {
+ public:
+  AdaptiveTierPolicy(const TierInfo& tiers, AdaptiveConfig config,
+                     std::size_t total_rounds);
+
+  fl::Selection select(std::size_t round, util::Rng& rng) override;
+  void observe(const fl::RoundFeedback& feedback) override;
+  std::string name() const override { return "adaptive"; }
+
+  const std::vector<double>& probs() const { return probs_; }
+  const std::vector<double>& credits() const { return credits_; }
+  std::size_t change_probs_invocations() const { return prob_changes_; }
+
+ private:
+  void change_probs();
+  bool tier_eligible(std::size_t t) const;
+
+  std::vector<std::vector<std::size_t>> members_;
+  AdaptiveConfig config_;
+  std::vector<double> probs_;
+  std::vector<double> credits_;
+  // accuracy_history_[r][t] = A_t^r (rounds without tier feedback reuse
+  // the previous entry so interval lookbacks stay well-defined).
+  std::vector<std::vector<double>> accuracy_history_;
+  std::size_t current_tier_ = 0;
+  std::size_t prob_changes_ = 0;
+};
+
+}  // namespace tifl::core

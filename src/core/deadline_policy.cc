@@ -1,0 +1,36 @@
+#include "core/deadline_policy.h"
+
+#include <stdexcept>
+
+namespace tifl::core {
+
+DeadlinePolicy::DeadlinePolicy(const ProfileResult& profile,
+                               double deadline_seconds,
+                               std::size_t clients_per_round)
+    : clients_per_round_(clients_per_round) {
+  if (deadline_seconds <= 0.0) {
+    throw std::invalid_argument("DeadlinePolicy: deadline must be > 0");
+  }
+  for (std::size_t c = 0; c < profile.mean_latency.size(); ++c) {
+    if (!profile.dropout[c] &&
+        profile.mean_latency[c] <= deadline_seconds) {
+      eligible_.push_back(c);
+    }
+  }
+  if (eligible_.size() < clients_per_round_) {
+    throw std::invalid_argument(
+        "DeadlinePolicy: fewer eligible clients than clients_per_round");
+  }
+}
+
+fl::Selection DeadlinePolicy::select(std::size_t round, util::Rng& rng) {
+  (void)round;
+  const std::vector<std::size_t> picks = fl::sample_without_replacement(
+      eligible_.size(), clients_per_round_, rng);
+  fl::Selection selection;
+  selection.clients.reserve(picks.size());
+  for (std::size_t p : picks) selection.clients.push_back(eligible_[p]);
+  return selection;
+}
+
+}  // namespace tifl::core

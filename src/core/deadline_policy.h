@@ -1,0 +1,37 @@
+// Deadline-based client selection — the FedCS baseline the paper
+// discusses in §2 [Nishio & Yonetani]: the coordinator only considers
+// clients whose (profiled) response latency fits within a round deadline
+// and samples the round's participants uniformly from that set.  Filters
+// stragglers like TiFL's fast tiers do, but with a hard cutoff that
+// permanently excludes slow clients' data instead of scheduling them
+// deliberately.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "fl/policy.h"
+
+namespace tifl::core {
+
+class DeadlinePolicy final : public fl::SelectionPolicy {
+ public:
+  // Eligible clients: not dropouts and mean profiled latency <= deadline.
+  // Throws if fewer than `clients_per_round` clients qualify.
+  DeadlinePolicy(const ProfileResult& profile, double deadline_seconds,
+                 std::size_t clients_per_round);
+
+  fl::Selection select(std::size_t round, util::Rng& rng) override;
+  std::string name() const override { return "deadline"; }
+
+  const std::vector<std::size_t>& eligible_clients() const {
+    return eligible_;
+  }
+
+ private:
+  std::vector<std::size_t> eligible_;
+  std::size_t clients_per_round_;
+};
+
+}  // namespace tifl::core

@@ -1,0 +1,33 @@
+#include "core/estimator.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace tifl::core {
+
+double estimate_training_time(std::span<const double> tier_latency,
+                              std::span<const double> tier_probs,
+                              std::size_t rounds) {
+  if (tier_latency.size() != tier_probs.size()) {
+    throw std::invalid_argument(
+        "estimate_training_time: latency/probability size mismatch");
+  }
+  double per_round = 0.0;
+  for (std::size_t i = 0; i < tier_latency.size(); ++i) {
+    per_round += tier_latency[i] * tier_probs[i];
+  }
+  return per_round * static_cast<double>(rounds);
+}
+
+double estimate_training_time(const TierInfo& tiers,
+                              std::span<const double> tier_probs,
+                              std::size_t rounds) {
+  return estimate_training_time(tiers.avg_latency, tier_probs, rounds);
+}
+
+double estimation_mape(double estimated_seconds, double actual_seconds) {
+  return util::mape_percent(estimated_seconds, actual_seconds);
+}
+
+}  // namespace tifl::core

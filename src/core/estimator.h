@@ -1,0 +1,31 @@
+// Training-time estimation model (§4.5).
+//
+//   L_all = sum_i (L_tier_i * P_i) * R                       (Eq. 6)
+//
+// — the expected per-round latency under the tier selection probabilities,
+// times the number of rounds.  Accuracy of the estimate is scored with
+// mean absolute percentage error (Eq. 7), reproduced in Table 2.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/tiering.h"
+
+namespace tifl::core {
+
+// Eq. 6.  `tier_latency[i]` is the profiled average response latency of
+// tier i and `tier_probs[i]` its selection probability.
+double estimate_training_time(std::span<const double> tier_latency,
+                              std::span<const double> tier_probs,
+                              std::size_t rounds);
+
+// Convenience overload taking the tiering result directly.
+double estimate_training_time(const TierInfo& tiers,
+                              std::span<const double> tier_probs,
+                              std::size_t rounds);
+
+// Eq. 7: |est - act| / act * 100.
+double estimation_mape(double estimated_seconds, double actual_seconds);
+
+}  // namespace tifl::core

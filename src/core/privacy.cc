@@ -1,0 +1,86 @@
+#include "core/privacy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tifl::core {
+
+double uniform_sampling_rate(std::size_t clients_per_round,
+                             std::size_t total_clients) {
+  if (total_clients == 0 || clients_per_round > total_clients) {
+    throw std::invalid_argument("uniform_sampling_rate: bad sizes");
+  }
+  return static_cast<double>(clients_per_round) /
+         static_cast<double>(total_clients);
+}
+
+double tier_sampling_rate(double tier_prob, std::size_t clients_per_round,
+                          std::size_t tier_size) {
+  if (tier_size == 0) return 0.0;
+  const double within =
+      std::min(1.0, static_cast<double>(clients_per_round) /
+                        static_cast<double>(tier_size));
+  return tier_prob * within;
+}
+
+double max_tier_sampling_rate(std::span<const double> tier_probs,
+                              std::span<const std::size_t> tier_sizes,
+                              std::size_t clients_per_round) {
+  if (tier_probs.size() != tier_sizes.size()) {
+    throw std::invalid_argument("max_tier_sampling_rate: size mismatch");
+  }
+  double q_max = 0.0;
+  for (std::size_t j = 0; j < tier_probs.size(); ++j) {
+    q_max = std::max(q_max, tier_sampling_rate(tier_probs[j],
+                                               clients_per_round,
+                                               tier_sizes[j]));
+  }
+  return q_max;
+}
+
+PrivacyParams amplify(PrivacyParams per_round, double sampling_rate) {
+  if (sampling_rate < 0.0 || sampling_rate > 1.0) {
+    throw std::invalid_argument("amplify: sampling rate outside [0, 1]");
+  }
+  return PrivacyParams{per_round.epsilon * sampling_rate,
+                       per_round.delta * sampling_rate};
+}
+
+PrivacyParams compose_rounds(PrivacyParams amplified, std::size_t rounds) {
+  return PrivacyParams{amplified.epsilon * static_cast<double>(rounds),
+                       amplified.delta * static_cast<double>(rounds)};
+}
+
+double gaussian_sigma(const PrivacyParams& params, double l2_sensitivity) {
+  if (params.epsilon <= 0.0 || params.delta <= 0.0 || params.delta >= 1.0) {
+    throw std::invalid_argument("gaussian_sigma: bad privacy params");
+  }
+  return std::sqrt(2.0 * std::log(1.25 / params.delta)) * l2_sensitivity /
+         params.epsilon;
+}
+
+double simulate_client_selection_rate(std::span<const double> tier_probs,
+                                      std::span<const std::size_t> tier_sizes,
+                                      std::size_t clients_per_round,
+                                      std::size_t client_tier,
+                                      std::size_t trials, util::Rng& rng) {
+  if (client_tier >= tier_probs.size()) {
+    throw std::invalid_argument("simulate_client_selection_rate: bad tier");
+  }
+  std::size_t hits = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const std::size_t tier = rng.weighted_index(tier_probs);
+    if (tier != client_tier) continue;
+    // Within the tier, the tracked client is one of tier_sizes[tier]
+    // members, of whom clients_per_round are chosen uniformly.
+    if (rng.uniform() <
+        static_cast<double>(clients_per_round) /
+            static_cast<double>(tier_sizes[client_tier])) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace tifl::core

@@ -1,0 +1,64 @@
+// Privacy-preserving FL compatibility (§4.6 of the paper).
+//
+// The paper argues TiFL composes with client-level differential privacy:
+// if one round of local training is (eps, delta)-DP, then under random
+// client subsampling the per-round guarantee amplifies to
+// (O(q*eps), q*delta) with q = |C|/|K| [Beimel et al.]; under tiered
+// selection the guarantee is (O(q_max*eps), q_max*delta) where
+//
+//     q_j   = P(tier j selected) * |C| / |n_j|      (per-client sampling
+//     q_max = max_j q_j                              rate within tier j)
+//
+// This module provides that accounting plus the Gaussian mechanism used
+// by the DP-enabled client path (LocalTrainParams::dp_*), and a helper to
+// verify the closed-form q against Monte-Carlo selection frequencies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tifl::core {
+
+struct PrivacyParams {
+  double epsilon = 1.0;
+  double delta = 1e-5;
+};
+
+// Per-client sampling rate under uniform selection: q = |C| / |K|.
+double uniform_sampling_rate(std::size_t clients_per_round,
+                             std::size_t total_clients);
+
+// Per-client sampling rate within tier j: P(tier j) * |C| / n_j.
+double tier_sampling_rate(double tier_prob, std::size_t clients_per_round,
+                          std::size_t tier_size);
+
+// q_max over all tiers (empty tiers are skipped).
+double max_tier_sampling_rate(std::span<const double> tier_probs,
+                              std::span<const std::size_t> tier_sizes,
+                              std::size_t clients_per_round);
+
+// Amplification-by-subsampling (linear regime, the paper's O(q eps) form):
+// (eps, delta) -> (q * eps, q * delta).
+PrivacyParams amplify(PrivacyParams per_round, double sampling_rate);
+
+// Simple (not tight) composition over R rounds: eps and delta scale by
+// the number of rounds a client may participate in expectation.
+PrivacyParams compose_rounds(PrivacyParams amplified, std::size_t rounds);
+
+// Gaussian-mechanism noise scale for sensitivity `l2_sensitivity`:
+// sigma = sqrt(2 ln(1.25/delta)) * sensitivity / eps  (requires eps<=1 in
+// the classic analysis; accepted as-is for larger eps like most DP libs).
+double gaussian_sigma(const PrivacyParams& params, double l2_sensitivity);
+
+// Monte-Carlo estimate of a given client's per-round selection frequency
+// under tiered selection — used by tests to validate the closed form.
+double simulate_client_selection_rate(std::span<const double> tier_probs,
+                                      std::span<const std::size_t> tier_sizes,
+                                      std::size_t clients_per_round,
+                                      std::size_t client_tier,
+                                      std::size_t trials, util::Rng& rng);
+
+}  // namespace tifl::core

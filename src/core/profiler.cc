@@ -1,0 +1,54 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tifl::core {
+
+std::size_t ProfileResult::dropout_count() const {
+  return static_cast<std::size_t>(
+      std::count(dropout.begin(), dropout.end(), true));
+}
+
+ProfileResult profile_clients(const std::vector<fl::Client>& clients,
+                              const sim::LatencyModel& latency_model,
+                              const ProfilerConfig& config, util::Rng& rng) {
+  if (clients.empty()) {
+    throw std::invalid_argument("profile_clients: no clients");
+  }
+  if (config.sync_rounds == 0 || config.tmax <= 0.0) {
+    throw std::invalid_argument("profile_clients: bad config");
+  }
+
+  ProfileResult result;
+  result.accumulated_latency.assign(clients.size(), 0.0);
+  result.mean_latency.assign(clients.size(), 0.0);
+  result.dropout.assign(clients.size(), false);
+
+  for (std::size_t round = 0; round < config.sync_rounds; ++round) {
+    double round_time = 0.0;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      const double observed = latency_model.sample_latency(
+          clients[c].resource(), clients[c].train_size(), config.epochs,
+          rng);
+      // Clients answering within Tmax contribute their actual latency;
+      // the rest are charged the full deadline.
+      const double charged = observed < config.tmax ? observed : config.tmax;
+      result.accumulated_latency[c] += charged;
+      round_time = std::max(round_time, charged);
+    }
+    result.profiling_time += round_time;
+  }
+
+  const double dropout_threshold =
+      static_cast<double>(config.sync_rounds) * config.tmax;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    result.mean_latency[c] = result.accumulated_latency[c] /
+                             static_cast<double>(config.sync_rounds);
+    // ">=" per the paper: only clients that timed out *every* round drop.
+    result.dropout[c] = result.accumulated_latency[c] >= dropout_threshold;
+  }
+  return result;
+}
+
+}  // namespace tifl::core

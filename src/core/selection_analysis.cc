@@ -1,0 +1,51 @@
+#include "core/selection_analysis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tifl::core {
+
+namespace {
+// log C(n, k) via lgamma; exact enough for probabilities.
+double log_choose(double n, double k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+}
+}  // namespace
+
+double probability_avoid_slowest(std::size_t total_clients,
+                                 std::size_t slowest_level_size,
+                                 std::size_t clients_per_round) {
+  if (clients_per_round > total_clients ||
+      slowest_level_size > total_clients) {
+    throw std::invalid_argument("probability_avoid_slowest: bad sizes");
+  }
+  const double k = static_cast<double>(total_clients);
+  const double m = static_cast<double>(slowest_level_size);
+  const double c = static_cast<double>(clients_per_round);
+  if (k - m < c) return 0.0;  // cannot fill a round without stragglers
+  const double log_pr =
+      log_choose(k - m, c) - log_choose(k, c);
+  return std::exp(log_pr);
+}
+
+double straggler_selection_probability(std::size_t total_clients,
+                                       std::size_t slowest_level_size,
+                                       std::size_t clients_per_round) {
+  return 1.0 - probability_avoid_slowest(total_clients, slowest_level_size,
+                                         clients_per_round);
+}
+
+double straggler_probability_lower_bound(std::size_t total_clients,
+                                         std::size_t slowest_level_size,
+                                         std::size_t clients_per_round) {
+  if (total_clients == 0) {
+    throw std::invalid_argument("straggler_probability_lower_bound: K == 0");
+  }
+  const double ratio =
+      static_cast<double>(total_clients - slowest_level_size) /
+      static_cast<double>(total_clients);
+  return 1.0 - std::pow(ratio, static_cast<double>(clients_per_round));
+}
+
+}  // namespace tifl::core

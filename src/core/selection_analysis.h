@@ -1,0 +1,35 @@
+// Closed-form straggler-selection analysis (§3.2, Eqs. 2-5).
+//
+// Under vanilla random selection of |C| clients from |K|, the probability
+// that *no* client comes from the slowest level tau_m is
+//
+//     Pr  = C(K - |tau_m|, |C|) / C(K, |C|)                        (Eq. 2)
+//
+// and the straggler probability is Prs = 1 - Pr (Eq. 3).  Theorem 3.1
+// gives the lower bound Prs > 1 - ((K - |tau_m|) / K)^|C| (Eq. 5), which
+// approaches 1 at federation scale — the analytical core of the paper's
+// argument that conventional FL is straggler-bound.
+#pragma once
+
+#include <cstddef>
+
+namespace tifl::core {
+
+// Eq. 2: probability that a uniform |C|-subset of K clients avoids the
+// slowest level of size `slowest_level_size`.  Computed in log space so
+// federation-scale inputs (K ~ 1e10) do not overflow.
+double probability_avoid_slowest(std::size_t total_clients,
+                                 std::size_t slowest_level_size,
+                                 std::size_t clients_per_round);
+
+// Eq. 3: Prs = 1 - Pr.
+double straggler_selection_probability(std::size_t total_clients,
+                                       std::size_t slowest_level_size,
+                                       std::size_t clients_per_round);
+
+// Eq. 5's lower bound: 1 - ((K - |tau_m|)/K)^|C|.
+double straggler_probability_lower_bound(std::size_t total_clients,
+                                         std::size_t slowest_level_size,
+                                         std::size_t clients_per_round);
+
+}  // namespace tifl::core

@@ -1,0 +1,43 @@
+// Straw-man static tier selection (§4.3): each round, draw one tier from a
+// fixed probability vector, then select |C| clients uniformly at random
+// within that tier.  Table 1 of the paper defines the named policy
+// presets ("slow", "uniform", "random", "fast", "fast1".."fast3"),
+// reproduced by `table1_probs`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tiering.h"
+#include "fl/policy.h"
+
+namespace tifl::core {
+
+class StaticTierPolicy final : public fl::SelectionPolicy {
+ public:
+  // `tier_probs` must match tiers.tier_count() and sum to ~1.  Tiers whose
+  // member count is below `clients_per_round` get their probability mass
+  // redistributed (a tier must be able to fill a round, §4.3's
+  // n_j > |C| assumption).
+  StaticTierPolicy(const TierInfo& tiers, std::vector<double> tier_probs,
+                   std::size_t clients_per_round, std::string policy_name);
+
+  fl::Selection select(std::size_t round, util::Rng& rng) override;
+  std::string name() const override { return name_; }
+
+  const std::vector<double>& tier_probs() const { return probs_; }
+
+ private:
+  std::vector<std::vector<std::size_t>> members_;
+  std::vector<double> probs_;
+  std::size_t clients_per_round_;
+  std::string name_;
+};
+
+// Table 1 presets.  `name` in {"slow", "uniform", "random", "fast",
+// "fast1", "fast2", "fast3"}; probabilities are returned fastest-tier
+// first, matching TierInfo ordering.  Throws on unknown names.
+std::vector<double> table1_probs(const std::string& name,
+                                 std::size_t num_tiers = 5);
+
+}  // namespace tifl::core

@@ -1,0 +1,109 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tifl::core {
+
+std::vector<data::Dataset> build_tier_eval_sets(
+    const TierInfo& tiers, const std::vector<fl::Client>& clients,
+    const data::Dataset& test) {
+  std::vector<data::Dataset> sets;
+  sets.reserve(tiers.tier_count());
+  for (const std::vector<std::size_t>& member_ids : tiers.members) {
+    std::vector<std::size_t> indices;
+    for (std::size_t id : member_ids) {
+      const std::vector<std::size_t>& shard = clients.at(id).test_indices();
+      indices.insert(indices.end(), shard.begin(), shard.end());
+    }
+    std::sort(indices.begin(), indices.end());
+    sets.push_back(test.subset(indices));
+  }
+  return sets;
+}
+
+TiflSystem::TiflSystem(SystemConfig config, nn::ModelFactory factory,
+                       const data::Dataset* test,
+                       std::vector<fl::Client> clients,
+                       sim::LatencyModel latency_model)
+    : config_(config), latency_model_(latency_model), test_(test) {
+  if (test == nullptr) {
+    throw std::invalid_argument("TiflSystem: null test dataset");
+  }
+
+  // 1. Profiling (§4.2): measure every client, mark dropouts.
+  util::Rng profile_rng(config_.profile_seed);
+  profile_ =
+      profile_clients(clients, latency_model, config_.profiler, profile_rng);
+
+  // 2. Tiering: histogram split of mean latencies into m tiers.
+  tiers_ = build_tiers(profile_, config_.num_tiers, config_.tiering);
+
+  // 3. Engine with per-tier evaluation sets.
+  std::vector<data::Dataset> tier_sets =
+      build_tier_eval_sets(tiers_, clients, *test);
+  engine_ = std::make_unique<fl::Engine>(config_.engine, std::move(factory),
+                                         std::move(clients), test,
+                                         latency_model);
+  engine_->set_tier_eval_sets(std::move(tier_sets));
+}
+
+std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_vanilla() const {
+  return std::make_unique<fl::VanillaPolicy>(engine_->clients().size(),
+                                             config_.clients_per_round);
+}
+
+std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_static(
+    const std::string& table1_name) const {
+  return make_static(table1_probs(table1_name, tiers_.tier_count()),
+                     table1_name);
+}
+
+std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_static(
+    std::vector<double> probs, const std::string& name) const {
+  return std::make_unique<StaticTierPolicy>(
+      tiers_, std::move(probs), config_.clients_per_round, name);
+}
+
+std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_adaptive(
+    AdaptiveConfig adaptive) const {
+  adaptive.clients_per_round = config_.clients_per_round;
+  return std::make_unique<AdaptiveTierPolicy>(tiers_, adaptive,
+                                              config_.engine.rounds);
+}
+
+fl::RunResult TiflSystem::run(fl::SelectionPolicy& policy,
+                              std::optional<std::uint64_t> seed_override) {
+  return engine_->run(policy, seed_override);
+}
+
+double TiflSystem::estimate_time(const std::string& table1_name) const {
+  return estimate_time(table1_probs(table1_name, tiers_.tier_count()));
+}
+
+double TiflSystem::estimate_time(std::span<const double> tier_probs) const {
+  return estimate_training_time(tiers_, tier_probs, config_.engine.rounds);
+}
+
+std::vector<std::size_t> TiflSystem::tier_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(tiers_.tier_count());
+  for (const auto& members : tiers_.members) sizes.push_back(members.size());
+  return sizes;
+}
+
+fl::Client& TiflSystem::client(std::size_t id) {
+  return engine_->mutable_clients().at(id);
+}
+
+double TiflSystem::reprofile(std::uint64_t seed) {
+  util::Rng profile_rng(seed);
+  profile_ = profile_clients(engine_->clients(), latency_model_,
+                             config_.profiler, profile_rng);
+  tiers_ = build_tiers(profile_, config_.num_tiers, config_.tiering);
+  engine_->set_tier_eval_sets(
+      build_tier_eval_sets(tiers_, engine_->clients(), *test_));
+  return profile_.profiling_time;
+}
+
+}  // namespace tifl::core

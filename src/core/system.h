@@ -1,0 +1,100 @@
+// TiflSystem — the top-level public API tying the whole reproduction
+// together, mirroring Fig. 2 of the paper: profiler & tiering algorithm +
+// tier scheduler wrapped around a conventional FL aggregator/engine.
+//
+// Construction runs the profiling phase and builds the tiers; the caller
+// then creates policies bound to those tiers and runs federations:
+//
+//   core::TiflSystem system(cfg, factory, &train, &test, clients, latency);
+//   auto policy = system.make_static("uniform");
+//   fl::RunResult result = system.run(*policy);
+//
+// TiFL is non-intrusive by design (§4.1): policies only regulate client
+// selection; the underlying engine and training loop are the vanilla FL
+// substrate from src/fl.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_policy.h"
+#include "core/estimator.h"
+#include "core/profiler.h"
+#include "core/static_policy.h"
+#include "core/tiering.h"
+#include "fl/engine.h"
+
+namespace tifl::core {
+
+struct SystemConfig {
+  std::size_t num_tiers = 5;          // m
+  TieringStrategy tiering = TieringStrategy::kQuantile;
+  ProfilerConfig profiler;
+  fl::EngineConfig engine;
+  std::size_t clients_per_round = 5;  // |C|
+  std::uint64_t profile_seed = 7;
+};
+
+class TiflSystem {
+ public:
+  TiflSystem(SystemConfig config, nn::ModelFactory factory,
+             const data::Dataset* test, std::vector<fl::Client> clients,
+             sim::LatencyModel latency_model);
+
+  const TierInfo& tiers() const { return tiers_; }
+  const ProfileResult& profile() const { return profile_; }
+  fl::Engine& engine() { return *engine_; }
+  const SystemConfig& config() const { return config_; }
+
+  // --- policy factories bound to this system's tiers ----------------------
+  std::unique_ptr<fl::SelectionPolicy> make_vanilla() const;
+  // `table1_name` in {"slow","uniform","random","fast","fast1".."fast3"}.
+  std::unique_ptr<fl::SelectionPolicy> make_static(
+      const std::string& table1_name) const;
+  std::unique_ptr<fl::SelectionPolicy> make_static(
+      std::vector<double> probs, const std::string& name) const;
+  std::unique_ptr<fl::SelectionPolicy> make_adaptive(
+      AdaptiveConfig config = {}) const;
+
+  fl::RunResult run(fl::SelectionPolicy& policy,
+                    std::optional<std::uint64_t> seed_override = {});
+
+  // Eq. 6 estimate for a Table 1 policy under this system's tiering.
+  double estimate_time(const std::string& table1_name) const;
+  double estimate_time(std::span<const double> tier_probs) const;
+
+  // Sizes of each tier (used by privacy accounting and tests).
+  std::vector<std::size_t> tier_sizes() const;
+
+  // Re-runs profiling and tiering against the clients' *current* resource
+  // profiles and rebuilds the per-tier evaluation sets (§4.2: "the
+  // profiling and tiering can be conducted periodically for systems with
+  // changing computation and communication performance over time").
+  // Policies hold a snapshot of the tiers, so create fresh policies from
+  // the factories after calling this.  Returns the new profiling cost in
+  // virtual seconds.
+  double reprofile(std::uint64_t seed);
+
+  // Mutable access so callers can model mid-run resource drift before a
+  // reprofile (e.g. a device heating up or moving to a slower link).
+  fl::Client& client(std::size_t id);
+
+ private:
+  SystemConfig config_;
+  TierInfo tiers_;
+  ProfileResult profile_;
+  sim::LatencyModel latency_model_;
+  const data::Dataset* test_ = nullptr;
+  std::unique_ptr<fl::Engine> engine_;
+};
+
+// Builds the per-tier evaluation datasets (Alg. 2's TestData_t): the union
+// of the member clients' matched held-out shards, materialized from the
+// global test set.
+std::vector<data::Dataset> build_tier_eval_sets(
+    const TierInfo& tiers, const std::vector<fl::Client>& clients,
+    const data::Dataset& test);
+
+}  // namespace tifl::core

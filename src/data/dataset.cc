@@ -1,0 +1,82 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tifl::data {
+
+Dataset::Dataset(tensor::Tensor features, std::vector<std::int32_t> labels,
+                 std::int64_t num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  if (features_.rank() != 4) {
+    throw std::invalid_argument("Dataset: features must be [N, C, H, W]");
+  }
+  if (features_.dim(0) != static_cast<std::int64_t>(labels_.size())) {
+    throw std::invalid_argument("Dataset: feature/label count mismatch");
+  }
+  for (std::int32_t label : labels_) {
+    if (label < 0 || label >= num_classes_) {
+      throw std::invalid_argument("Dataset: label out of range");
+    }
+  }
+  dims_ = ImageDims{features_.dim(1), features_.dim(2), features_.dim(3)};
+}
+
+Dataset::Batch Dataset::gather(std::span<const std::size_t> indices) const {
+  const std::int64_t sample_size = dims_.flat();
+  tensor::Tensor x({static_cast<std::int64_t>(indices.size()), dims_.channels,
+                    dims_.height, dims_.width});
+  std::vector<std::int32_t> y;
+  y.reserve(indices.size());
+  float* out = x.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t idx = indices[i];
+    if (idx >= size()) throw std::out_of_range("Dataset::gather index");
+    std::memcpy(out + static_cast<std::int64_t>(i) * sample_size,
+                features_.data() + static_cast<std::int64_t>(idx) * sample_size,
+                static_cast<std::size_t>(sample_size) * sizeof(float));
+    y.push_back(labels_[idx]);
+  }
+  return Batch{std::move(x), std::move(y)};
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Batch batch = gather(indices);
+  return Dataset(std::move(batch.x), std::move(batch.y), num_classes_);
+}
+
+std::vector<std::vector<std::size_t>> Dataset::indices_by_class() const {
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    by_class[static_cast<std::size_t>(labels_[i])].push_back(i);
+  }
+  return by_class;
+}
+
+std::vector<double> Dataset::class_distribution(
+    std::span<const std::size_t> indices) const {
+  std::vector<double> dist(static_cast<std::size_t>(num_classes_), 0.0);
+  if (indices.empty()) return dist;
+  for (std::size_t idx : indices) {
+    dist[static_cast<std::size_t>(labels_.at(idx))] += 1.0;
+  }
+  for (double& d : dist) d /= static_cast<double>(indices.size());
+  return dist;
+}
+
+void Dataset::apply_feature_skew(std::span<const std::size_t> indices,
+                                 float gain, float bias) {
+  const std::int64_t sample_size = dims_.flat();
+  for (std::size_t idx : indices) {
+    float* sample =
+        features_.data() + static_cast<std::int64_t>(idx) * sample_size;
+    for (std::int64_t j = 0; j < sample_size; ++j) {
+      sample[j] = sample[j] * gain + bias;
+    }
+  }
+}
+
+}  // namespace tifl::data

@@ -1,0 +1,71 @@
+// In-memory labelled dataset and index-based views.
+//
+// FL code never copies sample data around: clients hold index lists into a
+// shared dataset (the "logical data pool" of the paper), and mini-batches
+// are gathered on demand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tifl::data {
+
+// Channels-first image extents; flat() is the feature dimension for MLPs.
+struct ImageDims {
+  std::int64_t channels = 1;
+  std::int64_t height = 8;
+  std::int64_t width = 8;
+  std::int64_t flat() const { return channels * height * width; }
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  // features: [N, C, H, W]; labels: N entries in [0, num_classes).
+  Dataset(tensor::Tensor features, std::vector<std::int32_t> labels,
+          std::int64_t num_classes);
+
+  std::size_t size() const { return labels_.size(); }
+  std::int64_t num_classes() const { return num_classes_; }
+  const tensor::Tensor& features() const { return features_; }
+  const std::vector<std::int32_t>& labels() const { return labels_; }
+  ImageDims dims() const { return dims_; }
+
+  std::int32_t label(std::size_t i) const { return labels_.at(i); }
+
+  // Gathers the given samples into a dense batch (x: [n, C, H, W]).
+  struct Batch {
+    tensor::Tensor x;
+    std::vector<std::int32_t> y;
+  };
+  Batch gather(std::span<const std::size_t> indices) const;
+
+  // Materializes a subset as a standalone dataset (used for test shards).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  // Per-class index lists (lazily computable by callers; provided here
+  // because every partitioner needs it).
+  std::vector<std::vector<std::size_t>> indices_by_class() const;
+
+  // Label histogram of an index subset, normalized to sum 1.
+  std::vector<double> class_distribution(
+      std::span<const std::size_t> indices) const;
+
+  // In-place multiplicative brightness/contrast jitter on selected
+  // samples; models per-writer feature skew (the paper's "feature
+  // distribution is skewed" aspect of non-IID data).
+  void apply_feature_skew(std::span<const std::size_t> indices, float gain,
+                          float bias);
+
+ private:
+  tensor::Tensor features_;  // [N, C, H, W]
+  std::vector<std::int32_t> labels_;
+  std::int64_t num_classes_ = 0;
+  ImageDims dims_;
+};
+
+}  // namespace tifl::data

@@ -1,0 +1,360 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tifl::data {
+
+namespace {
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, util::Rng& rng) {
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  rng.shuffle(indices);
+  return indices;
+}
+
+void check_clients(std::size_t num_clients) {
+  if (num_clients == 0) {
+    throw std::invalid_argument("partition: need at least one client");
+  }
+}
+
+}  // namespace
+
+Partition partition_iid(const Dataset& dataset, std::size_t num_clients,
+                        util::Rng& rng) {
+  check_clients(num_clients);
+  const std::vector<std::size_t> order = shuffled_indices(dataset.size(), rng);
+  Partition partition(num_clients);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    partition[i % num_clients].push_back(order[i]);
+  }
+  return partition;
+}
+
+Partition partition_shards(const Dataset& dataset, std::size_t num_clients,
+                           std::size_t shards_per_client, util::Rng& rng) {
+  check_clients(num_clients);
+  if (shards_per_client == 0) {
+    throw std::invalid_argument("partition_shards: shards_per_client >= 1");
+  }
+  // Sort indices by label (stable within class for determinism), cut into
+  // num_clients * shards_per_client contiguous shards, deal shards out
+  // randomly, shards_per_client each.
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&dataset](std::size_t a, std::size_t b) {
+                     return dataset.label(a) < dataset.label(b);
+                   });
+
+  const std::size_t total_shards = num_clients * shards_per_client;
+  if (total_shards > dataset.size()) {
+    throw std::invalid_argument("partition_shards: more shards than samples");
+  }
+  std::vector<std::size_t> shard_ids = shuffled_indices(total_shards, rng);
+
+  Partition partition(num_clients);
+  const std::size_t shard_size = dataset.size() / total_shards;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    for (std::size_t s = 0; s < shards_per_client; ++s) {
+      const std::size_t shard = shard_ids[c * shards_per_client + s];
+      const std::size_t begin = shard * shard_size;
+      // Last shard absorbs the remainder so no sample is dropped.
+      const std::size_t end =
+          (shard == total_shards - 1) ? dataset.size() : begin + shard_size;
+      for (std::size_t i = begin; i < end; ++i) {
+        partition[c].push_back(order[i]);
+      }
+    }
+  }
+  return partition;
+}
+
+Partition partition_classes(const Dataset& dataset, std::size_t num_clients,
+                            std::size_t classes_per_client, util::Rng& rng) {
+  return partition_classes_weighted(dataset, num_clients, classes_per_client,
+                                    std::vector<double>(num_clients, 1.0),
+                                    rng);
+}
+
+namespace {
+
+// Deals every class's samples to the clients holding that class,
+// proportionally to the holders' weights (largest-remainder rounding so
+// no sample is dropped).
+Partition deal_classes_to_holders(
+    const Dataset& dataset,
+    const std::vector<std::vector<std::size_t>>& clients_of_class,
+    std::size_t num_clients, const std::vector<double>& client_weights,
+    util::Rng& rng) {
+  Partition partition(num_clients);
+  auto by_class = dataset.indices_by_class();
+  for (std::size_t cls = 0; cls < clients_of_class.size(); ++cls) {
+    const auto& holders = clients_of_class[cls];
+    if (holders.empty()) continue;
+    auto& samples = by_class[cls];
+    rng.shuffle(samples);
+
+    std::vector<double> weights;
+    weights.reserve(holders.size());
+    for (std::size_t holder : holders) {
+      weights.push_back(std::max(0.0, client_weights[holder]));
+    }
+    const double total =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0) {
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        partition[holders[i % holders.size()]].push_back(samples[i]);
+      }
+      continue;
+    }
+    // Quota per holder: weight share of the class, remainder dealt to the
+    // largest fractional parts so every sample is assigned.
+    std::size_t assigned = 0;
+    std::vector<std::size_t> quota(holders.size(), 0);
+    std::vector<std::pair<double, std::size_t>> fractions;
+    for (std::size_t h = 0; h < holders.size(); ++h) {
+      const double exact =
+          weights[h] / total * static_cast<double>(samples.size());
+      quota[h] = static_cast<std::size_t>(exact);
+      assigned += quota[h];
+      fractions.emplace_back(exact - static_cast<double>(quota[h]), h);
+    }
+    std::sort(fractions.rbegin(), fractions.rend());
+    for (std::size_t r = 0; assigned < samples.size(); ++r, ++assigned) {
+      ++quota[fractions[r % fractions.size()].second];
+    }
+    std::size_t offset = 0;
+    for (std::size_t h = 0; h < holders.size(); ++h) {
+      for (std::size_t i = 0; i < quota[h]; ++i) {
+        partition[holders[h]].push_back(samples[offset++]);
+      }
+    }
+  }
+  return partition;
+}
+
+}  // namespace
+
+Partition partition_classes_weighted(const Dataset& dataset,
+                                     std::size_t num_clients,
+                                     std::size_t classes_per_client,
+                                     const std::vector<double>& client_weights,
+                                     util::Rng& rng) {
+  check_clients(num_clients);
+  const std::size_t num_classes =
+      static_cast<std::size_t>(dataset.num_classes());
+  if (classes_per_client == 0 || classes_per_client > num_classes) {
+    throw std::invalid_argument(
+        "partition_classes: classes_per_client out of range");
+  }
+  if (client_weights.size() != num_clients) {
+    throw std::invalid_argument(
+        "partition_classes_weighted: weight count mismatch");
+  }
+
+  // Assign each client `classes_per_client` classes round-robin over a
+  // shuffled class order so every class is claimed by a near-equal number
+  // of clients (the "equal number of images from k classes" setup of
+  // Zhao et al. that §3.3 follows).
+  std::vector<std::size_t> class_order = shuffled_indices(num_classes, rng);
+  std::vector<std::vector<std::size_t>> clients_of_class(num_classes);
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    for (std::size_t k = 0; k < classes_per_client; ++k) {
+      const std::size_t cls = class_order[cursor % num_classes];
+      clients_of_class[cls].push_back(c);
+      ++cursor;
+    }
+  }
+  return deal_classes_to_holders(dataset, clients_of_class, num_clients,
+                                 client_weights, rng);
+}
+
+Partition partition_classes_skewed(const Dataset& dataset,
+                                   std::size_t num_clients,
+                                   const ClassSkewOptions& options,
+                                   util::Rng& rng) {
+  check_clients(num_clients);
+  const std::size_t num_classes =
+      static_cast<std::size_t>(dataset.num_classes());
+  if (options.classes_per_client == 0 ||
+      options.classes_per_client > num_classes) {
+    throw std::invalid_argument(
+        "partition_classes_skewed: classes_per_client out of range");
+  }
+  if (!options.client_weights.empty() &&
+      options.client_weights.size() != num_clients) {
+    throw std::invalid_argument(
+        "partition_classes_skewed: weight count mismatch");
+  }
+  if (!options.client_groups.empty() &&
+      options.client_groups.size() != num_clients) {
+    throw std::invalid_argument(
+        "partition_classes_skewed: group count mismatch");
+  }
+  if (options.group_class_affinity < 0.0) {
+    throw std::invalid_argument(
+        "partition_classes_skewed: affinity must be >= 0");
+  }
+
+  std::size_t num_groups = 1;
+  for (std::size_t g : options.client_groups) {
+    num_groups = std::max(num_groups, g + 1);
+  }
+
+  // Per-client class draws: weight (1 + affinity) for classes whose home
+  // group matches the client's group, 1 otherwise; without replacement.
+  std::vector<std::vector<std::size_t>> clients_of_class(num_classes);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    const std::size_t group =
+        options.client_groups.empty() ? 0 : options.client_groups[c];
+    std::vector<double> weights(num_classes, 1.0);
+    for (std::size_t k = 0; k < num_classes; ++k) {
+      const std::size_t home = k * num_groups / num_classes;
+      if (home == group) weights[k] += options.group_class_affinity;
+    }
+    for (std::size_t draw = 0; draw < options.classes_per_client; ++draw) {
+      const std::size_t cls = rng.weighted_index(weights);
+      weights[cls] = 0.0;  // without replacement
+      clients_of_class[cls].push_back(c);
+    }
+  }
+
+  const std::vector<double> client_weights =
+      options.client_weights.empty()
+          ? std::vector<double>(num_clients, 1.0)
+          : options.client_weights;
+  return deal_classes_to_holders(dataset, clients_of_class, num_clients,
+                                 client_weights, rng);
+}
+
+Partition partition_quantity(const Dataset& dataset, std::size_t num_clients,
+                             const std::vector<double>& group_fractions,
+                             util::Rng& rng) {
+  check_clients(num_clients);
+  if (group_fractions.empty()) {
+    throw std::invalid_argument("partition_quantity: need group fractions");
+  }
+  if (num_clients % group_fractions.size() != 0) {
+    throw std::invalid_argument(
+        "partition_quantity: num_clients must divide evenly into groups");
+  }
+  const double total_fraction =
+      std::accumulate(group_fractions.begin(), group_fractions.end(), 0.0);
+  if (total_fraction <= 0.0) {
+    throw std::invalid_argument("partition_quantity: fractions must be > 0");
+  }
+
+  const std::size_t clients_per_group = num_clients / group_fractions.size();
+  const std::vector<std::size_t> order = shuffled_indices(dataset.size(), rng);
+
+  Partition partition(num_clients);
+  std::size_t offset = 0;
+  for (std::size_t g = 0; g < group_fractions.size(); ++g) {
+    const double group_share = group_fractions[g] / total_fraction;
+    const std::size_t group_samples = static_cast<std::size_t>(
+        std::llround(group_share * static_cast<double>(dataset.size())));
+    const std::size_t per_client = group_samples / clients_per_group;
+    for (std::size_t c = 0; c < clients_per_group; ++c) {
+      const std::size_t client = g * clients_per_group + c;
+      for (std::size_t i = 0; i < per_client && offset < order.size(); ++i) {
+        partition[client].push_back(order[offset++]);
+      }
+    }
+  }
+  return partition;
+}
+
+Partition partition_leaf(const Dataset& dataset, const LeafOptions& options,
+                         util::Rng& rng) {
+  check_clients(options.num_clients);
+  const std::size_t num_classes =
+      static_cast<std::size_t>(dataset.num_classes());
+
+  // 1. Per-client sample budgets: lognormal weights normalized to the
+  //    dataset size (LEAF's natural long tail of writer activity).
+  std::vector<double> weights(options.num_clients);
+  for (double& w : weights) w = rng.lognormal(0.0, options.count_sigma);
+  const double weight_total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<std::size_t> budgets(options.num_clients);
+  for (std::size_t c = 0; c < options.num_clients; ++c) {
+    budgets[c] = std::max(
+        options.min_samples,
+        static_cast<std::size_t>(std::llround(
+            weights[c] / weight_total * static_cast<double>(dataset.size()))));
+  }
+
+  // 2. Per-client Dirichlet class mixture, sampled without replacement
+  //    from the per-class pools until the budget (or the pools) run out.
+  auto by_class = dataset.indices_by_class();
+  for (auto& pool : by_class) rng.shuffle(pool);
+  std::vector<std::size_t> pool_cursor(num_classes, 0);
+
+  Partition partition(options.num_clients);
+  for (std::size_t c = 0; c < options.num_clients; ++c) {
+    const std::vector<double> mix =
+        rng.dirichlet(options.dirichlet_alpha, num_classes);
+    for (std::size_t draw = 0; draw < budgets[c]; ++draw) {
+      // Re-weight by remaining pool sizes so exhausted classes drop out.
+      std::vector<double> effective(num_classes);
+      bool any = false;
+      for (std::size_t k = 0; k < num_classes; ++k) {
+        const std::size_t remaining = by_class[k].size() - pool_cursor[k];
+        effective[k] = remaining > 0 ? mix[k] : 0.0;
+        any = any || remaining > 0;
+      }
+      if (!any) break;
+      const std::size_t cls = rng.weighted_index(effective);
+      partition[c].push_back(by_class[cls][pool_cursor[cls]++]);
+    }
+  }
+  return partition;
+}
+
+std::vector<std::vector<std::size_t>> matched_test_indices(
+    const Dataset& train, const Partition& train_partition,
+    const Dataset& test, util::Rng& rng) {
+  const std::size_t num_classes =
+      static_cast<std::size_t>(test.num_classes());
+  auto test_by_class = test.indices_by_class();
+  for (auto& pool : test_by_class) rng.shuffle(pool);
+
+  std::vector<std::vector<std::size_t>> out(train_partition.size());
+  for (std::size_t c = 0; c < train_partition.size(); ++c) {
+    const std::vector<double> dist =
+        train.class_distribution(train_partition[c]);
+    // Test shard sized proportional to the train shard (1:5 ratio, at
+    // least a handful so tier accuracies are not pure noise), sampled
+    // WITH replacement per class pool — shards of different clients may
+    // overlap, which is fine for evaluation.
+    const std::size_t shard_size =
+        std::max<std::size_t>(10, train_partition[c].size() / 5);
+    for (std::size_t i = 0; i < shard_size; ++i) {
+      const std::size_t cls = rng.weighted_index(dist);
+      const auto& pool = test_by_class[cls % num_classes];
+      if (pool.empty()) continue;
+      out[c].push_back(pool[rng.uniform_index(pool.size())]);
+    }
+  }
+  return out;
+}
+
+bool is_disjoint_partition(const Partition& partition,
+                           std::size_t dataset_size) {
+  std::vector<bool> seen(dataset_size, false);
+  for (const auto& shard : partition) {
+    for (std::size_t idx : shard) {
+      if (idx >= dataset_size || seen[idx]) return false;
+      seen[idx] = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace tifl::data

@@ -1,0 +1,97 @@
+// Client data partitioners — the paper's heterogeneity knobs (§3.3, §5.1).
+//
+// A Partition maps client id -> indices into a shared Dataset.  Four
+// schemes cover every experimental setup:
+//   * iid            — uniform random split (the datacenter baseline);
+//   * shards         — sort-by-label shard assignment (McMahan et al.):
+//                      each client ends up with at most `shards_per_client`
+//                      classes; used for MNIST/FMNIST non-IID(2);
+//   * classes        — exactly k classes per client with equal images per
+//                      class (Zhao et al.), the paper's non-IID(2/5/10);
+//   * quantity       — group g of clients owns fraction f_g of the data
+//                      (the 10/15/20/25/30 % split of §5.1);
+//   * leaf           — LEAF-style natural heterogeneity: lognormal sample
+//                      counts + Dirichlet class mixtures per client, used
+//                      for the FEMNIST experiments (182 clients).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace tifl::data {
+
+using Partition = std::vector<std::vector<std::size_t>>;
+
+Partition partition_iid(const Dataset& dataset, std::size_t num_clients,
+                        util::Rng& rng);
+
+Partition partition_shards(const Dataset& dataset, std::size_t num_clients,
+                           std::size_t shards_per_client, util::Rng& rng);
+
+Partition partition_classes(const Dataset& dataset, std::size_t num_clients,
+                            std::size_t classes_per_client, util::Rng& rng);
+
+// Combined non-IID + quantity heterogeneity (the paper's "Combine"
+// scenarios): each client holds at most `classes_per_client` classes, and
+// within each class samples are dealt proportionally to
+// `client_weights[c]` instead of equally.  Weights need not be
+// normalized.  With equal weights this reduces to `partition_classes`.
+Partition partition_classes_weighted(const Dataset& dataset,
+                                     std::size_t num_clients,
+                                     std::size_t classes_per_client,
+                                     const std::vector<double>& client_weights,
+                                     util::Rng& rng);
+
+// Class-skewed variant where a client's class draw can be *correlated
+// with its group* (device cohort): class k's "home group" is
+// k * G / num_classes, and a client in group g draws each of its
+// `classes_per_client` classes with weight (1 + affinity) for home
+// classes and 1 otherwise.  affinity = 0 gives independent uniform class
+// draws; large affinity concentrates each class's data inside one group.
+// This models federations where data content correlates with device type
+// — the regime in which ignoring a tier forfeits classes, not just
+// samples (§5.2.4's fast/fast3 degradation), and in which the adaptive
+// policy's per-tier accuracy signal is informative.
+struct ClassSkewOptions {
+  std::size_t classes_per_client = 2;
+  std::vector<double> client_weights;       // empty = equal quantities
+  std::vector<std::size_t> client_groups;   // empty = single group
+  double group_class_affinity = 0.0;
+};
+Partition partition_classes_skewed(const Dataset& dataset,
+                                   std::size_t num_clients,
+                                   const ClassSkewOptions& options,
+                                   util::Rng& rng);
+
+// `group_fractions` must sum to ~1; clients are divided evenly into
+// `group_fractions.size()` groups, group g sharing fraction f_g of the
+// samples equally among its members.  Samples are drawn IID so only the
+// *quantity* is heterogeneous.
+Partition partition_quantity(const Dataset& dataset, std::size_t num_clients,
+                             const std::vector<double>& group_fractions,
+                             util::Rng& rng);
+
+struct LeafOptions {
+  std::size_t num_clients = 182;  // LEAF FEMNIST at 0.05 sampling
+  double count_sigma = 0.7;       // lognormal spread of per-client counts
+  double dirichlet_alpha = 0.4;   // class-mixture concentration
+  std::size_t min_samples = 8;
+};
+Partition partition_leaf(const Dataset& dataset, const LeafOptions& options,
+                         util::Rng& rng);
+
+// Held-out evaluation shards: for each client, draws test indices whose
+// label histogram matches that client's training shard.  Tier test sets
+// (Alg. 2's TestData_t) are unions of member clients' shards.
+std::vector<std::vector<std::size_t>> matched_test_indices(
+    const Dataset& train, const Partition& train_partition,
+    const Dataset& test, util::Rng& rng);
+
+// Sanity helper for tests: true when every sample index appears in at
+// most one client shard and all indices are in range.
+bool is_disjoint_partition(const Partition& partition, std::size_t dataset_size);
+
+}  // namespace tifl::data

@@ -1,0 +1,49 @@
+// Synthetic class-conditional image data standing in for MNIST,
+// Fashion-MNIST, CIFAR-10 and FEMNIST (see DESIGN.md §2: the real datasets
+// are not available offline, and TiFL's mechanisms observe only latency
+// and per-tier accuracy — never pixels — so a class-structured synthetic
+// source preserves every behaviour the paper measures).
+//
+// Generator: each class has a smooth random "prototype" image (low-res
+// Gaussian grid, bilinearly upsampled); a sample is its class prototype
+// plus white noise.  `class_sep / noise` controls task difficulty, chosen
+// so models are clearly above chance within a few rounds yet far from
+// saturating — leaving headroom for the heterogeneity effects (non-IID
+// degradation, biased-tier degradation) the experiments must show.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace tifl::data {
+
+struct SyntheticSpec {
+  std::int64_t classes = 10;
+  ImageDims dims{1, 8, 8};
+  std::int64_t train_samples = 4000;
+  std::int64_t test_samples = 1000;
+  float class_sep = 1.0f;   // prototype amplitude
+  float noise = 1.25f;      // per-sample noise stddev
+  std::int64_t proto_grid = 4;  // prototype low-res grid (smoothness)
+  std::uint64_t seed = 42;
+};
+
+struct SyntheticData {
+  Dataset train;
+  Dataset test;
+};
+
+// Draws train and test sets from the same class-conditional distribution
+// with a balanced label marginal.
+SyntheticData make_synthetic(const SyntheticSpec& spec);
+
+// Presets mirroring the paper's four benchmarks.  `scale` in (0, 1]
+// shrinks image geometry and sample counts together so default bench runs
+// fit a 2-core CI box; scale = 1 reproduces the paper's geometry.
+SyntheticSpec mnist_like_spec(double scale = 1.0, std::uint64_t seed = 42);
+SyntheticSpec fmnist_like_spec(double scale = 1.0, std::uint64_t seed = 43);
+SyntheticSpec cifar_like_spec(double scale = 1.0, std::uint64_t seed = 44);
+SyntheticSpec femnist_like_spec(double scale = 1.0, std::uint64_t seed = 45);
+
+}  // namespace tifl::data

@@ -1,0 +1,109 @@
+#include "fl/client.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tifl::fl {
+
+Client::Client(std::size_t id, const data::Dataset* train,
+               std::vector<std::size_t> train_indices,
+               std::vector<std::size_t> test_indices,
+               sim::ResourceProfile resource)
+    : id_(id),
+      train_(train),
+      train_indices_(std::move(train_indices)),
+      test_indices_(std::move(test_indices)),
+      resource_(resource) {
+  if (train_ == nullptr) {
+    throw std::invalid_argument("Client: null training dataset");
+  }
+}
+
+LocalUpdate Client::local_update(std::span<const float> global_weights,
+                                 nn::Sequential& model,
+                                 const LocalTrainParams& params,
+                                 util::Rng rng) const {
+  model.set_weights(global_weights);
+  auto optimizer = params.optimizer.make(params.lr);
+
+  LocalUpdate update;
+  update.num_samples = train_indices_.size();
+  if (train_indices_.empty()) {
+    update.weights.assign(global_weights.begin(), global_weights.end());
+    return update;
+  }
+
+  std::vector<std::size_t> order = train_indices_;
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  std::size_t batches = 0;
+
+  for (std::size_t epoch = 0; epoch < params.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += params.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + params.batch_size);
+      const data::Dataset::Batch batch = train_->gather(
+          std::span<const std::size_t>(order).subspan(start, end - start));
+      const nn::LossResult result =
+          model.train_batch(batch.x, batch.y, *optimizer, rng);
+      loss_sum += result.loss;
+      acc_sum += result.accuracy;
+      ++batches;
+    }
+  }
+
+  update.weights = model.weights();
+  if (batches > 0) {
+    update.train_loss = loss_sum / static_cast<double>(batches);
+    update.train_accuracy = acc_sum / static_cast<double>(batches);
+  }
+
+  // Client-level DP (§4.6): clip the update delta and add Gaussian noise
+  // before it ever leaves the client.
+  if (params.dp_clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < update.weights.size(); ++i) {
+      const double d = static_cast<double>(update.weights[i]) -
+                       static_cast<double>(global_weights[i]);
+      norm_sq += d * d;
+    }
+    const double norm = std::sqrt(norm_sq);
+    const double scale =
+        norm > params.dp_clip_norm ? params.dp_clip_norm / norm : 1.0;
+    for (std::size_t i = 0; i < update.weights.size(); ++i) {
+      const double d = (static_cast<double>(update.weights[i]) -
+                        static_cast<double>(global_weights[i])) *
+                       scale;
+      const double noise = params.dp_noise_sigma > 0.0
+                               ? rng.normal(0.0, params.dp_noise_sigma)
+                               : 0.0;
+      update.weights[i] =
+          static_cast<float>(static_cast<double>(global_weights[i]) + d +
+                             noise);
+    }
+  }
+  return update;
+}
+
+std::vector<Client> make_clients(
+    const data::Dataset* train, const data::Partition& partition,
+    const std::vector<std::vector<std::size_t>>& test_shards,
+    const std::vector<sim::ResourceProfile>& resources) {
+  if (partition.size() != resources.size() ||
+      partition.size() != test_shards.size()) {
+    throw std::invalid_argument(
+        "make_clients: partition/test/resource size mismatch");
+  }
+  std::vector<Client> clients;
+  clients.reserve(partition.size());
+  for (std::size_t c = 0; c < partition.size(); ++c) {
+    clients.emplace_back(c, train, partition[c], test_shards[c],
+                         resources[c]);
+  }
+  return clients;
+}
+
+}  // namespace tifl::fl

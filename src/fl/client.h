@@ -1,0 +1,82 @@
+// A federated client (the paper's "data party"): an index shard into the
+// shared training pool plus a resource profile.  `local_update` performs
+// the client side of Algorithm 1: receive global weights, run E local
+// epochs of mini-batch training on the local shard, return the updated
+// weights and the shard size used for weighted averaging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "sim/resource_profile.h"
+#include "util/rng.h"
+
+namespace tifl::fl {
+
+struct LocalTrainParams {
+  std::size_t epochs = 1;
+  std::size_t batch_size = 10;
+  double lr = 0.01;  // effective lr for this round (post-decay)
+  nn::OptimizerConfig optimizer;
+  // Optional client-level differential privacy: clip the weight *delta*
+  // to this L2 norm and add Gaussian noise of `dp_noise_sigma` (absolute
+  // stddev) — the §4.6 deployment mode.  0 disables.
+  double dp_clip_norm = 0.0;
+  double dp_noise_sigma = 0.0;
+};
+
+struct LocalUpdate {
+  std::vector<float> weights;   // post-training flat weights
+  std::size_t num_samples = 0;  // s_c in Algorithm 1
+  double train_loss = 0.0;      // mean over batches
+  double train_accuracy = 0.0;  // mean over batches
+};
+
+class Client {
+ public:
+  Client(std::size_t id, const data::Dataset* train,
+         std::vector<std::size_t> train_indices,
+         std::vector<std::size_t> test_indices,
+         sim::ResourceProfile resource);
+
+  std::size_t id() const { return id_; }
+  std::size_t train_size() const { return train_indices_.size(); }
+  const std::vector<std::size_t>& train_indices() const {
+    return train_indices_;
+  }
+  const std::vector<std::size_t>& test_indices() const {
+    return test_indices_;
+  }
+  const sim::ResourceProfile& resource() const { return resource_; }
+  sim::ResourceProfile& resource() { return resource_; }
+
+  // Runs local training in `model` (scratch instance owned by the caller;
+  // its weights are overwritten with `global_weights` first).  `rng`
+  // drives batch shuffling and dropout; forked deterministically by the
+  // engine per (round, client).
+  LocalUpdate local_update(std::span<const float> global_weights,
+                           nn::Sequential& model,
+                           const LocalTrainParams& params,
+                           util::Rng rng) const;
+
+ private:
+  std::size_t id_;
+  const data::Dataset* train_;
+  std::vector<std::size_t> train_indices_;
+  std::vector<std::size_t> test_indices_;
+  sim::ResourceProfile resource_;
+};
+
+// Builds the client population from a partition + matched test shards +
+// resource profiles (all same length).
+std::vector<Client> make_clients(
+    const data::Dataset* train, const data::Partition& partition,
+    const std::vector<std::vector<std::size_t>>& test_shards,
+    const std::vector<sim::ResourceProfile>& resources);
+
+}  // namespace tifl::fl

@@ -1,0 +1,47 @@
+#include "fl/metrics.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace tifl::fl {
+
+double RunResult::best_accuracy() const {
+  double best = 0.0;
+  for (const RoundRecord& r : rounds) {
+    best = std::max(best, r.global_accuracy);
+  }
+  return best;
+}
+
+double RunResult::accuracy_at_time(double t) const {
+  double acc = 0.0;
+  for (const RoundRecord& r : rounds) {
+    if (r.virtual_time > t) break;
+    acc = r.global_accuracy;
+  }
+  return acc;
+}
+
+double RunResult::time_to_accuracy(double target) const {
+  for (const RoundRecord& r : rounds) {
+    if (r.global_accuracy >= target) return r.virtual_time;
+  }
+  return -1.0;
+}
+
+void RunResult::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  csv.write_row({"round", "virtual_time", "round_latency", "accuracy",
+                 "loss", "tier"});
+  for (const RoundRecord& r : rounds) {
+    csv.write_row({std::to_string(r.round),
+                   util::format_double(r.virtual_time, 3),
+                   util::format_double(r.round_latency, 3),
+                   util::format_double(r.global_accuracy, 4),
+                   util::format_double(r.global_loss, 4),
+                   std::to_string(r.selected_tier)});
+  }
+}
+
+}  // namespace tifl::fl

@@ -1,0 +1,47 @@
+// Per-round training record and whole-run summary.  The bench harness
+// derives every paper plot from these: accuracy-over-rounds (Figs. 1b, 3c,
+// 4, 5, 8, 9b), accuracy-over-wallclock (Figs. 3e, 6e), total training
+// time bars (Figs. 3a, 5a, 7a, 9a) and Table 2's actual training time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tifl::fl {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double virtual_time = 0.0;    // cumulative simulated seconds after round
+  double round_latency = 0.0;   // Lr = max_i L_i (Eq. 1)
+  double global_accuracy = 0.0; // test accuracy of the updated global model
+  double global_loss = 0.0;
+  double train_loss = 0.0;      // mean over selected clients
+  int selected_tier = -1;
+  std::vector<std::size_t> selected_clients;
+};
+
+struct RunResult {
+  std::string policy_name;
+  std::vector<RoundRecord> rounds;
+
+  double total_time() const {
+    return rounds.empty() ? 0.0 : rounds.back().virtual_time;
+  }
+  double final_accuracy() const {
+    return rounds.empty() ? 0.0 : rounds.back().global_accuracy;
+  }
+  double best_accuracy() const;
+
+  // Accuracy of the latest round completed by virtual time `t` (0 before
+  // the first round finishes) — the quantity plotted in Figs. 3e/3f/6e/6f.
+  double accuracy_at_time(double t) const;
+
+  // First virtual time at which accuracy reached `target`; -1 if never.
+  double time_to_accuracy(double target) const;
+
+  // Rows: round, virtual_time, round_latency, accuracy, loss, tier.
+  void write_csv(const std::string& path) const;
+};
+
+}  // namespace tifl::fl

@@ -1,0 +1,71 @@
+#include "fl/policy.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tifl::fl {
+
+std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                    std::size_t count,
+                                                    util::Rng& rng) {
+  if (count > n) {
+    throw std::invalid_argument(
+        "sample_without_replacement: count exceeds population");
+  }
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher-Yates: settle the first `count` slots only.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.uniform_index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+VanillaPolicy::VanillaPolicy(std::size_t num_clients,
+                             std::size_t clients_per_round)
+    : num_clients_(num_clients), clients_per_round_(clients_per_round) {
+  if (clients_per_round == 0 || clients_per_round > num_clients) {
+    throw std::invalid_argument("VanillaPolicy: bad clients_per_round");
+  }
+}
+
+Selection VanillaPolicy::select(std::size_t round, util::Rng& rng) {
+  (void)round;
+  return Selection{
+      .clients = sample_without_replacement(num_clients_, clients_per_round_,
+                                            rng),
+      .tier = -1,
+      .aggregate_count = 0,
+  };
+}
+
+OverProvisionPolicy::OverProvisionPolicy(std::size_t num_clients,
+                                         std::size_t target, double factor)
+    : num_clients_(num_clients), target_(target) {
+  if (target == 0 || factor < 1.0) {
+    throw std::invalid_argument("OverProvisionPolicy: bad target/factor");
+  }
+  selected_per_round_ = std::min(
+      num_clients,
+      static_cast<std::size_t>(
+          std::ceil(static_cast<double>(target) * factor)));
+  if (selected_per_round_ < target_ || target_ > num_clients) {
+    throw std::invalid_argument(
+        "OverProvisionPolicy: target exceeds population");
+  }
+}
+
+Selection OverProvisionPolicy::select(std::size_t round, util::Rng& rng) {
+  (void)round;
+  return Selection{
+      .clients = sample_without_replacement(num_clients_,
+                                            selected_per_round_, rng),
+      .tier = -1,
+      .aggregate_count = target_,
+  };
+}
+
+}  // namespace tifl::fl

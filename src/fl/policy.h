@@ -1,0 +1,87 @@
+// Client-selection policy interface.
+//
+// The engine asks the policy which clients train each round and feeds
+// back what it observed (global accuracy, per-tier accuracies when tier
+// evaluation sets are configured).  TiFL's static and adaptive tier
+// policies (src/core) implement this interface; `VanillaPolicy` below is
+// the conventional-FL baseline that samples |C| clients uniformly from
+// the whole pool [McMahan et al., Bonawitz et al.].
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tifl::fl {
+
+struct Selection {
+  std::vector<std::size_t> clients;
+  int tier = -1;  // tier index the clients came from; -1 = untiered
+  // When > 0 and < clients.size(), the engine aggregates only the
+  // `aggregate_count` fastest responders and discards the rest — the
+  // over-provisioning straggler mitigation of Bonawitz et al. ("select
+  // 130 % of the target number of devices, discard stragglers") that the
+  // paper discusses in §2.  0 means aggregate everyone.
+  std::size_t aggregate_count = 0;
+};
+
+struct RoundFeedback {
+  std::size_t round = 0;
+  double global_accuracy = 0.0;
+  double global_loss = 0.0;
+  // Mean test accuracy per tier (Alg. 2's A_t^r); empty when the engine
+  // has no tier evaluation sets.
+  std::vector<double> tier_accuracies;
+};
+
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  virtual Selection select(std::size_t round, util::Rng& rng) = 0;
+  virtual void observe(const RoundFeedback& feedback) { (void)feedback; }
+  virtual std::string name() const = 0;
+};
+
+class VanillaPolicy final : public SelectionPolicy {
+ public:
+  VanillaPolicy(std::size_t num_clients, std::size_t clients_per_round);
+
+  Selection select(std::size_t round, util::Rng& rng) override;
+  std::string name() const override { return "vanilla"; }
+
+ private:
+  std::size_t num_clients_;
+  std::size_t clients_per_round_;
+};
+
+// Over-provisioning baseline [Bonawitz et al., discussed in §2]: selects
+// ceil(factor * target) clients uniformly at random and tells the engine
+// to aggregate only the `target` fastest responders.  Trades wasted
+// client work (and the data of the discarded stragglers) for shorter
+// rounds — the strategy TiFL's tiering is designed to replace.
+class OverProvisionPolicy final : public SelectionPolicy {
+ public:
+  OverProvisionPolicy(std::size_t num_clients, std::size_t target,
+                      double factor = 1.3);
+
+  Selection select(std::size_t round, util::Rng& rng) override;
+  std::string name() const override { return "overprovision"; }
+
+  std::size_t selected_per_round() const { return selected_per_round_; }
+
+ private:
+  std::size_t num_clients_;
+  std::size_t target_;
+  std::size_t selected_per_round_;
+};
+
+// Uniform sample of `count` distinct values from [0, n) — partial
+// Fisher-Yates; shared by every policy implementation.
+std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                    std::size_t count,
+                                                    util::Rng& rng);
+
+}  // namespace tifl::fl

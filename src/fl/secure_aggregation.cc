@@ -1,0 +1,76 @@
+#include "fl/secure_aggregation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tifl::fl {
+
+std::uint64_t pairwise_mask_seed(std::uint64_t session_key, std::size_t a,
+                                 std::size_t b, std::size_t round) {
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  return util::mix_seed(session_key ^ (static_cast<std::uint64_t>(round) << 32),
+                        lo, hi);
+}
+
+MaskedUpdate mask_update(std::span<const float> weights, double sample_count,
+                         std::size_t self_id,
+                         std::span<const std::size_t> cohort,
+                         std::uint64_t session_key, std::size_t round) {
+  if (sample_count <= 0.0) {
+    throw std::invalid_argument("mask_update: sample_count must be > 0");
+  }
+  if (std::find(cohort.begin(), cohort.end(), self_id) == cohort.end()) {
+    throw std::invalid_argument("mask_update: self_id not in cohort");
+  }
+
+  MaskedUpdate update;
+  update.sample_count = sample_count;
+  update.masked_weights.resize(weights.size());
+  const float scale = static_cast<float>(sample_count);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    update.masked_weights[i] = scale * weights[i];
+  }
+
+  // Pairwise streams: + when self is the smaller id of the pair, - when
+  // the larger, so each pair's contributions cancel in the sum.
+  for (std::size_t peer : cohort) {
+    if (peer == self_id) continue;
+    util::Rng stream(pairwise_mask_seed(session_key, self_id, peer, round));
+    const float sign = self_id < peer ? 1.0f : -1.0f;
+    for (float& v : update.masked_weights) {
+      v += sign * kMaskScale * static_cast<float>(stream.normal());
+    }
+  }
+  return update;
+}
+
+std::vector<float> secure_fedavg(std::span<const MaskedUpdate> updates) {
+  if (updates.empty()) {
+    throw std::invalid_argument("secure_fedavg: no updates");
+  }
+  const std::size_t n = updates.front().masked_weights.size();
+  std::vector<double> acc(n, 0.0);
+  double total = 0.0;
+  for (const MaskedUpdate& update : updates) {
+    if (update.masked_weights.size() != n) {
+      throw std::invalid_argument("secure_fedavg: size mismatch");
+    }
+    total += update.sample_count;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc[i] += static_cast<double>(update.masked_weights[i]);
+    }
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("secure_fedavg: no samples");
+  }
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(acc[i] / total);
+  }
+  return out;
+}
+
+}  // namespace tifl::fl

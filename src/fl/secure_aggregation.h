@@ -1,0 +1,56 @@
+// Secure aggregation via pairwise additive masking — the reason the
+// paper (§2, citing Bonawitz et al. CCS'17) insists on *synchronous*
+// rounds: masks only cancel when every paired client's contribution
+// reaches the aggregator in the same round.
+//
+// Protocol (simplified, honest-but-curious server, no dropout recovery):
+// every ordered client pair (i, j), i < j, derives a shared mask stream
+// from a common seed; client i ADDS the stream to its update, client j
+// SUBTRACTS it.  Individual masked updates are indistinguishable from
+// noise to the aggregator, but their sum telescopes to the true sum.
+// FedAvg weighting is preserved by having each client pre-scale its
+// update by its sample count; the aggregator divides by the total.
+//
+// The full protocol's dropout recovery (secret-shared seeds) is out of
+// scope — this module demonstrates compatibility, matching the paper's
+// claim that TiFL's tiering is orthogonal to secure aggregation: masking
+// happens per-round *within the selected cohort*, whatever policy chose
+// it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tifl::fl {
+
+// One client's view of a secure-aggregation round.
+struct MaskedUpdate {
+  std::vector<float> masked_weights;  // s_c * w_c + sum of pairwise masks
+  double sample_count = 0.0;          // s_c (public metadata)
+};
+
+// Derives the deterministic pairwise mask seed for clients (a, b) in
+// `round`; symmetric in (a, b) by construction.
+std::uint64_t pairwise_mask_seed(std::uint64_t session_key, std::size_t a,
+                                 std::size_t b, std::size_t round);
+
+// Client-side masking: returns s_c * w_c plus all pairwise masks against
+// the other cohort members (+stream when this id is the smaller of the
+// pair, -stream otherwise).  `cohort` must list every participant of the
+// round, including `self_id`, in a globally agreed order.
+MaskedUpdate mask_update(std::span<const float> weights, double sample_count,
+                         std::size_t self_id,
+                         std::span<const std::size_t> cohort,
+                         std::uint64_t session_key, std::size_t round);
+
+// Server-side unmasking-by-summation: adds all masked updates (masks
+// telescope away) and divides by the total sample count — the FedAvg
+// result, computed without the server ever seeing a raw update.
+std::vector<float> secure_fedavg(std::span<const MaskedUpdate> updates);
+
+// Mask magnitude used to hide updates; exposed for tests.
+inline constexpr float kMaskScale = 64.0f;
+
+}  // namespace tifl::fl

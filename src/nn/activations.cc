@@ -1,0 +1,74 @@
+#include "nn/activations.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace tifl::nn {
+
+Tensor ReLU::forward(const Tensor& x, const PassContext& ctx) {
+  if (ctx.training) cached_input_ = x;
+  Tensor y(x.shape());
+  tensor::relu_forward(x, y);
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("ReLU::backward before training forward");
+  }
+  Tensor dx(dy.shape());
+  tensor::relu_backward(cached_input_, dy, dx);
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& x, const PassContext& ctx) {
+  if (x.rank() < 2) {
+    throw std::invalid_argument("Flatten: want at least rank-2 input");
+  }
+  if (ctx.training) input_shape_ = x.shape();
+  const std::int64_t batch = x.dim(0);
+  return x.reshaped({batch, x.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& dy) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("Flatten::backward before training forward");
+  }
+  return dy.reshaped(input_shape_);
+}
+
+Dropout::Dropout(float rate) : rate_(rate) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x, const PassContext& ctx) {
+  if (!ctx.training || rate_ == 0.0f) {
+    return x;  // identity at inference
+  }
+  if (ctx.rng == nullptr) {
+    throw std::invalid_argument("Dropout: training forward needs ctx.rng");
+  }
+  mask_ = Tensor(x.shape());
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    mask_[i] = ctx.rng->bernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = x[i] * mask_[i];
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& dy) {
+  if (mask_.empty()) {
+    // Forward ran in inference mode; gradient passes through unchanged.
+    return dy;
+  }
+  Tensor dx(dy.shape());
+  for (std::int64_t i = 0; i < dy.numel(); ++i) dx[i] = dy[i] * mask_[i];
+  return dx;
+}
+
+}  // namespace tifl::nn

@@ -1,0 +1,47 @@
+// Stateless-ish layers: ReLU, Flatten and inverted Dropout.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace tifl::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, const PassContext& ctx) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+// Collapses [B, ...] to [B, prod(...)]; backward restores the shape.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, const PassContext& ctx) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+// Inverted dropout: at training time zeroes each activation with
+// probability `rate` and scales survivors by 1/(1-rate), so inference
+// needs no rescaling (matches the paper's Keras models).
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float rate);
+
+  Tensor forward(const Tensor& x, const PassContext& ctx) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "Dropout"; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Tensor mask_;  // scaled keep-mask from the last training forward
+};
+
+}  // namespace tifl::nn

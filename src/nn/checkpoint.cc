@@ -1,0 +1,55 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace tifl::nn {
+
+namespace {
+constexpr char kMagic[8] = {'T', 'I', 'F', 'L', 'W', 'G', 'T', '1'};
+}  // namespace
+
+void save_weights(const std::string& path,
+                  const std::vector<float>& weights) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_weights: cannot open " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = weights.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  if (!out) {
+    throw std::runtime_error("save_weights: short write to " + path);
+  }
+}
+
+std::vector<float> load_weights(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_weights: cannot open " + path);
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_weights: bad magic in " + path);
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    throw std::runtime_error("load_weights: truncated header in " + path);
+  }
+  std::vector<float> weights(count);
+  in.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in || in.gcount() !=
+                 static_cast<std::streamsize>(count * sizeof(float))) {
+    throw std::runtime_error("load_weights: truncated payload in " + path);
+  }
+  return weights;
+}
+
+}  // namespace tifl::nn

@@ -1,0 +1,21 @@
+// Flat-weight checkpoints: persist a global FL model between sessions.
+//
+// Format (little-endian): 8-byte magic "TIFLWGT1", uint64 count, then
+// `count` raw float32 values.  Intentionally architecture-agnostic — the
+// flat vector can be loaded into any Sequential with matching
+// weight_count(), mirroring the FL weight-exchange contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tifl::nn {
+
+// Writes `weights` to `path`; throws std::runtime_error on I/O failure.
+void save_weights(const std::string& path, const std::vector<float>& weights);
+
+// Reads a checkpoint written by save_weights; throws std::runtime_error
+// on missing file, bad magic, or truncated payload.
+std::vector<float> load_weights(const std::string& path);
+
+}  // namespace tifl::nn

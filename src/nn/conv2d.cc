@@ -1,0 +1,108 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/init.h"
+
+namespace tifl::nn {
+
+Conv2D::Conv2D(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, util::Rng& rng, std::int64_t stride,
+               bool same_pad)
+    : in_channels_(in_channels),
+      kernel_(kernel),
+      stride_(stride),
+      same_pad_(same_pad),
+      weight_(tensor::he_normal({out_channels, in_channels * kernel * kernel},
+                                in_channels * kernel * kernel, rng)),
+      bias_({out_channels}, 0.0f),
+      dweight_({out_channels, in_channels * kernel * kernel}, 0.0f),
+      dbias_({out_channels}, 0.0f) {}
+
+tensor::ConvGeometry Conv2D::geometry_for(const Tensor& x) const {
+  return tensor::ConvGeometry{
+      .channels = in_channels_,
+      .height = x.dim(2),
+      .width = x.dim(3),
+      .kernel_h = kernel_,
+      .kernel_w = kernel_,
+      .stride = stride_,
+      .pad = same_pad_ ? (kernel_ - 1) / 2 : 0,
+  };
+}
+
+Tensor Conv2D::forward(const Tensor& x, const PassContext& ctx) {
+  if (x.rank() != 4 || x.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2D: input must be [B," +
+                                std::to_string(in_channels_) + ",H,W], got " +
+                                tensor::shape_to_string(x.shape()));
+  }
+  if (ctx.training) cached_input_ = x;
+
+  const tensor::ConvGeometry g = geometry_for(x);
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t oc = out_channels();
+  const std::int64_t spatial = g.col_cols();
+
+  Tensor y({batch, oc, g.out_h(), g.out_w()});
+  std::vector<float> columns(
+      static_cast<std::size_t>(g.col_rows() * spatial));
+
+  const std::int64_t image_size = g.channels * g.height * g.width;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    tensor::im2col(x.data() + b * image_size, g, columns.data());
+    float* out = y.data() + b * oc * spatial;
+    tensor::gemm_nn_raw(weight_.data(), columns.data(), out, oc,
+                        g.col_rows(), spatial, /*accumulate=*/false);
+    for (std::int64_t o = 0; o < oc; ++o) {
+      const float bv = bias_[o];
+      float* plane = out + o * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) plane[s] += bv;
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& dy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Conv2D::backward before training forward");
+  }
+  const Tensor& x = cached_input_;
+  const tensor::ConvGeometry g = geometry_for(x);
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t oc = out_channels();
+  const std::int64_t spatial = g.col_cols();
+  const std::int64_t image_size = g.channels * g.height * g.width;
+
+  Tensor dx(x.shape(), 0.0f);
+  std::vector<float> columns(
+      static_cast<std::size_t>(g.col_rows() * spatial));
+  std::vector<float> dcolumns(columns.size());
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* dy_b = dy.data() + b * oc * spatial;
+
+    // dW += dY_b [OC, S] * col_b^T  -> gemm_nt over [OC, S] x [R, S].
+    tensor::im2col(x.data() + b * image_size, g, columns.data());
+    tensor::gemm_nt_raw(dy_b, columns.data(), dweight_.data(), oc, spatial,
+                        g.col_rows(), /*accumulate=*/true);
+
+    // db += per-channel spatial sums of dY_b.
+    for (std::int64_t o = 0; o < oc; ++o) {
+      const float* plane = dy_b + o * spatial;
+      float acc = 0.0f;
+      for (std::int64_t s = 0; s < spatial; ++s) acc += plane[s];
+      dbias_[o] += acc;
+    }
+
+    // dcol = W^T [R, OC] * dY_b [OC, S]  -> gemm_tn; then scatter.
+    tensor::gemm_tn_raw(weight_.data(), dy_b, dcolumns.data(), g.col_rows(),
+                        oc, spatial, /*accumulate=*/false);
+    tensor::col2im(dcolumns.data(), g, dx.data() + b * image_size);
+  }
+  return dx;
+}
+
+}  // namespace tifl::nn

@@ -1,0 +1,44 @@
+// 2-D convolution (NCHW) implemented as im2col + GEMM, the standard
+// CPU lowering.  Weights are stored pre-flattened as [OC, C*KH*KW] so the
+// forward pass is a single GEMM per image.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace tifl::nn {
+
+class Conv2D final : public Layer {
+ public:
+  // `same_pad` pads so output spatial size equals input (stride 1);
+  // otherwise valid (no) padding is used.
+  Conv2D(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, util::Rng& rng, std::int64_t stride = 1,
+         bool same_pad = false);
+
+  Tensor forward(const Tensor& x, const PassContext& ctx) override;
+  Tensor backward(const Tensor& dy) override;
+
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&dweight_, &dbias_}; }
+  std::string name() const override { return "Conv2D"; }
+
+  std::int64_t out_channels() const { return weight_.dim(0); }
+
+ private:
+  tensor::ConvGeometry geometry_for(const Tensor& x) const;
+
+  std::int64_t in_channels_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  bool same_pad_;
+
+  Tensor weight_;   // [OC, C*K*K]
+  Tensor bias_;     // [OC]
+  Tensor dweight_;
+  Tensor dbias_;
+
+  Tensor cached_input_;  // [B, C, H, W]
+};
+
+}  // namespace tifl::nn

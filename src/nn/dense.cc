@@ -1,0 +1,46 @@
+#include "nn/dense.h"
+
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace tifl::nn {
+
+Dense::Dense(std::int64_t in_features, std::int64_t out_features,
+             util::Rng& rng)
+    : weight_(tensor::he_normal({in_features, out_features}, in_features, rng)),
+      bias_({out_features}, 0.0f),
+      dweight_({in_features, out_features}, 0.0f),
+      dbias_({out_features}, 0.0f) {}
+
+Tensor Dense::forward(const Tensor& x, const PassContext& ctx) {
+  if (x.rank() != 2 || x.dim(1) != in_features()) {
+    throw std::invalid_argument("Dense: input must be [B, " +
+                                std::to_string(in_features()) + "], got " +
+                                tensor::shape_to_string(x.shape()));
+  }
+  if (ctx.training) cached_input_ = x;
+  Tensor y({x.dim(0), out_features()});
+  tensor::gemm_nn(x, weight_, y);
+  tensor::add_row_bias(y, bias_);
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& dy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Dense::backward before training forward");
+  }
+  // dW += X^T dY; db += column sums of dY; dX = dY W^T.
+  tensor::gemm_tn(cached_input_, dy, dweight_, /*accumulate=*/true);
+  Tensor col_sum({out_features()});
+  tensor::column_sums(dy, col_sum);
+  tensor::axpy(1.0f, col_sum, dbias_);
+
+  Tensor dx({dy.dim(0), in_features()});
+  tensor::gemm_nt(dy, weight_, dx);
+  return dx;
+}
+
+}  // namespace tifl::nn

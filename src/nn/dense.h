@@ -1,0 +1,30 @@
+// Fully connected layer: Y[B,O] = X[B,I] * W[I,O] + b[O].
+#pragma once
+
+#include "nn/layer.h"
+
+namespace tifl::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::int64_t in_features, std::int64_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, const PassContext& ctx) override;
+  Tensor backward(const Tensor& dy) override;
+
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&dweight_, &dbias_}; }
+  std::string name() const override { return "Dense"; }
+
+  std::int64_t in_features() const { return weight_.dim(0); }
+  std::int64_t out_features() const { return weight_.dim(1); }
+
+ private:
+  Tensor weight_;   // [I, O]
+  Tensor bias_;     // [O]
+  Tensor dweight_;  // [I, O]
+  Tensor dbias_;    // [O]
+  Tensor cached_input_;  // [B, I]
+};
+
+}  // namespace tifl::nn

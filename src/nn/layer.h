@@ -1,0 +1,52 @@
+// Layer abstraction for the from-scratch training stack.
+//
+// Contract: `forward` caches whatever the matching `backward` needs (the
+// usual define-by-run discipline); `backward` consumes the upstream
+// gradient and returns the input gradient, accumulating parameter
+// gradients into the tensors exposed by `grads()` (which `zero_grads()`
+// clears).  Layers own their parameters; the FL weight exchange flattens
+// them via Sequential.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tifl::nn {
+
+using tensor::Tensor;
+
+// Per-pass context: training toggles dropout, `rng` feeds stochastic
+// layers so a whole forward pass is reproducible from the caller's seed.
+struct PassContext {
+  bool training = false;
+  util::Rng* rng = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  virtual Tensor forward(const Tensor& x, const PassContext& ctx) = 0;
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  // Parameter/gradient views in a fixed order; empty for stateless layers.
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  void zero_grads() {
+    for (Tensor* g : grads()) g->fill(0.0f);
+  }
+
+ protected:
+  Layer() = default;
+};
+
+}  // namespace tifl::nn

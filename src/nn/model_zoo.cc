@@ -1,0 +1,113 @@
+#include "nn/model_zoo.h"
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+
+namespace tifl::nn {
+
+namespace {
+// Valid-convolution output size for kernel k, stride 1.
+std::int64_t after_conv(std::int64_t size, std::int64_t k) {
+  return size - k + 1;
+}
+std::int64_t after_pool(std::int64_t size, std::int64_t w) { return size / w; }
+}  // namespace
+
+Sequential mnist_cnn(const ImageGeometry& g, std::int64_t classes,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential model;
+  model.add(std::make_unique<Conv2D>(g.channels, 32, 3, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Conv2D>(32, 64, 3, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  model.add(std::make_unique<Dropout>(0.25f));
+  model.add(std::make_unique<Flatten>());
+  const std::int64_t h = after_pool(after_conv(after_conv(g.height, 3), 3), 2);
+  const std::int64_t w = after_pool(after_conv(after_conv(g.width, 3), 3), 2);
+  model.add(std::make_unique<Dense>(64 * h * w, 128, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dropout>(0.5f));
+  model.add(std::make_unique<Dense>(128, classes, rng));
+  return model;
+}
+
+Sequential cifar_cnn(const ImageGeometry& g, std::int64_t classes,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential model;
+  model.add(std::make_unique<Conv2D>(g.channels, 32, 3, rng, 1,
+                                     /*same_pad=*/true));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Conv2D>(32, 32, 3, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  model.add(std::make_unique<Dropout>(0.25f));
+  model.add(std::make_unique<Conv2D>(32, 64, 3, rng, 1, /*same_pad=*/true));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Conv2D>(64, 64, 3, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  model.add(std::make_unique<Dropout>(0.25f));
+  model.add(std::make_unique<Flatten>());
+  const std::int64_t h =
+      after_pool(after_conv(after_pool(after_conv(g.height, 3), 2), 3), 2);
+  const std::int64_t w =
+      after_pool(after_conv(after_pool(after_conv(g.width, 3), 2), 3), 2);
+  model.add(std::make_unique<Dense>(64 * h * w, 256, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(256, classes, rng));
+  return model;
+}
+
+Sequential femnist_cnn(const ImageGeometry& g, std::int64_t classes,
+                       std::uint64_t seed, std::int64_t hidden) {
+  util::Rng rng(seed);
+  Sequential model;
+  model.add(std::make_unique<Conv2D>(g.channels, 32, 5, rng, 1,
+                                     /*same_pad=*/true));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  model.add(std::make_unique<Conv2D>(32, 64, 5, rng, 1, /*same_pad=*/true));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  model.add(std::make_unique<Flatten>());
+  const std::int64_t h = after_pool(after_pool(g.height, 2), 2);
+  const std::int64_t w = after_pool(after_pool(g.width, 2), 2);
+  model.add(std::make_unique<Dense>(64 * h * w, hidden, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(hidden, classes, rng));
+  return model;
+}
+
+Sequential mlp(std::int64_t inputs, std::int64_t hidden, std::int64_t classes,
+               std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential model;
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(inputs, hidden, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(hidden, classes, rng));
+  return model;
+}
+
+Sequential mlp2(std::int64_t inputs, std::int64_t hidden1,
+                std::int64_t hidden2, std::int64_t classes,
+                std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential model;
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(inputs, hidden1, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(hidden1, hidden2, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(hidden2, classes, rng));
+  return model;
+}
+
+}  // namespace tifl::nn

@@ -1,0 +1,46 @@
+// The paper's model architectures (§5.2 "Models and Datasets"), with
+// image geometry parameterized so the synthetic stand-in datasets can run
+// at reduced resolution while keeping the layer stack identical.
+//
+//  * mnist_cnn   — conv3x3x32 ReLU, conv3x3x64 ReLU, maxpool2, dropout .25,
+//                  dense128 ReLU, dropout .5, dense classes
+//                  (used for MNIST and Fashion-MNIST);
+//  * cifar_cnn   — four 3x3 conv layers (32,32,64,64) with two maxpools and
+//                  dropout .25, then two dense layers before softmax;
+//  * femnist_cnn — LEAF's standard FEMNIST net: conv5x5x32 ReLU, pool,
+//                  conv5x5x64 ReLU, pool, dense(hidden) ReLU, dense 62;
+//  * mlp         — plain ReLU MLP over flattened input; the cheap stand-in
+//                  model used by default-scale benches.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/sequential.h"
+
+namespace tifl::nn {
+
+struct ImageGeometry {
+  std::int64_t channels = 1;
+  std::int64_t height = 28;
+  std::int64_t width = 28;
+  std::int64_t flat() const { return channels * height * width; }
+};
+
+Sequential mnist_cnn(const ImageGeometry& g, std::int64_t classes,
+                     std::uint64_t seed);
+
+Sequential cifar_cnn(const ImageGeometry& g, std::int64_t classes,
+                     std::uint64_t seed);
+
+Sequential femnist_cnn(const ImageGeometry& g, std::int64_t classes,
+                       std::uint64_t seed, std::int64_t hidden = 2048);
+
+Sequential mlp(std::int64_t inputs, std::int64_t hidden, std::int64_t classes,
+               std::uint64_t seed);
+
+// Two-hidden-layer variant for slightly harder synthetic tasks.
+Sequential mlp2(std::int64_t inputs, std::int64_t hidden1,
+                std::int64_t hidden2, std::int64_t classes,
+                std::uint64_t seed);
+
+}  // namespace tifl::nn

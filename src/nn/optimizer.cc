@@ -1,0 +1,95 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tifl::nn {
+
+void Sgd::step(std::span<tensor::Tensor* const> params,
+               std::span<tensor::Tensor* const> grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Sgd::step: param/grad count mismatch");
+  }
+  const float lr = static_cast<float>(lr_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    tensor::Tensor& p = *params[i];
+    const tensor::Tensor& g = *grads[i];
+    float* pv = p.data();
+    const float* gv = g.data();
+    const std::int64_t n = p.numel();
+    for (std::int64_t j = 0; j < n; ++j) pv[j] -= lr * gv[j];
+  }
+}
+
+void MomentumSgd::step(std::span<tensor::Tensor* const> params,
+                       std::span<tensor::Tensor* const> grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("MomentumSgd::step: param/grad mismatch");
+  }
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const tensor::Tensor* p : params) {
+      velocity_.emplace_back(p->shape(), 0.0f);
+    }
+  }
+  const float lr = static_cast<float>(lr_);
+  const float mu = static_cast<float>(momentum_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    tensor::Tensor& p = *params[i];
+    const tensor::Tensor& g = *grads[i];
+    tensor::Tensor& v = velocity_[i];
+    float* pv = p.data();
+    const float* gv = g.data();
+    float* vv = v.data();
+    const std::int64_t n = p.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      vv[j] = mu * vv[j] + gv[j];
+      pv[j] -= lr * vv[j];
+    }
+  }
+}
+
+void RmsProp::step(std::span<tensor::Tensor* const> params,
+                   std::span<tensor::Tensor* const> grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("RmsProp::step: param/grad count mismatch");
+  }
+  if (cache_.size() != params.size()) {
+    cache_.clear();
+    cache_.reserve(params.size());
+    for (const tensor::Tensor* p : params) {
+      cache_.emplace_back(p->shape(), 0.0f);
+    }
+  }
+  const float lr = static_cast<float>(lr_);
+  const float rho = static_cast<float>(rho_);
+  const float eps = static_cast<float>(eps_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    tensor::Tensor& p = *params[i];
+    const tensor::Tensor& g = *grads[i];
+    tensor::Tensor& c = cache_[i];
+    float* pv = p.data();
+    const float* gv = g.data();
+    float* cv = c.data();
+    const std::int64_t n = p.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      cv[j] = rho * cv[j] + (1.0f - rho) * gv[j] * gv[j];
+      pv[j] -= lr * gv[j] / (std::sqrt(cv[j]) + eps);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> OptimizerConfig::make(double effective_lr) const {
+  switch (kind) {
+    case Kind::kSgd:
+      return std::make_unique<Sgd>(effective_lr);
+    case Kind::kMomentumSgd:
+      return std::make_unique<MomentumSgd>(effective_lr, momentum);
+    case Kind::kRmsProp:
+      return std::make_unique<RmsProp>(effective_lr, rho, eps);
+  }
+  throw std::logic_error("OptimizerConfig: unknown kind");
+}
+
+}  // namespace tifl::nn

@@ -1,0 +1,83 @@
+// Local optimizers.  The paper (§5.1) trains synthetic-benchmark clients
+// with RMSprop (lr 0.01, decay 0.995) and FEMNIST clients with SGD
+// (lr 0.004); both are provided.  The learning-rate decay is applied by
+// the FL engine once per global round via `decay_lr`, matching the
+// "initial learning rate 0.01 and decay 0.995" schedule.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tifl::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update to `params` given matching `grads`.
+  virtual void step(std::span<tensor::Tensor* const> params,
+                    std::span<tensor::Tensor* const> grads) = 0;
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+  void decay_lr(double factor) { lr_ *= factor; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr) : Optimizer(lr) {}
+  void step(std::span<tensor::Tensor* const> params,
+            std::span<tensor::Tensor* const> grads) override;
+};
+
+// Classical (heavy-ball) momentum: v <- mu*v + g; p <- p - lr*v.
+class MomentumSgd final : public Optimizer {
+ public:
+  MomentumSgd(double lr, double momentum = 0.9)
+      : Optimizer(lr), momentum_(momentum) {}
+  void step(std::span<tensor::Tensor* const> params,
+            std::span<tensor::Tensor* const> grads) override;
+
+ private:
+  double momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+class RmsProp final : public Optimizer {
+ public:
+  // Keras-compatible defaults: rho 0.9, eps 1e-7.
+  explicit RmsProp(double lr, double rho = 0.9, double eps = 1e-7)
+      : Optimizer(lr), rho_(rho), eps_(eps) {}
+  void step(std::span<tensor::Tensor* const> params,
+            std::span<tensor::Tensor* const> grads) override;
+
+ private:
+  double rho_;
+  double eps_;
+  // Lazily sized accumulator per parameter tensor.
+  std::vector<tensor::Tensor> cache_;
+};
+
+// Configuration the FL engine uses to build one optimizer per local
+// training session (state does not carry across rounds: each round a
+// client restarts from the freshly received global weights).
+struct OptimizerConfig {
+  enum class Kind { kSgd, kMomentumSgd, kRmsProp };
+  Kind kind = Kind::kRmsProp;
+  double lr = 0.01;
+  double lr_decay_per_round = 0.995;  // multiplicative, applied by engine
+  double momentum = 0.9;              // kMomentumSgd
+  double rho = 0.9;                   // kRmsProp
+  double eps = 1e-7;
+
+  std::unique_ptr<Optimizer> make(double effective_lr) const;
+};
+
+}  // namespace tifl::nn

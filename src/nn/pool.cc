@@ -1,0 +1,69 @@
+#include "nn/pool.h"
+
+#include <stdexcept>
+
+namespace tifl::nn {
+
+Tensor MaxPool2D::forward(const Tensor& x, const PassContext& ctx) {
+  if (x.rank() != 4) {
+    throw std::invalid_argument("MaxPool2D: want NCHW input");
+  }
+  const std::int64_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2),
+                     w = x.dim(3);
+  if (window_ > h || window_ > w) {
+    throw std::invalid_argument("MaxPool2D: window larger than input");
+  }
+  const std::int64_t oh = (h - window_) / stride_ + 1;
+  const std::int64_t ow = (w - window_) / stride_ + 1;
+
+  Tensor y({batch, ch, oh, ow});
+  const bool record = ctx.training;
+  if (record) {
+    input_shape_ = x.shape();
+    argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  }
+
+  std::int64_t out_idx = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* plane = x.data() + (b * ch + c) * h * w;
+      const std::int64_t plane_base = (b * ch + c) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          const std::int64_t y0 = oy * stride_;
+          const std::int64_t x0 = ox * stride_;
+          float best = plane[y0 * w + x0];
+          std::int64_t best_idx = y0 * w + x0;
+          for (std::int64_t dy = 0; dy < window_; ++dy) {
+            for (std::int64_t dx = 0; dx < window_; ++dx) {
+              const std::int64_t idx = (y0 + dy) * w + (x0 + dx);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[out_idx] = best;
+          if (record) {
+            argmax_[static_cast<std::size_t>(out_idx)] = plane_base + best_idx;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& dy) {
+  if (argmax_.empty()) {
+    throw std::logic_error("MaxPool2D::backward before training forward");
+  }
+  Tensor dx(input_shape_, 0.0f);
+  const std::int64_t n = dy.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    dx[argmax_[static_cast<std::size_t>(i)]] += dy[i];
+  }
+  return dx;
+}
+
+}  // namespace tifl::nn

@@ -1,0 +1,27 @@
+// Max pooling over NCHW activations.  Forward caches the argmax index of
+// every pooling window so backward is a pure scatter.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace tifl::nn {
+
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(std::int64_t window = 2, std::int64_t stride = 0)
+      : window_(window), stride_(stride == 0 ? window : stride) {}
+
+  Tensor forward(const Tensor& x, const PassContext& ctx) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "MaxPool2D"; }
+
+ private:
+  std::int64_t window_;
+  std::int64_t stride_;
+  tensor::Shape input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+}  // namespace tifl::nn

@@ -1,0 +1,106 @@
+#include "nn/sequential.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tifl::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, const PassContext& ctx) {
+  Tensor activation = x;
+  for (auto& layer : layers_) {
+    activation = layer->forward(activation, ctx);
+  }
+  return activation;
+}
+
+LossResult Sequential::train_batch(const Tensor& x,
+                                   std::span<const std::int32_t> labels,
+                                   Optimizer& optimizer, util::Rng& rng) {
+  PassContext ctx{.training = true, .rng = &rng};
+  zero_grads();
+  Tensor logits = forward(x, ctx);
+  LossResult result = loss_.compute(logits, labels, /*with_grad=*/true);
+
+  Tensor grad = std::move(result.dlogits);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+
+  const std::vector<Tensor*> ps = params();
+  const std::vector<Tensor*> gs = grads();
+  optimizer.step(ps, gs);
+  return result;
+}
+
+LossResult Sequential::evaluate(const Tensor& x,
+                                std::span<const std::int32_t> labels) {
+  PassContext ctx{.training = false, .rng = nullptr};
+  Tensor logits = forward(x, ctx);
+  return loss_.compute(logits, labels, /*with_grad=*/false);
+}
+
+std::size_t Sequential::weight_count() const {
+  std::size_t count = 0;
+  for (const auto& layer : layers_) {
+    for (const Tensor* p :
+         const_cast<Layer&>(*layer).params()) {  // params() is logically const
+      count += static_cast<std::size_t>(p->numel());
+    }
+  }
+  return count;
+}
+
+std::vector<float> Sequential::weights() const {
+  std::vector<float> flat;
+  flat.reserve(weight_count());
+  for (const auto& layer : layers_) {
+    for (const Tensor* p : const_cast<Layer&>(*layer).params()) {
+      flat.insert(flat.end(), p->data(), p->data() + p->numel());
+    }
+  }
+  return flat;
+}
+
+void Sequential::set_weights(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->params()) {
+      const std::size_t n = static_cast<std::size_t>(p->numel());
+      if (offset + n > flat.size()) {
+        throw std::invalid_argument("set_weights: flat vector too short");
+      }
+      std::memcpy(p->data(), flat.data() + offset, n * sizeof(float));
+      offset += n;
+    }
+  }
+  if (offset != flat.size()) {
+    throw std::invalid_argument("set_weights: flat vector too long");
+  }
+}
+
+std::vector<Tensor*> Sequential::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+void Sequential::zero_grads() {
+  for (auto& layer : layers_) layer->zero_grads();
+}
+
+}  // namespace tifl::nn

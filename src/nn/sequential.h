@@ -1,0 +1,59 @@
+// Sequential container: the model type every paper architecture is built
+// from, plus the flat weight-vector view used for FedAvg exchange.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace tifl::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x, const PassContext& ctx);
+
+  // One optimization step on a mini-batch: forward, loss, backward, update.
+  // Returns loss/accuracy on the batch (pre-update).
+  LossResult train_batch(const Tensor& x,
+                         std::span<const std::int32_t> labels,
+                         Optimizer& optimizer, util::Rng& rng);
+
+  // Inference-mode loss/accuracy (dropout off, no gradient).
+  LossResult evaluate(const Tensor& x, std::span<const std::int32_t> labels);
+
+  // --- FL weight exchange -------------------------------------------------
+  std::size_t weight_count() const;
+  // Concatenation of every parameter tensor, in layer order.
+  std::vector<float> weights() const;
+  void set_weights(std::span<const float> flat);
+
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+  void zero_grads();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  SoftmaxCrossEntropy loss_;
+};
+
+// Builds a fresh model instance (used per client / per thread).  Models
+// built by the same factory must agree in architecture so their flat
+// weight vectors are interchangeable.
+using ModelFactory = std::function<Sequential(std::uint64_t seed)>;
+
+}  // namespace tifl::nn

@@ -1,0 +1,39 @@
+#include "sim/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tifl::sim {
+
+double LatencyModel::expected_latency(const ResourceProfile& profile,
+                                      std::size_t samples,
+                                      std::size_t epochs) const {
+  if (profile.unavailable) return std::numeric_limits<double>::infinity();
+  const double cpus = std::max(profile.cpus, 1e-6);
+  const double compute = static_cast<double>(epochs) *
+                         static_cast<double>(samples) *
+                         cost_.seconds_per_sample / cpus;
+  return compute + cost_.fixed_overhead + profile.comm_seconds;
+}
+
+double LatencyModel::sample_latency(const ResourceProfile& profile,
+                                    std::size_t samples, std::size_t epochs,
+                                    util::Rng& rng) const {
+  if (profile.unavailable) return std::numeric_limits<double>::infinity();
+  const double cpus = std::max(profile.cpus, 1e-6);
+  const double compute = static_cast<double>(epochs) *
+                         static_cast<double>(samples) *
+                         cost_.seconds_per_sample / cpus;
+  // E[lognormal(mu, s)] = exp(mu + s^2/2); center it at 1 so the jitter is
+  // mean-preserving and the profiler's mean latency matches expectation.
+  const double s = profile.jitter_sigma;
+  const double jitter = s > 0 ? rng.lognormal(-0.5 * s * s, s) : 1.0;
+  return compute * jitter + cost_.fixed_overhead + profile.comm_seconds;
+}
+
+CostModel cifar_cost_model() { return CostModel{0.010, 3.0}; }
+CostModel mnist_cost_model() { return CostModel{0.004, 1.5}; }
+CostModel femnist_cost_model() { return CostModel{0.012, 3.0}; }
+
+}  // namespace tifl::sim

@@ -1,0 +1,52 @@
+// Client response-latency model.
+//
+// Fig. 1a of the paper shows per-round training time growing near-linearly
+// in sample count and in 1/CPUs, plus a floor at small workloads — exactly
+// an affine model:
+//
+//     L_i = epochs * samples_i * seconds_per_sample / cpus_i
+//           + fixed_overhead + comm_seconds,            (jittered)
+//
+// with multiplicative lognormal jitter on the compute term standing in for
+// OS noise.  `seconds_per_sample` and `fixed_overhead` are per-model
+// constants; the presets below are fit to the magnitudes reported in
+// Fig. 1a (CIFAR-10 CNN: ~4 s for 500 samples on 4 CPUs, ~250 s for 5000
+// samples on 1/5 CPU).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/resource_profile.h"
+#include "util/rng.h"
+
+namespace tifl::sim {
+
+struct CostModel {
+  double seconds_per_sample = 0.01;  // at 1 CPU, per epoch
+  double fixed_overhead = 3.0;       // setup + serialization + framework
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(CostModel cost = {}) : cost_(cost) {}
+
+  // Expected (jitter-free) response latency.
+  double expected_latency(const ResourceProfile& profile,
+                          std::size_t samples, std::size_t epochs) const;
+
+  // One observed latency draw with lognormal jitter.
+  double sample_latency(const ResourceProfile& profile, std::size_t samples,
+                        std::size_t epochs, util::Rng& rng) const;
+
+  const CostModel& cost() const { return cost_; }
+
+ private:
+  CostModel cost_;
+};
+
+// Calibrated magnitudes per paper workload (see header comment).
+CostModel cifar_cost_model();    // heavy CNN
+CostModel mnist_cost_model();    // light CNN
+CostModel femnist_cost_model();  // LEAF CNN
+
+}  // namespace tifl::sim

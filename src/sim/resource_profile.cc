@@ -1,0 +1,45 @@
+#include "sim/resource_profile.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace tifl::sim {
+
+std::vector<ResourceProfile> assign_equal_groups(
+    std::size_t num_clients, const std::vector<double>& cpu_groups,
+    double comm_seconds, double jitter_sigma, util::Rng& rng, bool shuffled) {
+  if (cpu_groups.empty()) {
+    throw std::invalid_argument("assign_equal_groups: need at least 1 group");
+  }
+  std::vector<std::size_t> group_of(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    // Equal-count assignment; remainder clients land in the last groups.
+    group_of[c] = c * cpu_groups.size() / num_clients;
+  }
+  if (shuffled) rng.shuffle(group_of);
+
+  std::vector<ResourceProfile> profiles(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    profiles[c] = ResourceProfile{
+        .cpus = cpu_groups[group_of[c]],
+        .comm_seconds = comm_seconds,
+        .jitter_sigma = jitter_sigma,
+        .unavailable = false,
+    };
+  }
+  return profiles;
+}
+
+std::vector<double> casestudy_cpu_groups() {
+  return {4.0, 2.0, 1.0, 1.0 / 3.0, 1.0 / 5.0};
+}
+
+std::vector<double> mnist_cpu_groups() { return {2.0, 1.0, 0.75, 0.5, 0.25}; }
+
+std::vector<double> cifar_cpu_groups() { return {4.0, 2.0, 1.0, 0.5, 0.1}; }
+
+std::vector<double> homogeneous_cpu_groups(double cpus) {
+  return std::vector<double>(5, cpus);
+}
+
+}  // namespace tifl::sim

@@ -1,0 +1,37 @@
+// Per-client compute/communication capability, the "resource
+// heterogeneity" axis of the paper (§3.3, §5.1): clients are assigned
+// 4/2/1/0.5/0.1 CPUs (CIFAR, FEMNIST) or 2/1/0.75/0.5/0.25 CPUs
+// (MNIST/FMNIST); the case study uses 4/2/1/⅓/⅕.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tifl::sim {
+
+struct ResourceProfile {
+  double cpus = 1.0;            // CPU share; compute time scales as 1/cpus
+  double comm_seconds = 0.0;    // fixed up+down link time per round
+  double jitter_sigma = 0.05;   // lognormal sigma on compute time
+  bool unavailable = false;     // never responds (profiler dropout testing)
+};
+
+// Splits `num_clients` into `cpu_groups.size()` equal groups, group g
+// getting `cpu_groups[g]` CPUs.  When `shuffled` the group assignment is
+// randomized (LEAF setup: "uniform random distribution resulting in equal
+// number of clients per hardware type"); otherwise client blocks map to
+// groups in order (the synthetic-benchmark setup).
+std::vector<ResourceProfile> assign_equal_groups(
+    std::size_t num_clients, const std::vector<double>& cpu_groups,
+    double comm_seconds, double jitter_sigma, util::Rng& rng,
+    bool shuffled = false);
+
+// The paper's group allocations.
+std::vector<double> casestudy_cpu_groups();      // 4, 2, 1, 1/3, 1/5  (§3.3)
+std::vector<double> mnist_cpu_groups();          // 2, 1, 0.75, 0.5, 0.25
+std::vector<double> cifar_cpu_groups();          // 4, 2, 1, 0.5, 0.1
+std::vector<double> homogeneous_cpu_groups(double cpus = 2.0);  // data-only
+
+}  // namespace tifl::sim

@@ -1,0 +1,27 @@
+// Discrete virtual clock for the resource-heterogeneity simulation.
+//
+// The paper's testbed pins clients to CPU fractions and measures
+// wall-clock training time; we instead *simulate* those latencies (see
+// DESIGN.md §2) while running real model training at full host speed.
+// The engine advances this clock by the synchronous-round latency
+// Lr = max_i(L_i) (Eq. 1 of the paper) every round, so "training time"
+// results have the testbed's shape without the testbed.
+#pragma once
+
+namespace tifl::sim {
+
+class VirtualClock {
+ public:
+  double now() const noexcept { return now_seconds_; }
+
+  void advance(double seconds) noexcept {
+    if (seconds > 0) now_seconds_ += seconds;
+  }
+
+  void reset() noexcept { now_seconds_ = 0.0; }
+
+ private:
+  double now_seconds_ = 0.0;
+};
+
+}  // namespace tifl::sim

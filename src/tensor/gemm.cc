@@ -1,0 +1,123 @@
+#include "tensor/gemm.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace tifl::tensor {
+
+namespace {
+
+void check_matrix(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string("gemm: ") + name +
+                                " must be rank-2, got " +
+                                shape_to_string(t.shape()));
+  }
+}
+
+// Rows of C handled per task; small matrices run serially.
+constexpr std::int64_t kRowGrain = 16;
+
+void parallel_rows(std::int64_t m,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  util::global_pool().parallel_for_chunked(
+      0, static_cast<std::size_t>(m),
+      [&fn](std::size_t lo, std::size_t hi) {
+        fn(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi));
+      },
+      static_cast<std::size_t>(kRowGrain));
+}
+
+}  // namespace
+
+void gemm_nn_raw(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate) {
+  parallel_rows(m, [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      float* crow = c + i * n;
+      if (!accumulate) std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+      const float* arow = a + i * k;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;  // ReLU outputs are ~50% zero
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_nt_raw(const float* a, const float* b_t, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate) {
+  // C[i,j] = sum_p A[i,p] * Bt[j,p]: dot products of two contiguous rows.
+  parallel_rows(m, [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b_t + j * k;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = accumulate ? crow[j] + acc : acc;
+      }
+    }
+  });
+}
+
+void gemm_tn_raw(const float* a_t, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate) {
+  // C[i,j] = sum_p At[p,i] * B[p,j].  Parallel over rows i of C; each task
+  // strides down column i of A_t, streaming rows of B.
+  parallel_rows(m, [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      float* crow = c + i * n;
+      if (!accumulate) std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = a_t[p * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  check_matrix(c, "C");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_nn: shape mismatch " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()) + " -> " +
+                                shape_to_string(c.shape()));
+  }
+  gemm_nn_raw(a.data(), b.data(), c.data(), m, k, n, accumulate);
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b_t, Tensor& c, bool accumulate) {
+  check_matrix(a, "A");
+  check_matrix(b_t, "B^T");
+  check_matrix(c, "C");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b_t.dim(0);
+  if (b_t.dim(1) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_nt: shape mismatch");
+  }
+  gemm_nt_raw(a.data(), b_t.data(), c.data(), m, k, n, accumulate);
+}
+
+void gemm_tn(const Tensor& a_t, const Tensor& b, Tensor& c, bool accumulate) {
+  check_matrix(a_t, "A^T");
+  check_matrix(b, "B");
+  check_matrix(c, "C");
+  const std::int64_t k = a_t.dim(0), m = a_t.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_tn: shape mismatch");
+  }
+  gemm_tn_raw(a_t.data(), b.data(), c.data(), m, k, n, accumulate);
+}
+
+}  // namespace tifl::tensor

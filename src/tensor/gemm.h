@@ -1,0 +1,39 @@
+// General matrix multiply kernels for the NN layers.
+//
+// Three layout variants cover every use in forward/backward passes without
+// ever materializing a transpose:
+//   gemm_nn : C[M,N] += A[M,K]   * B[K,N]     (dense forward)
+//   gemm_nt : C[M,N] += A[M,K]   * B[N,K]^T   (dX = dY * W^T)
+//   gemm_tn : C[M,N] += A[K,M]^T * B[K,N]     (dW = X^T * dY)
+//
+// All kernels parallelize over rows of C through the global thread pool
+// and use an i-k-j loop order so the inner loop streams both B and C
+// rows — the standard cache-friendly ordering for row-major data.  Each
+// output element is written by exactly one task, so the parallel result
+// is bitwise identical to the serial one.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace tifl::tensor {
+
+// When `accumulate` is false, C is overwritten; otherwise added to.
+void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c,
+             bool accumulate = false);
+void gemm_nt(const Tensor& a, const Tensor& b_t, Tensor& c,
+             bool accumulate = false);
+void gemm_tn(const Tensor& a_t, const Tensor& b, Tensor& c,
+             bool accumulate = false);
+
+// Raw-pointer core used by conv2d's im2col path (matrices that are views
+// into scratch buffers rather than Tensors).
+void gemm_nn_raw(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate);
+void gemm_nt_raw(const float* a, const float* b_t, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate);
+void gemm_tn_raw(const float* a_t, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate);
+
+}  // namespace tifl::tensor

@@ -1,0 +1,53 @@
+#include "tensor/im2col.h"
+
+namespace tifl::tensor {
+
+void im2col(const float* image, const ConvGeometry& g, float* columns) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t col_cols = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const float* plane = image + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out_row = columns + row * col_cols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t in_y = y * g.stride - g.pad + kh;
+          const bool y_ok = in_y >= 0 && in_y < g.height;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t in_x = x * g.stride - g.pad + kw;
+            const bool ok = y_ok && in_x >= 0 && in_x < g.width;
+            out_row[y * ow + x] = ok ? plane[in_y * g.width + in_x] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, const ConvGeometry& g, float* image_grad) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t col_cols = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* plane = image_grad + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in_row = columns + row * col_cols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t in_y = y * g.stride - g.pad + kh;
+          if (in_y < 0 || in_y >= g.height) continue;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t in_x = x * g.stride - g.pad + kw;
+            if (in_x < 0 || in_x >= g.width) continue;
+            plane[in_y * g.width + in_x] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tifl::tensor

@@ -1,0 +1,39 @@
+// im2col / col2im transforms: rewrite convolution as GEMM.
+//
+// Layout contract (single image, channels-first):
+//   input  : [C, H, W]                      (contiguous slice of an NCHW batch)
+//   columns: [C*KH*KW, OH*OW]  row-major    (each column is one receptive field)
+// so that  conv_out[OC, OH*OW] = W[OC, C*KH*KW] * columns.
+#pragma once
+
+#include <cstdint>
+
+namespace tifl::tensor {
+
+struct ConvGeometry {
+  std::int64_t channels;
+  std::int64_t height;
+  std::int64_t width;
+  std::int64_t kernel_h;
+  std::int64_t kernel_w;
+  std::int64_t stride;
+  std::int64_t pad;
+
+  std::int64_t out_h() const {
+    return (height + 2 * pad - kernel_h) / stride + 1;
+  }
+  std::int64_t out_w() const {
+    return (width + 2 * pad - kernel_w) / stride + 1;
+  }
+  std::int64_t col_rows() const { return channels * kernel_h * kernel_w; }
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+// Gathers image patches into the column buffer (zero-padding outside).
+void im2col(const float* image, const ConvGeometry& g, float* columns);
+
+// Scatters (accumulates) the column buffer back into the image gradient.
+// `image_grad` must be zero-initialized by the caller for a fresh gradient.
+void col2im(const float* columns, const ConvGeometry& g, float* image_grad);
+
+}  // namespace tifl::tensor

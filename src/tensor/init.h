@@ -1,0 +1,27 @@
+// Weight initializers.  He-normal for ReLU stacks (all paper models use
+// ReLU activations), Glorot-uniform kept for completeness/tests.
+#pragma once
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tifl::tensor {
+
+// He (Kaiming) normal: stddev = sqrt(2 / fan_in).
+inline Tensor he_normal(Shape shape, std::int64_t fan_in, util::Rng& rng) {
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+// Glorot (Xavier) uniform: limit = sqrt(6 / (fan_in + fan_out)).
+inline Tensor glorot_uniform(Shape shape, std::int64_t fan_in,
+                             std::int64_t fan_out, util::Rng& rng) {
+  const float limit = std::sqrt(
+      6.0f / static_cast<float>((fan_in + fan_out) > 0 ? fan_in + fan_out : 1));
+  return Tensor::rand_uniform(std::move(shape), rng, -limit, limit);
+}
+
+}  // namespace tifl::tensor

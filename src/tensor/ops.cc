@@ -1,0 +1,140 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tifl::tensor {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+}  // namespace
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  check_same_shape(x, y, "axpy");
+  const float* xs = x.data();
+  float* ys = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+void scale(Tensor& y, float alpha) {
+  for (float& v : y.flat()) v *= alpha;
+}
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "add");
+  check_same_shape(a, out, "add");
+  const float* as = a.data();
+  const float* bs = b.data();
+  float* os = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) os[i] = as[i] + bs[i];
+}
+
+void add_row_bias(Tensor& m, const Tensor& bias) {
+  if (m.rank() != 2 || bias.numel() != m.dim(1)) {
+    throw std::invalid_argument("add_row_bias: want [M,N] and [N]");
+  }
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  const float* b = bias.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = m.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] += b[c];
+  }
+}
+
+void relu_forward(const Tensor& x, Tensor& out) {
+  if (&out != &x) {
+    check_same_shape(x, out, "relu_forward");
+  }
+  const float* xs = x.data();
+  float* os = out.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) os[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
+}
+
+void relu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
+  check_same_shape(x, dy, "relu_backward");
+  check_same_shape(x, dx, "relu_backward");
+  const float* xs = x.data();
+  const float* dys = dy.data();
+  float* dxs = dx.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) dxs[i] = xs[i] > 0.0f ? dys[i] : 0.0f;
+}
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_rows: want rank-2 logits");
+  }
+  check_same_shape(logits, probs, "softmax_rows");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* out = probs.data() + r * cols;
+    float max_v = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, in[c]);
+    float total = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out[c] = std::exp(in[c] - max_v);
+      total += out[c];
+    }
+    const float inv = 1.0f / total;
+    for (std::int64_t c = 0; c < cols; ++c) out[c] *= inv;
+  }
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& m) {
+  if (m.rank() != 2) throw std::invalid_argument("argmax_rows: want rank-2");
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = m.data() + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+void column_sums(const Tensor& m, Tensor& out) {
+  if (m.rank() != 2 || out.numel() != m.dim(1)) {
+    throw std::invalid_argument("column_sums: want [M,N] and [N]");
+  }
+  out.fill(0.0f);
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  float* os = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = m.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) os[c] += row[c];
+  }
+}
+
+double squared_norm(const Tensor& t) {
+  double acc = 0.0;
+  for (float v : t.flat()) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float worst = 0.0f;
+  const float* as = a.data();
+  const float* bs = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(as[i] - bs[i]));
+  }
+  return worst;
+}
+
+}  // namespace tifl::tensor

@@ -1,0 +1,42 @@
+// Elementwise and reduction kernels used by layers, losses and FedAvg.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tifl::tensor {
+
+// y += alpha * x (shapes must match); the FedAvg weighted-sum primitive.
+void axpy(float alpha, const Tensor& x, Tensor& y);
+// y = alpha * y
+void scale(Tensor& y, float alpha);
+// out = a + b elementwise (shape-checked).
+void add(const Tensor& a, const Tensor& b, Tensor& out);
+// Add row vector `bias` [N] to every row of `m` [M,N].
+void add_row_bias(Tensor& m, const Tensor& bias);
+
+// ReLU forward: out = max(x, 0).  In-place allowed (&out == &x).
+void relu_forward(const Tensor& x, Tensor& out);
+// ReLU backward: dx = dy where x > 0 else 0.
+void relu_backward(const Tensor& x, const Tensor& dy, Tensor& dx);
+
+// Row-wise softmax of logits [M,N] -> probabilities [M,N].
+// Max-subtraction for numerical stability.
+void softmax_rows(const Tensor& logits, Tensor& probs);
+
+// Row-wise argmax of an [M,N] matrix.
+std::vector<std::int64_t> argmax_rows(const Tensor& m);
+
+// Sum over rows of m [M,N] -> out [N] (bias gradient).
+void column_sums(const Tensor& m, Tensor& out);
+
+// Squared L2 norm of all entries.
+double squared_norm(const Tensor& t);
+
+// Maximum absolute difference between two same-shaped tensors.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace tifl::tensor

@@ -1,0 +1,81 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace tifl::tensor {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative tensor extent");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_numel(shape_) != static_cast<std::int64_t>(data_.size())) {
+    throw std::invalid_argument("Tensor: data size does not match shape " +
+                                shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.normal()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+void Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+Tensor& Tensor::reshape(Shape shape) {
+  if (shape_numel(shape) != numel()) {
+    throw std::invalid_argument("reshape: numel mismatch, have " +
+                                shape_to_string(shape_) + " want " +
+                                shape_to_string(shape));
+  }
+  shape_ = std::move(shape);
+  return *this;
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+  Tensor copy = *this;
+  copy.reshape(std::move(shape));
+  return copy;
+}
+
+}  // namespace tifl::tensor

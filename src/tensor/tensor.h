@@ -1,0 +1,109 @@
+// Dense float32 tensor with value semantics.
+//
+// Design notes (Core-Guidelines style):
+//  * rule of zero — storage is a std::vector<float>, copies are deep,
+//    moves are O(1); no shared aliasing, so parallel client training can
+//    freely copy model weights without races;
+//  * row-major contiguous layout; shape is a small vector of extents;
+//  * all indexing helpers are bounds-checked in debug builds only
+//    (assert), keeping the hot training loops branch-free in release.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tifl::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+std::int64_t shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor full(Shape shape, float v) {
+    return Tensor(std::move(shape), v);
+  }
+  // N(0, stddev^2) entries from the given stream.
+  static Tensor randn(Shape shape, util::Rng& rng, float stddev = 1.0f);
+  // U(lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, util::Rng& rng, float lo,
+                             float hi);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::int64_t dim(std::size_t axis) const {
+    assert(axis < shape_.size());
+    return shape_[axis];
+  }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> flat() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  float& operator[](std::int64_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // 2-D accessor (matrix view of the first two extents).
+  float& at(std::int64_t r, std::int64_t c) {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  // 4-D accessor (NCHW activations).
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    assert(rank() == 4);
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const {
+    assert(rank() == 4);
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  void fill(float v);
+  // Reinterpret the buffer with a new shape of identical numel.
+  Tensor& reshape(Shape shape);
+  Tensor reshaped(Shape shape) const;
+
+  bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace tifl::tensor

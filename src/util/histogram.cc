@@ -1,0 +1,56 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tifl::util {
+
+Histogram::Histogram(std::span<const double> values, std::size_t bins,
+                     BinningMode mode) {
+  if (values.empty()) throw std::invalid_argument("Histogram: empty input");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+
+  edges_.resize(bins + 1);
+  if (mode == BinningMode::kEqualWidth) {
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (std::size_t b = 0; b <= bins; ++b) {
+      edges_[b] = lo + width * static_cast<double>(b);
+    }
+  } else {
+    // Quantile edges: bin b spans the [b/bins, (b+1)/bins) quantiles so
+    // populations are balanced within +-1 even with repeated values.
+    edges_[0] = lo;
+    edges_[bins] = hi;
+    const std::size_t n = sorted.size();
+    for (std::size_t b = 1; b < bins; ++b) {
+      const std::size_t idx =
+          std::min(n - 1, b * n / bins);
+      edges_[b] = sorted[idx];
+    }
+  }
+  // Degenerate spread (all values equal) collapses edges; nudge the last
+  // edge so bin_of() stays well-defined.
+  if (edges_.back() <= edges_.front()) {
+    edges_.back() = edges_.front() +
+                    std::max(1e-12, std::abs(edges_.front()) * 1e-12);
+  }
+
+  counts_.assign(bins, 0);
+  for (double v : sorted) ++counts_[bin_of(v)];
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  // upper_bound over interior edges: value < edges_[b+1] picks bin b.
+  const auto it =
+      std::upper_bound(edges_.begin() + 1, edges_.end() - 1, value);
+  return static_cast<std::size_t>(it - (edges_.begin() + 1));
+}
+
+}  // namespace tifl::util

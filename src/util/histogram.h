@@ -1,0 +1,36 @@
+// Latency histogram used by the TiFL tiering step (§4.2): "the collected
+// training latencies from clients creates a histogram, which is split into
+// m groups".  Supports both readings of that sentence:
+//   * equal-width: m bins of equal latency width between min and max;
+//   * quantile:    m bins of (near-)equal population.
+// Bin edges are exposed so the tiering module can map a latency to a tier.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tifl::util {
+
+enum class BinningMode { kEqualWidth, kQuantile };
+
+class Histogram {
+ public:
+  // Builds `bins` bins over `values` (must be non-empty, bins >= 1).
+  Histogram(std::span<const double> values, std::size_t bins,
+            BinningMode mode);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  // Bin index for a value; values outside [min,max] clamp to first/last.
+  std::size_t bin_of(double value) const;
+  // Number of samples in bin b.
+  std::size_t count(std::size_t b) const { return counts_.at(b); }
+  // Half-open bin edges; edges().size() == bin_count() + 1.
+  const std::vector<double>& edges() const noexcept { return edges_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace tifl::util

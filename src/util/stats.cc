@@ -1,0 +1,106 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tifl::util {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mape_percent(double estimated, double actual) {
+  if (actual == 0.0) return 0.0;
+  return std::abs(estimated - actual) / std::abs(actual) * 100.0;
+}
+
+double sum(std::span<const double> xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - m) * (x - m);
+  return std::sqrt(m2 / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+std::size_t argmin(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::vector<double> normalized(std::vector<double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    if (!weights.empty()) {
+      const double u = 1.0 / static_cast<double>(weights.size());
+      std::fill(weights.begin(), weights.end(), u);
+    }
+    return weights;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace tifl::util

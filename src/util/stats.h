@@ -1,0 +1,52 @@
+// Small statistics toolkit shared by the profiler, the training-time
+// estimator (Eq. 6/7 of the paper) and the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tifl::util {
+
+// Welford one-pass accumulator: numerically stable mean/variance without
+// storing samples.  Used for per-tier latency summaries.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Mean absolute percentage error, |est - act| / act * 100 (Eq. 7).
+// Returns 0 when `actual` is 0 to avoid a meaningless division.
+double mape_percent(double estimated, double actual);
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+// Linear-interpolated percentile, p in [0, 100].  Sorts a copy.
+double percentile(std::vector<double> xs, double p);
+
+// argmin / argmax over a span; returns 0 on empty input.
+std::size_t argmin(std::span<const double> xs);
+std::size_t argmax(std::span<const double> xs);
+
+// Normalize a non-negative vector to sum to 1 (uniform if all zero).
+std::vector<double> normalized(std::vector<double> weights);
+
+}  // namespace tifl::util

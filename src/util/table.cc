@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tifl::util {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+TablePrinter& TablePrinter::add_row(const std::string& label,
+                                    const std::vector<double>& values,
+                                    int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  return add_row(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const { os << to_string(); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << std::setw(static_cast<int>(width[c]))
+         << (c == 0 ? std::left : std::right) << cell << ' ' << '|';
+      os << std::right;
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    const std::string& cell = cells[i];
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quotes) {
+      out_ << '"';
+      for (char ch : cell) {
+        if (ch == '"') out_ << '"';
+        out_ << ch;
+      }
+      out_ << '"';
+    } else {
+      out_ << cell;
+    }
+  }
+  out_ << '\n';
+}
+
+}  // namespace tifl::util

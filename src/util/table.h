@@ -1,0 +1,46 @@
+// Console table / CSV emitters used by the bench harness so every
+// table-and-figure reproduction prints rows the same way the paper does.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tifl::util {
+
+// Fixed-schema text table with right-aligned numeric formatting, printed
+// in one shot so bench output stays readable when several tables stream
+// to one terminal.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  TablePrinter& add_row(const std::string& label,
+                        const std::vector<double>& values, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Minimal CSV writer (RFC-4180-ish quoting) for exporting bench series so
+// figures can be re-plotted outside the repo.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  void write_row(const std::vector<std::string>& cells);
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+};
+
+std::string format_double(double v, int precision);
+
+}  // namespace tifl::util

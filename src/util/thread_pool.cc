@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <exception>
+
+namespace tifl::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  const std::thread::id self = std::this_thread::get_id();
+  return std::any_of(workers_.begin(), workers_.end(),
+                     [self](const std::thread& w) { return w.get_id() == self; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  parallel_for_chunked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body,
+    std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t total = end - begin;
+
+  // Serial fallbacks: range too small to amortize dispatch, or we are
+  // already inside a worker (nested dispatch could exhaust the pool).
+  if (total <= grain || size() == 1 || on_worker_thread()) {
+    chunk_body(begin, end);
+    return;
+  }
+
+  const std::size_t chunks =
+      std::min(size(), (total + grain - 1) / grain);
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    pending.push_back(submit([&chunk_body, lo, hi] { chunk_body(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace tifl::util

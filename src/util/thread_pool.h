@@ -1,0 +1,83 @@
+// Fixed-size worker pool with a blocking task queue and a data-parallel
+// `parallel_for` helper.
+//
+// The pool is the single parallel-execution substrate for the whole
+// repository: tensor GEMM tiles, per-client local training in the FL
+// engine, and bench sweeps all schedule through it.  Keeping one pool per
+// process (see `global_pool()`) avoids oversubscription when nested code
+// paths both want parallelism — inner calls detect they are already on a
+// worker thread and degrade to serial execution instead of deadlocking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tifl::util {
+
+class ThreadPool {
+ public:
+  // `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueue an arbitrary task; the future resolves when it has run.
+  // Exceptions thrown by `fn` are captured in the future.
+  template <typename Fn>
+  std::future<void> submit(Fn&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::forward<Fn>(fn));
+    std::future<void> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  // Split [begin, end) into contiguous chunks and run `body(i)` for every
+  // index.  Blocks until the whole range is done.  `grain` bounds the
+  // minimum chunk size so tiny ranges do not pay scheduling overhead.
+  //
+  // Reentrancy: when called from inside a worker thread the loop runs
+  // serially on the calling thread (nested parallelism would deadlock a
+  // fixed pool and rarely helps on the target 2-core box).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  // As above but hands each chunk [lo, hi) to the body, letting callers
+  // hoist per-chunk state (e.g. accumulators, RNG streams).
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& chunk_body,
+      std::size_t grain = 1);
+
+  // True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Process-wide pool, constructed on first use with hardware concurrency.
+ThreadPool& global_pool();
+
+}  // namespace tifl::util

@@ -1,0 +1,87 @@
+#include "core/deadline_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_helpers.h"
+
+namespace tifl::core {
+namespace {
+
+ProfileResult fake_profile(std::vector<double> latencies,
+                           std::vector<bool> dropout = {}) {
+  ProfileResult profile;
+  profile.mean_latency = std::move(latencies);
+  profile.dropout = dropout.empty()
+                        ? std::vector<bool>(profile.mean_latency.size(), false)
+                        : std::move(dropout);
+  return profile;
+}
+
+TEST(DeadlinePolicy, OnlyEligibleClientsAreSelected) {
+  const ProfileResult profile =
+      fake_profile({1.0, 2.0, 3.0, 50.0, 60.0, 4.0, 5.0, 70.0});
+  DeadlinePolicy policy(profile, 10.0, 3);
+  EXPECT_EQ(policy.eligible_clients(),
+            (std::vector<std::size_t>{0, 1, 2, 5, 6}));
+  util::Rng rng(1);
+  for (std::size_t round = 0; round < 100; ++round) {
+    const fl::Selection s = policy.select(round, rng);
+    ASSERT_EQ(s.clients.size(), 3u);
+    for (std::size_t c : s.clients) {
+      EXPECT_NE(c, 3u);
+      EXPECT_NE(c, 4u);
+      EXPECT_NE(c, 7u);
+    }
+    std::set<std::size_t> unique(s.clients.begin(), s.clients.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(DeadlinePolicy, DropoutsAreIneligibleEvenIfFast) {
+  const ProfileResult profile =
+      fake_profile({1.0, 2.0, 3.0, 4.0}, {false, true, false, false});
+  DeadlinePolicy policy(profile, 10.0, 2);
+  EXPECT_EQ(policy.eligible_clients(), (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(DeadlinePolicy, EverythingEligibleWithLooseDeadline) {
+  const ProfileResult profile = fake_profile({1.0, 100.0, 1000.0});
+  DeadlinePolicy policy(profile, 1e6, 3);
+  EXPECT_EQ(policy.eligible_clients().size(), 3u);
+}
+
+TEST(DeadlinePolicy, ThrowsWhenTooFewQualify) {
+  const ProfileResult profile = fake_profile({1.0, 2.0, 30.0, 40.0});
+  EXPECT_THROW(DeadlinePolicy(profile, 10.0, 3), std::invalid_argument);
+  EXPECT_THROW(DeadlinePolicy(profile, 0.0, 1), std::invalid_argument);
+}
+
+TEST(DeadlinePolicy, EndToEndFasterThanVanillaLosesSlowData) {
+  // FedCS-style filtering shortens rounds but permanently excludes the
+  // slow clients' data.
+  testing::TinyFederation fed = testing::tiny_federation(20);
+  fl::Engine engine(testing::tiny_engine_config(12), testing::tiny_factory(),
+                    fed.clients, &fed.data.test, fed.latency);
+  ProfilerConfig profiler;
+  profiler.tmax = 1e6;
+  util::Rng rng(2);
+  const ProfileResult profile =
+      profile_clients(fed.clients, fed.latency, profiler, rng);
+
+  // Deadline at the median latency: the slow half never participates.
+  std::vector<double> sorted = profile.mean_latency;
+  std::sort(sorted.begin(), sorted.end());
+  DeadlinePolicy deadline(profile, sorted[sorted.size() / 2], 4);
+  fl::VanillaPolicy vanilla(fed.clients.size(), 4);
+
+  const fl::RunResult fast_run = engine.run(deadline);
+  const fl::RunResult base_run = engine.run(vanilla);
+  EXPECT_LT(fast_run.total_time(), base_run.total_time());
+  EXPECT_GT(fast_run.final_accuracy(), 0.4);  // still learns
+}
+
+}  // namespace
+}  // namespace tifl::core

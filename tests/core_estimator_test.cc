@@ -1,0 +1,83 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/static_policy.h"
+#include "core/system.h"
+#include "test_helpers.h"
+
+namespace tifl::core {
+namespace {
+
+TEST(Estimator, Eq6ExactOnKnownInputs) {
+  // L_all = sum(L_tier_i * P_i) * R.
+  const std::vector<double> latency{10.0, 20.0, 40.0};
+  const std::vector<double> probs{0.5, 0.3, 0.2};
+  // per-round = 5 + 6 + 8 = 19; 100 rounds -> 1900.
+  EXPECT_DOUBLE_EQ(estimate_training_time(latency, probs, 100), 1900.0);
+}
+
+TEST(Estimator, DegeneratePolicyIsTierLatencyTimesRounds) {
+  const std::vector<double> latency{10.0, 50.0};
+  EXPECT_DOUBLE_EQ(
+      estimate_training_time(latency, std::vector<double>{0.0, 1.0}, 7),
+      350.0);
+}
+
+TEST(Estimator, ZeroRoundsIsZero) {
+  EXPECT_DOUBLE_EQ(estimate_training_time(std::vector<double>{5.0},
+                                          std::vector<double>{1.0}, 0),
+                   0.0);
+}
+
+TEST(Estimator, SizeMismatchThrows) {
+  EXPECT_THROW(estimate_training_time(std::vector<double>{1.0, 2.0},
+                                      std::vector<double>{1.0}, 10),
+               std::invalid_argument);
+}
+
+TEST(Estimator, TierInfoOverloadUsesAvgLatencies) {
+  TierInfo tiers;
+  tiers.members = {{0}, {1}};
+  tiers.avg_latency = {3.0, 7.0};
+  EXPECT_DOUBLE_EQ(
+      estimate_training_time(tiers, std::vector<double>{0.5, 0.5}, 10),
+      50.0);
+}
+
+TEST(Estimator, MapeMatchesTable2Definition) {
+  // Table 2's "slow" row: estimated 46242, actual 44977 -> 2.76 % (paper
+  // rounds to 2 digits).
+  EXPECT_NEAR(estimation_mape(46242, 44977), 2.81, 0.1);
+  EXPECT_DOUBLE_EQ(estimation_mape(100, 100), 0.0);
+}
+
+TEST(Estimator, EndToEndMapeSmallForStaticPolicies) {
+  // Table 2's regime: estimate vs engine-measured training time under
+  // each static policy.  With mild jitter the MAPE must stay small
+  // (the paper reports <= 5.01 %).
+  testing::TinyFederation fed = testing::tiny_federation(20);
+  for (auto& client : fed.clients) client.resource().jitter_sigma = 0.05;
+
+  SystemConfig config;
+  config.num_tiers = 5;
+  config.clients_per_round = 3;
+  config.engine = testing::tiny_engine_config(40);
+  config.engine.eval_every = 50;  // evaluation off the hot path
+  config.profiler.tmax = 1e6;
+  TiflSystem system(config, testing::tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+
+  for (const char* name : {"uniform", "random", "fast", "slow"}) {
+    auto policy = system.make_static(name);
+    const fl::RunResult result = system.run(*policy);
+    const double estimated = system.estimate_time(name);
+    const double actual = result.total_time();
+    ASSERT_GT(actual, 0.0);
+    EXPECT_LT(estimation_mape(estimated, actual), 12.0)
+        << name << ": est " << estimated << " vs act " << actual;
+  }
+}
+
+}  // namespace
+}  // namespace tifl::core

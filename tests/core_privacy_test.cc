@@ -1,0 +1,115 @@
+#include "core/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tifl::core {
+namespace {
+
+TEST(Privacy, UniformSamplingRate) {
+  // q = |C| / |K| (§4.6).
+  EXPECT_DOUBLE_EQ(uniform_sampling_rate(5, 50), 0.1);
+  EXPECT_DOUBLE_EQ(uniform_sampling_rate(10, 182), 10.0 / 182.0);
+  EXPECT_THROW(uniform_sampling_rate(5, 0), std::invalid_argument);
+  EXPECT_THROW(uniform_sampling_rate(10, 5), std::invalid_argument);
+}
+
+TEST(Privacy, TierSamplingRateFormula) {
+  // q_j = P(tier j) * |C| / n_j.
+  EXPECT_DOUBLE_EQ(tier_sampling_rate(0.2, 5, 10), 0.2 * 0.5);
+  EXPECT_DOUBLE_EQ(tier_sampling_rate(1.0, 5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(tier_sampling_rate(0.0, 5, 10), 0.0);
+  EXPECT_DOUBLE_EQ(tier_sampling_rate(0.5, 0, 10), 0.0);
+  // Empty tier contributes nothing.
+  EXPECT_DOUBLE_EQ(tier_sampling_rate(0.5, 5, 0), 0.0);
+  // Within-tier ratio saturates at 1 (|C| >= n_j never exceeds certainty).
+  EXPECT_DOUBLE_EQ(tier_sampling_rate(0.5, 20, 10), 0.5);
+}
+
+TEST(Privacy, MaxTierSamplingRate) {
+  const std::vector<double> probs{0.7, 0.1, 0.1, 0.05, 0.05};
+  const std::vector<std::size_t> sizes{10, 10, 10, 10, 10};
+  // q_j = p_j/2; q_max from the 0.7 tier.
+  EXPECT_DOUBLE_EQ(max_tier_sampling_rate(probs, sizes, 5), 0.35);
+
+  const std::vector<double> uneven_probs{0.5, 0.5};
+  const std::vector<std::size_t> uneven_sizes{100, 5};
+  // Small tier dominates: 0.5 * min(1, 5/5) = 0.5 > 0.5 * 5/100.
+  EXPECT_DOUBLE_EQ(max_tier_sampling_rate(uneven_probs, uneven_sizes, 5),
+                   0.5);
+
+  EXPECT_THROW(max_tier_sampling_rate(uneven_probs, sizes, 5),
+               std::invalid_argument);
+}
+
+TEST(Privacy, UniformTieringMatchesUniformRateWhenBalanced) {
+  // With uniform tier probabilities over equal tiers, the per-client rate
+  // equals vanilla subsampling's |C|/|K|: tiering does not weaken the
+  // §4.6 guarantee.
+  const std::vector<double> probs(5, 0.2);
+  const std::vector<std::size_t> sizes(5, 10);
+  EXPECT_DOUBLE_EQ(max_tier_sampling_rate(probs, sizes, 5),
+                   uniform_sampling_rate(5, 50));
+}
+
+TEST(Privacy, AmplifyScalesBothParameters) {
+  const PrivacyParams amplified = amplify({1.0, 1e-5}, 0.1);
+  EXPECT_DOUBLE_EQ(amplified.epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(amplified.delta, 1e-6);
+  EXPECT_THROW(amplify({1.0, 1e-5}, 1.5), std::invalid_argument);
+  EXPECT_THROW(amplify({1.0, 1e-5}, -0.1), std::invalid_argument);
+}
+
+TEST(Privacy, AmplifiedGuaranteeNeverWorse) {
+  const PrivacyParams base{2.0, 1e-5};
+  for (double q : {0.0, 0.1, 0.5, 1.0}) {
+    const PrivacyParams amplified = amplify(base, q);
+    EXPECT_LE(amplified.epsilon, base.epsilon);
+    EXPECT_LE(amplified.delta, base.delta);
+  }
+}
+
+TEST(Privacy, ComposeRoundsLinear) {
+  const PrivacyParams per_round{0.01, 1e-7};
+  const PrivacyParams total = compose_rounds(per_round, 500);
+  EXPECT_DOUBLE_EQ(total.epsilon, 5.0);
+  EXPECT_DOUBLE_EQ(total.delta, 5e-5);
+}
+
+TEST(Privacy, GaussianSigmaClassicFormula) {
+  const PrivacyParams p{1.0, 1e-5};
+  const double expected = std::sqrt(2.0 * std::log(1.25 / 1e-5)) * 1.0 / 1.0;
+  EXPECT_DOUBLE_EQ(gaussian_sigma(p, 1.0), expected);
+  // Scale with sensitivity, inverse with epsilon.
+  EXPECT_DOUBLE_EQ(gaussian_sigma(p, 2.0), 2.0 * expected);
+  EXPECT_NEAR(gaussian_sigma({2.0, 1e-5}, 1.0), expected / 2.0, 1e-12);
+  EXPECT_THROW(gaussian_sigma({0.0, 1e-5}, 1.0), std::invalid_argument);
+  EXPECT_THROW(gaussian_sigma({1.0, 0.0}, 1.0), std::invalid_argument);
+}
+
+TEST(Privacy, MonteCarloMatchesClosedFormTierRate) {
+  // Validate q_j = P(tier j) * |C|/n_j against simulated selection.
+  const std::vector<double> probs{0.7, 0.1, 0.1, 0.05, 0.05};
+  const std::vector<std::size_t> sizes{10, 10, 10, 10, 10};
+  util::Rng rng(1);
+  for (std::size_t tier : {0ul, 1ul, 4ul}) {
+    const double closed = tier_sampling_rate(probs[tier], 5, sizes[tier]);
+    const double simulated = simulate_client_selection_rate(
+        probs, sizes, 5, tier, 200000, rng);
+    EXPECT_NEAR(simulated, closed, 0.005) << "tier " << tier;
+  }
+}
+
+TEST(Privacy, MonteCarloUniformBaseline) {
+  // Uniform tier probs over equal tiers ~ vanilla q = |C|/|K|.
+  const std::vector<double> probs(5, 0.2);
+  const std::vector<std::size_t> sizes(5, 10);
+  util::Rng rng(2);
+  const double simulated =
+      simulate_client_selection_rate(probs, sizes, 5, 2, 200000, rng);
+  EXPECT_NEAR(simulated, 0.1, 0.005);
+}
+
+}  // namespace
+}  // namespace tifl::core

@@ -1,0 +1,128 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace tifl::core {
+namespace {
+
+using testing::tiny_federation;
+using testing::TinyFederation;
+
+TEST(Profiler, MeanLatencyMatchesExpectationWithoutJitter) {
+  TinyFederation fed = tiny_federation();  // jitter_sigma = 0
+  ProfilerConfig config;
+  config.sync_rounds = 3;
+  config.tmax = 1e6;
+  util::Rng rng(1);
+  const ProfileResult result =
+      profile_clients(fed.clients, fed.latency, config, rng);
+  ASSERT_EQ(result.mean_latency.size(), fed.clients.size());
+  for (std::size_t c = 0; c < fed.clients.size(); ++c) {
+    const double expected = fed.latency.expected_latency(
+        fed.clients[c].resource(), fed.clients[c].train_size(), 1);
+    EXPECT_NEAR(result.mean_latency[c], expected, 1e-9);
+    EXPECT_NEAR(result.accumulated_latency[c], 3.0 * expected, 1e-9);
+    EXPECT_FALSE(result.dropout[c]);
+  }
+  EXPECT_EQ(result.dropout_count(), 0u);
+}
+
+TEST(Profiler, SlowClientsAreChargedTmax) {
+  TinyFederation fed = tiny_federation();
+  // Find the slowest client's expected latency and set tmax below it.
+  double slowest = 0.0;
+  for (const auto& client : fed.clients) {
+    slowest = std::max(slowest, fed.latency.expected_latency(
+                                    client.resource(), client.train_size(), 1));
+  }
+  ProfilerConfig config;
+  config.sync_rounds = 4;
+  config.tmax = slowest * 0.9;
+  util::Rng rng(2);
+  const ProfileResult result =
+      profile_clients(fed.clients, fed.latency, config, rng);
+  bool any_clamped = false;
+  for (std::size_t c = 0; c < fed.clients.size(); ++c) {
+    EXPECT_LE(result.mean_latency[c], config.tmax + 1e-9);
+    any_clamped = any_clamped ||
+                  result.accumulated_latency[c] == 4.0 * config.tmax;
+  }
+  EXPECT_TRUE(any_clamped);
+}
+
+TEST(Profiler, TimedOutEveryRoundMeansDropout) {
+  TinyFederation fed = tiny_federation();
+  fed.clients[3].resource().unavailable = true;  // never responds
+  ProfilerConfig config;
+  config.sync_rounds = 3;
+  config.tmax = 1e5;
+  util::Rng rng(3);
+  const ProfileResult result =
+      profile_clients(fed.clients, fed.latency, config, rng);
+  EXPECT_TRUE(result.dropout[3]);
+  EXPECT_EQ(result.dropout_count(), 1u);
+  // The dropout accumulated exactly sync_rounds * tmax.
+  EXPECT_DOUBLE_EQ(result.accumulated_latency[3], 3.0 * 1e5);
+  // Everyone else survived.
+  for (std::size_t c = 0; c < fed.clients.size(); ++c) {
+    if (c != 3) {
+      EXPECT_FALSE(result.dropout[c]);
+    }
+  }
+}
+
+TEST(Profiler, ProfilingTimeIsSumOfRoundMaxima) {
+  TinyFederation fed = tiny_federation();
+  ProfilerConfig config;
+  config.sync_rounds = 2;
+  config.tmax = 1e6;
+  util::Rng rng(4);
+  const ProfileResult result =
+      profile_clients(fed.clients, fed.latency, config, rng);
+  // Zero jitter: every profiling round is bounded by the same slowest
+  // client, so profiling_time = sync_rounds * max latency.
+  double slowest = 0.0;
+  for (const auto& client : fed.clients) {
+    slowest = std::max(slowest, fed.latency.expected_latency(
+                                    client.resource(), client.train_size(), 1));
+  }
+  EXPECT_NEAR(result.profiling_time, 2.0 * slowest, 1e-9);
+}
+
+TEST(Profiler, JitteredProfilingStillSeparatesGroups) {
+  TinyFederation fed = tiny_federation(20);
+  for (auto& client : fed.clients) client.resource().jitter_sigma = 0.1;
+  ProfilerConfig config;
+  config.sync_rounds = 5;
+  config.tmax = 1e6;
+  util::Rng rng(5);
+  const ProfileResult result =
+      profile_clients(fed.clients, fed.latency, config, rng);
+  // The fastest resource group (4 CPUs, clients 0..3) must profile faster
+  // than the slowest (0.1 CPUs, clients 16..19) despite jitter.
+  for (std::size_t fast = 0; fast < 4; ++fast) {
+    for (std::size_t slow = 16; slow < 20; ++slow) {
+      EXPECT_LT(result.mean_latency[fast], result.mean_latency[slow]);
+    }
+  }
+}
+
+TEST(Profiler, ConfigValidation) {
+  TinyFederation fed = tiny_federation();
+  util::Rng rng(6);
+  ProfilerConfig bad_rounds;
+  bad_rounds.sync_rounds = 0;
+  EXPECT_THROW(profile_clients(fed.clients, fed.latency, bad_rounds, rng),
+               std::invalid_argument);
+  ProfilerConfig bad_tmax;
+  bad_tmax.tmax = 0.0;
+  EXPECT_THROW(profile_clients(fed.clients, fed.latency, bad_tmax, rng),
+               std::invalid_argument);
+  EXPECT_THROW(profile_clients({}, fed.latency, ProfilerConfig{}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tifl::core

@@ -1,0 +1,97 @@
+#include "core/selection_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "fl/policy.h"
+#include "util/rng.h"
+
+namespace tifl::core {
+namespace {
+
+TEST(SelectionAnalysis, KnownHypergeometricValue) {
+  // K=20, |tau_m|=4, |C|=5: Pr = C(16,5)/C(20,5) = 4368/15504.
+  EXPECT_NEAR(probability_avoid_slowest(20, 4, 5), 4368.0 / 15504.0, 1e-12);
+  EXPECT_NEAR(straggler_selection_probability(20, 4, 5),
+              1.0 - 4368.0 / 15504.0, 1e-12);
+}
+
+TEST(SelectionAnalysis, DegenerateCases) {
+  // No slow level -> never hit a straggler.
+  EXPECT_DOUBLE_EQ(straggler_selection_probability(50, 0, 5), 0.0);
+  // Selecting everyone always includes the slow level.
+  EXPECT_DOUBLE_EQ(straggler_selection_probability(50, 10, 50), 1.0);
+  // Not enough fast clients to fill a round.
+  EXPECT_DOUBLE_EQ(probability_avoid_slowest(10, 8, 5), 0.0);
+}
+
+TEST(SelectionAnalysis, Theorem31LowerBoundHolds) {
+  // Eq. 5: Prs > 1 - ((K - m)/K)^C, strict whenever 0 < m, 1 < C < K.
+  for (std::size_t k : {20ul, 50ul, 200ul}) {
+    for (std::size_t m : {1ul, 4ul, 10ul}) {
+      for (std::size_t c : {2ul, 5ul, 10ul}) {
+        const double prs = straggler_selection_probability(k, m, c);
+        const double bound = straggler_probability_lower_bound(k, m, c);
+        EXPECT_GT(prs, bound) << "K=" << k << " m=" << m << " C=" << c;
+      }
+    }
+  }
+}
+
+TEST(SelectionAnalysis, ApproachesOneAtFederationScale) {
+  // §3.2's conclusion: with large K and proportional slow level, Prs ~ 1.
+  const double prs = straggler_selection_probability(
+      1000000, /*slowest=*/200000, /*per_round=*/100);
+  EXPECT_GT(prs, 0.999999);
+}
+
+TEST(SelectionAnalysis, LargeInputsDoNotOverflow) {
+  const double pr = probability_avoid_slowest(100000000, 20000000, 1000);
+  EXPECT_GE(pr, 0.0);
+  EXPECT_LE(pr, 1.0);
+  EXPECT_LT(pr, 1e-30);  // essentially certain to hit a straggler
+}
+
+TEST(SelectionAnalysis, MonotoneInSlowLevelSizeAndRoundSize) {
+  double last = 0.0;
+  for (std::size_t m = 1; m <= 20; ++m) {
+    const double prs = straggler_selection_probability(100, m, 10);
+    EXPECT_GT(prs, last);
+    last = prs;
+  }
+  last = 0.0;
+  for (std::size_t c = 1; c <= 20; ++c) {
+    const double prs = straggler_selection_probability(100, 10, c);
+    EXPECT_GT(prs, last);
+    last = prs;
+  }
+}
+
+TEST(SelectionAnalysis, MatchesMonteCarloVanillaSelection) {
+  // Cross-check Eq. 3 against the actual VanillaPolicy implementation.
+  fl::VanillaPolicy policy(50, 5);
+  util::Rng rng(9);
+  const std::size_t slow_start = 40;  // last 10 clients form tau_m
+  int hits = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    const fl::Selection s = policy.select(0, rng);
+    for (std::size_t c : s.clients) {
+      if (c >= slow_start) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double expected = straggler_selection_probability(50, 10, 5);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, expected, 0.01);
+}
+
+TEST(SelectionAnalysis, InvalidInputsThrow) {
+  EXPECT_THROW(probability_avoid_slowest(10, 11, 2), std::invalid_argument);
+  EXPECT_THROW(probability_avoid_slowest(10, 2, 11), std::invalid_argument);
+  EXPECT_THROW(straggler_probability_lower_bound(0, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tifl::core

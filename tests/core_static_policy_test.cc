@@ -1,0 +1,153 @@
+#include "core/static_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace tifl::core {
+namespace {
+
+TierInfo synthetic_tiers(std::size_t tiers, std::size_t per_tier) {
+  TierInfo info;
+  info.members.resize(tiers);
+  info.avg_latency.resize(tiers);
+  std::size_t id = 0;
+  for (std::size_t t = 0; t < tiers; ++t) {
+    for (std::size_t i = 0; i < per_tier; ++i) {
+      info.members[t].push_back(id++);
+    }
+    info.avg_latency[t] = static_cast<double>(t + 1) * 10.0;
+  }
+  return info;
+}
+
+// --- Table 1 presets -------------------------------------------------------------
+
+TEST(Table1, PresetsMatchPaperExactly) {
+  EXPECT_EQ(table1_probs("slow"), (std::vector<double>{0, 0, 0, 0, 1}));
+  EXPECT_EQ(table1_probs("uniform"),
+            (std::vector<double>{0.2, 0.2, 0.2, 0.2, 0.2}));
+  EXPECT_EQ(table1_probs("random"),
+            (std::vector<double>{0.7, 0.1, 0.1, 0.05, 0.05}));
+  EXPECT_EQ(table1_probs("fast"), (std::vector<double>{1, 0, 0, 0, 0}));
+  EXPECT_EQ(table1_probs("fast1"),
+            (std::vector<double>{0.225, 0.225, 0.225, 0.225, 0.1}));
+  EXPECT_EQ(table1_probs("fast2"),
+            (std::vector<double>{0.2375, 0.2375, 0.2375, 0.2375, 0.05}));
+  EXPECT_EQ(table1_probs("fast3"),
+            (std::vector<double>{0.25, 0.25, 0.25, 0.25, 0.0}));
+}
+
+TEST(Table1, AllPresetsSumToOne) {
+  for (const char* name :
+       {"slow", "uniform", "random", "fast", "fast1", "fast2", "fast3"}) {
+    const auto probs = table1_probs(name);
+    const double total =
+        std::accumulate(probs.begin(), probs.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-12) << name;
+  }
+}
+
+TEST(Table1, UnknownNameThrows) {
+  EXPECT_THROW(table1_probs("nope"), std::invalid_argument);
+  EXPECT_THROW(table1_probs("vanilla"), std::invalid_argument);  // not tiered
+  EXPECT_THROW(table1_probs("random", 4), std::invalid_argument);
+  EXPECT_THROW(table1_probs("uniform", 0), std::invalid_argument);
+}
+
+TEST(Table1, UniformGeneralizesToAnyTierCount) {
+  const auto probs = table1_probs("uniform", 4);
+  EXPECT_EQ(probs, (std::vector<double>{0.25, 0.25, 0.25, 0.25}));
+}
+
+// --- StaticTierPolicy --------------------------------------------------------------
+
+TEST(StaticTierPolicy, SelectsOnlyWithinOneTierPerRound) {
+  const TierInfo tiers = synthetic_tiers(5, 10);
+  StaticTierPolicy policy(tiers, table1_probs("uniform"), 5, "uniform");
+  util::Rng rng(1);
+  for (std::size_t round = 0; round < 200; ++round) {
+    const fl::Selection s = policy.select(round, rng);
+    ASSERT_EQ(s.clients.size(), 5u);
+    ASSERT_GE(s.tier, 0);
+    const auto& pool = tiers.members[static_cast<std::size_t>(s.tier)];
+    for (std::size_t c : s.clients) {
+      EXPECT_TRUE(std::find(pool.begin(), pool.end(), c) != pool.end());
+    }
+    // No duplicate clients within a round.
+    std::set<std::size_t> unique(s.clients.begin(), s.clients.end());
+    EXPECT_EQ(unique.size(), s.clients.size());
+  }
+}
+
+TEST(StaticTierPolicy, TierFrequenciesMatchProbabilities) {
+  const TierInfo tiers = synthetic_tiers(5, 10);
+  StaticTierPolicy policy(tiers, table1_probs("random"), 5, "random");
+  util::Rng rng(2);
+  std::vector<int> counts(5, 0);
+  const int rounds = 50000;
+  for (int round = 0; round < rounds; ++round) {
+    ++counts[static_cast<std::size_t>(policy.select(round, rng).tier)];
+  }
+  const std::vector<double> expected{0.7, 0.1, 0.1, 0.05, 0.05};
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_NEAR(static_cast<double>(counts[t]) / rounds, expected[t], 0.01)
+        << "tier " << t;
+  }
+}
+
+TEST(StaticTierPolicy, FastOnlyEverPicksTierOne) {
+  const TierInfo tiers = synthetic_tiers(5, 8);
+  StaticTierPolicy policy(tiers, table1_probs("fast"), 5, "fast");
+  util::Rng rng(3);
+  for (std::size_t round = 0; round < 100; ++round) {
+    EXPECT_EQ(policy.select(round, rng).tier, 0);
+  }
+}
+
+TEST(StaticTierPolicy, SlowOnlyEverPicksLastTier) {
+  const TierInfo tiers = synthetic_tiers(5, 8);
+  StaticTierPolicy policy(tiers, table1_probs("slow"), 5, "slow");
+  util::Rng rng(4);
+  for (std::size_t round = 0; round < 100; ++round) {
+    EXPECT_EQ(policy.select(round, rng).tier, 4);
+  }
+}
+
+TEST(StaticTierPolicy, UndersizedTierGetsMassRedistributed) {
+  // Tier 0 has fewer members than |C|; "fast"-leaning probabilities must
+  // shift to eligible tiers instead of failing at selection time.
+  TierInfo tiers = synthetic_tiers(3, 6);
+  tiers.members[0].resize(2);  // too small for |C| = 5
+  StaticTierPolicy policy(tiers, {0.8, 0.1, 0.1}, 5, "custom");
+  EXPECT_EQ(policy.tier_probs()[0], 0.0);
+  EXPECT_NEAR(policy.tier_probs()[1], 0.5, 1e-12);
+  EXPECT_NEAR(policy.tier_probs()[2], 0.5, 1e-12);
+  util::Rng rng(5);
+  for (std::size_t round = 0; round < 50; ++round) {
+    EXPECT_NE(policy.select(round, rng).tier, 0);
+  }
+}
+
+TEST(StaticTierPolicy, ConstructionErrors) {
+  const TierInfo tiers = synthetic_tiers(3, 4);
+  EXPECT_THROW(StaticTierPolicy(tiers, {0.5, 0.5}, 2, "bad"),
+               std::invalid_argument);  // prob count mismatch
+  EXPECT_THROW(StaticTierPolicy(tiers, {0.3, 0.3, 0.4}, 0, "bad"),
+               std::invalid_argument);  // zero per round
+  // All mass on an undersized tier -> nothing eligible.
+  TierInfo small = synthetic_tiers(2, 3);
+  EXPECT_THROW(StaticTierPolicy(small, {1.0, 0.0}, 5, "bad"),
+               std::invalid_argument);
+}
+
+TEST(StaticTierPolicy, NameIsReported) {
+  const TierInfo tiers = synthetic_tiers(5, 6);
+  StaticTierPolicy policy(tiers, table1_probs("uniform"), 3, "uniform");
+  EXPECT_EQ(policy.name(), "uniform");
+}
+
+}  // namespace
+}  // namespace tifl::core

@@ -1,0 +1,202 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace tifl::data {
+namespace {
+
+Dataset tiny_dataset() {
+  // 6 samples, 3 classes, 1x2x2 images with value = label.
+  tensor::Tensor features({6, 1, 2, 2});
+  std::vector<std::int32_t> labels{0, 1, 2, 0, 1, 2};
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      features[i * 4 + j] = static_cast<float>(labels[i]);
+    }
+  }
+  return Dataset(std::move(features), std::move(labels), 3);
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset d = tiny_dataset();
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_EQ(d.dims().channels, 1);
+  EXPECT_EQ(d.dims().height, 2);
+  EXPECT_EQ(d.dims().flat(), 4);
+  EXPECT_EQ(d.label(4), 1);
+}
+
+TEST(Dataset, ConstructorValidation) {
+  tensor::Tensor bad_rank({4, 4});
+  EXPECT_THROW(Dataset(bad_rank, {0, 0, 0, 0}, 2), std::invalid_argument);
+
+  tensor::Tensor ok({2, 1, 2, 2});
+  EXPECT_THROW(Dataset(ok, {0}, 2), std::invalid_argument);       // count
+  EXPECT_THROW(Dataset(ok, {0, 5}, 2), std::invalid_argument);    // range
+  EXPECT_THROW(Dataset(ok, {0, -1}, 2), std::invalid_argument);   // negative
+}
+
+TEST(Dataset, GatherPreservesOrderAndValues) {
+  const Dataset d = tiny_dataset();
+  const std::vector<std::size_t> indices{5, 0, 2};
+  const Dataset::Batch batch = d.gather(indices);
+  EXPECT_EQ(batch.x.shape(), (tensor::Shape{3, 1, 2, 2}));
+  EXPECT_EQ(batch.y, (std::vector<std::int32_t>{2, 0, 2}));
+  EXPECT_EQ(batch.x[0], 2.0f);   // first gathered sample has value 2
+  EXPECT_EQ(batch.x[4], 0.0f);   // second has value 0
+}
+
+TEST(Dataset, GatherOutOfRangeThrows) {
+  const Dataset d = tiny_dataset();
+  const std::vector<std::size_t> indices{99};
+  EXPECT_THROW(d.gather(indices), std::out_of_range);
+}
+
+TEST(Dataset, SubsetIsStandaloneDataset) {
+  const Dataset d = tiny_dataset();
+  const std::vector<std::size_t> indices{1, 3};
+  const Dataset s = d.subset(indices);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.num_classes(), 3);
+  EXPECT_EQ(s.label(0), 1);
+  EXPECT_EQ(s.label(1), 0);
+}
+
+TEST(Dataset, IndicesByClass) {
+  const Dataset d = tiny_dataset();
+  const auto by_class = d.indices_by_class();
+  ASSERT_EQ(by_class.size(), 3u);
+  EXPECT_EQ(by_class[0], (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(by_class[1], (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(by_class[2], (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(Dataset, ClassDistribution) {
+  const Dataset d = tiny_dataset();
+  const std::vector<std::size_t> indices{0, 1, 2, 3};
+  const auto dist = d.class_distribution(indices);
+  EXPECT_DOUBLE_EQ(dist[0], 0.5);
+  EXPECT_DOUBLE_EQ(dist[1], 0.25);
+  EXPECT_DOUBLE_EQ(dist[2], 0.25);
+}
+
+TEST(Dataset, ClassDistributionEmptyIndices) {
+  const Dataset d = tiny_dataset();
+  const auto dist = d.class_distribution(std::vector<std::size_t>{});
+  for (double v : dist) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Dataset, FeatureSkewAppliesGainAndBias) {
+  Dataset d = tiny_dataset();
+  const std::vector<std::size_t> indices{1};  // value 1 everywhere
+  d.apply_feature_skew(indices, 2.0f, 0.5f);
+  const auto batch = d.gather(indices);
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(batch.x[j], 2.5f);
+  // Other samples untouched.
+  const auto other = d.gather(std::vector<std::size_t>{4});
+  EXPECT_FLOAT_EQ(other.x[0], 1.0f);
+}
+
+// --- synthetic generator -------------------------------------------------------
+
+TEST(Synthetic, ShapesAndBalancedLabels) {
+  SyntheticSpec spec;
+  spec.classes = 5;
+  spec.dims = ImageDims{2, 6, 6};
+  spec.train_samples = 100;
+  spec.test_samples = 50;
+  const SyntheticData data = make_synthetic(spec);
+  EXPECT_EQ(data.train.size(), 100u);
+  EXPECT_EQ(data.test.size(), 50u);
+  EXPECT_EQ(data.train.dims().channels, 2);
+  // Balanced marginal: each class has exactly 20 train samples.
+  const auto by_class = data.train.indices_by_class();
+  for (const auto& pool : by_class) EXPECT_EQ(pool.size(), 20u);
+}
+
+TEST(Synthetic, DeterministicAcrossCalls) {
+  SyntheticSpec spec;
+  spec.train_samples = 40;
+  spec.test_samples = 20;
+  const SyntheticData a = make_synthetic(spec);
+  const SyntheticData b = make_synthetic(spec);
+  EXPECT_EQ(tensor::max_abs_diff(a.train.features(), b.train.features()),
+            0.0f);
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+}
+
+TEST(Synthetic, DifferentSeedsDifferentData) {
+  SyntheticSpec a_spec, b_spec;
+  a_spec.train_samples = b_spec.train_samples = 40;
+  a_spec.test_samples = b_spec.test_samples = 10;
+  b_spec.seed = a_spec.seed + 1;
+  const SyntheticData a = make_synthetic(a_spec);
+  const SyntheticData b = make_synthetic(b_spec);
+  EXPECT_GT(tensor::max_abs_diff(a.train.features(), b.train.features()),
+            0.1f);
+}
+
+TEST(Synthetic, TaskIsLearnableAndTransfersToTest) {
+  // A model trained on the synthetic train split must beat chance on the
+  // held-out split — the property every accuracy experiment rests on.
+  SyntheticSpec spec;
+  spec.classes = 4;
+  spec.dims = ImageDims{1, 6, 6};
+  spec.train_samples = 300;
+  spec.test_samples = 200;
+  spec.class_sep = 1.2f;
+  spec.noise = 0.8f;
+  const SyntheticData data = make_synthetic(spec);
+
+  nn::Sequential model = nn::mlp(spec.dims.flat(), 16, spec.classes, 7);
+  nn::RmsProp opt(0.01);
+  util::Rng rng(8);
+  std::vector<std::size_t> all(data.train.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    rng.shuffle(all);
+    for (std::size_t start = 0; start + 20 <= all.size(); start += 20) {
+      const auto batch = data.train.gather(
+          std::span<const std::size_t>(all).subspan(start, 20));
+      model.train_batch(batch.x, batch.y, opt, rng);
+    }
+  }
+  std::vector<std::size_t> test_all(data.test.size());
+  std::iota(test_all.begin(), test_all.end(), std::size_t{0});
+  const auto test_batch = data.test.gather(test_all);
+  const double acc = model.evaluate(test_batch.x, test_batch.y).accuracy;
+  EXPECT_GT(acc, 0.6) << "synthetic task should be well above 0.25 chance";
+}
+
+TEST(Synthetic, SpecPresetsScaleGeometryAndSamples) {
+  const SyntheticSpec full = cifar_like_spec(1.0);
+  EXPECT_EQ(full.dims.height, 32);
+  EXPECT_EQ(full.dims.channels, 3);
+  EXPECT_EQ(full.train_samples, 50000);
+
+  const SyntheticSpec quarter = cifar_like_spec(0.25);
+  EXPECT_EQ(quarter.dims.height, 8);
+  // Sample counts shrink as scale^1.5 (slower than pixels' scale^2).
+  EXPECT_EQ(quarter.train_samples, 6250);
+
+  const SyntheticSpec femnist = femnist_like_spec(0.5);
+  EXPECT_EQ(femnist.classes, 62);
+  EXPECT_EQ(femnist.dims.height, 14);
+}
+
+TEST(Synthetic, RejectsDegenerateClassCount) {
+  SyntheticSpec spec;
+  spec.classes = 1;
+  EXPECT_THROW(make_synthetic(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tifl::data

@@ -1,0 +1,123 @@
+#include "fl/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace tifl::fl {
+namespace {
+
+TEST(SampleWithoutReplacement, ProducesDistinctInRange) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picks = sample_without_replacement(20, 5, rng);
+    EXPECT_EQ(picks.size(), 5u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (std::size_t p : picks) EXPECT_LT(p, 20u);
+  }
+}
+
+TEST(SampleWithoutReplacement, FullPopulationIsPermutation) {
+  util::Rng rng(2);
+  auto picks = sample_without_replacement(10, 10, rng);
+  std::sort(picks.begin(), picks.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(picks[i], i);
+}
+
+TEST(SampleWithoutReplacement, CountExceedingPopulationThrows) {
+  util::Rng rng(3);
+  EXPECT_THROW(sample_without_replacement(3, 4, rng), std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacement, UniformCoverage) {
+  // Every element should be picked with probability count/n.
+  util::Rng rng(4);
+  std::vector<int> hits(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t p : sample_without_replacement(10, 3, rng)) ++hits[p];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(VanillaPolicy, SelectsRequestedCountUntiered) {
+  VanillaPolicy policy(50, 5);
+  util::Rng rng(5);
+  const Selection s = policy.select(0, rng);
+  EXPECT_EQ(s.clients.size(), 5u);
+  EXPECT_EQ(s.tier, -1);
+  EXPECT_EQ(policy.name(), "vanilla");
+}
+
+TEST(VanillaPolicy, DrawsSpanWholePopulationOverRounds) {
+  VanillaPolicy policy(20, 5);
+  util::Rng rng(6);
+  std::set<std::size_t> seen;
+  for (std::size_t r = 0; r < 50; ++r) {
+    const Selection s = policy.select(r, rng);
+    seen.insert(s.clients.begin(), s.clients.end());
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(VanillaPolicy, StragglerSelectionProbabilityMatchesEq3) {
+  // §3.2: Prs = 1 - C(K-|tau_m|, C)/C(K, C).  With K=20, slowest level of
+  // 4 clients, C=5: Prs = 1 - C(16,5)/C(20,5) ~= 0.718.  The empirical
+  // frequency of "at least one slow client selected" must match.
+  VanillaPolicy policy(20, 5);
+  util::Rng rng(7);
+  const std::set<std::size_t> slow{16, 17, 18, 19};
+  int hit = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const Selection s = policy.select(0, rng);
+    const bool any = std::any_of(s.clients.begin(), s.clients.end(),
+                                 [&slow](std::size_t c) {
+                                   return slow.count(c) != 0;
+                                 });
+    hit += any;
+  }
+  const double expected = 1.0 - (4368.0 / 15504.0);  // 1 - C(16,5)/C(20,5)
+  EXPECT_NEAR(static_cast<double>(hit) / trials, expected, 0.015);
+}
+
+TEST(VanillaPolicy, InvalidConfigThrows) {
+  EXPECT_THROW(VanillaPolicy(5, 0), std::invalid_argument);
+  EXPECT_THROW(VanillaPolicy(5, 6), std::invalid_argument);
+}
+
+TEST(OverProvisionPolicy, Selects130PercentAndAggregatesTarget) {
+  // Bonawitz et al.'s default: 30 % over-provisioning.
+  OverProvisionPolicy policy(50, 10);
+  EXPECT_EQ(policy.selected_per_round(), 13u);
+  util::Rng rng(8);
+  const Selection s = policy.select(0, rng);
+  EXPECT_EQ(s.clients.size(), 13u);
+  EXPECT_EQ(s.aggregate_count, 10u);
+  EXPECT_EQ(s.tier, -1);
+  std::set<std::size_t> unique(s.clients.begin(), s.clients.end());
+  EXPECT_EQ(unique.size(), 13u);
+}
+
+TEST(OverProvisionPolicy, FactorRoundsUpAndClampsToPopulation) {
+  OverProvisionPolicy tight(10, 9, 1.3);  // ceil(11.7) = 12 -> clamp 10
+  EXPECT_EQ(tight.selected_per_round(), 10u);
+  OverProvisionPolicy exact(100, 10, 1.0);  // no over-provisioning
+  EXPECT_EQ(exact.selected_per_round(), 10u);
+  util::Rng rng(9);
+  EXPECT_EQ(exact.select(0, rng).aggregate_count, 10u);
+}
+
+TEST(OverProvisionPolicy, InvalidConfigThrows) {
+  EXPECT_THROW(OverProvisionPolicy(50, 0), std::invalid_argument);
+  EXPECT_THROW(OverProvisionPolicy(50, 10, 0.9), std::invalid_argument);
+  EXPECT_THROW(OverProvisionPolicy(5, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tifl::fl

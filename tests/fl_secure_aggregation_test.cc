@@ -1,0 +1,128 @@
+#include "fl/secure_aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/aggregator.h"
+#include "util/rng.h"
+
+namespace tifl::fl {
+namespace {
+
+std::vector<std::vector<float>> random_updates(std::size_t clients,
+                                               std::size_t params,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> updates(clients,
+                                          std::vector<float>(params));
+  for (auto& w : updates) {
+    for (float& v : w) v = static_cast<float>(rng.normal());
+  }
+  return updates;
+}
+
+TEST(PairwiseMaskSeed, SymmetricAndRoundDependent) {
+  EXPECT_EQ(pairwise_mask_seed(7, 3, 9, 0), pairwise_mask_seed(7, 9, 3, 0));
+  EXPECT_NE(pairwise_mask_seed(7, 3, 9, 0), pairwise_mask_seed(7, 3, 9, 1));
+  EXPECT_NE(pairwise_mask_seed(7, 3, 9, 0), pairwise_mask_seed(8, 3, 9, 0));
+  EXPECT_NE(pairwise_mask_seed(7, 3, 9, 0), pairwise_mask_seed(7, 3, 8, 0));
+}
+
+TEST(SecureAggregation, MasksCancelToFedAvgResult) {
+  const std::size_t kClients = 6, kParams = 500;
+  const auto raw = random_updates(kClients, kParams, 1);
+  const std::vector<double> counts{10, 20, 30, 40, 50, 60};
+  std::vector<std::size_t> cohort{0, 1, 2, 3, 4, 5};
+
+  std::vector<MaskedUpdate> masked;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    masked.push_back(
+        mask_update(raw[c], counts[c], c, cohort, /*session=*/42,
+                    /*round=*/3));
+  }
+  const std::vector<float> secure = secure_fedavg(masked);
+
+  std::vector<WeightedUpdate> plain;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    plain.push_back(WeightedUpdate{raw[c], counts[c]});
+  }
+  const std::vector<float> expected = fedavg(plain);
+
+  ASSERT_EQ(secure.size(), expected.size());
+  for (std::size_t i = 0; i < secure.size(); ++i) {
+    // Masks are +-64-scale floats; cancellation leaves small fp residue.
+    EXPECT_NEAR(secure[i], expected[i], 2e-3f) << "param " << i;
+  }
+}
+
+TEST(SecureAggregation, IndividualUpdatesAreHidden) {
+  const std::size_t kParams = 200;
+  const auto raw = random_updates(2, kParams, 2);
+  std::vector<std::size_t> cohort{0, 1};
+  const MaskedUpdate masked =
+      mask_update(raw[0], 10.0, 0, cohort, 7, 0);
+  // The masked vector must be dominated by the mask, not the update.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < kParams; ++i) {
+    diff += std::abs(masked.masked_weights[i] - 10.0f * raw[0][i]);
+  }
+  EXPECT_GT(diff / kParams, kMaskScale / 4.0);
+}
+
+TEST(SecureAggregation, SingleClientCohortHasNoMask) {
+  const auto raw = random_updates(1, 50, 3);
+  std::vector<std::size_t> cohort{4};
+  const MaskedUpdate masked = mask_update(raw[0], 5.0, 4, cohort, 7, 0);
+  for (std::size_t i = 0; i < raw[0].size(); ++i) {
+    EXPECT_FLOAT_EQ(masked.masked_weights[i], 5.0f * raw[0][i]);
+  }
+}
+
+TEST(SecureAggregation, DifferentRoundsDifferentMasks) {
+  const auto raw = random_updates(2, 100, 4);
+  std::vector<std::size_t> cohort{0, 1};
+  const MaskedUpdate round0 = mask_update(raw[0], 1.0, 0, cohort, 7, 0);
+  const MaskedUpdate round1 = mask_update(raw[0], 1.0, 0, cohort, 7, 1);
+  EXPECT_NE(round0.masked_weights, round1.masked_weights);
+}
+
+TEST(SecureAggregation, WorksWithAnyCohortComposition) {
+  // Tiered selection hands arbitrary client-id cohorts to the protocol;
+  // the ids need not be contiguous or sorted.
+  const auto raw = random_updates(3, 64, 5);
+  std::vector<std::size_t> cohort{17, 3, 42};
+  std::vector<double> counts{5, 7, 9};
+  std::vector<MaskedUpdate> masked;
+  for (std::size_t k = 0; k < 3; ++k) {
+    masked.push_back(mask_update(raw[k], counts[k], cohort[k], cohort, 9, 2));
+  }
+  const std::vector<float> secure = secure_fedavg(masked);
+  std::vector<WeightedUpdate> plain;
+  for (std::size_t k = 0; k < 3; ++k) {
+    plain.push_back(WeightedUpdate{raw[k], counts[k]});
+  }
+  const std::vector<float> expected = fedavg(plain);
+  for (std::size_t i = 0; i < secure.size(); ++i) {
+    EXPECT_NEAR(secure[i], expected[i], 2e-3f);
+  }
+}
+
+TEST(SecureAggregation, Validation) {
+  const auto raw = random_updates(1, 10, 6);
+  std::vector<std::size_t> cohort{0, 1};
+  EXPECT_THROW(mask_update(raw[0], 0.0, 0, cohort, 7, 0),
+               std::invalid_argument);
+  EXPECT_THROW(mask_update(raw[0], 1.0, 9, cohort, 7, 0),
+               std::invalid_argument);
+  EXPECT_THROW(secure_fedavg({}), std::invalid_argument);
+  std::vector<MaskedUpdate> mismatched(2);
+  mismatched[0].masked_weights.resize(3);
+  mismatched[0].sample_count = 1;
+  mismatched[1].masked_weights.resize(4);
+  mismatched[1].sample_count = 1;
+  EXPECT_THROW(secure_fedavg(mismatched), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tifl::fl

@@ -1,0 +1,141 @@
+// GEMM kernels checked against a naive triple-loop reference across a
+// parameterized sweep of shapes, including the degenerate and prime-sized
+// cases that trip blocking/parallel-split bugs.
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tifl::tensor {
+namespace {
+
+Tensor random_matrix(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::randn({r, c}, rng);
+}
+
+Tensor reference_nn(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+using GemmShape = std::tuple<int, int, int>;  // M, K, N
+
+class GemmSweep : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmSweep, NnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  const Tensor a = random_matrix(m, k, 1);
+  const Tensor b = random_matrix(k, n, 2);
+  Tensor c({m, n});
+  gemm_nn(a, b, c);
+  EXPECT_LE(max_abs_diff(c, reference_nn(a, b)), 1e-4f);
+}
+
+TEST_P(GemmSweep, NtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  const Tensor a = random_matrix(m, k, 3);
+  const Tensor b_t = random_matrix(n, k, 4);  // stores B^T
+  Tensor c({m, n});
+  gemm_nt(a, b_t, c);
+  // Reference: multiply by explicit transpose.
+  Tensor b({k, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) b.at(j, i) = b_t.at(i, j);
+  }
+  EXPECT_LE(max_abs_diff(c, reference_nn(a, b)), 1e-4f);
+}
+
+TEST_P(GemmSweep, TnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  const Tensor a_t = random_matrix(k, m, 5);  // stores A^T
+  const Tensor b = random_matrix(k, n, 6);
+  Tensor c({m, n});
+  gemm_tn(a_t, b, c);
+  Tensor a({m, k});
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) a.at(j, i) = a_t.at(i, j);
+  }
+  EXPECT_LE(max_abs_diff(c, reference_nn(a, b)), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{1, 7, 1},
+                      GemmShape{2, 3, 4}, GemmShape{5, 5, 5},
+                      GemmShape{13, 17, 11},  // primes
+                      GemmShape{10, 64, 10},  // dense-layer shape
+                      GemmShape{64, 1, 64},   // rank-1 outer product
+                      GemmShape{1, 128, 32},  // single row
+                      GemmShape{100, 30, 70}  // larger than a row chunk
+                      ));
+
+TEST(Gemm, AccumulateAddsOntoExisting) {
+  const Tensor a = random_matrix(4, 5, 7);
+  const Tensor b = random_matrix(5, 6, 8);
+  Tensor c({4, 6}, 1.0f);
+  gemm_nn(a, b, c, /*accumulate=*/true);
+  Tensor expected = reference_nn(a, b);
+  for (std::int64_t i = 0; i < expected.numel(); ++i) expected[i] += 1.0f;
+  EXPECT_LE(max_abs_diff(c, expected), 1e-4f);
+}
+
+TEST(Gemm, OverwriteClearsExisting) {
+  const Tensor a = random_matrix(4, 5, 9);
+  const Tensor b = random_matrix(5, 6, 10);
+  Tensor c({4, 6}, 123.0f);
+  gemm_nn(a, b, c, /*accumulate=*/false);
+  EXPECT_LE(max_abs_diff(c, reference_nn(a, b)), 1e-4f);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 5}), c({2, 5});
+  EXPECT_THROW(gemm_nn(a, b, c), std::invalid_argument);
+  Tensor b2({3, 5}), c2({3, 5});
+  EXPECT_THROW(gemm_nn(a, b2, c2), std::invalid_argument);
+}
+
+TEST(Gemm, RankMismatchThrows) {
+  Tensor a({2, 3, 1}), b({3, 4}), c({2, 4});
+  EXPECT_THROW(gemm_nn(a, b, c), std::invalid_argument);
+}
+
+TEST(Gemm, ParallelResultIsDeterministic) {
+  // Same inputs, two runs: results must be bitwise identical (each output
+  // element is written by exactly one task).
+  const Tensor a = random_matrix(200, 50, 11);
+  const Tensor b = random_matrix(50, 80, 12);
+  Tensor c1({200, 80}), c2({200, 80});
+  gemm_nn(a, b, c1);
+  gemm_nn(a, b, c2);
+  EXPECT_EQ(max_abs_diff(c1, c2), 0.0f);
+}
+
+TEST(Gemm, NtNnConsistency) {
+  // A*B via nn must equal A*(B^T)^T via nt.
+  const Tensor a = random_matrix(6, 7, 13);
+  const Tensor b = random_matrix(7, 8, 14);
+  Tensor b_t({8, 7});
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) b_t.at(j, i) = b.at(i, j);
+  }
+  Tensor c_nn({6, 8}), c_nt({6, 8});
+  gemm_nn(a, b, c_nn);
+  gemm_nt(a, b_t, c_nt);
+  EXPECT_LE(max_abs_diff(c_nn, c_nt), 1e-4f);
+}
+
+}  // namespace
+}  // namespace tifl::tensor

@@ -1,0 +1,123 @@
+#include "tensor/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tifl::tensor {
+namespace {
+
+TEST(ConvGeometry, OutputSizes) {
+  ConvGeometry g{.channels = 3, .height = 8, .width = 8, .kernel_h = 3,
+                 .kernel_w = 3, .stride = 1, .pad = 0};
+  EXPECT_EQ(g.out_h(), 6);
+  EXPECT_EQ(g.out_w(), 6);
+  EXPECT_EQ(g.col_rows(), 27);
+  EXPECT_EQ(g.col_cols(), 36);
+
+  g.pad = 1;  // same padding
+  EXPECT_EQ(g.out_h(), 8);
+
+  g.stride = 2;
+  g.pad = 0;
+  EXPECT_EQ(g.out_h(), 3);
+}
+
+TEST(Im2Col, IdentityKernelExtractsPixels) {
+  // 1x1 kernel: columns are exactly the flattened image.
+  ConvGeometry g{.channels = 1, .height = 3, .width = 3, .kernel_h = 1,
+                 .kernel_w = 1, .stride = 1, .pad = 0};
+  const std::vector<float> image{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> columns(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(image.data(), g, columns.data());
+  EXPECT_EQ(columns, image);
+}
+
+TEST(Im2Col, KnownPatchExtraction) {
+  // 2x2 image, 2x2 kernel, no pad: a single column = whole image.
+  ConvGeometry g{.channels = 1, .height = 2, .width = 2, .kernel_h = 2,
+                 .kernel_w = 2, .stride = 1, .pad = 0};
+  const std::vector<float> image{1, 2, 3, 4};
+  std::vector<float> columns(4);
+  im2col(image.data(), g, columns.data());
+  EXPECT_EQ(columns, (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(Im2Col, ZeroPaddingFillsBorder) {
+  // 1x1 image, 3x3 kernel, pad 1: only the center entry is the pixel.
+  ConvGeometry g{.channels = 1, .height = 1, .width = 1, .kernel_h = 3,
+                 .kernel_w = 3, .stride = 1, .pad = 1};
+  const std::vector<float> image{5.0f};
+  std::vector<float> columns(9, -1.0f);
+  im2col(image.data(), g, columns.data());
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_EQ(columns[r], r == 4 ? 5.0f : 0.0f) << "kernel slot " << r;
+  }
+}
+
+TEST(Im2Col, MultiChannelRowsStackByChannel) {
+  ConvGeometry g{.channels = 2, .height = 2, .width = 2, .kernel_h = 1,
+                 .kernel_w = 1, .stride = 1, .pad = 0};
+  const std::vector<float> image{1, 2, 3, 4, 10, 20, 30, 40};
+  std::vector<float> columns(8);
+  im2col(image.data(), g, columns.data());
+  // Row 0 = channel 0, row 1 = channel 1.
+  EXPECT_EQ(columns, (std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40}));
+}
+
+TEST(Im2Col, StrideSkipsPositions) {
+  ConvGeometry g{.channels = 1, .height = 4, .width = 4, .kernel_h = 2,
+                 .kernel_w = 2, .stride = 2, .pad = 0};
+  std::vector<float> image(16);
+  for (int i = 0; i < 16; ++i) image[i] = static_cast<float>(i);
+  std::vector<float> columns(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(image.data(), g, columns.data());
+  // First row of columns = top-left pixel of each 2x2 window: 0, 2, 8, 10.
+  EXPECT_EQ(columns[0], 0.0f);
+  EXPECT_EQ(columns[1], 2.0f);
+  EXPECT_EQ(columns[2], 8.0f);
+  EXPECT_EQ(columns[3], 10.0f);
+}
+
+TEST(Col2Im, AdjointOfIm2Col) {
+  // col2im is the transpose of im2col as a linear map, so
+  // <im2col(x), y> == <x, col2im(y)> for all x, y — the property conv
+  // backward relies on.
+  util::Rng rng(5);
+  ConvGeometry g{.channels = 2, .height = 5, .width = 6, .kernel_h = 3,
+                 .kernel_w = 3, .stride = 1, .pad = 1};
+  const std::size_t image_size = static_cast<std::size_t>(g.channels * g.height * g.width);
+  const std::size_t col_size = static_cast<std::size_t>(g.col_rows() * g.col_cols());
+
+  std::vector<float> x(image_size), y(col_size);
+  for (float& v : x) v = static_cast<float>(rng.normal());
+  for (float& v : y) v = static_cast<float>(rng.normal());
+
+  std::vector<float> ax(col_size);
+  im2col(x.data(), g, ax.data());
+  std::vector<float> aty(image_size, 0.0f);
+  col2im(y.data(), g, aty.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_size; ++i) lhs += static_cast<double>(ax[i]) * y[i];
+  for (std::size_t i = 0; i < image_size; ++i) rhs += static_cast<double>(x[i]) * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-3);
+}
+
+TEST(Col2Im, AccumulatesOverlappingWindows) {
+  // 3x3 image, 2x2 kernel stride 1: center-adjacent pixels appear in
+  // multiple windows; all-ones columns scatter window multiplicities.
+  ConvGeometry g{.channels = 1, .height = 3, .width = 3, .kernel_h = 2,
+                 .kernel_w = 2, .stride = 1, .pad = 0};
+  std::vector<float> columns(static_cast<std::size_t>(g.col_rows() * g.col_cols()), 1.0f);
+  std::vector<float> image(9, 0.0f);
+  col2im(columns.data(), g, image.data());
+  // Multiplicity map for 2x2 windows over 3x3: corners 1, edges 2, center 4.
+  const std::vector<float> expected{1, 2, 1, 2, 4, 2, 1, 2, 1};
+  EXPECT_EQ(image, expected);
+}
+
+}  // namespace
+}  // namespace tifl::tensor

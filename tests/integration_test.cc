@@ -1,0 +1,266 @@
+// End-to-end tests over the whole stack: synthetic data -> partition ->
+// clients -> profiling -> tiering -> engine -> policies.  These assert
+// the *qualitative* paper results at miniature scale: tiered selection
+// cuts training time without destroying accuracy, and the adaptive policy
+// balances both.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "test_helpers.h"
+
+namespace tifl::core {
+namespace {
+
+using testing::tiny_engine_config;
+using testing::tiny_factory;
+using testing::tiny_federation;
+using testing::TinyFederation;
+
+SystemConfig tiny_system_config(std::size_t rounds = 20,
+                                std::size_t clients_per_round = 3) {
+  SystemConfig config;
+  config.num_tiers = 5;
+  config.clients_per_round = clients_per_round;
+  config.engine = tiny_engine_config(rounds);
+  config.profiler.tmax = 1e6;
+  return config;
+}
+
+TEST(TiflSystem, ProfilesAndTiersOnConstruction) {
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  EXPECT_EQ(system.tiers().tier_count(), 5u);
+  EXPECT_EQ(system.tier_sizes(), (std::vector<std::size_t>{4, 4, 4, 4, 4}));
+  EXPECT_EQ(system.profile().dropout_count(), 0u);
+  EXPECT_GT(system.profile().profiling_time, 0.0);
+}
+
+TEST(TiflSystem, FastBeatsUniformBeatsSlowOnTrainingTime) {
+  // The core Fig. 3a ordering: selecting faster tiers shortens rounds.
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(12), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  auto fast = system.make_static("fast");
+  auto uniform = system.make_static("uniform");
+  auto slow = system.make_static("slow");
+  const double fast_time = system.run(*fast).total_time();
+  const double uniform_time = system.run(*uniform).total_time();
+  const double slow_time = system.run(*slow).total_time();
+  EXPECT_LT(fast_time, uniform_time);
+  EXPECT_LT(uniform_time, slow_time);
+}
+
+TEST(TiflSystem, TieredUniformBeatsVanillaOnTrainingTime) {
+  // Fig. 3a's second claim: even uniform tier selection beats vanilla
+  // because rounds never mix fast and slow clients (Eq. 1).
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(15), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  auto uniform = system.make_static("uniform");
+  auto vanilla = system.make_vanilla();
+  const double uniform_time = system.run(*uniform).total_time();
+  const double vanilla_time = system.run(*vanilla).total_time();
+  EXPECT_LT(uniform_time, vanilla_time);
+}
+
+TEST(TiflSystem, AllPoliciesLearnAboveChance) {
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(20, 3), tiny_factory(),
+                    &fed.data.test, fed.clients, fed.latency);
+  for (const char* name : {"uniform", "random", "fast"}) {
+    auto policy = system.make_static(name);
+    const fl::RunResult result = system.run(*policy);
+    EXPECT_GT(result.final_accuracy(), 0.45) << name;  // chance = 0.25
+  }
+  auto vanilla = system.make_vanilla();
+  EXPECT_GT(system.run(*vanilla).final_accuracy(), 0.45);
+}
+
+TEST(TiflSystem, AdaptivePolicyRunsSelectsMultipleTiersAndLearns) {
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(25, 3), tiny_factory(),
+                    &fed.data.test, fed.clients, fed.latency);
+  AdaptiveConfig adaptive;
+  adaptive.interval = 5;
+  auto policy = system.make_adaptive(adaptive);
+  const fl::RunResult result = system.run(*policy);
+  EXPECT_EQ(result.policy_name, "adaptive");
+  EXPECT_GT(result.final_accuracy(), 0.45);
+  std::set<int> tiers_used;
+  for (const auto& round : result.rounds) tiers_used.insert(round.selected_tier);
+  EXPECT_GE(tiers_used.size(), 2u);
+}
+
+TEST(TiflSystem, AdaptiveFasterThanVanillaComparableAccuracy) {
+  // Fig. 7's "Combine" headline at miniature scale: adaptive cuts time vs
+  // vanilla without losing much accuracy.
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(25, 3), tiny_factory(),
+                    &fed.data.test, fed.clients, fed.latency);
+  auto adaptive = system.make_adaptive();
+  auto vanilla = system.make_vanilla();
+  const fl::RunResult a = system.run(*adaptive);
+  const fl::RunResult v = system.run(*vanilla);
+  EXPECT_LT(a.total_time(), v.total_time());
+  EXPECT_GT(a.final_accuracy(), v.final_accuracy() - 0.15);
+}
+
+TEST(TiflSystem, DropoutClientsAreExcludedFromTiers) {
+  TinyFederation fed = tiny_federation(20);
+  fed.clients[7].resource().unavailable = true;
+  TiflSystem system(tiny_system_config(), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  EXPECT_EQ(system.profile().dropout_count(), 1u);
+  ASSERT_EQ(system.tiers().dropouts.size(), 1u);
+  EXPECT_EQ(system.tiers().dropouts[0], 7u);
+  // No tier contains client 7, so no policy can ever select it.
+  EXPECT_EQ(system.tiers().tier_of(7), system.tiers().tier_count());
+}
+
+TEST(TiflSystem, TierEvalSetsMatchTierMembership) {
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  const auto sets = build_tier_eval_sets(system.tiers(),
+                                         system.engine().clients(),
+                                         fed.data.test);
+  ASSERT_EQ(sets.size(), 5u);
+  for (std::size_t t = 0; t < 5; ++t) {
+    std::size_t expected = 0;
+    for (std::size_t id : system.tiers().members[t]) {
+      expected += system.engine().clients()[id].test_indices().size();
+    }
+    EXPECT_EQ(sets[t].size(), expected) << "tier " << t;
+  }
+}
+
+TEST(TiflSystem, EstimateTimeTracksActualUniformRun) {
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(30), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  auto uniform = system.make_static("uniform");
+  const double actual = system.run(*uniform).total_time();
+  const double estimated = system.estimate_time("uniform");
+  EXPECT_LT(estimation_mape(estimated, actual), 10.0);
+}
+
+TEST(TiflSystem, FullRunIsDeterministic) {
+  TinyFederation fed = tiny_federation(20);
+  auto run_once = [&fed]() {
+    TiflSystem system(tiny_system_config(8, 3), tiny_factory(),
+                      &fed.data.test, fed.clients, fed.latency);
+    auto policy = system.make_adaptive();
+    return system.run(*policy);
+  };
+  const fl::RunResult a = run_once();
+  const fl::RunResult b = run_once();
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].selected_clients, b.rounds[r].selected_clients);
+    EXPECT_DOUBLE_EQ(a.rounds[r].global_accuracy,
+                     b.rounds[r].global_accuracy);
+  }
+}
+
+TEST(TiflSystem, ReprofilingTracksResourceDrift) {
+  // §4.2: periodic re-profiling regroups clients whose performance
+  // changed.  Degrade a fastest-tier client to the slowest CPU share and
+  // verify the refreshed tiering moves it to the slowest tier.
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  const std::size_t fast_client = system.tiers().members[0][0];
+  EXPECT_EQ(system.tiers().tier_of(fast_client), 0u);
+
+  system.client(fast_client).resource().cpus = 0.01;  // thermal throttling
+  const double cost = system.reprofile(99);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_EQ(system.tiers().tier_of(fast_client),
+            system.tiers().tier_count() - 1);
+
+  // A policy built from the refreshed tiers never mixes the degraded
+  // client into the fastest tier.
+  auto fast = system.make_static("fast");
+  util::Rng rng(1);
+  for (std::size_t round = 0; round < 30; ++round) {
+    const fl::Selection s = fast->select(round, rng);
+    for (std::size_t c : s.clients) EXPECT_NE(c, fast_client);
+  }
+}
+
+TEST(TiflSystem, ReprofilingPicksUpRecoveredDropout) {
+  TinyFederation fed = tiny_federation(20);
+  fed.clients[5].resource().unavailable = true;
+  TiflSystem system(tiny_system_config(), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  EXPECT_EQ(system.profile().dropout_count(), 1u);
+
+  system.client(5).resource().unavailable = false;  // device came back
+  system.reprofile(100);
+  EXPECT_EQ(system.profile().dropout_count(), 0u);
+  EXPECT_LT(system.tiers().tier_of(5), system.tiers().tier_count());
+}
+
+TEST(TiflSystem, DpEnabledFederationStillLearns) {
+  TinyFederation fed = tiny_federation(20);
+  SystemConfig config = tiny_system_config(20, 3);
+  config.engine.local.dp_clip_norm = 5.0;
+  config.engine.local.dp_noise_sigma = 1e-4;
+  TiflSystem system(config, tiny_factory(), &fed.data.test, fed.clients,
+                    fed.latency);
+  auto policy = system.make_static("uniform");
+  const fl::RunResult result = system.run(*policy);
+  EXPECT_GT(result.final_accuracy(), 0.4);  // chance = 0.25
+}
+
+TEST(TiflSystem, HierarchicalAggregationEndToEnd) {
+  TinyFederation fed = tiny_federation(20);
+  SystemConfig flat_config = tiny_system_config(8, 3);
+  SystemConfig tree_config = flat_config;
+  tree_config.engine.hierarchical_aggregation = true;
+  tree_config.engine.aggregator_fanout = 3;
+  TiflSystem flat(flat_config, tiny_factory(), &fed.data.test, fed.clients,
+                  fed.latency);
+  TiflSystem tree(tree_config, tiny_factory(), &fed.data.test, fed.clients,
+                  fed.latency);
+  auto p1 = flat.make_static("uniform");
+  auto p2 = tree.make_static("uniform");
+  const fl::RunResult r1 = flat.run(*p1);
+  const fl::RunResult r2 = tree.run(*p2);
+  for (std::size_t i = 0; i < r1.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.rounds[i].global_accuracy,
+                     r2.rounds[i].global_accuracy);
+  }
+}
+
+TEST(TiflSystem, NonIidDataHurtsVanillaAccuracy) {
+  // Fig. 1b's qualitative claim: fewer classes per client -> lower
+  // accuracy after the same number of rounds.
+  util::Rng rng(3);
+  data::SyntheticData data = testing::tiny_data(11, 800, 300);
+
+  auto run_with_partition = [&](const data::Partition& partition) {
+    util::Rng wiring(5);
+    const auto shards = data::matched_test_indices(data.train, partition,
+                                                   data.test, wiring);
+    const auto resources = sim::assign_equal_groups(
+        20, sim::homogeneous_cpu_groups(), 0.0, 0.0, wiring);
+    auto clients =
+        fl::make_clients(&data.train, partition, shards, resources);
+    fl::Engine engine(tiny_engine_config(25), tiny_factory(), clients,
+                      &data.test, sim::LatencyModel{{0.01, 1.0}});
+    fl::VanillaPolicy policy(clients.size(), 5);
+    return engine.run(policy).final_accuracy();
+  };
+
+  const double iid_acc =
+      run_with_partition(data::partition_iid(data.train, 20, rng));
+  const double noniid1_acc = run_with_partition(
+      data::partition_classes(data.train, 20, 1, rng));
+  // IID should clearly beat 1-class-per-client at equal rounds.
+  EXPECT_GT(iid_acc, noniid1_acc);
+}
+
+}  // namespace
+}  // namespace tifl::core

@@ -1,0 +1,359 @@
+// Layer-level correctness: every trainable layer passes a central
+// finite-difference gradient check on both its input gradient and its
+// parameter gradients, across a parameterized sweep of shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tifl::nn {
+namespace {
+
+using tensor::Tensor;
+
+// L(x) = <proj, layer(x)>: a fixed random projection turns the layer into
+// a scalar function we can differentiate numerically.
+double projected_output(Layer& layer, const Tensor& x, const Tensor& proj,
+                        util::Rng& rng) {
+  PassContext ctx{.training = true, .rng = &rng};
+  const Tensor y = layer.forward(x, ctx);
+  double s = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    s += static_cast<double>(y[i]) * proj[i];
+  }
+  return s;
+}
+
+struct GradCheckResult {
+  double max_rel_error_input = 0.0;
+  double max_rel_error_params = 0.0;
+};
+
+// Central differences with relative error against analytic gradients.
+GradCheckResult grad_check(Layer& layer, Tensor x, std::uint64_t seed,
+                           double h = 1e-2) {
+  util::Rng rng(seed);
+  PassContext ctx{.training = true, .rng = &rng};
+  Tensor y = layer.forward(x, ctx);
+  util::Rng proj_rng(seed + 1);
+  const Tensor proj = Tensor::randn(y.shape(), proj_rng);
+
+  layer.zero_grads();
+  const Tensor dx = layer.backward(proj);
+
+  GradCheckResult result;
+  auto rel_err = [](double analytic, double numeric) {
+    const double denom =
+        std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+    return std::abs(analytic - numeric) / denom;
+  };
+
+  // Input gradient: probe a bounded number of coordinates.
+  const std::int64_t stride = std::max<std::int64_t>(1, x.numel() / 24);
+  for (std::int64_t i = 0; i < x.numel(); i += stride) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(h);
+    util::Rng r1(seed);
+    const double fp = projected_output(layer, x, proj, r1);
+    x[i] = saved - static_cast<float>(h);
+    util::Rng r2(seed);
+    const double fm = projected_output(layer, x, proj, r2);
+    x[i] = saved;
+    const double numeric = (fp - fm) / (2.0 * h);
+    result.max_rel_error_input =
+        std::max(result.max_rel_error_input, rel_err(dx[i], numeric));
+  }
+
+  // Parameter gradients.
+  const auto params = layer.params();
+  const auto grads = layer.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& w = *params[p];
+    const Tensor& g = *grads[p];
+    const std::int64_t pstride = std::max<std::int64_t>(1, w.numel() / 24);
+    for (std::int64_t i = 0; i < w.numel(); i += pstride) {
+      const float saved = w[i];
+      w[i] = saved + static_cast<float>(h);
+      util::Rng r1(seed);
+      const double fp = projected_output(layer, x, proj, r1);
+      w[i] = saved - static_cast<float>(h);
+      util::Rng r2(seed);
+      const double fm = projected_output(layer, x, proj, r2);
+      w[i] = saved;
+      const double numeric = (fp - fm) / (2.0 * h);
+      result.max_rel_error_params =
+          std::max(result.max_rel_error_params, rel_err(g[i], numeric));
+    }
+  }
+  return result;
+}
+
+constexpr double kTol = 5e-2;  // float32 forward + h=1e-2 central diff
+
+// --- Dense -------------------------------------------------------------------
+
+struct DenseShape {
+  int batch, in, out;
+};
+
+class DenseGradSweep : public ::testing::TestWithParam<DenseShape> {};
+
+TEST_P(DenseGradSweep, PassesGradientCheck) {
+  const auto [batch, in, out] = GetParam();
+  util::Rng rng(77);
+  Dense layer(in, out, rng);
+  Tensor x = Tensor::randn({batch, in}, rng);
+  const GradCheckResult r = grad_check(layer, std::move(x), 101);
+  EXPECT_LT(r.max_rel_error_input, kTol);
+  EXPECT_LT(r.max_rel_error_params, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DenseGradSweep,
+                         ::testing::Values(DenseShape{1, 1, 1},
+                                           DenseShape{2, 3, 4},
+                                           DenseShape{5, 8, 3},
+                                           DenseShape{10, 16, 10},
+                                           DenseShape{3, 32, 2}));
+
+TEST(Dense, ForwardMatchesManualAffine) {
+  util::Rng rng(1);
+  Dense layer(2, 2, rng);
+  // Overwrite parameters with known values.
+  auto params = layer.params();
+  *params[0] = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});  // W
+  *params[1] = Tensor({2}, std::vector<float>{10, 20});         // b
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  PassContext ctx{.training = false};
+  const Tensor y = layer.forward(x, ctx);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 * 1 + 1 * 3 + 10);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 1 * 2 + 1 * 4 + 20);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  util::Rng rng(1);
+  Dense layer(4, 2, rng);
+  PassContext ctx{};
+  Tensor x({1, 3});
+  EXPECT_THROW(layer.forward(x, ctx), std::invalid_argument);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  util::Rng rng(1);
+  Dense layer(2, 2, rng);
+  Tensor dy({1, 2});
+  EXPECT_THROW(layer.backward(dy), std::logic_error);
+}
+
+TEST(Dense, GradsAccumulateAcrossBackwardCalls) {
+  util::Rng rng(2);
+  Dense layer(3, 2, rng);
+  PassContext ctx{.training = true, .rng = &rng};
+  Tensor x = Tensor::randn({2, 3}, rng);
+  Tensor dy({2, 2}, 1.0f);
+  layer.zero_grads();
+  layer.forward(x, ctx);
+  layer.backward(dy);
+  const Tensor once = *layer.grads()[0];
+  layer.forward(x, ctx);
+  layer.backward(dy);
+  const Tensor twice = *layer.grads()[0];
+  for (std::int64_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-5f);
+  }
+}
+
+// --- Conv2D ------------------------------------------------------------------
+
+struct ConvShape {
+  int batch, in_ch, out_ch, hw, kernel;
+  bool same_pad;
+};
+
+class ConvGradSweep : public ::testing::TestWithParam<ConvShape> {};
+
+TEST_P(ConvGradSweep, PassesGradientCheck) {
+  const auto p = GetParam();
+  util::Rng rng(88);
+  Conv2D layer(p.in_ch, p.out_ch, p.kernel, rng, 1, p.same_pad);
+  Tensor x = Tensor::randn({p.batch, p.in_ch, p.hw, p.hw}, rng);
+  const GradCheckResult r = grad_check(layer, std::move(x), 202);
+  EXPECT_LT(r.max_rel_error_input, kTol);
+  EXPECT_LT(r.max_rel_error_params, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvGradSweep,
+                         ::testing::Values(ConvShape{1, 1, 1, 4, 3, false},
+                                           ConvShape{2, 2, 3, 5, 3, false},
+                                           ConvShape{1, 3, 2, 6, 3, true},
+                                           ConvShape{2, 1, 4, 5, 5, true},
+                                           ConvShape{3, 2, 2, 4, 1, false}));
+
+TEST(Conv2D, KnownAverageKernel) {
+  util::Rng rng(1);
+  Conv2D layer(1, 1, 2, rng);
+  auto params = layer.params();
+  params[0]->fill(0.25f);  // 2x2 mean filter
+  params[1]->fill(0.0f);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  PassContext ctx{};
+  const Tensor y = layer.forward(x, ctx);
+  ASSERT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(Conv2D, SamePaddingPreservesSpatialSize) {
+  util::Rng rng(2);
+  Conv2D layer(3, 8, 3, rng, 1, /*same_pad=*/true);
+  Tensor x = Tensor::randn({2, 3, 7, 9}, rng);
+  PassContext ctx{};
+  const Tensor y = layer.forward(x, ctx);
+  EXPECT_EQ(y.dim(2), 7);
+  EXPECT_EQ(y.dim(3), 9);
+  EXPECT_EQ(y.dim(1), 8);
+}
+
+TEST(Conv2D, RejectsWrongChannelCount) {
+  util::Rng rng(3);
+  Conv2D layer(3, 4, 3, rng);
+  PassContext ctx{};
+  Tensor x({1, 2, 5, 5});
+  EXPECT_THROW(layer.forward(x, ctx), std::invalid_argument);
+}
+
+// --- MaxPool2D -----------------------------------------------------------------
+
+TEST(MaxPool2D, ForwardPicksWindowMaxima) {
+  MaxPool2D pool(2);
+  Tensor x({1, 1, 4, 4},
+           std::vector<float>{1, 2, 3, 4,
+                              5, 6, 7, 8,
+                              9, 10, 11, 12,
+                              13, 14, 15, 16});
+  PassContext ctx{};
+  const Tensor y = pool.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 8.0f);
+  EXPECT_FLOAT_EQ(y[2], 14.0f);
+  EXPECT_FLOAT_EQ(y[3], 16.0f);
+}
+
+TEST(MaxPool2D, BackwardRoutesGradientToArgmax) {
+  MaxPool2D pool(2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 4});
+  util::Rng rng(1);
+  PassContext ctx{.training = true, .rng = &rng};
+  pool.forward(x, ctx);
+  Tensor dy({1, 1, 1, 1}, std::vector<float>{5.0f});
+  const Tensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 5.0f);  // position of the 9
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+  EXPECT_FLOAT_EQ(dx[3], 0.0f);
+}
+
+TEST(MaxPool2D, GradCheck) {
+  util::Rng rng(9);
+  MaxPool2D pool(2);
+  // Distinct values so the argmax is stable under the probe step.
+  Tensor x({2, 2, 4, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(i % 13) + 0.1f * static_cast<float>(i);
+  }
+  const GradCheckResult r = grad_check(pool, std::move(x), 303, 1e-3);
+  EXPECT_LT(r.max_rel_error_input, kTol);
+}
+
+TEST(MaxPool2D, WindowLargerThanInputThrows) {
+  MaxPool2D pool(8);
+  PassContext ctx{};
+  Tensor x({1, 1, 4, 4});
+  EXPECT_THROW(pool.forward(x, ctx), std::invalid_argument);
+}
+
+// --- ReLU / Flatten / Dropout --------------------------------------------------
+
+TEST(ReLULayer, GradCheck) {
+  ReLU relu;
+  util::Rng rng(4);
+  // Keep activations away from the kink for a clean finite difference.
+  Tensor x = Tensor::randn({3, 10}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::abs(x[i]) < 0.05f) x[i] = 0.2f;
+  }
+  const GradCheckResult r = grad_check(relu, std::move(x), 404, 1e-3);
+  EXPECT_LT(r.max_rel_error_input, kTol);
+}
+
+TEST(FlattenLayer, RoundTripsShape) {
+  Flatten flatten;
+  util::Rng rng(5);
+  PassContext ctx{.training = true, .rng = &rng};
+  Tensor x = Tensor::randn({2, 3, 4, 5}, rng);
+  const Tensor y = flatten.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 60}));
+  const Tensor dx = flatten.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+  EXPECT_EQ(tensor::max_abs_diff(dx, x), 0.0f);
+}
+
+TEST(DropoutLayer, InferenceIsIdentity) {
+  Dropout dropout(0.5f);
+  util::Rng rng(6);
+  Tensor x = Tensor::randn({4, 8}, rng);
+  PassContext ctx{.training = false};
+  const Tensor y = dropout.forward(x, ctx);
+  EXPECT_EQ(tensor::max_abs_diff(y, x), 0.0f);
+}
+
+TEST(DropoutLayer, TrainingZeroesApproxRateAndRescales) {
+  Dropout dropout(0.25f);
+  util::Rng rng(7);
+  Tensor x({1, 10000}, 1.0f);
+  PassContext ctx{.training = true, .rng = &rng};
+  const Tensor y = dropout.forward(x, ctx);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0f / 0.75f, 1e-5f);  // inverted dropout scale
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()),
+              0.25, 0.02);
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+  Dropout dropout(0.5f);
+  util::Rng rng(8);
+  Tensor x({1, 1000}, 1.0f);
+  PassContext ctx{.training = true, .rng = &rng};
+  const Tensor y = dropout.forward(x, ctx);
+  Tensor dy({1, 1000}, 1.0f);
+  const Tensor dx = dropout.backward(dy);
+  EXPECT_EQ(tensor::max_abs_diff(dx, y), 0.0f);  // identical masking
+}
+
+TEST(DropoutLayer, TrainingWithoutRngThrows) {
+  Dropout dropout(0.5f);
+  Tensor x({1, 4});
+  PassContext ctx{.training = true, .rng = nullptr};
+  EXPECT_THROW(dropout.forward(x, ctx), std::invalid_argument);
+}
+
+TEST(DropoutLayer, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+  EXPECT_NO_THROW(Dropout(0.0f));
+}
+
+}  // namespace
+}  // namespace tifl::nn

@@ -1,0 +1,151 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tifl::tensor {
+namespace {
+
+TEST(Ops, AxpyAddsScaled) {
+  Tensor x({3}, std::vector<float>{1, 2, 3});
+  Tensor y({3}, std::vector<float>{10, 20, 30});
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y[0], 12.0f);
+  EXPECT_EQ(y[1], 24.0f);
+  EXPECT_EQ(y[2], 36.0f);
+}
+
+TEST(Ops, AxpyShapeMismatchThrows) {
+  Tensor x({3}), y({4});
+  EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+}
+
+TEST(Ops, Scale) {
+  Tensor y({2}, std::vector<float>{3, -4});
+  scale(y, 0.5f);
+  EXPECT_EQ(y[0], 1.5f);
+  EXPECT_EQ(y[1], -2.0f);
+}
+
+TEST(Ops, AddElementwise) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b({2}, std::vector<float>{10, 20});
+  Tensor out({2});
+  add(a, b, out);
+  EXPECT_EQ(out[0], 11.0f);
+  EXPECT_EQ(out[1], 22.0f);
+}
+
+TEST(Ops, AddRowBias) {
+  Tensor m({2, 3}, std::vector<float>{0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, std::vector<float>{10, 20, 30});
+  add_row_bias(m, bias);
+  EXPECT_EQ(m.at(0, 0), 10.0f);
+  EXPECT_EQ(m.at(0, 2), 30.0f);
+  EXPECT_EQ(m.at(1, 1), 21.0f);
+}
+
+TEST(Ops, AddRowBiasShapeCheck) {
+  Tensor m({2, 3});
+  Tensor bias({2});
+  EXPECT_THROW(add_row_bias(m, bias), std::invalid_argument);
+}
+
+TEST(Ops, ReluForwardClampsNegatives) {
+  Tensor x({4}, std::vector<float>{-1, 0, 2, -3});
+  Tensor y({4});
+  relu_forward(x, y);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(Ops, ReluForwardInPlace) {
+  Tensor x({2}, std::vector<float>{-5, 5});
+  relu_forward(x, x);
+  EXPECT_EQ(x[0], 0.0f);
+  EXPECT_EQ(x[1], 5.0f);
+}
+
+TEST(Ops, ReluBackwardMasksByInput) {
+  Tensor x({4}, std::vector<float>{-1, 0.5f, 2, -3});
+  Tensor dy({4}, std::vector<float>{10, 10, 10, 10});
+  Tensor dx({4});
+  relu_backward(x, dy, dx);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[1], 10.0f);
+  EXPECT_EQ(dx[2], 10.0f);
+  EXPECT_EQ(dx[3], 0.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  util::Rng rng(1);
+  Tensor logits = Tensor::randn({7, 11}, rng, 3.0f);
+  Tensor probs(logits.shape());
+  softmax_rows(logits, probs);
+  for (std::int64_t r = 0; r < 7; ++r) {
+    float total = 0.0f;
+    for (std::int64_t c = 0; c < 11; ++c) {
+      EXPECT_GT(probs.at(r, c), 0.0f);
+      total += probs.at(r, c);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxIsShiftInvariant) {
+  Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+  Tensor pa({1, 3}), pb({1, 3});
+  softmax_rows(a, pa);
+  softmax_rows(b, pb);
+  EXPECT_LE(max_abs_diff(pa, pb), 1e-6f);
+}
+
+TEST(Ops, SoftmaxHandlesExtremeLogitsWithoutOverflow) {
+  Tensor a({1, 2}, std::vector<float>{1000.0f, -1000.0f});
+  Tensor p({1, 2});
+  softmax_rows(a, p);
+  EXPECT_NEAR(p[0], 1.0f, 1e-6f);
+  EXPECT_TRUE(std::isfinite(p[1]));
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor m({2, 3}, std::vector<float>{1, 5, 2, 9, 0, 3});
+  const auto idx = argmax_rows(m);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, ArgmaxTakesFirstOnTies) {
+  Tensor m({1, 3}, std::vector<float>{7, 7, 7});
+  EXPECT_EQ(argmax_rows(m)[0], 0);
+}
+
+TEST(Ops, ColumnSums) {
+  Tensor m({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor out({3});
+  column_sums(m, out);
+  EXPECT_EQ(out[0], 5.0f);
+  EXPECT_EQ(out[1], 7.0f);
+  EXPECT_EQ(out[2], 9.0f);
+}
+
+TEST(Ops, SquaredNorm) {
+  Tensor t({3}, std::vector<float>{1, 2, 2});
+  EXPECT_DOUBLE_EQ(squared_norm(t), 9.0);
+}
+
+TEST(Ops, MaxAbsDiff) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{1, 2.5f, 2});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+  EXPECT_EQ(max_abs_diff(a, a), 0.0f);
+}
+
+}  // namespace
+}  // namespace tifl::tensor

@@ -1,0 +1,376 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace tifl::data {
+namespace {
+
+SyntheticData partition_data(std::int64_t classes = 10,
+                             std::int64_t train = 1000) {
+  SyntheticSpec spec;
+  spec.classes = classes;
+  spec.dims = ImageDims{1, 4, 4};
+  spec.train_samples = train;
+  spec.test_samples = train / 2;
+  return make_synthetic(spec);
+}
+
+std::size_t total_assigned(const Partition& p) {
+  std::size_t n = 0;
+  for (const auto& shard : p) n += shard.size();
+  return n;
+}
+
+std::set<std::int32_t> classes_of(const Dataset& d,
+                                  const std::vector<std::size_t>& shard) {
+  std::set<std::int32_t> out;
+  for (std::size_t idx : shard) out.insert(d.label(idx));
+  return out;
+}
+
+// --- IID -----------------------------------------------------------------------
+
+TEST(PartitionIid, DisjointFullCoverageNearEqualSizes) {
+  const SyntheticData data = partition_data();
+  util::Rng rng(1);
+  const Partition p = partition_iid(data.train, 7, rng);
+  EXPECT_EQ(p.size(), 7u);
+  EXPECT_TRUE(is_disjoint_partition(p, data.train.size()));
+  EXPECT_EQ(total_assigned(p), data.train.size());
+  for (const auto& shard : p) {
+    EXPECT_NEAR(static_cast<double>(shard.size()), 1000.0 / 7.0, 1.0);
+  }
+}
+
+TEST(PartitionIid, ShardsContainAllClasses) {
+  const SyntheticData data = partition_data();
+  util::Rng rng(2);
+  const Partition p = partition_iid(data.train, 5, rng);
+  for (const auto& shard : p) {
+    EXPECT_EQ(classes_of(data.train, shard).size(), 10u);
+  }
+}
+
+TEST(PartitionIid, ZeroClientsThrows) {
+  const SyntheticData data = partition_data(4, 100);
+  util::Rng rng(3);
+  EXPECT_THROW(partition_iid(data.train, 0, rng), std::invalid_argument);
+}
+
+// --- shards (McMahan) ------------------------------------------------------------
+
+TEST(PartitionShards, TwoShardsLimitToAtMostTwoClasses) {
+  const SyntheticData data = partition_data();
+  util::Rng rng(4);
+  const Partition p = partition_shards(data.train, 50, 2, rng);
+  EXPECT_TRUE(is_disjoint_partition(p, data.train.size()));
+  EXPECT_EQ(total_assigned(p), data.train.size());
+  for (const auto& shard : p) {
+    EXPECT_LE(classes_of(data.train, shard).size(), 2u);
+  }
+}
+
+TEST(PartitionShards, MoreShardsThanSamplesThrows) {
+  const SyntheticData data = partition_data(4, 100);
+  util::Rng rng(5);
+  EXPECT_THROW(partition_shards(data.train, 60, 2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(partition_shards(data.train, 10, 0, rng),
+               std::invalid_argument);
+}
+
+// --- classes (Zhao et al.) --------------------------------------------------------
+
+class PartitionClassesSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionClassesSweep, ClassLimitHolds) {
+  const std::size_t k = GetParam();
+  const SyntheticData data = partition_data();
+  util::Rng rng(6);
+  const Partition p = partition_classes(data.train, 20, k, rng);
+  EXPECT_TRUE(is_disjoint_partition(p, data.train.size()));
+  for (const auto& shard : p) {
+    EXPECT_LE(classes_of(data.train, shard).size(), k);
+    EXPECT_FALSE(shard.empty());
+  }
+  // Every sample assigned (class pools are fully dealt out).
+  EXPECT_EQ(total_assigned(p), data.train.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(NonIidLevels, PartitionClassesSweep,
+                         ::testing::Values(2, 5, 10));
+
+TEST(PartitionClasses, EveryClassIsCovered) {
+  const SyntheticData data = partition_data();
+  util::Rng rng(7);
+  const Partition p = partition_classes(data.train, 20, 2, rng);
+  std::set<std::int32_t> seen;
+  for (const auto& shard : p) {
+    const auto classes = classes_of(data.train, shard);
+    seen.insert(classes.begin(), classes.end());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(PartitionClasses, BadKThrows) {
+  const SyntheticData data = partition_data();
+  util::Rng rng(8);
+  EXPECT_THROW(partition_classes(data.train, 5, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(partition_classes(data.train, 5, 11, rng),
+               std::invalid_argument);
+}
+
+// --- classes + quantity weights --------------------------------------------------
+
+TEST(PartitionClassesWeighted, EqualWeightsReduceToPlainClasses) {
+  const SyntheticData data = partition_data();
+  util::Rng rng_a(20), rng_b(20);
+  const Partition plain = partition_classes(data.train, 10, 3, rng_a);
+  const Partition weighted = partition_classes_weighted(
+      data.train, 10, 3, std::vector<double>(10, 2.5), rng_b);
+  ASSERT_EQ(plain.size(), weighted.size());
+  for (std::size_t c = 0; c < plain.size(); ++c) {
+    // Same class membership; shard sizes match within rounding.
+    EXPECT_EQ(classes_of(data.train, plain[c]),
+              classes_of(data.train, weighted[c]));
+    EXPECT_NEAR(static_cast<double>(plain[c].size()),
+                static_cast<double>(weighted[c].size()), 3.0);
+  }
+}
+
+TEST(PartitionClassesWeighted, HeavierClientsGetMoreSamples) {
+  const SyntheticData data = partition_data(10, 2000);
+  util::Rng rng(21);
+  // Clients 5..9 weigh 3x clients 0..4.
+  std::vector<double> weights(10, 1.0);
+  for (std::size_t c = 5; c < 10; ++c) weights[c] = 3.0;
+  const Partition p =
+      partition_classes_weighted(data.train, 10, 5, weights, rng);
+  EXPECT_TRUE(is_disjoint_partition(p, data.train.size()));
+  double light = 0.0, heavy = 0.0;
+  for (std::size_t c = 0; c < 5; ++c) light += static_cast<double>(p[c].size());
+  for (std::size_t c = 5; c < 10; ++c) heavy += static_cast<double>(p[c].size());
+  EXPECT_NEAR(heavy / light, 3.0, 0.5);
+}
+
+TEST(PartitionClassesWeighted, AllSamplesAssigned) {
+  const SyntheticData data = partition_data(10, 1000);
+  util::Rng rng(22);
+  std::vector<double> weights{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Partition p =
+      partition_classes_weighted(data.train, 10, 4, weights, rng);
+  EXPECT_EQ(total_assigned(p), data.train.size());
+}
+
+TEST(PartitionClassesWeighted, WeightCountMismatchThrows) {
+  const SyntheticData data = partition_data(4, 100);
+  util::Rng rng(23);
+  EXPECT_THROW(partition_classes_weighted(data.train, 5, 2,
+                                          std::vector<double>(3, 1.0), rng),
+               std::invalid_argument);
+}
+
+// --- class-skewed (group <-> class affinity) --------------------------------------
+
+TEST(PartitionClassesSkewed, ZeroAffinityGivesNearUniformClassSpread) {
+  const SyntheticData data = partition_data(10, 2000);
+  util::Rng rng(24);
+  ClassSkewOptions options;
+  options.classes_per_client = 2;
+  const Partition p =
+      partition_classes_skewed(data.train, 40, options, rng);
+  EXPECT_TRUE(is_disjoint_partition(p, data.train.size()));
+  for (const auto& shard : p) {
+    EXPECT_LE(classes_of(data.train, shard).size(), 2u);
+  }
+}
+
+TEST(PartitionClassesSkewed, AffinityConcentratesHomeClassesInGroup) {
+  const SyntheticData data = partition_data(10, 4000);
+  util::Rng rng(25);
+  ClassSkewOptions options;
+  options.classes_per_client = 2;
+  options.group_class_affinity = 8.0;
+  options.client_groups.resize(50);
+  for (std::size_t c = 0; c < 50; ++c) {
+    options.client_groups[c] = c * 5 / 50;  // 5 groups of 10
+  }
+  const Partition p =
+      partition_classes_skewed(data.train, 50, options, rng);
+
+  // Classes 0-1 are home to group 0, ..., classes 8-9 to group 4.  Count
+  // what fraction of each group's samples belong to its home classes.
+  double home_fraction = 0.0;
+  for (std::size_t g = 0; g < 5; ++g) {
+    std::size_t home = 0, total = 0;
+    for (std::size_t c = g * 10; c < (g + 1) * 10; ++c) {
+      for (std::size_t idx : p[c]) {
+        const std::size_t cls = static_cast<std::size_t>(data.train.label(idx));
+        home += (cls * 5 / 10 == g);
+        ++total;
+      }
+    }
+    if (total > 0) home_fraction += static_cast<double>(home) / total;
+  }
+  home_fraction /= 5.0;
+  // Uniform draws would give ~0.2; strong affinity must far exceed it.
+  EXPECT_GT(home_fraction, 0.5);
+}
+
+TEST(PartitionClassesSkewed, DistinctClassesPerClient) {
+  const SyntheticData data = partition_data(10, 1000);
+  util::Rng rng(26);
+  ClassSkewOptions options;
+  options.classes_per_client = 4;
+  options.group_class_affinity = 5.0;
+  options.client_groups.assign(20, 0);
+  const Partition p =
+      partition_classes_skewed(data.train, 20, options, rng);
+  for (const auto& shard : p) {
+    EXPECT_LE(classes_of(data.train, shard).size(), 4u);
+  }
+}
+
+TEST(PartitionClassesSkewed, Validation) {
+  const SyntheticData data = partition_data(4, 100);
+  util::Rng rng(27);
+  ClassSkewOptions bad_k;
+  bad_k.classes_per_client = 9;
+  EXPECT_THROW(partition_classes_skewed(data.train, 5, bad_k, rng),
+               std::invalid_argument);
+  ClassSkewOptions bad_weights;
+  bad_weights.classes_per_client = 2;
+  bad_weights.client_weights = {1.0};
+  EXPECT_THROW(partition_classes_skewed(data.train, 5, bad_weights, rng),
+               std::invalid_argument);
+  ClassSkewOptions bad_groups;
+  bad_groups.classes_per_client = 2;
+  bad_groups.client_groups = {0};
+  EXPECT_THROW(partition_classes_skewed(data.train, 5, bad_groups, rng),
+               std::invalid_argument);
+  ClassSkewOptions bad_affinity;
+  bad_affinity.classes_per_client = 2;
+  bad_affinity.group_class_affinity = -1.0;
+  EXPECT_THROW(partition_classes_skewed(data.train, 5, bad_affinity, rng),
+               std::invalid_argument);
+}
+
+// --- quantity ----------------------------------------------------------------------
+
+TEST(PartitionQuantity, PaperFractionsProduceMatchingShardSizes) {
+  const SyntheticData data = partition_data(10, 2000);
+  util::Rng rng(9);
+  // §5.1: 10/15/20/25/30 % across 5 groups.
+  const std::vector<double> fractions{0.10, 0.15, 0.20, 0.25, 0.30};
+  const Partition p = partition_quantity(data.train, 10, fractions, rng);
+  EXPECT_TRUE(is_disjoint_partition(p, data.train.size()));
+  // Two clients per group; group share / 2 each.
+  for (std::size_t g = 0; g < 5; ++g) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      const double expected = 2000.0 * fractions[g] / 2.0;
+      EXPECT_NEAR(static_cast<double>(p[g * 2 + c].size()), expected, 2.0)
+          << "group " << g;
+    }
+  }
+}
+
+TEST(PartitionQuantity, GroupsMustDivideClients) {
+  const SyntheticData data = partition_data(4, 100);
+  util::Rng rng(10);
+  EXPECT_THROW(partition_quantity(data.train, 7, {0.5, 0.5}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(partition_quantity(data.train, 4, {}, rng),
+               std::invalid_argument);
+}
+
+TEST(PartitionQuantity, FractionsNeedNotSumToOne) {
+  const SyntheticData data = partition_data(4, 100);
+  util::Rng rng(11);
+  const Partition p = partition_quantity(data.train, 2, {1.0, 3.0}, rng);
+  EXPECT_NEAR(static_cast<double>(p[1].size()),
+              3.0 * static_cast<double>(p[0].size()), 2.0);
+}
+
+// --- LEAF ---------------------------------------------------------------------------
+
+TEST(PartitionLeaf, ProducesLongTailOfClientSizes) {
+  const SyntheticData data = partition_data(10, 4000);
+  util::Rng rng(12);
+  LeafOptions options;
+  options.num_clients = 50;
+  const Partition p = partition_leaf(data.train, options, rng);
+  EXPECT_EQ(p.size(), 50u);
+  EXPECT_TRUE(is_disjoint_partition(p, data.train.size()));
+
+  std::vector<double> sizes;
+  for (const auto& shard : p) {
+    EXPECT_GE(shard.size(), 1u);
+    sizes.push_back(static_cast<double>(shard.size()));
+  }
+  const auto [min_it, max_it] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_GT(*max_it, 2.0 * *min_it) << "LEAF counts should be heterogeneous";
+}
+
+TEST(PartitionLeaf, ClassMixturesAreSkewed) {
+  const SyntheticData data = partition_data(10, 4000);
+  util::Rng rng(13);
+  LeafOptions options;
+  options.num_clients = 30;
+  options.dirichlet_alpha = 0.2;  // strong skew
+  const Partition p = partition_leaf(data.train, options, rng);
+  // Most clients should be dominated by a minority of classes.
+  std::size_t skewed = 0;
+  for (const auto& shard : p) {
+    if (shard.size() < 20) continue;
+    const auto dist = data.train.class_distribution(shard);
+    const double top = *std::max_element(dist.begin(), dist.end());
+    if (top > 0.35) ++skewed;
+  }
+  EXPECT_GT(skewed, p.size() / 3);
+}
+
+TEST(PartitionLeaf, RespectsMinSamples) {
+  const SyntheticData data = partition_data(10, 4000);
+  util::Rng rng(14);
+  LeafOptions options;
+  options.num_clients = 100;
+  options.min_samples = 5;
+  const Partition p = partition_leaf(data.train, options, rng);
+  for (const auto& shard : p) EXPECT_GE(shard.size(), 1u);
+}
+
+// --- matched test shards --------------------------------------------------------------
+
+TEST(MatchedTestIndices, DistributionTracksTrainShard) {
+  const SyntheticData data = partition_data(10, 2000);
+  util::Rng rng(15);
+  const Partition train_p = partition_classes(data.train, 10, 2, rng);
+  const auto test_shards =
+      matched_test_indices(data.train, train_p, data.test, rng);
+  ASSERT_EQ(test_shards.size(), train_p.size());
+  for (std::size_t c = 0; c < train_p.size(); ++c) {
+    const auto train_classes = classes_of(data.train, train_p[c]);
+    // Every test label must be one of the client's train classes.
+    for (std::size_t idx : test_shards[c]) {
+      EXPECT_TRUE(train_classes.count(data.test.label(idx)))
+          << "client " << c;
+    }
+    EXPECT_GE(test_shards[c].size(), 10u);
+  }
+}
+
+TEST(IsDisjointPartition, DetectsOverlapAndRange) {
+  EXPECT_TRUE(is_disjoint_partition({{0, 1}, {2, 3}}, 4));
+  EXPECT_FALSE(is_disjoint_partition({{0, 1}, {1, 2}}, 4));  // overlap
+  EXPECT_FALSE(is_disjoint_partition({{0, 9}}, 4));          // out of range
+}
+
+}  // namespace
+}  // namespace tifl::data

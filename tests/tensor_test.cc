@@ -1,0 +1,138 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/init.h"
+
+namespace tifl::tensor {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({0, 5}), 0);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_THROW(shape_numel({-1, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillConstructorAndFill) {
+  Tensor t({2, 2}, 3.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 3.5f);
+  t.fill(-1.0f);
+  for (float v : t.flat()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(Tensor, DataConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, MatrixAccessorRowMajor) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+  t.at(1, 1) = 50.0f;
+  EXPECT_EQ(t[4], 50.0f);
+}
+
+TEST(Tensor, NchwAccessor) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_EQ(t[119], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 9.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t[7], 9.0f);
+}
+
+TEST(Tensor, ReshapeRejectsWrongNumel) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapedReturnsCopy) {
+  Tensor t({4});
+  Tensor r = t.reshaped({2, 2});
+  r[0] = 1.0f;
+  EXPECT_EQ(t[0], 0.0f);  // original untouched
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({3}, 1.0f);
+  Tensor b = a;
+  b[0] = 5.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).same_shape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).same_shape(Tensor({3, 2})));
+}
+
+TEST(Tensor, RandnMomentsRoughlyStandard) {
+  util::Rng rng(1);
+  Tensor t = Tensor::randn({100, 100}, rng, 2.0f);
+  double sum = 0.0, sum_sq = 0.0;
+  for (float v : t.flat()) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.numel());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 4.0, 0.15);
+}
+
+TEST(Tensor, RandUniformWithinBounds) {
+  util::Rng rng(2);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -0.5f, 0.5f);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+}
+
+TEST(Init, HeNormalStddevScalesWithFanIn) {
+  util::Rng rng(3);
+  Tensor t = he_normal({400, 100}, /*fan_in=*/400, rng);
+  double sum_sq = 0.0;
+  for (float v : t.flat()) sum_sq += static_cast<double>(v) * v;
+  const double var = sum_sq / static_cast<double>(t.numel());
+  EXPECT_NEAR(var, 2.0 / 400.0, 2e-4);
+}
+
+TEST(Init, GlorotUniformWithinLimit) {
+  util::Rng rng(4);
+  const float limit = std::sqrt(6.0f / (30 + 20));
+  Tensor t = glorot_uniform({30, 20}, 30, 20, rng);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+}  // namespace
+}  // namespace tifl::tensor

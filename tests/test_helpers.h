@@ -1,0 +1,76 @@
+// Shared builders for the test suite: tiny synthetic federations that run
+// in milliseconds while exercising the full production code paths.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/system.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/engine.h"
+#include "nn/model_zoo.h"
+#include "sim/latency_model.h"
+
+namespace tifl::testing {
+
+// Small, well-separated 4-class dataset an MLP learns in a few rounds.
+inline data::SyntheticData tiny_data(std::uint64_t seed = 7,
+                                     std::int64_t train = 400,
+                                     std::int64_t test = 200) {
+  data::SyntheticSpec spec;
+  spec.classes = 4;
+  spec.dims = data::ImageDims{1, 6, 6};
+  spec.train_samples = train;
+  spec.test_samples = test;
+  spec.class_sep = 1.2f;
+  spec.noise = 0.8f;
+  spec.seed = seed;
+  return data::make_synthetic(spec);
+}
+
+inline nn::ModelFactory tiny_factory(std::int64_t inputs = 36,
+                                     std::int64_t classes = 4) {
+  return [inputs, classes](std::uint64_t seed) {
+    return nn::mlp(inputs, 16, classes, seed);
+  };
+}
+
+struct TinyFederation {
+  data::SyntheticData data;
+  std::vector<fl::Client> clients;
+  sim::LatencyModel latency{sim::CostModel{0.01, 1.0}};
+};
+
+// `num_clients` clients over 5 equal CPU groups (paper's CIFAR fractions),
+// IID data unless a partition is supplied.
+inline TinyFederation tiny_federation(std::size_t num_clients = 10,
+                                      std::uint64_t seed = 7) {
+  TinyFederation fed{tiny_data(seed), {}, sim::LatencyModel{{0.01, 1.0}}};
+  util::Rng rng(seed);
+  const data::Partition partition =
+      data::partition_iid(fed.data.train, num_clients, rng);
+  const auto test_shards = data::matched_test_indices(
+      fed.data.train, partition, fed.data.test, rng);
+  const auto resources = sim::assign_equal_groups(
+      num_clients, sim::cifar_cpu_groups(), /*comm=*/0.0, /*jitter=*/0.0,
+      rng);
+  fed.clients = fl::make_clients(&fed.data.train, partition, test_shards,
+                                 resources);
+  return fed;
+}
+
+inline fl::EngineConfig tiny_engine_config(std::size_t rounds = 10) {
+  fl::EngineConfig config;
+  config.rounds = rounds;
+  config.local.epochs = 1;
+  config.local.batch_size = 10;
+  config.local.optimizer.kind = nn::OptimizerConfig::Kind::kRmsProp;
+  config.local.optimizer.lr = 0.01;
+  config.eval_every = 1;
+  config.seed = 99;
+  return config;
+}
+
+}  // namespace tifl::testing

@@ -1,0 +1,226 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace tifl::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(42);
+  Rng child = parent.fork(7);
+  const std::uint64_t child_first = child.next();
+  // Re-derive: same parent state sequence produces the same child.
+  Rng parent2(42);
+  Rng child2 = parent2.fork(7);
+  EXPECT_EQ(child_first, child2.next());
+}
+
+TEST(Rng, ForkDistinctTagsDistinctStreams) {
+  Rng parent(42);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(10);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_index(n), n);
+    }
+  }
+}
+
+TEST(Rng, UniformIndexZeroAndOneAlwaysZero) {
+  Rng rng(10);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIndexApproximatelyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 7;
+  constexpr int kDraws = 70000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_index(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, LognormalMeanPreservingParameterization) {
+  // E[lognormal(-s^2/2, s)] = 1; the latency model relies on this.
+  Rng rng(15);
+  const double s = 0.3;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(-0.5 * s * s, s);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> weights{0.7, 0.1, 0.1, 0.05, 0.05};
+  std::array<int, 5> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, weights[k], 0.01)
+        << "bucket " << k;
+  }
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights) {
+  Rng rng(18);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToFirst) {
+  Rng rng(19);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(20);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(21);
+  for (double shape : {0.4, 1.0, 3.5}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.gamma(shape);
+    EXPECT_NEAR(sum / n, shape, 0.08 * shape + 0.02) << "shape " << shape;
+  }
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> d = rng.dirichlet(0.4, 8);
+    EXPECT_EQ(d.size(), 8u);
+    double total = 0.0;
+    for (double v : d) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaIsSparse) {
+  Rng rng(23);
+  // alpha << 1 concentrates mass on few categories.
+  double max_sum = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const std::vector<double> d = rng.dirichlet(0.05, 10);
+    max_sum += *std::max_element(d.begin(), d.end());
+  }
+  EXPECT_GT(max_sum / trials, 0.6);
+}
+
+TEST(MixSeed, DistinctInputsDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t a = 0; a < 10; ++a) {
+    for (std::uint64_t b = 0; b < 10; ++b) {
+      for (std::uint64_t c = 0; c < 10; ++c) {
+        seeds.insert(mix_seed(a, b, c));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(MixSeed, IsDeterministic) {
+  EXPECT_EQ(mix_seed(1, 2, 3), mix_seed(1, 2, 3));
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(3, 2, 1));
+}
+
+}  // namespace
+}  // namespace tifl::util

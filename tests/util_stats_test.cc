@@ -1,0 +1,191 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace tifl::util {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStat s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_NEAR(s.variance(), 37.2, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceZero) {
+  RunningStat s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStat, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  RunningStat combined, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    combined.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentity) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Mape, MatchesPaperDefinition) {
+  // Eq. 7: |est - act| / act * 100.
+  EXPECT_DOUBLE_EQ(mape_percent(46242.0, 44977.0),
+                   std::abs(46242.0 - 44977.0) / 44977.0 * 100.0);
+  EXPECT_NEAR(mape_percent(46242.0, 44977.0), 2.8125, 0.01);
+}
+
+TEST(Mape, ZeroActualReturnsZero) {
+  EXPECT_EQ(mape_percent(5.0, 0.0), 0.0);
+}
+
+TEST(Mape, ExactEstimateIsZero) { EXPECT_EQ(mape_percent(7.0, 7.0), 0.0); }
+
+TEST(SpanStats, SumMeanStddev) {
+  const std::vector<double> xs{2.0, 4.0, 6.0, 8.0};
+  EXPECT_DOUBLE_EQ(sum(xs), 20.0);
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(20.0 / 3.0), 1e-12);
+}
+
+TEST(SpanStats, EmptyInputs) {
+  const std::vector<double> empty;
+  EXPECT_EQ(sum(empty), 0.0);
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(stddev(empty), 0.0);
+}
+
+TEST(Percentile, KnownQuartiles) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(ArgMinMax, Basic) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.5, 9.0};
+  EXPECT_EQ(argmin(xs), 1u);
+  EXPECT_EQ(argmax(xs), 4u);
+  EXPECT_EQ(argmin(std::vector<double>{}), 0u);
+}
+
+TEST(Normalized, SumsToOne) {
+  const std::vector<double> out = normalized({2.0, 3.0, 5.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.2);
+  EXPECT_DOUBLE_EQ(out[1], 0.3);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(Normalized, AllZeroBecomesUniform) {
+  const std::vector<double> out = normalized({0.0, 0.0, 0.0, 0.0});
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+// --- histogram -------------------------------------------------------------
+
+TEST(Histogram, EqualWidthEdgesAndCounts) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  Histogram h(xs, 4, BinningMode::kEqualWidth);
+  ASSERT_EQ(h.bin_count(), 4u);
+  ASSERT_EQ(h.edges().size(), 5u);
+  EXPECT_DOUBLE_EQ(h.edges().front(), 0.0);
+  EXPECT_DOUBLE_EQ(h.edges().back(), 7.0);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < 4; ++b) total += h.count(b);
+  EXPECT_EQ(total, xs.size());
+}
+
+TEST(Histogram, QuantileBinsAreBalanced) {
+  Rng rng(3);
+  std::vector<double> xs(1000);
+  for (double& x : xs) x = rng.lognormal(0.0, 1.0);  // heavy skew
+  Histogram h(xs, 5, BinningMode::kQuantile);
+  for (std::size_t b = 0; b < 5; ++b) {
+    EXPECT_NEAR(static_cast<double>(h.count(b)), 200.0, 1.0) << "bin " << b;
+  }
+}
+
+TEST(Histogram, EqualWidthSkewedDataUnbalanced) {
+  // Sanity check the two modes actually differ on skewed data.
+  Rng rng(4);
+  std::vector<double> xs(1000);
+  for (double& x : xs) x = rng.lognormal(0.0, 1.0);
+  Histogram h(xs, 5, BinningMode::kEqualWidth);
+  EXPECT_GT(h.count(0), 600u);  // the long tail packs the first bin
+}
+
+TEST(Histogram, BinOfClampsOutOfRange) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  Histogram h(xs, 2, BinningMode::kEqualWidth);
+  EXPECT_EQ(h.bin_of(-100.0), 0u);
+  EXPECT_EQ(h.bin_of(100.0), 1u);
+}
+
+TEST(Histogram, AllValuesEqualStillValid) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  Histogram h(xs, 3, BinningMode::kQuantile);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.count(b);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Histogram, ThrowsOnEmptyOrZeroBins) {
+  const std::vector<double> empty;
+  EXPECT_THROW(Histogram(empty, 3, BinningMode::kEqualWidth),
+               std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(Histogram(xs, 0, BinningMode::kEqualWidth),
+               std::invalid_argument);
+}
+
+TEST(Histogram, SingleBinHoldsEverything) {
+  const std::vector<double> xs{1.0, 5.0, 9.0};
+  Histogram h(xs, 1, BinningMode::kQuantile);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.bin_of(5.0), 0u);
+}
+
+}  // namespace
+}  // namespace tifl::util

@@ -1,0 +1,157 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tifl::util {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto f = pool.submit([&counter] { counter.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&calls](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForRespectsOffset) {
+  ThreadPool pool(2);
+  std::vector<int> seen;
+  std::mutex m;
+  pool.parallel_for(10, 20, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.push_back(static_cast<int>(i));
+  });
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 10);
+  EXPECT_EQ(seen.back(), 19);
+}
+
+TEST(ThreadPool, ParallelForGrainForcesSerialOnSmallRanges) {
+  ThreadPool pool(4);
+  // With grain >= range the body must run on the calling thread.
+  const std::thread::id self = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(4);
+  pool.parallel_for(
+      0, ids.size(),
+      [&ids](std::size_t i) { ids[i] = std::this_thread::get_id(); }, 100);
+  for (const auto& id : ids) EXPECT_EQ(id, self);
+}
+
+TEST(ThreadPool, ParallelForChunkedPartitionsContiguously) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunked(
+      0, 100,
+      [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard<std::mutex> lock(m);
+        chunks.emplace_back(lo, hi);
+      },
+      1);
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected_lo = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_GT(hi, lo);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 100u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 57) throw std::runtime_error("bad index");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&pool, &total](std::size_t) {
+    // Inner call from a worker thread must degrade to serial, not block.
+    pool.parallel_for(0, 8, [&total](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<bool> inside{false};
+  pool.submit([&pool, &inside] { inside = pool.on_worker_thread(); }).get();
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 500u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> xs(10000);
+  std::iota(xs.begin(), xs.end(), 1.0);
+  // Per-chunk partial sums reduced in deterministic order.
+  std::mutex m;
+  std::vector<std::pair<std::size_t, double>> partials;
+  pool.parallel_for_chunked(0, xs.size(), [&](std::size_t lo, std::size_t hi) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += xs[i];
+    std::lock_guard<std::mutex> lock(m);
+    partials.emplace_back(lo, s);
+  });
+  std::sort(partials.begin(), partials.end());
+  double total = 0.0;
+  for (const auto& [lo, s] : partials) total += s;
+  EXPECT_DOUBLE_EQ(total, 10000.0 * 10001.0 / 2.0);
+}
+
+}  // namespace
+}  // namespace tifl::util
