@@ -1,0 +1,99 @@
+// Async tier execution vs synchronous TiFL on the Fig. 5 MNIST scenario
+// (combined resource + data heterogeneity, 2-class shards, quantity skew).
+//
+// Sync engines pay Eq. 1's max() over every selected client per round;
+// the async engine lets each tier submit at its own cadence with
+// staleness-weighted cross-tier aggregation (FedAT-style).  Every engine
+// gets the same *virtual time* budget (the sync uniform policy's total
+// training time), so the comparison is the paper's: accuracy reachable
+// per simulated second, and time to a common target accuracy (95 % of
+// the sync-uniform final accuracy by default, --target overrides).
+//
+//   ./build/bench_async_tiers [--rounds N] [--scale S] [--target A] ...
+#include <iostream>
+
+#include "scenarios.h"
+
+namespace tifl::bench {
+namespace {
+
+void run(const BenchOptions& options, double target_override) {
+  Scenario scenario = build_scenario(mnist_scenario(options, false));
+  print_tiering(*scenario.system);
+
+  // --- synchronous baselines ------------------------------------------------
+  std::vector<PolicyRun> runs =
+      run_policies(scenario, {"vanilla", "uniform"}, options);
+  double time_budget = 0.0;
+  for (const PolicyRun& run : runs) {
+    if (run.policy == "uniform") time_budget = run.result.total_time();
+  }
+
+  // --- async engine, one run per staleness function -------------------------
+  // Same virtual-time budget as the sync uniform policy: async tiers keep
+  // producing global versions until the clock the sync engine needed for
+  // `rounds` rounds runs out (capped at 25x the sync version count).
+  std::vector<fl::AsyncRunResult> async_runs;
+  for (fl::StalenessFn fn :
+       {fl::StalenessFn::kConstant, fl::StalenessFn::kPolynomial,
+        fl::StalenessFn::kInverseFrequency}) {
+    fl::AsyncConfig async;
+    async.staleness = fn;
+    async.total_updates = scenario.config.rounds * 25;
+    async.time_budget_seconds = time_budget;
+    fl::AsyncRunResult run = scenario.system->run_async(async);
+    std::cerr << "  [" << scenario.config.name << "] "
+              << run.result.policy_name << ": time "
+              << util::format_double(run.result.total_time(), 1)
+              << "s, final acc "
+              << util::format_double(run.result.final_accuracy(), 4) << "\n";
+    runs.push_back(PolicyRun{run.result.policy_name, run.result});
+    async_runs.push_back(std::move(run));
+  }
+
+  // --- virtual-time-to-target-accuracy table --------------------------------
+  double target = target_override;
+  if (target <= 0.0) {
+    for (const PolicyRun& run : runs) {
+      if (run.policy == "uniform") {
+        target = 0.95 * run.result.final_accuracy();
+      }
+    }
+  }
+  util::TablePrinter table({"engine", "versions", "final acc [%]",
+                            "total time [s]",
+                            "time to " +
+                                util::format_double(target * 100, 1) +
+                                " % [s]"});
+  for (const PolicyRun& run : runs) {
+    const double t = run.result.time_to_accuracy(target);
+    table.add_row({run.policy, std::to_string(run.result.rounds.size()),
+                   util::format_double(run.result.final_accuracy() * 100, 2),
+                   util::format_double(run.result.total_time(), 1),
+                   t < 0 ? "never" : util::format_double(t, 1)});
+  }
+  std::cout << "\n== sync vs async at equal virtual-time budget ("
+            << scenario.config.name << ", "
+            << util::format_double(time_budget, 0) << " s) ==\n"
+            << table.to_string();
+
+  // --- per-tier cadence under the FedAT-style weighting ---------------------
+  std::cout << "\n== async/invfreq per-tier cadence ==\n"
+            << async_cadence_table(async_runs.back()).to_string();
+
+  print_accuracy_over_time("sync vs async", runs);
+  maybe_write_csv(options, "async_tiers", runs);
+}
+
+}  // namespace
+}  // namespace tifl::bench
+
+int main(int argc, char** argv) {
+  using namespace tifl::bench;
+  const BenchOptions options = BenchOptions::from_cli(argc, argv);
+  const tifl::util::Cli cli(argc, argv);
+  std::cout << "Async tier execution vs synchronous TiFL (Fig. 5 MNIST "
+               "scenario)\n";
+  run(options, cli.get_double("target", 0.0));
+  return 0;
+}

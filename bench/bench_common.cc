@@ -371,4 +371,16 @@ void print_tiering(const core::TiflSystem& system) {
             << table.to_string();
 }
 
+util::TablePrinter async_cadence_table(const fl::AsyncRunResult& run) {
+  util::TablePrinter table({"tier", "updates", "mean staleness",
+                            "final weight"});
+  for (std::size_t t = 0; t < run.tier_updates.size(); ++t) {
+    table.add_row({"tier " + std::to_string(t + 1),
+                   std::to_string(run.tier_updates[t]),
+                   util::format_double(run.mean_staleness[t], 2),
+                   util::format_double(run.final_tier_weights[t], 3)});
+  }
+  return table;
+}
+
 }  // namespace tifl::bench

@@ -146,4 +146,8 @@ void maybe_write_csv(const BenchOptions& options, const std::string& figure,
 // Echo of the tier structure (clients per tier, avg latency).
 void print_tiering(const core::TiflSystem& system);
 
+// Per-tier cadence of an async run: submissions, mean staleness, final
+// cross-tier weight.  Shared by tifl_run and the async benches.
+util::TablePrinter async_cadence_table(const fl::AsyncRunResult& run);
+
 }  // namespace tifl::bench

@@ -1,0 +1,102 @@
+// Asynchronous tier execution on a heterogeneous 50-client federation.
+//
+//   synthetic dataset -> IID partition over 50 clients -> the paper's
+//   CIFAR CPU groups (4/2/1/0.5/0.1) -> profiling & tiering ->
+//   run_async: every tier trains at its own cadence on a discrete-event
+//   timeline, the server staleness-weights the cross-tier average.
+//
+// Prints the per-tier cadence (updates, mean staleness, final weight)
+// and compares virtual training time against the synchronous engine for
+// the same number of global model versions.
+//
+//   ./build/async_tiers
+#include <iostream>
+
+#include "core/system.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tifl;
+  util::set_log_level(util::LogLevel::kWarn);
+
+  // --- 1. Data + 50 heterogeneous clients ----------------------------------
+  data::SyntheticSpec spec;
+  spec.classes = 10;
+  spec.dims = data::ImageDims{1, 8, 8};
+  spec.train_samples = 5000;
+  spec.test_samples = 1000;
+  spec.seed = 42;
+  const data::SyntheticData dataset = data::make_synthetic(spec);
+
+  constexpr std::size_t kClients = 50;
+  util::Rng rng(7);
+  const data::Partition partition =
+      data::partition_iid(dataset.train, kClients, rng);
+  const auto test_shards = data::matched_test_indices(
+      dataset.train, partition, dataset.test, rng);
+  const auto resources = sim::assign_equal_groups(
+      kClients, sim::cifar_cpu_groups(), /*comm_seconds=*/0.5,
+      /*jitter_sigma=*/0.05, rng);
+  std::vector<fl::Client> clients = fl::make_clients(
+      &dataset.train, partition, test_shards, resources);
+
+  // --- 2. TiFL system ------------------------------------------------------
+  core::SystemConfig config;
+  config.num_tiers = 5;
+  config.clients_per_round = 5;
+  config.engine.rounds = 60;  // run_async inherits this as total_updates
+  config.engine.local.batch_size = 10;
+  config.engine.local.optimizer.kind = nn::OptimizerConfig::Kind::kRmsProp;
+  config.engine.local.optimizer.lr = 0.01;
+  config.engine.seed = 1;
+
+  nn::ModelFactory factory = [&spec](std::uint64_t seed) {
+    return nn::mlp(spec.dims.flat(), 32, spec.classes, seed);
+  };
+  core::TiflSystem system(config, factory, &dataset.test, std::move(clients),
+                          sim::LatencyModel(sim::cifar_cost_model()));
+  std::cout << system.tiers().to_string() << "\n";
+
+  // --- 3. Async execution with FedAT-style inverse-frequency weights -------
+  fl::AsyncConfig async;
+  async.staleness = fl::StalenessFn::kInverseFrequency;
+  const fl::AsyncRunResult run = system.run_async(async);
+
+  util::TablePrinter cadence({"tier", "clients", "updates", "mean staleness",
+                              "final weight"});
+  for (std::size_t t = 0; t < run.tier_updates.size(); ++t) {
+    cadence.add_row(
+        {"tier " + std::to_string(t + 1),
+         std::to_string(system.tiers().members[t].size()),
+         std::to_string(run.tier_updates[t]),
+         util::format_double(run.mean_staleness[t], 2),
+         util::format_double(run.final_tier_weights[t], 3)});
+  }
+  std::cout << "Per-tier cadence over " << run.result.rounds.size()
+            << " global versions (async/"
+            << fl::staleness_name(async.staleness) << "):\n"
+            << cadence.to_string() << "\n";
+
+  // --- 4. Compare against the synchronous engine ---------------------------
+  auto uniform = system.make_static("uniform");
+  const fl::RunResult sync_result = system.run(*uniform);
+
+  util::TablePrinter compare({"engine", "final accuracy [%]",
+                              "virtual time [s]"});
+  compare.add_row({"sync/uniform",
+                   util::format_double(sync_result.final_accuracy() * 100, 2),
+                   util::format_double(sync_result.total_time(), 1)});
+  compare.add_row({"async/invfreq",
+                   util::format_double(run.result.final_accuracy() * 100, 2),
+                   util::format_double(run.result.total_time(), 1)});
+  std::cout << compare.to_string() << "\nAsync reached its final model "
+            << util::format_double(
+                   sync_result.total_time() / run.result.total_time(), 2)
+            << "x sooner in virtual time: no tier ever waits for a slower "
+               "one.\n";
+  return 0;
+}

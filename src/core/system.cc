@@ -26,7 +26,10 @@ TiflSystem::TiflSystem(SystemConfig config, nn::ModelFactory factory,
                        const data::Dataset* test,
                        std::vector<fl::Client> clients,
                        sim::LatencyModel latency_model)
-    : config_(config), latency_model_(latency_model), test_(test) {
+    : config_(config),
+      latency_model_(latency_model),
+      test_(test),
+      factory_(std::move(factory)) {
   if (test == nullptr) {
     throw std::invalid_argument("TiflSystem: null test dataset");
   }
@@ -42,7 +45,7 @@ TiflSystem::TiflSystem(SystemConfig config, nn::ModelFactory factory,
   // 3. Engine with per-tier evaluation sets.
   std::vector<data::Dataset> tier_sets =
       build_tier_eval_sets(tiers_, clients, *test);
-  engine_ = std::make_unique<fl::Engine>(config_.engine, std::move(factory),
+  engine_ = std::make_unique<fl::Engine>(config_.engine, factory_,
                                          std::move(clients), test,
                                          latency_model);
   engine_->set_tier_eval_sets(std::move(tier_sets));
@@ -75,6 +78,25 @@ std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_adaptive(
 fl::RunResult TiflSystem::run(fl::SelectionPolicy& policy,
                               std::optional<std::uint64_t> seed_override) {
   return engine_->run(policy, seed_override);
+}
+
+fl::AsyncRunResult TiflSystem::run_async(
+    std::optional<fl::AsyncConfig> async,
+    std::optional<std::uint64_t> seed_override) {
+  fl::AsyncConfig resolved = async.value_or(config_.async);
+  if (resolved.total_updates == 0) {
+    resolved.total_updates = config_.engine.rounds;
+  }
+  if (resolved.clients_per_tier_round == 0) {
+    resolved.clients_per_tier_round = config_.clients_per_round;
+  }
+  if (resolved.time_budget_seconds == 0.0) {
+    resolved.time_budget_seconds = config_.engine.time_budget_seconds;
+  }
+  fl::AsyncEngine engine(config_.engine, resolved, factory_,
+                         &engine_->clients(), tiers_.members, test_,
+                         latency_model_);
+  return engine.run(seed_override);
 }
 
 double TiflSystem::estimate_time(const std::string& table1_name) const {

@@ -24,6 +24,7 @@
 #include "core/profiler.h"
 #include "core/static_policy.h"
 #include "core/tiering.h"
+#include "fl/async_engine.h"
 #include "fl/engine.h"
 
 namespace tifl::core {
@@ -33,6 +34,9 @@ struct SystemConfig {
   TieringStrategy tiering = TieringStrategy::kQuantile;
   ProfilerConfig profiler;
   fl::EngineConfig engine;
+  // Defaults for run_async; zero-valued fields inherit from `engine` /
+  // `clients_per_round` at run time.
+  fl::AsyncConfig async;
   std::size_t clients_per_round = 5;  // |C|
   std::uint64_t profile_seed = 7;
 };
@@ -61,6 +65,18 @@ class TiflSystem {
   fl::RunResult run(fl::SelectionPolicy& policy,
                     std::optional<std::uint64_t> seed_override = {});
 
+  // Asynchronous tier execution (FedAT-style): every tier trains at its
+  // own cadence on a discrete-event timeline and the server keeps
+  // per-tier model versions combined by a staleness-weighted average.
+  // `async` overrides config().async; zero-valued total_updates /
+  // clients_per_tier_round / time_budget_seconds inherit engine.rounds /
+  // clients_per_round / engine.time_budget_seconds.
+  // No selection policy is involved — tiers sample their own members
+  // uniformly, which is what makes tier cadences independent.
+  fl::AsyncRunResult run_async(
+      std::optional<fl::AsyncConfig> async = {},
+      std::optional<std::uint64_t> seed_override = {});
+
   // Eq. 6 estimate for a Table 1 policy under this system's tiering.
   double estimate_time(const std::string& table1_name) const;
   double estimate_time(std::span<const double> tier_probs) const;
@@ -87,6 +103,7 @@ class TiflSystem {
   ProfileResult profile_;
   sim::LatencyModel latency_model_;
   const data::Dataset* test_ = nullptr;
+  nn::ModelFactory factory_;  // kept for run_async engine construction
   std::unique_ptr<fl::Engine> engine_;
 };
 

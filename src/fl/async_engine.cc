@@ -1,0 +1,341 @@
+#include "fl/async_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fl/aggregator.h"
+#include "fl/evaluation.h"
+#include "fl/policy.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace tifl::fl {
+
+StalenessFn parse_staleness(const std::string& name) {
+  if (name == "constant") return StalenessFn::kConstant;
+  if (name == "poly" || name == "polynomial") return StalenessFn::kPolynomial;
+  if (name == "invfreq" || name == "inverse-frequency" || name == "fedat") {
+    return StalenessFn::kInverseFrequency;
+  }
+  throw std::invalid_argument("unknown staleness function '" + name +
+                              "' (constant | poly | invfreq)");
+}
+
+std::string staleness_name(StalenessFn fn) {
+  switch (fn) {
+    case StalenessFn::kConstant: return "constant";
+    case StalenessFn::kPolynomial: return "poly";
+    case StalenessFn::kInverseFrequency: return "invfreq";
+  }
+  return "unknown";
+}
+
+double staleness_factor(StalenessFn fn, double alpha, std::size_t staleness) {
+  if (fn == StalenessFn::kPolynomial) {
+    return std::pow(1.0 + static_cast<double>(staleness), -alpha);
+  }
+  return 1.0;
+}
+
+std::vector<double> cross_tier_weights(
+    StalenessFn fn, double alpha, std::span<const std::size_t> update_counts,
+    std::span<const std::size_t> staleness) {
+  if (update_counts.size() != staleness.size()) {
+    throw std::invalid_argument("cross_tier_weights: size mismatch");
+  }
+  std::vector<double> weights(update_counts.size(), 0.0);
+  std::size_t u_max = 0;
+  for (std::size_t u : update_counts) u_max = std::max(u_max, u);
+
+  double total = 0.0;
+  for (std::size_t t = 0; t < update_counts.size(); ++t) {
+    if (update_counts[t] == 0) continue;  // never submitted: no model yet
+    double w = 1.0;
+    switch (fn) {
+      case StalenessFn::kConstant:
+        break;
+      case StalenessFn::kPolynomial:
+        w = staleness_factor(fn, alpha, staleness[t]);
+        break;
+      case StalenessFn::kInverseFrequency:
+        // FedAT-style: a tier that submitted u_max - u_t fewer times than
+        // the busiest tier gets proportionally more mass, countering the
+        // fast-tier bias of naive async averaging.
+        w = 1.0 + static_cast<double>(u_max - update_counts[t]);
+        break;
+    }
+    weights[t] = w;
+    total += w;
+  }
+  if (total > 0.0) {
+    for (double& w : weights) w /= total;
+  }
+  return weights;
+}
+
+struct AsyncEngine::PendingRound {
+  std::vector<std::size_t> selected;  // client ids, selection order
+  std::vector<LocalUpdate> updates;   // same order
+  std::size_t dispatch_version = 0;   // global version at snapshot time
+  double latency = 0.0;               // tier-round duration (max member)
+};
+
+AsyncEngine::AsyncEngine(EngineConfig config, AsyncConfig async,
+                         nn::ModelFactory factory,
+                         const std::vector<Client>* clients,
+                         std::vector<std::vector<std::size_t>> tier_members,
+                         const data::Dataset* test,
+                         sim::LatencyModel latency_model)
+    : config_(config),
+      async_(async),
+      factory_(std::move(factory)),
+      clients_(clients),
+      tier_members_(std::move(tier_members)),
+      test_(test),
+      latency_model_(latency_model) {
+  if (clients_ == nullptr || clients_->empty()) {
+    throw std::invalid_argument("AsyncEngine: no clients");
+  }
+  if (test_ == nullptr) {
+    throw std::invalid_argument("AsyncEngine: null test dataset");
+  }
+  if (async_.total_updates == 0) {
+    throw std::invalid_argument("AsyncEngine: total_updates must be > 0");
+  }
+  if (async_.clients_per_tier_round == 0) {
+    throw std::invalid_argument(
+        "AsyncEngine: clients_per_tier_round must be > 0");
+  }
+  if (async_.poly_alpha < 0.0) {
+    throw std::invalid_argument("AsyncEngine: negative poly_alpha");
+  }
+  if (async_.eval_every == 0) {
+    throw std::invalid_argument("AsyncEngine: eval_every must be > 0");
+  }
+  bool any_members = false;
+  for (const std::vector<std::size_t>& members : tier_members_) {
+    any_members = any_members || !members.empty();
+    for (std::size_t id : members) {
+      if (id >= clients_->size()) {
+        throw std::invalid_argument("AsyncEngine: tier member out of range");
+      }
+    }
+  }
+  if (!any_members) {
+    throw std::invalid_argument("AsyncEngine: every tier is empty");
+  }
+}
+
+nn::Sequential& AsyncEngine::scratch_model(std::size_t slot) {
+  while (scratch_.size() <= slot) {
+    scratch_.push_back(factory_(/*seed=*/slot + 1));
+  }
+  return scratch_[slot];
+}
+
+nn::LossResult AsyncEngine::evaluate(std::span<const float> weights,
+                                     const data::Dataset& dataset) {
+  return evaluate_weights(scratch_model(0), weights, dataset,
+                          config_.eval_chunk);
+}
+
+AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
+  const std::uint64_t seed = seed_override.value_or(config_.seed);
+  const std::size_t num_tiers = tier_members_.size();
+
+  // Stream layout: tier 0 reuses the sync engine's fork tags (0xF01
+  // selection, 0xF02 latency) so a single-tier async run consumes the
+  // exact byte-for-byte streams of a sync VanillaPolicy run.
+  util::Rng root(seed);
+  std::vector<util::Rng> selection_rng, latency_rng;
+  selection_rng.reserve(num_tiers);
+  latency_rng.reserve(num_tiers);
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    selection_rng.push_back(
+        root.fork(t == 0 ? 0xF01 : util::mix_seed(0xA51C, t)));
+    latency_rng.push_back(
+        root.fork(t == 0 ? 0xF02 : util::mix_seed(0xA51D, t)));
+  }
+
+  std::vector<float> global = factory_(seed).weights();
+  const std::size_t weight_count = global.size();
+
+  // Per-tier server state (FedAT keeps one model version per tier).
+  std::vector<std::vector<float>> tier_models(num_tiers, global);
+  std::vector<std::size_t> tier_updates(num_tiers, 0);
+  std::vector<std::size_t> last_submit_version(num_tiers, 0);
+  // Iterated per-tier lr decay (multiplicative, like the sync engine, so
+  // a single-tier run reproduces the sync lr sequence bit for bit).
+  std::vector<double> tier_lr(num_tiers, config_.local.optimizer.lr);
+  std::vector<double> staleness_sum(num_tiers, 0.0);
+  std::vector<PendingRound> pending(num_tiers);
+
+  sim::EventQueue queue;
+  AsyncRunResult out;
+  out.result.policy_name = "async/" + staleness_name(async_.staleness);
+  out.result.rounds.reserve(async_.total_updates);
+  std::vector<double> current_weights;
+
+  std::size_t dispatch_seq = 0;   // event-order dispatch counter
+  std::size_t scheduled = 0;      // dispatched tier rounds (in flight + done)
+
+  const auto dispatch = [&](std::size_t tier) {
+    const std::vector<std::size_t>& members = tier_members_[tier];
+    const std::size_t count =
+        std::min(async_.clients_per_tier_round, members.size());
+
+    PendingRound& round = pending[tier];
+    round.selected.clear();
+    for (std::size_t local :
+         sample_without_replacement(members.size(), count,
+                                    selection_rng[tier])) {
+      round.selected.push_back(members[local]);
+    }
+    round.dispatch_version = out.result.rounds.size();
+
+    LocalTrainParams params = config_.local;
+    params.lr = tier_lr[tier];
+
+    for (std::size_t i = 0; i < count; ++i) scratch_model(i + 1);
+    round.updates.assign(count, LocalUpdate{});
+    util::global_pool().parallel_for(0, count, [&](std::size_t i) {
+      const Client& client = clients_->at(round.selected[i]);
+      // Deterministic stream per (event-seq, client id): the async
+      // analogue of the sync engine's (round, client id) fork.
+      util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
+      round.updates[i] =
+          client.local_update(global, scratch_[i + 1], params, client_rng);
+    });
+    ++dispatch_seq;
+
+    // A tier round is internally synchronous: it completes when its
+    // slowest sampled member responds.
+    round.latency = 0.0;
+    for (std::size_t id : round.selected) {
+      const Client& client = clients_->at(id);
+      round.latency = std::max(
+          round.latency,
+          latency_model_.sample_latency(client.resource(),
+                                        client.train_size(), params.epochs,
+                                        latency_rng[tier]));
+    }
+    queue.schedule(round.latency, /*kind=*/0, /*actor=*/tier);
+    ++scheduled;
+  };
+
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    if (!tier_members_[t].empty() && scheduled < async_.total_updates) {
+      dispatch(t);
+    }
+  }
+
+  bool last_evaluated = false;
+  while (!queue.empty()) {
+    const sim::Event event = queue.pop();
+    const std::size_t tier = static_cast<std::size_t>(event.actor);
+    PendingRound& round = pending[tier];
+
+    // --- tier-level FedAvg (reduce in selection order) ---------------------
+    std::vector<WeightedUpdate> weighted;
+    weighted.reserve(round.updates.size());
+    double train_loss = 0.0;
+    for (const LocalUpdate& update : round.updates) {
+      weighted.push_back(WeightedUpdate{
+          .weights = update.weights,
+          .sample_count = static_cast<double>(update.num_samples)});
+      train_loss += update.train_loss;
+    }
+    train_loss /= static_cast<double>(round.updates.size());
+    tier_models[tier] = fedavg(weighted);
+
+    const std::size_t version = out.result.rounds.size();
+    staleness_sum[tier] +=
+        static_cast<double>(version - round.dispatch_version);
+    ++tier_updates[tier];
+    last_submit_version[tier] = version;
+    tier_lr[tier] *= config_.lr_decay_per_round;
+
+    // --- staleness-weighted cross-tier aggregation -------------------------
+    std::vector<std::size_t> model_age(num_tiers, 0);
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      if (tier_updates[t] > 0) model_age[t] = version - last_submit_version[t];
+    }
+    current_weights = cross_tier_weights(async_.staleness, async_.poly_alpha,
+                                         tier_updates, model_age);
+    std::vector<double> accum(weight_count, 0.0);
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      if (current_weights[t] == 0.0) continue;
+      const double w = current_weights[t];
+      const std::vector<float>& model = tier_models[t];
+      for (std::size_t i = 0; i < weight_count; ++i) {
+        accum[i] += w * static_cast<double>(model[i]);
+      }
+    }
+    for (std::size_t i = 0; i < weight_count; ++i) {
+      global[i] = static_cast<float>(accum[i]);
+    }
+
+    // --- record + evaluation ----------------------------------------------
+    RoundRecord record;
+    record.round = version;
+    record.round_latency = round.latency;
+    record.virtual_time = queue.now();
+    record.train_loss = train_loss;
+    record.selected_tier = static_cast<int>(tier);
+    record.selected_clients = round.selected;
+
+    last_evaluated = version % async_.eval_every == 0 ||
+                     version + 1 == async_.total_updates;
+    if (last_evaluated) {
+      const nn::LossResult r = evaluate(global, *test_);
+      record.global_accuracy = r.accuracy;
+      record.global_loss = r.loss;
+    } else if (!out.result.rounds.empty()) {
+      record.global_accuracy = out.result.rounds.back().global_accuracy;
+      record.global_loss = out.result.rounds.back().global_loss;
+    }
+    out.result.rounds.push_back(std::move(record));
+
+    if (version % 50 == 0) {
+      util::log_debug("async v", version, " tier=", tier,
+                      " acc=", out.result.rounds.back().global_accuracy,
+                      " t=", queue.now());
+    }
+
+    if (async_.time_budget_seconds > 0.0 &&
+        queue.now() >= async_.time_budget_seconds) {
+      util::log_info("async time budget of ", async_.time_budget_seconds,
+                     "s exhausted after ", version + 1, " updates");
+      break;
+    }
+    // Total dispatches are capped at total_updates, so draining the queue
+    // records exactly that many versions (fewer on a time-budget break).
+    if (scheduled < async_.total_updates) dispatch(tier);
+  }
+
+  // A time-budget break (or a carry-forward cadence) can leave the last
+  // record holding a stale accuracy; refresh it from the final weights.
+  if (!out.result.rounds.empty() && !last_evaluated) {
+    const nn::LossResult r = evaluate(global, *test_);
+    out.result.rounds.back().global_accuracy = r.accuracy;
+    out.result.rounds.back().global_loss = r.loss;
+  }
+
+  out.final_weights = std::move(global);
+  out.tier_updates = tier_updates;
+  out.mean_staleness.assign(num_tiers, 0.0);
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    if (tier_updates[t] > 0) {
+      out.mean_staleness[t] =
+          staleness_sum[t] / static_cast<double>(tier_updates[t]);
+    }
+  }
+  out.final_tier_weights = std::move(current_weights);
+  if (out.final_tier_weights.empty()) {
+    out.final_tier_weights.assign(num_tiers, 0.0);
+  }
+  return out;
+}
+
+}  // namespace tifl::fl

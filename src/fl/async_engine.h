@@ -1,0 +1,127 @@
+// Asynchronous tier execution engine (FedAT-style, Chai et al. 2020).
+//
+// Where the synchronous engine pays Eq. 1's max() over every selected
+// client each round, here each *tier* trains and submits updates at its
+// own cadence on a shared discrete-event timeline (sim::EventQueue):
+//
+//   per tier round: sample |C| clients from the tier -> train them from a
+//   snapshot of the current global model -> the tier's completion event
+//   fires after the slowest member's simulated latency -> FedAvg the tier
+//   update into the tier's model -> recompute the global model as a
+//   staleness-weighted cross-tier average -> the tier immediately starts
+//   its next round from the new global model.
+//
+// Fast tiers therefore contribute many slightly-stale updates while slow
+// tiers contribute few very-stale ones; the staleness function controls
+// how the server discounts (or, for inverse-frequency, boosts) each
+// tier's model in the cross-tier average.
+//
+// Determinism matches the sync engine's guarantee: client training RNGs
+// are forked by (dispatch sequence, client id), per-tier selection and
+// latency streams are forked from the run seed, and all reductions
+// happen in event order — so a run is bit-reproducible regardless of
+// thread scheduling.  Tier 0's selection/latency streams deliberately
+// reuse the sync engine's fork tags: a single-tier async run with the
+// constant staleness function replays a sync VanillaPolicy run *exactly*
+// (a ctest asserts bitwise-equal weights).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/client.h"
+#include "fl/engine.h"
+#include "fl/metrics.h"
+#include "nn/sequential.h"
+#include "sim/event_queue.h"
+#include "sim/latency_model.h"
+
+namespace tifl::fl {
+
+// How the server discounts a tier model that is `staleness` global
+// versions old when recomputing the cross-tier average.
+enum class StalenessFn {
+  kConstant,          // every submitted tier weighs 1
+  kPolynomial,        // (1 + staleness)^-alpha  [FedAsync, Xie et al.]
+  kInverseFrequency,  // 1 + (u_max - u_t): boost rarely-updating (slow)
+                      // tiers to counter fast-tier bias [FedAT]
+};
+
+StalenessFn parse_staleness(const std::string& name);
+std::string staleness_name(StalenessFn fn);
+
+// Decay factor for one tier model: 1 for kConstant/kInverseFrequency
+// (which weighs by update counts, not age), (1+s)^-alpha for kPolynomial.
+double staleness_factor(StalenessFn fn, double alpha, std::size_t staleness);
+
+// Normalized cross-tier aggregation weights.  `update_counts[t]` is how
+// many rounds tier t has submitted, `staleness[t]` how many global
+// versions ago it last submitted.  Tiers with zero submissions get weight
+// 0; the rest sum to exactly 1.
+std::vector<double> cross_tier_weights(StalenessFn fn, double alpha,
+                                       std::span<const std::size_t> update_counts,
+                                       std::span<const std::size_t> staleness);
+
+struct AsyncConfig {
+  StalenessFn staleness = StalenessFn::kConstant;
+  double poly_alpha = 0.5;            // kPolynomial decay exponent
+  // Total number of global model versions (tier submissions) to produce —
+  // the async analogue of EngineConfig::rounds.  0 = inherit rounds.
+  std::size_t total_updates = 0;
+  // Clients sampled per tier round (capped at tier size).  0 = inherit
+  // SystemConfig::clients_per_round.
+  std::size_t clients_per_tier_round = 0;
+  double time_budget_seconds = 0.0;   // stop once virtual time crosses; 0 = off
+  std::size_t eval_every = 1;         // global-version evaluation cadence
+};
+
+struct AsyncRunResult {
+  // One RoundRecord per global version: selected_tier is the submitting
+  // tier, round_latency its tier-round duration, virtual_time the event
+  // timestamp.  The sync-engine metrics helpers (time_to_accuracy,
+  // accuracy_at_time, write_csv) all apply unchanged.
+  RunResult result;
+  std::vector<float> final_weights;        // for bit-reproducibility checks
+  std::vector<std::size_t> tier_updates;   // submissions per tier
+  std::vector<double> mean_staleness;      // mean submit staleness per tier
+  std::vector<double> final_tier_weights;  // cross-tier weights at the end
+};
+
+class AsyncEngine {
+ public:
+  // `clients` is non-owning and must outlive the engine; `tier_members`
+  // holds client ids per tier (fastest first, as in core::TierInfo) —
+  // empty tiers are skipped, dropouts must already be excluded.
+  AsyncEngine(EngineConfig config, AsyncConfig async,
+              nn::ModelFactory factory, const std::vector<Client>* clients,
+              std::vector<std::vector<std::size_t>> tier_members,
+              const data::Dataset* test, sim::LatencyModel latency_model);
+
+  AsyncRunResult run(std::optional<std::uint64_t> seed_override = {});
+
+  nn::LossResult evaluate(std::span<const float> weights,
+                          const data::Dataset& dataset);
+
+  const AsyncConfig& async_config() const { return async_; }
+  std::size_t tier_count() const { return tier_members_.size(); }
+
+ private:
+  struct PendingRound;  // one in-flight tier round (defined in the .cc)
+
+  nn::Sequential& scratch_model(std::size_t slot);
+
+  EngineConfig config_;
+  AsyncConfig async_;
+  nn::ModelFactory factory_;
+  const std::vector<Client>* clients_;
+  std::vector<std::vector<std::size_t>> tier_members_;
+  const data::Dataset* test_;
+  sim::LatencyModel latency_model_;
+  std::vector<nn::Sequential> scratch_;  // slot 0 = eval, 1.. = training
+};
+
+}  // namespace tifl::fl

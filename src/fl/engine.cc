@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fl/evaluation.h"
 #include "fl/secure_aggregation.h"
 
 #include "util/log.h"
@@ -40,31 +41,8 @@ nn::Sequential& Engine::scratch_model(std::size_t slot) {
 
 nn::LossResult Engine::evaluate(std::span<const float> weights,
                                 const data::Dataset& dataset) {
-  nn::Sequential& model = scratch_model(0);
-  model.set_weights(weights);
-
-  nn::LossResult total;
-  std::size_t seen = 0;
-  std::vector<std::size_t> chunk;
-  chunk.reserve(config_.eval_chunk);
-  for (std::size_t start = 0; start < dataset.size();
-       start += config_.eval_chunk) {
-    const std::size_t end =
-        std::min(dataset.size(), start + config_.eval_chunk);
-    chunk.clear();
-    for (std::size_t i = start; i < end; ++i) chunk.push_back(i);
-    const data::Dataset::Batch batch = dataset.gather(chunk);
-    const nn::LossResult r = model.evaluate(batch.x, batch.y);
-    const std::size_t n = end - start;
-    total.loss += r.loss * static_cast<double>(n);
-    total.accuracy += r.accuracy * static_cast<double>(n);
-    seen += n;
-  }
-  if (seen > 0) {
-    total.loss /= static_cast<double>(seen);
-    total.accuracy /= static_cast<double>(seen);
-  }
-  return total;
+  return evaluate_weights(scratch_model(0), weights, dataset,
+                          config_.eval_chunk);
 }
 
 double Engine::expected_client_latency(std::size_t client_id) const {

@@ -1,0 +1,40 @@
+#include "fl/evaluation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace tifl::fl {
+
+nn::LossResult evaluate_weights(nn::Sequential& model,
+                                std::span<const float> weights,
+                                const data::Dataset& dataset,
+                                std::size_t chunk) {
+  if (chunk == 0) {
+    throw std::invalid_argument("evaluate_weights: zero chunk size");
+  }
+  model.set_weights(weights);
+
+  nn::LossResult total;
+  std::size_t seen = 0;
+  std::vector<std::size_t> indices;
+  indices.reserve(chunk);
+  for (std::size_t start = 0; start < dataset.size(); start += chunk) {
+    const std::size_t end = std::min(dataset.size(), start + chunk);
+    indices.clear();
+    for (std::size_t i = start; i < end; ++i) indices.push_back(i);
+    const data::Dataset::Batch batch = dataset.gather(indices);
+    const nn::LossResult r = model.evaluate(batch.x, batch.y);
+    const std::size_t n = end - start;
+    total.loss += r.loss * static_cast<double>(n);
+    total.accuracy += r.accuracy * static_cast<double>(n);
+    seen += n;
+  }
+  if (seen > 0) {
+    total.loss /= static_cast<double>(seen);
+    total.accuracy /= static_cast<double>(seen);
+  }
+  return total;
+}
+
+}  // namespace tifl::fl

@@ -1,0 +1,20 @@
+// Chunked model evaluation shared by the synchronous and asynchronous
+// engines: load `weights` into a caller-owned scratch model and compute
+// sample-weighted mean loss/accuracy over `dataset` in `chunk`-sized
+// mini-batches (bounding peak activation memory on large test sets).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace tifl::fl {
+
+nn::LossResult evaluate_weights(nn::Sequential& model,
+                                std::span<const float> weights,
+                                const data::Dataset& dataset,
+                                std::size_t chunk);
+
+}  // namespace tifl::fl

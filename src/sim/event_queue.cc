@@ -1,0 +1,60 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tifl::sim {
+
+namespace {
+
+// std::*_heap builds a max-heap, so "after" = min-heap on (time, seq).
+// (time, seq) keys are unique (seq is), making the order strict-total:
+// the pop sequence is fully determined regardless of heap layout.
+bool after(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+std::uint64_t EventQueue::schedule(double delay, std::uint64_t kind,
+                                   std::uint64_t actor) {
+  if (std::isnan(delay) || delay < 0.0) {
+    throw std::invalid_argument("EventQueue: negative or NaN delay");
+  }
+  return schedule_at(now_ + delay, kind, actor);
+}
+
+std::uint64_t EventQueue::schedule_at(double time, std::uint64_t kind,
+                                      std::uint64_t actor) {
+  if (std::isnan(time) || time < now_) {
+    throw std::invalid_argument("EventQueue: event time in the past");
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{.time = time, .seq = seq, .kind = kind,
+                        .actor = actor});
+  std::push_heap(heap_.begin(), heap_.end(), after);
+  return seq;
+}
+
+const Event& EventQueue::peek() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue: peek on empty");
+  return heap_.front();
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty");
+  std::pop_heap(heap_.begin(), heap_.end(), after);
+  const Event top = heap_.back();
+  heap_.pop_back();
+  now_ = top.time;
+  return top;
+}
+
+void EventQueue::reset() {
+  heap_.clear();
+  now_ = 0.0;
+}
+
+}  // namespace tifl::sim

@@ -1,0 +1,62 @@
+// Deterministic discrete-event scheduler — the virtual-time core of the
+// asynchronous execution subsystem (and a strict generalization of
+// `VirtualClock`: where the synchronous engine advances time by one
+// round-max latency at a time, the event queue lets any number of actors
+// progress at their own cadence on a single shared timeline).
+//
+// Determinism: events are ordered by (time, seq) where `seq` is the
+// monotone insertion index, so simultaneous events pop in the exact order
+// they were scheduled (stable tie-breaking) and the pop sequence is a
+// pure function of the push sequence — independent of heap layout,
+// thread scheduling, or platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tifl::sim {
+
+struct Event {
+  double time = 0.0;        // absolute virtual seconds
+  std::uint64_t seq = 0;    // insertion order; unique, breaks time ties
+  std::uint64_t kind = 0;   // caller-defined event tag
+  std::uint64_t actor = 0;  // caller-defined actor id (tier, client, ...)
+};
+
+class EventQueue {
+ public:
+  // Current virtual time: the timestamp of the last popped event (0
+  // before any pop), like VirtualClock::now().
+  double now() const noexcept { return now_; }
+
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+
+  // Schedules an event `delay >= 0` virtual seconds from now; returns its
+  // seq (callers key per-event state — e.g. RNG forks — off this).
+  std::uint64_t schedule(double delay, std::uint64_t kind,
+                         std::uint64_t actor);
+
+  // Schedules at an absolute time; throws std::invalid_argument when the
+  // time lies in the past (events cannot rewrite history).
+  std::uint64_t schedule_at(double time, std::uint64_t kind,
+                            std::uint64_t actor);
+
+  // Earliest pending event; throws std::logic_error when empty.
+  const Event& peek() const;
+
+  // Removes and returns the earliest event, advancing now() to its time.
+  Event pop();
+
+  // Drops all pending events and rewinds the clock to zero.  seq keeps
+  // counting so pre/post-reset events never collide.
+  void reset();
+
+ private:
+  std::vector<Event> heap_;  // binary min-heap ordered by (time, seq)
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tifl::sim

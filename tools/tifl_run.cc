@@ -19,6 +19,14 @@
 //   --tiers M [5]      --seed S [1]       --scale S [0.25]
 //   --time-budget SECONDS [0 = unlimited]
 //   --csv FILE   per-round series output
+//   --engine     sync | async                                [sync]
+//   --staleness  constant | poly | invfreq (async only)      [constant]
+//   --alpha      polynomial staleness decay exponent         [0.5]
+//
+// With --engine async the selection policy is ignored: every tier trains
+// at its own cadence and samples its members uniformly; --rounds counts
+// global model versions (tier submissions) instead of synchronized
+// rounds.
 #include <iostream>
 
 #include "scenarios.h"
@@ -100,6 +108,39 @@ int main(int argc, char** argv) {
     config.time_budget_seconds = cli.get_double("time-budget", 0.0);
     Scenario scenario = build_scenario(std::move(config));
     print_tiering(*scenario.system);
+
+    const std::string engine = cli.get("engine", "sync");
+    if (engine != "sync" && engine != "async") {
+      throw std::invalid_argument("unknown --engine " + engine +
+                                  " (sync | async)");
+    }
+    if (engine == "async") {
+      fl::AsyncConfig async;
+      async.staleness = fl::parse_staleness(cli.get("staleness", "constant"));
+      async.poly_alpha = cli.get_double("alpha", 0.5);
+      async.time_budget_seconds = cli.get_double("time-budget", 0.0);
+      const fl::AsyncRunResult run = scenario.system->run_async(async);
+      const fl::RunResult& result = run.result;
+
+      util::TablePrinter tiers = async_cadence_table(run);
+      util::TablePrinter table({"metric", "value"});
+      table.add_row({"engine", result.policy_name});
+      table.add_row({"global versions", std::to_string(result.rounds.size())});
+      table.add_row(
+          {"training time [s]", util::format_double(result.total_time(), 1)});
+      table.add_row({"final accuracy [%]",
+                     util::format_double(result.final_accuracy() * 100, 2)});
+      table.add_row({"best accuracy [%]",
+                     util::format_double(result.best_accuracy() * 100, 2)});
+      std::cout << "\n" << tiers.to_string() << "\n" << table.to_string();
+
+      const std::string csv = cli.get("csv", "");
+      if (!csv.empty()) {
+        result.write_csv(csv);
+        std::cout << "per-version series written to " << csv << "\n";
+      }
+      return 0;
+    }
 
     const std::string policy_name = cli.get("policy", "adaptive");
     const std::vector<PolicyRun> runs =
