@@ -1,0 +1,164 @@
+// Static vs dynamic tiering under latency drift (churn + online
+// re-tiering on the async engine).
+//
+// The construction-time tiering is computed once; when client latencies
+// drift mid-run (mid-round slowdowns with multipliers centered well
+// above 1x), a frozen tier map goes stale: drifted stragglers keep
+// polluting fast tiers, so every fast-tier round pays their inflated
+// latency.  Dynamic tiering re-profiles every --reprofile seconds from
+// the exponentially-decayed observed latencies and migrates clients
+// between tiers with tier models intact — fast tiers stay fast.
+//
+// Three async runs share one federation, one seed and one *pinned* churn
+// stream (identical drift, slowdown-only so the event->client mapping
+// cannot diverge):
+//   no drift   — reference cadence without slowdowns
+//   static     — drift, tiers frozen (reprofile_every = 0)
+//   dynamic    — same drift, re-tiering every --reprofile seconds
+//
+// The drift is heavy-tailed (--drift-mu 0.5 --drift-sigma 1.2: most
+// multipliers are mild, a few clients become ~5-20x stragglers) — the
+// regime where tier membership actually matters.  Uniform heavy drift
+// slows every client equally and no tiering, static or dynamic, can buy
+// anything.
+//
+// Headline: dynamic beats static on time-to-target-accuracy and total
+// virtual time for the same number of global versions.
+//
+//   ./build/bench_churn_retier [--rounds N]
+//       [--drift-rate R=0.1] [--drift-mu M=0.5] [--drift-sigma S=1.2]
+//       [--reprofile T=15] [--ema-alpha A=0.7] [--staleness poly]
+//       [--target A] ...
+#include <iostream>
+
+#include "scenarios.h"
+
+namespace tifl::bench {
+namespace {
+
+struct NamedRun {
+  std::string name;
+  fl::AsyncRunResult run;
+};
+
+void run(const BenchOptions& options, const util::Cli& cli) {
+  // Dynamic runs evolve the system's tier state (that is the feature), so
+  // each engine below gets its own freshly-built — and, deterministically,
+  // identical — scenario: all three start from the same profiled tiers.
+  const auto make_scenario = [&options]() {
+    ScenarioConfig scenario_config = cifar_resource_scenario(options);
+    scenario_config.name = "cifar/resource+drift";
+    return build_scenario(std::move(scenario_config));
+  };
+  Scenario scenario = make_scenario();
+  print_tiering(*scenario.system);
+
+  const double drift_rate = cli.get_double("drift-rate", 0.1);
+  const double drift_mu = cli.get_double("drift-mu", 0.5);
+  const double reprofile = cli.get_double("reprofile", 15.0);
+
+  fl::AsyncConfig base;
+  base.staleness = fl::parse_staleness(cli.get("staleness", "poly"));
+  // Versions are per-client submissions on the dynamic path: ~|C| per
+  // sync-round-equivalent, so --rounds keeps its usual magnitude.
+  base.total_updates =
+      scenario.config.rounds * scenario.config.clients_per_round;
+  base.eval_every = scenario.config.clients_per_round;
+  // One churn stream pinned across runs: identical drift everywhere
+  // (slowdown-only, so the event->client mapping cannot diverge between
+  // the frozen-tier and re-tiered runs).
+  sim::ChurnConfig drift;
+  drift.slowdown_rate = drift_rate;
+  drift.slowdown_log_mu = drift_mu;
+  drift.slowdown_log_sigma = cli.get_double("drift-sigma", 1.2);
+  drift.seed = 0xD81F7;
+
+  std::vector<NamedRun> runs;
+  {
+    fl::AsyncConfig calm = base;
+    calm.dynamic_lifecycle = true;  // same per-client semantics, no events
+    runs.push_back({"async/no-drift", scenario.system->run_async(calm)});
+  }
+  {
+    fl::AsyncConfig frozen = base;
+    frozen.churn = drift;
+    frozen.reprofile_every = 0.0;  // tiers stay as profiled
+    Scenario fresh = make_scenario();
+    runs.push_back({"async/drift+static-tiers",
+                    fresh.system->run_async(frozen)});
+  }
+  {
+    fl::AsyncConfig dynamic = base;
+    dynamic.churn = drift;
+    dynamic.reprofile_every = reprofile;
+    dynamic.latency_ema_alpha = cli.get_double("ema-alpha", 0.7);
+    Scenario fresh = make_scenario();
+    runs.push_back({"async/drift+dynamic-tiers",
+                    fresh.system->run_async(dynamic)});
+  }
+
+  double target = cli.get_double("target", 0.0);
+  if (target <= 0.0) {
+    // 98 % of the weaker drifted run's final accuracy: both can hit it
+    // late enough that drift and re-tiering have diverged the curves.
+    target = 0.98 * std::min(runs[1].run.result.final_accuracy(),
+                             runs[2].run.result.final_accuracy());
+  }
+
+  util::TablePrinter table({"engine", "versions", "final acc [%]",
+                            "total time [s]",
+                            "time to " + util::format_double(target * 100, 1) +
+                                " % [s]",
+                            "slowdowns", "re-tierings"});
+  for (const NamedRun& named : runs) {
+    const fl::RunResult& result = named.run.result;
+    const double t = result.time_to_accuracy(target);
+    table.add_row({named.name, std::to_string(result.rounds.size()),
+                   util::format_double(result.final_accuracy() * 100, 2),
+                   util::format_double(result.total_time(), 1),
+                   t < 0 ? "never" : util::format_double(t, 1),
+                   std::to_string(named.run.slowdown_count),
+                   std::to_string(named.run.reprofile_count)});
+  }
+  std::cout << "\n== static vs dynamic tiering under latency drift ("
+            << scenario.config.name << ", drift rate "
+            << util::format_double(drift_rate, 3) << "/s, multiplier ~"
+            << util::format_double(std::exp(drift_mu), 1) << "x) ==\n"
+            << table.to_string();
+
+  std::cout << "\n== drift+dynamic per-tier cadence ==\n"
+            << async_cadence_table(runs.back().run).to_string();
+
+  const double static_time = runs[1].run.result.total_time();
+  const double dynamic_time = runs[2].run.result.total_time();
+  const double st = runs[1].run.result.time_to_accuracy(target);
+  const double dt = runs[2].run.result.time_to_accuracy(target);
+  std::cout << "\ndynamic re-tiering finished " << base.total_updates
+            << " versions " << util::format_double(static_time / dynamic_time, 2)
+            << "x sooner than static tiers under the same drift";
+  if (st > 0 && dt > 0) {
+    std::cout << " and reached " << util::format_double(target * 100, 1)
+              << " % accuracy " << util::format_double(st / dt, 2)
+              << "x sooner";
+  }
+  std::cout << ".\n";
+
+  std::vector<PolicyRun> series;
+  for (const NamedRun& named : runs) {
+    series.push_back(PolicyRun{named.name, named.run.result});
+  }
+  print_accuracy_over_time("static vs dynamic tiering under drift", series);
+  maybe_write_csv(options, "churn_retier", series);
+}
+
+}  // namespace
+}  // namespace tifl::bench
+
+int main(int argc, char** argv) {
+  using namespace tifl::bench;
+  const BenchOptions options = BenchOptions::from_cli(argc, argv);
+  const tifl::util::Cli cli(argc, argv);
+  std::cout << "Static vs dynamic tiering under latency drift\n";
+  run(options, cli);
+  return 0;
+}

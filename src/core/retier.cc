@@ -1,0 +1,68 @@
+#include "core/retier.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tifl::core {
+
+OnlineReTierer::OnlineReTierer(RetierConfig config,
+                               std::vector<double> initial_latency,
+                               std::vector<bool> inactive)
+    : config_(config),
+      latency_(std::move(initial_latency)),
+      inactive_(std::move(inactive)) {
+  if (latency_.size() != inactive_.size()) {
+    throw std::invalid_argument("OnlineReTierer: latency/inactive mismatch");
+  }
+  if (latency_.empty()) {
+    throw std::invalid_argument("OnlineReTierer: no clients");
+  }
+  if (config_.ema_alpha <= 0.0 || config_.ema_alpha > 1.0) {
+    throw std::invalid_argument("OnlineReTierer: ema_alpha outside (0, 1]");
+  }
+  if (config_.num_tiers == 0) {
+    throw std::invalid_argument("OnlineReTierer: need at least one tier");
+  }
+  rebuild();
+}
+
+void OnlineReTierer::observe(std::size_t client, double latency) {
+  if (std::isnan(latency) || latency < 0.0) {
+    throw std::invalid_argument("OnlineReTierer: bad latency observation");
+  }
+  double& estimate = latency_.at(client);
+  estimate = (1.0 - config_.ema_alpha) * estimate +
+             config_.ema_alpha * latency;
+}
+
+void OnlineReTierer::set_active(std::size_t client, bool active) {
+  inactive_.at(client) = !active;
+}
+
+void OnlineReTierer::seed_latency(std::size_t client, double latency) {
+  latency_.at(client) = latency;
+}
+
+std::size_t OnlineReTierer::place(std::size_t client) const {
+  const double estimate = latency_.at(client);
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < tiers_.tier_count(); ++t) {
+    if (tiers_.members[t].empty()) continue;
+    const double distance = std::abs(tiers_.avg_latency[t] - estimate);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = t;
+    }
+  }
+  return best;
+}
+
+const TierInfo& OnlineReTierer::rebuild() {
+  tiers_ = build_tiers(latency_, inactive_, config_.num_tiers,
+                       config_.strategy);
+  return tiers_;
+}
+
+}  // namespace tifl::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/retier.h"
+
 namespace tifl::core {
 
 std::vector<data::Dataset> build_tier_eval_sets(
@@ -83,6 +85,15 @@ fl::RunResult TiflSystem::run(fl::SelectionPolicy& policy,
 fl::AsyncRunResult TiflSystem::run_async(
     std::optional<fl::AsyncConfig> async,
     std::optional<std::uint64_t> seed_override) {
+  bool any_members = false;
+  for (const std::vector<std::size_t>& members : tiers_.members) {
+    any_members = any_members || !members.empty();
+  }
+  if (!any_members) {
+    throw std::runtime_error(
+        "TiflSystem::run_async: no live clients remain (a previous churned "
+        "run drained the population); call reprofile() to re-admit them");
+  }
   fl::AsyncConfig resolved = async.value_or(config_.async);
   if (resolved.total_updates == 0) {
     resolved.total_updates = config_.engine.rounds;
@@ -96,7 +107,79 @@ fl::AsyncRunResult TiflSystem::run_async(
   fl::AsyncEngine engine(config_.engine, resolved, factory_,
                          &engine_->clients(), tiers_.members, test_,
                          latency_model_);
-  return engine.run(seed_override);
+
+  if (!engine.dynamic()) return engine.run(seed_override);
+
+  // Dynamic lifecycle: back the engine's join/leave/reprofile events with
+  // an OnlineReTierer.  The engine reports what it observes; the
+  // re-tierer owns the decayed latency estimates and reruns the §4.2
+  // tiering algorithm on each ReProfile event.  tiers_ tracks the
+  // rebuilt membership so the caller sees the post-run tier structure —
+  // and a later dynamic run continues from it: the retierer's active set
+  // is derived from the *current* tiers_ (matching the engine's live
+  // set), so clients who left in a previous run form the next run's
+  // join reserve.  On the first run this equals the profiling dropout
+  // set exactly.  reprofile() resets to a fresh profile.
+  RetierConfig retier_config;
+  retier_config.num_tiers = config_.num_tiers;
+  retier_config.strategy = config_.tiering;
+  retier_config.ema_alpha = resolved.latency_ema_alpha;
+  std::vector<bool> inactive(profile_.mean_latency.size(), true);
+  for (const std::vector<std::size_t>& members : tiers_.members) {
+    for (std::size_t id : members) inactive[id] = false;
+  }
+  OnlineReTierer retierer(retier_config, profile_.mean_latency,
+                          std::move(inactive));
+
+  fl::LifecycleHooks hooks;
+  hooks.observe = [&retierer](std::size_t client, double latency) {
+    retierer.observe(client, latency);
+  };
+  hooks.left = [&retierer](std::size_t client) {
+    retierer.set_active(client, false);
+  };
+  hooks.joined = [&retierer](std::size_t client, double expected_latency) {
+    retierer.set_active(client, true);
+    // The engine's estimate carries any slowdown multiplier the client
+    // picked up before leaving — a drifted rejoiner lands in a slow tier.
+    retierer.seed_latency(client, expected_latency);
+    return retierer.place(client);
+  };
+  hooks.retier = [this, &retierer]() {
+    tiers_ = retierer.rebuild();
+    return tiers_.members;
+  };
+  engine.set_lifecycle_hooks(std::move(hooks));
+  fl::AsyncRunResult out = engine.run(seed_override);
+
+  // Final sync: tiers() reflects the membership the run actually ended
+  // with — leavers dropped, joiners where the run placed them — taken
+  // verbatim from the engine.  Deliberately NOT a rebuild(): with
+  // reprofile_every == 0 the tiering must stay frozen apart from the
+  // population changes, and with re-tiering on, the last ReProfile's
+  // partition stands until the next one would have fired.
+  tiers_ = TierInfo{};
+  tiers_.members = std::move(out.final_members);
+  out.final_members = tiers_.members;
+  tiers_.avg_latency.assign(tiers_.members.size(), 0.0);
+  for (std::size_t t = 0; t < tiers_.members.size(); ++t) {
+    double sum = 0.0;
+    for (std::size_t id : tiers_.members[t]) sum += retierer.latency(id);
+    if (!tiers_.members[t].empty()) {
+      tiers_.avg_latency[t] =
+          sum / static_cast<double>(tiers_.members[t].size());
+    }
+  }
+  const std::vector<bool>& gone = retierer.inactive();
+  for (std::size_t c = 0; c < gone.size(); ++c) {
+    if (gone[c]) tiers_.dropouts.push_back(c);
+  }
+  // Keep the sync engine's per-tier evaluation sets in step with the
+  // evolved membership (as reprofile() does) so a later sync run reports
+  // tier accuracies over the right clients.
+  engine_->set_tier_eval_sets(
+      build_tier_eval_sets(tiers_, engine_->clients(), *test_));
+  return out;
 }
 
 double TiflSystem::estimate_time(const std::string& table1_name) const {

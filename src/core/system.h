@@ -73,6 +73,16 @@ class TiflSystem {
   // clients_per_round / engine.time_budget_seconds.
   // No selection policy is involved — tiers sample their own members
   // uniformly, which is what makes tier cadences independent.
+  //
+  // Dynamic client lifecycle: when async.churn has a positive rate or
+  // async.reprofile_every > 0, the run handles joins, leaves and
+  // mid-round slowdowns on the event queue, and on every ReProfile event
+  // rebuilds the tiers from an exponentially-decayed observed-latency
+  // estimate (OnlineReTierer over the same build_tiers algorithm) without
+  // restarting — tier models survive the migration, and tiers() reflects
+  // the final membership after the run.  All-zero churn with
+  // reprofile_every == 0 replays the static-population engine bit for
+  // bit.
   fl::AsyncRunResult run_async(
       std::optional<fl::AsyncConfig> async = {},
       std::optional<std::uint64_t> seed_override = {});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "fl/aggregator.h"
@@ -74,6 +75,78 @@ std::vector<double> cross_tier_weights(
   return weights;
 }
 
+namespace {
+
+// Per-tier selection/latency streams, shared by both run paths so a
+// zero-churn dynamic configuration consumes the exact streams of a
+// static run.  Tier 0 reuses the sync engine's fork tags (0xF01
+// selection, 0xF02 latency): a single-tier async run consumes the
+// byte-for-byte streams of a sync VanillaPolicy run.
+struct TierRngs {
+  std::vector<util::Rng> selection;
+  std::vector<util::Rng> latency;
+};
+
+TierRngs make_tier_rngs(std::uint64_t seed, std::size_t num_tiers) {
+  util::Rng root(seed);
+  TierRngs rngs;
+  rngs.selection.reserve(num_tiers);
+  rngs.latency.reserve(num_tiers);
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    rngs.selection.push_back(
+        root.fork(t == 0 ? 0xF01 : util::mix_seed(0xA51C, t)));
+    rngs.latency.push_back(
+        root.fork(t == 0 ? 0xF02 : util::mix_seed(0xA51D, t)));
+  }
+  return rngs;
+}
+
+// Final per-tier accounting shared by both run paths (final_live_clients
+// stays path-specific).
+void finalize_result(AsyncRunResult& out, std::vector<float>&& global,
+                     const std::vector<std::size_t>& tier_updates,
+                     const std::vector<double>& staleness_sum,
+                     std::vector<double>&& current_weights) {
+  const std::size_t num_tiers = tier_updates.size();
+  out.final_weights = std::move(global);
+  out.tier_updates = tier_updates;
+  out.mean_staleness.assign(num_tiers, 0.0);
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    if (tier_updates[t] > 0) {
+      out.mean_staleness[t] =
+          staleness_sum[t] / static_cast<double>(tier_updates[t]);
+    }
+  }
+  out.final_tier_weights = std::move(current_weights);
+  if (out.final_tier_weights.empty()) {
+    out.final_tier_weights.assign(num_tiers, 0.0);
+  }
+}
+
+// Recompute the global model as the staleness-weighted cross-tier average
+// (double-precision reduction in tier order, shared by both run paths).
+// `accum` is caller-owned scratch, hoisted out of the event loops: the
+// dynamic path aggregates once per client update.
+void aggregate_global(const std::vector<std::vector<float>>& tier_models,
+                      const std::vector<double>& weights,
+                      std::vector<float>& global, std::vector<double>& accum) {
+  const std::size_t weight_count = global.size();
+  accum.assign(weight_count, 0.0);
+  for (std::size_t t = 0; t < tier_models.size(); ++t) {
+    if (weights[t] == 0.0) continue;
+    const double w = weights[t];
+    const std::vector<float>& model = tier_models[t];
+    for (std::size_t i = 0; i < weight_count; ++i) {
+      accum[i] += w * static_cast<double>(model[i]);
+    }
+  }
+  for (std::size_t i = 0; i < weight_count; ++i) {
+    global[i] = static_cast<float>(accum[i]);
+  }
+}
+
+}  // namespace
+
 struct AsyncEngine::PendingRound {
   std::vector<std::size_t> selected;  // client ids, selection order
   std::vector<LocalUpdate> updates;   // same order
@@ -113,6 +186,15 @@ AsyncEngine::AsyncEngine(EngineConfig config, AsyncConfig async,
   if (async_.eval_every == 0) {
     throw std::invalid_argument("AsyncEngine: eval_every must be > 0");
   }
+  if (std::isnan(async_.reprofile_every) || async_.reprofile_every < 0.0) {
+    throw std::invalid_argument("AsyncEngine: negative reprofile_every");
+  }
+  for (double rate : {async_.churn.join_rate, async_.churn.leave_rate,
+                      async_.churn.slowdown_rate}) {
+    if (std::isnan(rate) || rate < 0.0) {
+      throw std::invalid_argument("AsyncEngine: negative or NaN churn rate");
+    }
+  }
   bool any_members = false;
   for (const std::vector<std::size_t>& members : tier_members_) {
     any_members = any_members || !members.empty();
@@ -134,6 +216,14 @@ nn::Sequential& AsyncEngine::scratch_model(std::size_t slot) {
   return scratch_[slot];
 }
 
+util::ThreadPool& AsyncEngine::pool() {
+  return pool_ != nullptr ? *pool_ : util::global_pool();
+}
+
+void AsyncEngine::set_lifecycle_hooks(LifecycleHooks hooks) {
+  hooks_ = std::move(hooks);
+}
+
 nn::LossResult AsyncEngine::evaluate(std::span<const float> weights,
                                      const data::Dataset& dataset) {
   return evaluate_weights(scratch_model(0), weights, dataset,
@@ -142,24 +232,17 @@ nn::LossResult AsyncEngine::evaluate(std::span<const float> weights,
 
 AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
   const std::uint64_t seed = seed_override.value_or(config_.seed);
+  // The static path below is kept byte-for-byte: a configuration with no
+  // churn and reprofile_every == 0 must replay PR 1's engine exactly.
+  return dynamic() ? run_dynamic(seed) : run_static(seed);
+}
+
+AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
   const std::size_t num_tiers = tier_members_.size();
 
-  // Stream layout: tier 0 reuses the sync engine's fork tags (0xF01
-  // selection, 0xF02 latency) so a single-tier async run consumes the
-  // exact byte-for-byte streams of a sync VanillaPolicy run.
-  util::Rng root(seed);
-  std::vector<util::Rng> selection_rng, latency_rng;
-  selection_rng.reserve(num_tiers);
-  latency_rng.reserve(num_tiers);
-  for (std::size_t t = 0; t < num_tiers; ++t) {
-    selection_rng.push_back(
-        root.fork(t == 0 ? 0xF01 : util::mix_seed(0xA51C, t)));
-    latency_rng.push_back(
-        root.fork(t == 0 ? 0xF02 : util::mix_seed(0xA51D, t)));
-  }
+  TierRngs rngs = make_tier_rngs(seed, num_tiers);
 
   std::vector<float> global = factory_(seed).weights();
-  const std::size_t weight_count = global.size();
 
   // Per-tier server state (FedAT keeps one model version per tier).
   std::vector<std::vector<float>> tier_models(num_tiers, global);
@@ -176,6 +259,8 @@ AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
   out.result.policy_name = "async/" + staleness_name(async_.staleness);
   out.result.rounds.reserve(async_.total_updates);
   std::vector<double> current_weights;
+  std::vector<std::size_t> model_age;     // reused per aggregation
+  std::vector<double> accum_scratch;      // aggregate_global scratch
 
   std::size_t dispatch_seq = 0;   // event-order dispatch counter
   std::size_t scheduled = 0;      // dispatched tier rounds (in flight + done)
@@ -189,7 +274,7 @@ AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
     round.selected.clear();
     for (std::size_t local :
          sample_without_replacement(members.size(), count,
-                                    selection_rng[tier])) {
+                                    rngs.selection[tier])) {
       round.selected.push_back(members[local]);
     }
     round.dispatch_version = out.result.rounds.size();
@@ -199,7 +284,7 @@ AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
 
     for (std::size_t i = 0; i < count; ++i) scratch_model(i + 1);
     round.updates.assign(count, LocalUpdate{});
-    util::global_pool().parallel_for(0, count, [&](std::size_t i) {
+    pool().parallel_for(0, count, [&](std::size_t i) {
       const Client& client = clients_->at(round.selected[i]);
       // Deterministic stream per (event-seq, client id): the async
       // analogue of the sync engine's (round, client id) fork.
@@ -218,7 +303,7 @@ AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
           round.latency,
           latency_model_.sample_latency(client.resource(),
                                         client.train_size(), params.epochs,
-                                        latency_rng[tier]));
+                                        rngs.latency[tier]));
     }
     queue.schedule(round.latency, /*kind=*/0, /*actor=*/tier);
     ++scheduled;
@@ -257,24 +342,13 @@ AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
     tier_lr[tier] *= config_.lr_decay_per_round;
 
     // --- staleness-weighted cross-tier aggregation -------------------------
-    std::vector<std::size_t> model_age(num_tiers, 0);
+    model_age.assign(num_tiers, 0);
     for (std::size_t t = 0; t < num_tiers; ++t) {
       if (tier_updates[t] > 0) model_age[t] = version - last_submit_version[t];
     }
     current_weights = cross_tier_weights(async_.staleness, async_.poly_alpha,
                                          tier_updates, model_age);
-    std::vector<double> accum(weight_count, 0.0);
-    for (std::size_t t = 0; t < num_tiers; ++t) {
-      if (current_weights[t] == 0.0) continue;
-      const double w = current_weights[t];
-      const std::vector<float>& model = tier_models[t];
-      for (std::size_t i = 0; i < weight_count; ++i) {
-        accum[i] += w * static_cast<double>(model[i]);
-      }
-    }
-    for (std::size_t i = 0; i < weight_count; ++i) {
-      global[i] = static_cast<float>(accum[i]);
-    }
+    aggregate_global(tier_models, current_weights, global, accum_scratch);
 
     // --- record + evaluation ----------------------------------------------
     RoundRecord record;
@@ -322,19 +396,497 @@ AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
     out.result.rounds.back().global_loss = r.loss;
   }
 
-  out.final_weights = std::move(global);
-  out.tier_updates = tier_updates;
-  out.mean_staleness.assign(num_tiers, 0.0);
+  finalize_result(out, std::move(global), tier_updates, staleness_sum,
+                  std::move(current_weights));
+  out.final_members = tier_members_;
+  for (const std::vector<std::size_t>& members : tier_members_) {
+    out.final_live_clients += members.size();
+  }
+  return out;
+}
+
+// Dynamic client lifecycle: joins, leaves, mid-round slowdowns and online
+// re-tiering share the event queue with training.  The unit of submission
+// is the *client*, not the tier: every sampled client's update arrives as
+// its own kClientUpdate event after that client's individual latency, is
+// folded into its tier's running (staleness-weighted) FedAvg, and
+// triggers one cross-tier aggregation — so a straggler whose multiplier
+// changed mid-flight lands late and is discounted by its own age, while
+// its on-time cohort already moved the model.  A tier re-dispatches when
+// every awaited member has arrived or left.
+AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
+  const std::size_t num_tiers = tier_members_.size();
+  const std::size_t num_clients = clients_->size();
+  if (async_.reprofile_every > 0.0 && !hooks_.retier) {
+    throw std::invalid_argument(
+        "AsyncEngine: reprofile_every > 0 requires a retier hook");
+  }
+
+  // Membership evolves during the run (leaves, joins, re-tierings), so
+  // work on a run-local copy: repeated run() calls stay a pure function
+  // of the seed.  Sorted ascending — the sorted_erase/insert below and
+  // deterministic sampling rely on it.
+  std::vector<std::vector<std::size_t>> tiers = tier_members_;
+  for (std::vector<std::size_t>& members : tiers) {
+    std::sort(members.begin(), members.end());
+  }
+
+  // Same stream layout as the static path; churn draws come from the
+  // ChurnModel's own forked streams, so enabling re-profiling alone does
+  // not perturb selection or latency sequences.
+  TierRngs rngs = make_tier_rngs(seed, num_tiers);
+
+  std::vector<float> global = factory_(seed).weights();
+  const std::size_t weight_count = global.size();
+
+  std::vector<std::vector<float>> tier_models(num_tiers, global);
+  std::vector<std::size_t> tier_updates(num_tiers, 0);
+  std::vector<std::size_t> last_submit_version(num_tiers, 0);
+  std::vector<double> tier_lr(num_tiers, config_.local.optimizer.lr);
+  std::vector<double> staleness_sum(num_tiers, 0.0);
+
+  // One open round per tier, folded into incrementally as members arrive.
+  struct DynRound {
+    bool active = false;       // a cohort is in flight
+    std::size_t awaiting = 0;  // members not yet arrived nor departed
+    std::size_t arrivals = 0;
+    std::vector<double> accum;  // sum of weight * update (doubles)
+    double weight_total = 0.0;
+  };
+  std::vector<DynRound> rounds(num_tiers);
+
+  // Per-client lifecycle state.
+  constexpr std::size_t kNoTier = static_cast<std::size_t>(-1);
+  std::vector<char> live(num_clients, 0);
+  std::vector<std::size_t> tier_of(num_clients, kNoTier);
+  std::vector<double> latency_scale(num_clients, 1.0);
+  std::vector<char> in_flight(num_clients, 0);
+  std::size_t in_flight_count = 0;
+  std::vector<double> arrival_time(num_clients, 0.0);
+  std::vector<double> flight_dispatch_time(num_clients, 0.0);
+  std::vector<std::size_t> flight_dispatch_version(num_clients, 0);
+  std::vector<std::size_t> flight_tier(num_clients, 0);
+  std::vector<LocalUpdate> flight_update(num_clients);
+
+  std::vector<std::size_t> live_ids;      // sorted ascending
+  std::vector<std::size_t> inactive_ids;  // sorted ascending (join reserve)
   for (std::size_t t = 0; t < num_tiers; ++t) {
-    if (tier_updates[t] > 0) {
-      out.mean_staleness[t] =
-          staleness_sum[t] / static_cast<double>(tier_updates[t]);
+    for (std::size_t id : tiers[t]) {
+      live[id] = 1;
+      tier_of[id] = t;
     }
   }
-  out.final_tier_weights = std::move(current_weights);
-  if (out.final_tier_weights.empty()) {
-    out.final_tier_weights.assign(num_tiers, 0.0);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    (live[c] ? live_ids : inactive_ids).push_back(c);
   }
+
+  const auto sorted_insert = [](std::vector<std::size_t>& ids,
+                                std::size_t id) {
+    ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+  };
+  const auto sorted_erase = [](std::vector<std::size_t>& ids,
+                               std::size_t id) {
+    const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+    if (it != ids.end() && *it == id) ids.erase(it);
+  };
+
+  sim::EventQueue queue;
+  AsyncRunResult out;
+  out.result.policy_name = "async-dyn/" + staleness_name(async_.staleness);
+  out.result.rounds.reserve(async_.total_updates);
+  std::vector<double> current_weights;
+  std::vector<std::size_t> model_age;     // reused per aggregation
+  std::vector<double> accum_scratch;      // aggregate_global scratch
+
+  std::size_t dispatch_seq = 0;
+
+  const auto expected_latency = [&](std::size_t c) {
+    const Client& client = clients_->at(c);
+    return latency_model_.expected_latency(client.resource(),
+                                           client.train_size(),
+                                           config_.local.epochs) *
+           latency_scale[c];
+  };
+
+  // Hook-free join placement: the tier whose live members' mean expected
+  // latency sits nearest the joiner's.
+  const auto place_fallback = [&](std::size_t c) {
+    const double mine = expected_latency(c);
+    std::size_t best = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      if (tiers[t].empty()) continue;
+      double mean = 0.0;
+      for (std::size_t id : tiers[t]) mean += expected_latency(id);
+      mean /= static_cast<double>(tiers[t].size());
+      const double distance = std::abs(mean - mine);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = t;
+      }
+    }
+    return best;
+  };
+
+  const auto dispatch = [&](std::size_t tier) {
+    DynRound& round = rounds[tier];
+    round.active = false;
+    if (out.result.rounds.size() >= async_.total_updates) return;
+    // A client already training for another tier (possible right after a
+    // re-tiering migration) cannot take a second task.
+    std::vector<std::size_t> eligible;
+    for (std::size_t id : tiers[tier]) {
+      if (!in_flight[id]) eligible.push_back(id);
+    }
+    if (eligible.empty()) return;
+    const std::size_t count =
+        std::min(async_.clients_per_tier_round, eligible.size());
+    std::vector<std::size_t> selected;
+    for (std::size_t local : sample_without_replacement(
+             eligible.size(), count, rngs.selection[tier])) {
+      selected.push_back(eligible[local]);
+    }
+
+    LocalTrainParams params = config_.local;
+    params.lr = tier_lr[tier];
+
+    for (std::size_t i = 0; i < count; ++i) scratch_model(i + 1);
+    std::vector<LocalUpdate> updates(count);
+    pool().parallel_for(0, count, [&](std::size_t i) {
+      const Client& client = clients_->at(selected[i]);
+      util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
+      updates[i] =
+          client.local_update(global, scratch_[i + 1], params, client_rng);
+    });
+    ++dispatch_seq;
+
+    round.active = true;
+    round.awaiting = count;
+    round.arrivals = 0;
+    round.accum.assign(weight_count, 0.0);
+    round.weight_total = 0.0;
+
+    const std::size_t version_at_dispatch = out.result.rounds.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t c = selected[i];
+      const Client& client = clients_->at(c);
+      const double latency =
+          latency_model_.sample_latency(client.resource(),
+                                        client.train_size(), params.epochs,
+                                        rngs.latency[tier]) *
+          latency_scale[c];
+      in_flight[c] = 1;
+      ++in_flight_count;
+      flight_tier[c] = tier;
+      flight_update[c] = std::move(updates[i]);
+      flight_dispatch_time[c] = queue.now();
+      flight_dispatch_version[c] = version_at_dispatch;
+      arrival_time[c] = queue.now() + latency;
+      queue.schedule_at(arrival_time[c],
+                        static_cast<std::uint64_t>(
+                            sim::EventKind::kClientUpdate),
+                        c);
+    }
+  };
+
+  // A round whose last awaited member arrived or departed: decay the lr
+  // (once per completed cohort, matching the static path's per-round
+  // decay) and start the tier's next round.
+  const auto complete_round = [&](std::size_t tier) {
+    if (rounds[tier].arrivals > 0) tier_lr[tier] *= config_.lr_decay_per_round;
+    dispatch(tier);
+  };
+
+  // Lifecycle event source: exactly one churn event is scheduled at a
+  // time (the queue's Event carries no payload, so the pending
+  // LifecycleEvent rides alongside in `pending_churn`).
+  sim::ChurnModel churn(async_.churn, seed);
+  std::optional<sim::LifecycleEvent> pending_churn;
+  const auto schedule_next_churn = [&]() {
+    pending_churn = churn.next();
+    if (pending_churn.has_value()) {
+      queue.schedule_at(pending_churn->time,
+                        static_cast<std::uint64_t>(pending_churn->kind),
+                        /*actor=*/0);
+    }
+  };
+  schedule_next_churn();
+  if (async_.reprofile_every > 0.0) {
+    queue.schedule_at(async_.reprofile_every,
+                      static_cast<std::uint64_t>(sim::EventKind::kReProfile),
+                      /*actor=*/0);
+  }
+
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    if (!tiers[t].empty()) dispatch(t);
+  }
+
+  bool last_evaluated = false;
+  bool stopped = false;
+  while (!queue.empty() && !stopped) {
+    const sim::Event event = queue.pop();
+    // Budget crossings must be caught on *any* event kind: the churn and
+    // reprofile streams re-arm forever, so an update-starved run (e.g.
+    // heavy leave rates) would otherwise spin on lifecycle events
+    // arbitrarily far past the budget.  A client update crossing the
+    // budget still falls through and is recorded before the post-record
+    // check below stops the run.
+    if (async_.time_budget_seconds > 0.0 &&
+        queue.now() >= async_.time_budget_seconds &&
+        static_cast<sim::EventKind>(event.kind) !=
+            sim::EventKind::kClientUpdate) {
+      util::log_info("async time budget of ", async_.time_budget_seconds,
+                     "s exhausted after ", out.result.rounds.size(),
+                     " updates");
+      break;
+    }
+    switch (static_cast<sim::EventKind>(event.kind)) {
+      case sim::EventKind::kClientUpdate: {
+        const std::size_t c = static_cast<std::size_t>(event.actor);
+        // A leave or slowdown invalidated this arrival: the client either
+        // departed or now lands at a different (rescheduled) time.
+        if (!in_flight[c] || event.time != arrival_time[c]) break;
+        in_flight[c] = 0;
+        --in_flight_count;
+        const std::size_t tier = flight_tier[c];
+        DynRound& round = rounds[tier];
+        --round.awaiting;
+        ++round.arrivals;
+
+        const std::size_t version = out.result.rounds.size();
+        const std::size_t age = version - flight_dispatch_version[c];
+        const double observed = queue.now() - flight_dispatch_time[c];
+        if (hooks_.observe) hooks_.observe(c, observed);
+
+        // Fold this client into the tier's running FedAvg, discounted by
+        // the update's *own* staleness (constant/invfreq leave the
+        // factor at 1 and weigh by update counts instead).
+        const LocalUpdate& update = flight_update[c];
+        const double w =
+            static_cast<double>(update.num_samples) *
+            staleness_factor(async_.staleness, async_.poly_alpha, age);
+        if (w > 0.0) {
+          for (std::size_t i = 0; i < weight_count; ++i) {
+            round.accum[i] += w * static_cast<double>(update.weights[i]);
+          }
+          round.weight_total += w;
+        }
+        const double client_train_loss = update.train_loss;
+        // Folded in: release the weight copy (peak flight_update memory
+        // stays bounded by the in-flight set, not the federation size).
+        flight_update[c] = LocalUpdate{};
+        if (round.weight_total > 0.0) {
+          for (std::size_t i = 0; i < weight_count; ++i) {
+            tier_models[tier][i] = static_cast<float>(
+                round.accum[i] / round.weight_total);
+          }
+        }
+
+        staleness_sum[tier] += static_cast<double>(age);
+        ++tier_updates[tier];
+        last_submit_version[tier] = version;
+
+        model_age.assign(num_tiers, 0);
+        for (std::size_t t = 0; t < num_tiers; ++t) {
+          if (tier_updates[t] > 0) {
+            model_age[t] = version - last_submit_version[t];
+          }
+        }
+        current_weights = cross_tier_weights(
+            async_.staleness, async_.poly_alpha, tier_updates, model_age);
+        aggregate_global(tier_models, current_weights, global, accum_scratch);
+
+        RoundRecord record;
+        record.round = version;
+        record.round_latency = observed;
+        record.virtual_time = queue.now();
+        record.train_loss = client_train_loss;
+        record.selected_tier = static_cast<int>(tier);
+        record.selected_clients = {c};
+
+        last_evaluated = version % async_.eval_every == 0 ||
+                         version + 1 == async_.total_updates;
+        if (last_evaluated) {
+          const nn::LossResult r = evaluate(global, *test_);
+          record.global_accuracy = r.accuracy;
+          record.global_loss = r.loss;
+        } else if (!out.result.rounds.empty()) {
+          record.global_accuracy = out.result.rounds.back().global_accuracy;
+          record.global_loss = out.result.rounds.back().global_loss;
+        }
+        out.result.rounds.push_back(std::move(record));
+
+        if (version + 1 >= async_.total_updates) {
+          stopped = true;
+          break;
+        }
+        if (async_.time_budget_seconds > 0.0 &&
+            queue.now() >= async_.time_budget_seconds) {
+          util::log_info("async time budget of ", async_.time_budget_seconds,
+                         "s exhausted after ", version + 1, " updates");
+          stopped = true;
+          break;
+        }
+
+        if (round.awaiting == 0) complete_round(tier);
+        // A re-tiering may have parked this client's new tier with no
+        // eligible members while it was in flight; revive it now.
+        if (tier_of[c] != kNoTier && !rounds[tier_of[c]].active) {
+          dispatch(tier_of[c]);
+        }
+        break;
+      }
+
+      case sim::EventKind::kClientLeave: {
+        const sim::LifecycleEvent churn_event = *pending_churn;
+        schedule_next_churn();
+        if (live_ids.empty()) break;
+        const std::size_t c =
+            live_ids[churn_event.pick % live_ids.size()];
+        ++out.leave_count;
+        live[c] = 0;
+        sorted_erase(live_ids, c);
+        sorted_insert(inactive_ids, c);
+        if (tier_of[c] != kNoTier) {
+          sorted_erase(tiers[tier_of[c]], c);
+          tier_of[c] = kNoTier;
+        }
+        if (hooks_.left) hooks_.left(c);
+        if (in_flight[c]) {
+          // Mid-round departure: its pending update is lost; the cohort
+          // no longer waits for it.
+          in_flight[c] = 0;
+          --in_flight_count;
+          flight_update[c] = LocalUpdate{};
+          DynRound& round = rounds[flight_tier[c]];
+          --round.awaiting;
+          if (round.awaiting == 0) complete_round(flight_tier[c]);
+        }
+        break;
+      }
+
+      case sim::EventKind::kClientJoin: {
+        const sim::LifecycleEvent churn_event = *pending_churn;
+        schedule_next_churn();
+        if (inactive_ids.empty()) break;  // nobody waiting to (re)join
+        const std::size_t c =
+            inactive_ids[churn_event.pick % inactive_ids.size()];
+        ++out.join_count;
+        live[c] = 1;
+        sorted_erase(inactive_ids, c);
+        sorted_insert(live_ids, c);
+        const std::size_t tier = hooks_.joined
+                                     ? hooks_.joined(c, expected_latency(c))
+                                     : place_fallback(c);
+        if (tier >= num_tiers) {
+          throw std::runtime_error(
+              "AsyncEngine: joined hook returned tier out of range");
+        }
+        sorted_insert(tiers[tier], c);
+        tier_of[c] = tier;
+        if (!rounds[tier].active) dispatch(tier);
+        break;
+      }
+
+      case sim::EventKind::kClientSlowdown: {
+        const sim::LifecycleEvent churn_event = *pending_churn;
+        schedule_next_churn();
+        if (live_ids.empty()) break;
+        const std::size_t c =
+            live_ids[churn_event.pick % live_ids.size()];
+        ++out.slowdown_count;
+        // The event *sets* the multiplier relative to the client's
+        // profiled baseline rather than compounding it: compounded
+        // multipliers (mean ~2x) drift exponentially, and an in-flight
+        // client hit repeatedly would see its arrival recede faster than
+        // virtual time advances — a round that never completes.
+        const double previous = latency_scale[c];
+        latency_scale[c] = churn_event.factor;
+        if (in_flight[c]) {
+          // Mid-round straggler: the remaining flight time rescales from
+          // the old multiplier to the new one; the stale arrival event is
+          // left in the queue and ignored by the time check above.
+          const double remaining = arrival_time[c] - queue.now();
+          arrival_time[c] =
+              queue.now() + remaining * (churn_event.factor / previous);
+          queue.schedule_at(arrival_time[c],
+                            static_cast<std::uint64_t>(
+                                sim::EventKind::kClientUpdate),
+                            c);
+        }
+        break;
+      }
+
+      case sim::EventKind::kReProfile: {
+        queue.schedule_at(queue.now() + async_.reprofile_every,
+                          static_cast<std::uint64_t>(
+                              sim::EventKind::kReProfile),
+                          /*actor=*/0);
+        if (live_ids.empty()) break;  // nobody to tier until a join lands
+        ++out.reprofile_count;
+        std::vector<std::vector<std::size_t>> members = hooks_.retier();
+        if (members.size() != num_tiers) {
+          throw std::runtime_error(
+              "AsyncEngine: retier hook returned wrong tier count");
+        }
+        std::vector<char> seen(num_clients, 0);
+        std::size_t total = 0;
+        for (std::vector<std::size_t>& tier : members) {
+          std::sort(tier.begin(), tier.end());
+          for (std::size_t id : tier) {
+            if (id >= num_clients || !live[id] || seen[id]) {
+              throw std::runtime_error(
+                  "AsyncEngine: retier hook returned invalid membership");
+            }
+            seen[id] = 1;
+            ++total;
+          }
+        }
+        if (total != live_ids.size()) {
+          throw std::runtime_error(
+              "AsyncEngine: retier hook dropped live clients");
+        }
+        tiers = std::move(members);
+        for (std::size_t t = 0; t < num_tiers; ++t) {
+          for (std::size_t id : tiers[t]) tier_of[id] = t;
+        }
+        // Pending cohorts keep running under their dispatching tier; the
+        // migrated membership only shapes future sampling.  Tiers that
+        // gained their first members start their cadence now.
+        for (std::size_t t = 0; t < num_tiers; ++t) {
+          if (!rounds[t].active && !tiers[t].empty()) dispatch(t);
+        }
+        break;
+      }
+
+      default:
+        throw std::logic_error("AsyncEngine: unexpected event kind");
+    }
+
+    // Training can die out entirely (every client left mid-run).  Churn
+    // streams never end, so break unless a join could revive the run.
+    if (!stopped && in_flight_count == 0 &&
+        async_.churn.join_rate <= 0.0) {
+      bool any_active = false;
+      for (const DynRound& round : rounds) any_active |= round.active;
+      if (!any_active) {
+        util::log_info("async-dyn: population died out after ",
+                       out.result.rounds.size(), " updates");
+        break;
+      }
+    }
+  }
+
+  if (!out.result.rounds.empty() && !last_evaluated) {
+    const nn::LossResult r = evaluate(global, *test_);
+    out.result.rounds.back().global_accuracy = r.accuracy;
+    out.result.rounds.back().global_loss = r.loss;
+  }
+
+  finalize_result(out, std::move(global), tier_updates, staleness_sum,
+                  std::move(current_weights));
+  out.final_members = std::move(tiers);
+  out.final_live_clients = live_ids.size();
   return out;
 }
 

@@ -32,13 +32,20 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "data/dataset.h"
 #include "fl/client.h"
 #include "fl/engine.h"
 #include "fl/metrics.h"
 #include "nn/sequential.h"
+#include "sim/churn_model.h"
 #include "sim/event_queue.h"
 #include "sim/latency_model.h"
+
+namespace tifl::util {
+class ThreadPool;
+}
 
 namespace tifl::fl {
 
@@ -77,11 +84,51 @@ struct AsyncConfig {
   std::size_t clients_per_tier_round = 0;
   double time_budget_seconds = 0.0;   // stop once virtual time crosses; 0 = off
   std::size_t eval_every = 1;         // global-version evaluation cadence
+
+  // --- dynamic client lifecycle --------------------------------------------
+  // Join/leave/slowdown event streams on the shared timeline.  Any
+  // positive rate (or reprofile_every > 0) switches the engine to the
+  // dynamic path: per-client update submission, churn handling, online
+  // re-tiering.  All-zero churn with reprofile_every == 0 runs the exact
+  // static-population code path, bit for bit.
+  sim::ChurnConfig churn;
+  // Virtual seconds between online re-tierings (ReProfile events); 0 = the
+  // initial tiering stays frozen for the whole run.
+  double reprofile_every = 0.0;
+  // EMA weight for the observed-latency estimates that feed re-tiering.
+  double latency_ema_alpha = 0.3;
+  // Take the dynamic path (per-client submission) even with zero churn
+  // and no re-profiling — a churn-free baseline comparable version-for-
+  // version with churned runs.
+  bool dynamic_lifecycle = false;
+};
+
+// Callbacks the dynamic lifecycle path raises toward the tiering layer
+// (core::TiflSystem wires these to an OnlineReTierer; the engine itself
+// stays ignorant of how tiers are computed).  All optional except
+// `retier`, which is required when reprofile_every > 0.
+struct LifecycleHooks {
+  // One observed end-to-end response latency (includes mid-round
+  // slowdowns) for a completed client update.
+  std::function<void(std::size_t client, double latency)> observe;
+  // A client joined; `expected_latency` is the engine's current estimate
+  // for it (including any persistent slowdown multiplier it picked up
+  // before leaving).  Returns the tier to place it in until the next
+  // re-profile.  When absent the engine places the joiner into the tier
+  // whose live members' mean expected latency is nearest.
+  std::function<std::size_t(std::size_t client, double expected_latency)>
+      joined;
+  std::function<void(std::size_t client)> left;
+  // ReProfile fired: return the full new tier membership (exactly
+  // tier_count() lists over live clients).  Pending rounds keep running;
+  // the new membership only affects future sampling.
+  std::function<std::vector<std::vector<std::size_t>>()> retier;
 };
 
 struct AsyncRunResult {
   // One RoundRecord per global version: selected_tier is the submitting
-  // tier, round_latency its tier-round duration, virtual_time the event
+  // tier, round_latency its tier-round duration (dynamic path: the
+  // submitting client's own response latency), virtual_time the event
   // timestamp.  The sync-engine metrics helpers (time_to_accuracy,
   // accuracy_at_time, write_csv) all apply unchanged.
   RunResult result;
@@ -89,6 +136,17 @@ struct AsyncRunResult {
   std::vector<std::size_t> tier_updates;   // submissions per tier
   std::vector<double> mean_staleness;      // mean submit staleness per tier
   std::vector<double> final_tier_weights;  // cross-tier weights at the end
+  // Dynamic-lifecycle accounting (zero on the static path except
+  // final_live_clients, which counts the tier members).
+  std::size_t join_count = 0;
+  std::size_t leave_count = 0;
+  std::size_t slowdown_count = 0;
+  std::size_t reprofile_count = 0;
+  std::size_t final_live_clients = 0;
+  // Tier membership the run ended with: the input tiers on the static
+  // path; on the dynamic path, the evolved membership after every leave,
+  // join and re-tiering.
+  std::vector<std::vector<std::size_t>> final_members;
 };
 
 class AsyncEngine {
@@ -108,11 +166,28 @@ class AsyncEngine {
 
   const AsyncConfig& async_config() const { return async_; }
   std::size_t tier_count() const { return tier_members_.size(); }
+  // True when this configuration takes the dynamic lifecycle path.
+  bool dynamic() const {
+    return async_.churn.active() || async_.reprofile_every > 0.0 ||
+           async_.dynamic_lifecycle;
+  }
+
+  // Tiering-layer callbacks for the dynamic path (no-op otherwise).
+  void set_lifecycle_hooks(LifecycleHooks hooks);
+
+  // Train on a specific pool instead of the process-global one (the
+  // cross-pool determinism tests pin pool sizes 1/2/8).  Non-owning;
+  // nullptr restores the global pool.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
  private:
   struct PendingRound;  // one in-flight tier round (defined in the .cc)
 
   nn::Sequential& scratch_model(std::size_t slot);
+  util::ThreadPool& pool();
+
+  AsyncRunResult run_static(std::uint64_t seed);
+  AsyncRunResult run_dynamic(std::uint64_t seed);
 
   EngineConfig config_;
   AsyncConfig async_;
@@ -121,6 +196,8 @@ class AsyncEngine {
   std::vector<std::vector<std::size_t>> tier_members_;
   const data::Dataset* test_;
   sim::LatencyModel latency_model_;
+  LifecycleHooks hooks_;
+  util::ThreadPool* pool_ = nullptr;
   std::vector<nn::Sequential> scratch_;  // slot 0 = eval, 1.. = training
 };
 

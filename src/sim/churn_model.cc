@@ -1,0 +1,84 @@
+#include "sim/churn_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tifl::sim {
+
+namespace {
+
+constexpr EventKind kStreamKinds[3] = {EventKind::kClientJoin,
+                                       EventKind::kClientLeave,
+                                       EventKind::kClientSlowdown};
+
+// Exponential inter-arrival draw; u in [0, 1) keeps 1-u in (0, 1].
+double exp_interval(double rate, util::Rng& rng) {
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+}  // namespace
+
+ChurnModel::ChurnModel(ChurnConfig config, std::uint64_t run_seed)
+    : config_(config) {
+  for (double rate :
+       {config_.join_rate, config_.leave_rate, config_.slowdown_rate}) {
+    if (std::isnan(rate) || rate < 0.0) {
+      throw std::invalid_argument("ChurnModel: negative or NaN rate");
+    }
+  }
+  if (std::isnan(config_.slowdown_log_sigma) ||
+      config_.slowdown_log_sigma < 0.0) {
+    throw std::invalid_argument("ChurnModel: negative slowdown sigma");
+  }
+  const std::uint64_t seed =
+      config_.seed != 0 ? config_.seed : util::mix_seed(run_seed, 0xC0FFEE);
+  util::Rng root(seed);
+  const double rates[3] = {config_.join_rate, config_.leave_rate,
+                           config_.slowdown_rate};
+  for (std::size_t s = 0; s < 3; ++s) {
+    streams_[s].rate = rates[s];
+    streams_[s].rng = root.fork(0xC1 + s);
+    streams_[s].pending.kind = kStreamKinds[s];
+    if (rates[s] > 0.0) advance(streams_[s]);
+  }
+}
+
+void ChurnModel::advance(Stream& stream) {
+  stream.pending.time += exp_interval(stream.rate, stream.rng);
+  stream.pending.pick = stream.rng.next();
+  stream.pending.factor =
+      stream.pending.kind == EventKind::kClientSlowdown
+          ? stream.rng.lognormal(config_.slowdown_log_mu,
+                                 config_.slowdown_log_sigma)
+          : 1.0;
+}
+
+std::optional<LifecycleEvent> ChurnModel::next() {
+  // Earliest pending stream wins; exact time ties break join < leave <
+  // slowdown (the declaration order), keeping the merge a pure function
+  // of the seed.
+  Stream* best = nullptr;
+  for (Stream& stream : streams_) {
+    if (stream.rate <= 0.0) continue;
+    if (best == nullptr || stream.pending.time < best->pending.time) {
+      best = &stream;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  const LifecycleEvent event = best->pending;
+  advance(*best);
+  return event;
+}
+
+std::vector<LifecycleEvent> ChurnModel::generate(double horizon) const {
+  ChurnModel copy = *this;
+  std::vector<LifecycleEvent> events;
+  for (;;) {
+    const std::optional<LifecycleEvent> event = copy.next();
+    if (!event.has_value() || event->time >= horizon) break;
+    events.push_back(*event);
+  }
+  return events;
+}
+
+}  // namespace tifl::sim

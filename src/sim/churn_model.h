@@ -1,0 +1,84 @@
+// Client-lifecycle event source: seeded, deterministic Poisson streams of
+// joins, leaves and mid-round slowdowns over the virtual timeline.
+//
+// §4.2 of the paper motivates periodic re-profiling with "systems with
+// changing computation and communication performance over time"; FedAT
+// and the dynamic-tiering follow-up make tier membership a moving target.
+// The churn model supplies that drift: three independent exponential
+// inter-arrival streams (one per event kind), each forked from a single
+// seed, merged in time order.  The stream is a pure function of the seed —
+// identical across runs, platforms and thread counts — which is what lets
+// a "static vs dynamic tiering" comparison replay the exact same drift.
+//
+// Events carry a raw `pick` draw rather than a client id: which concrete
+// client joins/leaves/slows depends on the consumer's live set at fire
+// time (e.g. `pick % live.size()`), keeping the stream independent of
+// engine state while the mapping stays deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace tifl::sim {
+
+struct ChurnConfig {
+  // Poisson rates in events per virtual second; 0 disables a stream.
+  double join_rate = 0.0;
+  double leave_rate = 0.0;
+  double slowdown_rate = 0.0;
+  // Slowdown latency multiplier ~ lognormal(mu, sigma) of the underlying
+  // normal; the defaults center near 2x with occasional mild speedups.
+  // Consumers treat it as the client's absolute multiplier over its
+  // profiled baseline (set, not compounded), keeping drift bounded.
+  double slowdown_log_mu = 0.7;
+  double slowdown_log_sigma = 0.35;
+  std::uint64_t seed = 0;  // 0 = derive from the run seed
+
+  bool active() const {
+    return join_rate > 0.0 || leave_rate > 0.0 || slowdown_rate > 0.0;
+  }
+};
+
+struct LifecycleEvent {
+  double time = 0.0;  // absolute virtual seconds
+  EventKind kind = EventKind::kClientJoin;
+  std::uint64_t pick = 0;  // consumer maps onto its live/inactive sets
+  double factor = 1.0;     // slowdown latency multiplier (> 0)
+};
+
+class ChurnModel {
+ public:
+  // Throws std::invalid_argument on negative rates or sigma.  `run_seed`
+  // feeds the derived seed when config.seed == 0, so churn replays with
+  // the run by default but can be pinned independently.
+  ChurnModel(ChurnConfig config, std::uint64_t run_seed);
+
+  const ChurnConfig& config() const { return config_; }
+
+  // Next lifecycle event in (time, kind) order; nullopt when every rate
+  // is zero.  Streams are unbounded: with any positive rate this never
+  // runs dry, so consumers pull lazily one event at a time.
+  std::optional<LifecycleEvent> next();
+
+  // The merged stream up to virtual time `horizon` (exclusive) — the
+  // test/debug view.  Pure: does not perturb this model's next().
+  std::vector<LifecycleEvent> generate(double horizon) const;
+
+ private:
+  struct Stream {
+    double rate = 0.0;
+    LifecycleEvent pending;  // next event of this stream (valid iff rate>0)
+    util::Rng rng{0};
+  };
+
+  void advance(Stream& stream);
+
+  ChurnConfig config_;
+  Stream streams_[3];  // join, leave, slowdown
+};
+
+}  // namespace tifl::sim

@@ -17,10 +17,23 @@
 
 namespace tifl::sim {
 
+// Well-known values for Event::kind.  The queue itself stays agnostic —
+// kind is an opaque caller tag — but the async engine, the churn model
+// and the tests share this vocabulary so lifecycle events compose on one
+// timeline with training completions.
+enum class EventKind : std::uint64_t {
+  kTierRound = 0,      // a whole tier round completed (static population)
+  kClientUpdate = 1,   // one client's update arrived (dynamic lifecycle)
+  kClientJoin = 2,     // a device entered the population
+  kClientLeave = 3,    // a device left (possibly mid-round)
+  kClientSlowdown = 4, // a mid-round straggler: latency multiplier changed
+  kReProfile = 5,      // rebuild tiers from observed latencies
+};
+
 struct Event {
   double time = 0.0;        // absolute virtual seconds
   std::uint64_t seq = 0;    // insertion order; unique, breaks time ties
-  std::uint64_t kind = 0;   // caller-defined event tag
+  std::uint64_t kind = 0;   // caller-defined event tag (see EventKind)
   std::uint64_t actor = 0;  // caller-defined actor id (tier, client, ...)
 };
 

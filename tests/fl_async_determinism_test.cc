@@ -1,0 +1,98 @@
+// Cross-engine determinism regression: the async engine's results are a
+// pure function of the seed, independent of how many worker threads train
+// clients.  PR 1 asserted this only implicitly (event-ordered reductions,
+// per-(dispatch, client) RNG forks); this locks it in by running the same
+// federation on thread pools of size 1, 2 and 8 and comparing final model
+// hashes bit for bit — for both the static and the dynamic lifecycle
+// paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+
+#include "fl/async_engine.h"
+#include "test_helpers.h"
+#include "util/thread_pool.h"
+
+namespace tifl::fl {
+namespace {
+
+using testing::FederationBuilder;
+using testing::tiny_engine_config;
+using testing::tiny_factory;
+using testing::two_tiers;
+using testing::TinyFederation;
+
+// FNV-1a over the raw float bits: any single-bit divergence flips it.
+std::uint64_t weight_hash(const std::vector<float>& weights) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (float w : weights) {
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(w));
+    std::memcpy(&bits, &w, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (bits >> shift) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+AsyncRunResult run_with_pool_size(const AsyncConfig& async,
+                                  std::size_t threads) {
+  TinyFederation fed = FederationBuilder().clients(10).jitter(0.05).build();
+  AsyncEngine engine(tiny_engine_config(1), async, tiny_factory(),
+                     &fed.clients, two_tiers(10), &fed.data.test,
+                     fed.latency);
+  util::ThreadPool pool(threads);
+  engine.set_thread_pool(&pool);
+  return engine.run();
+}
+
+void expect_pool_size_invariance(const AsyncConfig& async) {
+  const AsyncRunResult r1 = run_with_pool_size(async, 1);
+  const AsyncRunResult r2 = run_with_pool_size(async, 2);
+  const AsyncRunResult r8 = run_with_pool_size(async, 8);
+
+  const std::uint64_t h1 = weight_hash(r1.final_weights);
+  EXPECT_EQ(h1, weight_hash(r2.final_weights));
+  EXPECT_EQ(h1, weight_hash(r8.final_weights));
+  // Hash equality should reflect true bitwise equality, not collision.
+  EXPECT_EQ(r1.final_weights, r2.final_weights);
+  EXPECT_EQ(r1.final_weights, r8.final_weights);
+
+  ASSERT_EQ(r1.result.rounds.size(), r8.result.rounds.size());
+  for (std::size_t i = 0; i < r1.result.rounds.size(); ++i) {
+    EXPECT_EQ(r1.result.rounds[i].selected_clients,
+              r8.result.rounds[i].selected_clients);
+    EXPECT_DOUBLE_EQ(r1.result.rounds[i].virtual_time,
+                     r8.result.rounds[i].virtual_time);
+    EXPECT_DOUBLE_EQ(r1.result.rounds[i].global_accuracy,
+                     r8.result.rounds[i].global_accuracy);
+  }
+}
+
+TEST(AsyncDeterminism, StaticPathIsThreadPoolSizeInvariant) {
+  AsyncConfig async;
+  async.total_updates = 16;
+  async.clients_per_tier_round = 4;  // > 2 cores: chunks actually split
+  async.eval_every = 4;
+  async.staleness = StalenessFn::kInverseFrequency;
+  expect_pool_size_invariance(async);
+}
+
+TEST(AsyncDeterminism, DynamicLifecyclePathIsThreadPoolSizeInvariant) {
+  AsyncConfig async;
+  async.total_updates = 24;
+  async.clients_per_tier_round = 4;
+  async.eval_every = 4;
+  async.staleness = StalenessFn::kPolynomial;
+  async.churn.join_rate = 0.05;
+  async.churn.leave_rate = 0.05;
+  async.churn.slowdown_rate = 0.1;
+  expect_pool_size_invariance(async);
+}
+
+}  // namespace
+}  // namespace tifl::fl

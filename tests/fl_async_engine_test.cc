@@ -12,7 +12,8 @@ namespace {
 
 using testing::tiny_engine_config;
 using testing::tiny_factory;
-using testing::tiny_federation;
+using testing::two_tiers;
+using testing::FederationBuilder;
 using testing::TinyFederation;
 
 // One tier holding every client, in id order — the degenerate tiering
@@ -21,14 +22,6 @@ std::vector<std::vector<std::size_t>> single_tier(std::size_t n) {
   std::vector<std::size_t> all(n);
   std::iota(all.begin(), all.end(), std::size_t{0});
   return {std::move(all)};
-}
-
-// Two tiers split by the tiny federation's resource blocks: the first
-// half of the ids are the fast CPU groups, the second half the slow.
-std::vector<std::vector<std::size_t>> two_tiers(std::size_t n) {
-  std::vector<std::vector<std::size_t>> tiers(2);
-  for (std::size_t c = 0; c < n; ++c) tiers[c < n / 2 ? 0 : 1].push_back(c);
-  return tiers;
 }
 
 AsyncConfig tiny_async_config(std::size_t updates = 10) {
@@ -115,7 +108,7 @@ TEST(CrossTierWeights, SizeMismatchThrows) {
 // --- engine determinism -----------------------------------------------------
 
 TEST(AsyncEngine, TwoSeededRunsAreBitwiseIdentical) {
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   AsyncConfig async = tiny_async_config(12);
   async.staleness = StalenessFn::kPolynomial;
   AsyncEngine e1(tiny_engine_config(1), async, tiny_factory(), &fed.clients,
@@ -142,7 +135,7 @@ TEST(AsyncEngine, TwoSeededRunsAreBitwiseIdentical) {
 }
 
 TEST(AsyncEngine, SeedOverrideDiverges) {
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   AsyncEngine engine(tiny_engine_config(1), tiny_async_config(6),
                      tiny_factory(), &fed.clients, two_tiers(10),
                      &fed.data.test, fed.latency);
@@ -157,7 +150,7 @@ TEST(AsyncEngine, SingleTierConstantStalenessMatchesSyncEngine) {
   // Acceptance criterion: with one tier and the constant staleness
   // function, async execution is the sync engine under another name —
   // same selections, same latencies, same per-round accuracies.
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   const EngineConfig config = tiny_engine_config(8);
 
   Engine sync(config, tiny_factory(), fed.clients, &fed.data.test,
@@ -189,7 +182,7 @@ TEST(AsyncEngine, SingleTierConstantStalenessMatchesSyncEngine) {
 // --- async semantics --------------------------------------------------------
 
 TEST(AsyncEngine, ProducesExactlyTotalUpdatesVersions) {
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   AsyncEngine engine(tiny_engine_config(1), tiny_async_config(15),
                      tiny_factory(), &fed.clients, two_tiers(10),
                      &fed.data.test, fed.latency);
@@ -202,7 +195,7 @@ TEST(AsyncEngine, ProducesExactlyTotalUpdatesVersions) {
 }
 
 TEST(AsyncEngine, FastTierSubmitsMoreOftenAndSlowTierIsStaler) {
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   AsyncEngine engine(tiny_engine_config(1), tiny_async_config(20),
                      tiny_factory(), &fed.clients, two_tiers(10),
                      &fed.data.test, fed.latency);
@@ -217,7 +210,7 @@ TEST(AsyncEngine, VirtualTimeIsNonDecreasingAndBelowSyncTotal) {
   // Removing Eq. 1's cross-tier max() must make the same number of
   // global updates strictly cheaper in virtual time than sync rounds
   // over the whole population.
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   const EngineConfig config = tiny_engine_config(20);
 
   Engine sync(config, tiny_factory(), fed.clients, &fed.data.test,
@@ -238,7 +231,7 @@ TEST(AsyncEngine, VirtualTimeIsNonDecreasingAndBelowSyncTotal) {
 }
 
 TEST(AsyncEngine, FinalTierWeightsMatchStalenessFunction) {
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   AsyncConfig async = tiny_async_config(20);
   async.staleness = StalenessFn::kInverseFrequency;
   AsyncEngine engine(tiny_engine_config(1), async, tiny_factory(),
@@ -253,7 +246,7 @@ TEST(AsyncEngine, FinalTierWeightsMatchStalenessFunction) {
 }
 
 TEST(AsyncEngine, TimeBudgetStopsEarly) {
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   AsyncConfig probe_config = tiny_async_config(50);
   AsyncEngine probe(tiny_engine_config(1), probe_config, tiny_factory(),
                     &fed.clients, two_tiers(10), &fed.data.test,
@@ -275,7 +268,7 @@ TEST(AsyncEngine, TimeBudgetStopsEarly) {
 }
 
 TEST(AsyncEngine, EvalCadenceCarriesAccuracyForward) {
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   AsyncConfig async = tiny_async_config(6);
   async.eval_every = 3;
   AsyncEngine engine(tiny_engine_config(1), async, tiny_factory(),
@@ -289,7 +282,7 @@ TEST(AsyncEngine, EvalCadenceCarriesAccuracyForward) {
 }
 
 TEST(AsyncEngine, ConstructorValidation) {
-  TinyFederation fed = tiny_federation(10);
+  TinyFederation fed = FederationBuilder().clients(10).build();
   const EngineConfig config = tiny_engine_config(1);
   const AsyncConfig async = tiny_async_config(5);
 

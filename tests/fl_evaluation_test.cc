@@ -1,0 +1,83 @@
+// Chunked evaluation (fl/evaluation.h): chunk-boundary correctness
+// against single-shot evaluation — shipped in PR 1 with only indirect
+// coverage through the engines.
+#include "fl/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace tifl::fl {
+namespace {
+
+using testing::tiny_data;
+using testing::tiny_factory;
+
+TEST(EvaluateWeights, ChunkingsAgreeWithSingleShot) {
+  const data::SyntheticData data = tiny_data(21, 100, 97);  // prime test size
+  nn::Sequential model = tiny_factory()(/*seed=*/3);
+  const std::vector<float> weights = model.weights();
+
+  // One chunk spanning the whole set = the unchunked reference.
+  const nn::LossResult reference =
+      evaluate_weights(model, weights, data.test, data.test.size());
+  ASSERT_GT(reference.loss, 0.0);
+
+  // 97 is prime: every chunk size below hits a ragged final chunk.
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{32},
+                            std::size_t{96}, std::size_t{200}}) {
+    const nn::LossResult chunked =
+        evaluate_weights(model, weights, data.test, chunk);
+    EXPECT_NEAR(chunked.loss, reference.loss, 1e-6) << "chunk " << chunk;
+    EXPECT_NEAR(chunked.accuracy, reference.accuracy, 1e-9)
+        << "chunk " << chunk;
+  }
+}
+
+TEST(EvaluateWeights, ExactChunkMultipleHasNoRaggedTail) {
+  const data::SyntheticData data = tiny_data(22, 100, 96);
+  nn::Sequential model = tiny_factory()(/*seed=*/4);
+  const std::vector<float> weights = model.weights();
+  const nn::LossResult reference =
+      evaluate_weights(model, weights, data.test, 96);
+  const nn::LossResult chunked =
+      evaluate_weights(model, weights, data.test, 24);  // 4 full chunks
+  EXPECT_NEAR(chunked.loss, reference.loss, 1e-6);
+  EXPECT_NEAR(chunked.accuracy, reference.accuracy, 1e-9);
+}
+
+TEST(EvaluateWeights, LoadsTheGivenWeightsNotTheModelsOwn) {
+  const data::SyntheticData data = tiny_data(23, 100, 50);
+  nn::Sequential scratch = tiny_factory()(/*seed=*/5);
+  const std::vector<float> trained = tiny_factory()(/*seed=*/6).weights();
+
+  const nn::LossResult direct =
+      evaluate_weights(scratch, trained, data.test, 16);
+  // Re-running through a differently-initialized scratch model must give
+  // the same answer: only `weights` may matter.
+  nn::Sequential other = tiny_factory()(/*seed=*/99);
+  const nn::LossResult via_other =
+      evaluate_weights(other, trained, data.test, 16);
+  EXPECT_DOUBLE_EQ(direct.loss, via_other.loss);
+  EXPECT_DOUBLE_EQ(direct.accuracy, via_other.accuracy);
+}
+
+TEST(EvaluateWeights, EmptyDatasetYieldsZeros) {
+  const data::SyntheticData data = tiny_data(24, 100, 50);
+  nn::Sequential model = tiny_factory()(/*seed=*/7);
+  const data::Dataset empty = data.test.subset({});
+  const nn::LossResult r =
+      evaluate_weights(model, model.weights(), empty, 8);
+  EXPECT_DOUBLE_EQ(r.loss, 0.0);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
+}
+
+TEST(EvaluateWeights, ZeroChunkThrows) {
+  const data::SyntheticData data = tiny_data(25, 100, 50);
+  nn::Sequential model = tiny_factory()(/*seed=*/8);
+  EXPECT_THROW(evaluate_weights(model, model.weights(), data.test, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tifl::fl

@@ -237,29 +237,23 @@ TEST(TiflSystem, HierarchicalAggregationEndToEnd) {
 TEST(TiflSystem, NonIidDataHurtsVanillaAccuracy) {
   // Fig. 1b's qualitative claim: fewer classes per client -> lower
   // accuracy after the same number of rounds.
-  util::Rng rng(3);
-  data::SyntheticData data = testing::tiny_data(11, 800, 300);
-
-  auto run_with_partition = [&](const data::Partition& partition) {
-    util::Rng wiring(5);
-    const auto shards = data::matched_test_indices(data.train, partition,
-                                                   data.test, wiring);
-    const auto resources = sim::assign_equal_groups(
-        20, sim::homogeneous_cpu_groups(), 0.0, 0.0, wiring);
-    auto clients =
-        fl::make_clients(&data.train, partition, shards, resources);
-    fl::Engine engine(tiny_engine_config(25), tiny_factory(), clients,
-                      &data.test, sim::LatencyModel{{0.01, 1.0}});
-    fl::VanillaPolicy policy(clients.size(), 5);
+  auto run_with_classes = [](std::size_t classes_per_client) {
+    TinyFederation fed = testing::FederationBuilder()
+                             .clients(20)
+                             .seed(11)
+                             .train_samples(800)
+                             .test_samples(300)
+                             .classes_per_client(classes_per_client)
+                             .cpu_groups(sim::homogeneous_cpu_groups())
+                             .build();
+    fl::Engine engine(tiny_engine_config(25), tiny_factory(), fed.clients,
+                      &fed.data.test, fed.latency);
+    fl::VanillaPolicy policy(fed.clients.size(), 5);
     return engine.run(policy).final_accuracy();
   };
 
-  const double iid_acc =
-      run_with_partition(data::partition_iid(data.train, 20, rng));
-  const double noniid1_acc = run_with_partition(
-      data::partition_classes(data.train, 20, 1, rng));
-  // IID should clearly beat 1-class-per-client at equal rounds.
-  EXPECT_GT(iid_acc, noniid1_acc);
+  // IID (0 = no class cap) should clearly beat 1-class-per-client.
+  EXPECT_GT(run_with_classes(0), run_with_classes(1));
 }
 
 }  // namespace

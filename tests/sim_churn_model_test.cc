@@ -1,0 +1,130 @@
+// ChurnModel: deterministic, seeded lifecycle event streams.
+#include "sim/churn_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tifl::sim {
+namespace {
+
+ChurnConfig full_config() {
+  ChurnConfig config;
+  config.join_rate = 0.2;
+  config.leave_rate = 0.1;
+  config.slowdown_rate = 0.5;
+  return config;
+}
+
+TEST(ChurnModel, SameSeedYieldsIdenticalStreams) {
+  ChurnModel a(full_config(), /*run_seed=*/42);
+  ChurnModel b(full_config(), /*run_seed=*/42);
+  const std::vector<LifecycleEvent> ea = a.generate(200.0);
+  const std::vector<LifecycleEvent> eb = b.generate(200.0);
+  ASSERT_FALSE(ea.empty());
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ea[i].time, eb[i].time);
+    EXPECT_EQ(ea[i].kind, eb[i].kind);
+    EXPECT_EQ(ea[i].pick, eb[i].pick);
+    EXPECT_DOUBLE_EQ(ea[i].factor, eb[i].factor);
+  }
+}
+
+TEST(ChurnModel, DifferentSeedsDiverge) {
+  ChurnModel a(full_config(), 42);
+  ChurnModel b(full_config(), 43);
+  const std::vector<LifecycleEvent> ea = a.generate(100.0);
+  const std::vector<LifecycleEvent> eb = b.generate(100.0);
+  ASSERT_FALSE(ea.empty());
+  ASSERT_FALSE(eb.empty());
+  bool any_differs = ea.size() != eb.size();
+  for (std::size_t i = 0; !any_differs && i < ea.size(); ++i) {
+    any_differs = ea[i].time != eb[i].time || ea[i].pick != eb[i].pick;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(ChurnModel, ExplicitSeedOverridesRunSeed) {
+  ChurnConfig pinned = full_config();
+  pinned.seed = 7777;
+  ChurnModel a(pinned, /*run_seed=*/1);
+  ChurnModel b(pinned, /*run_seed=*/2);
+  const std::vector<LifecycleEvent> ea = a.generate(100.0);
+  const std::vector<LifecycleEvent> eb = b.generate(100.0);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ea[i].time, eb[i].time);
+    EXPECT_EQ(ea[i].pick, eb[i].pick);
+  }
+}
+
+TEST(ChurnModel, NextMatchesGenerate) {
+  // generate() is documented as a pure view of the same stream next()
+  // walks: drawing both from one model must agree event for event.
+  ChurnModel model(full_config(), 11);
+  const std::vector<LifecycleEvent> all = model.generate(50.0);
+  ASSERT_FALSE(all.empty());
+  for (const LifecycleEvent& expected : all) {
+    const std::optional<LifecycleEvent> got = model.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(got->time, expected.time);
+    EXPECT_EQ(got->kind, expected.kind);
+    EXPECT_EQ(got->pick, expected.pick);
+    EXPECT_DOUBLE_EQ(got->factor, expected.factor);
+  }
+}
+
+TEST(ChurnModel, StreamIsTimeOrderedAndKindsMatchRates) {
+  ChurnConfig config;
+  config.leave_rate = 0.3;  // joins and slowdowns disabled
+  ChurnModel model(config, 5);
+  const std::vector<LifecycleEvent> events = model.generate(500.0);
+  ASSERT_FALSE(events.empty());
+  double previous = 0.0;
+  for (const LifecycleEvent& event : events) {
+    EXPECT_GE(event.time, previous);
+    previous = event.time;
+    EXPECT_EQ(event.kind, EventKind::kClientLeave);
+    EXPECT_DOUBLE_EQ(event.factor, 1.0);
+  }
+  // ~150 expected events for rate 0.3 over 500 s; allow generous slack.
+  EXPECT_GT(events.size(), 75u);
+  EXPECT_LT(events.size(), 300u);
+}
+
+TEST(ChurnModel, SlowdownFactorsArePositiveAndCenteredAboveOne) {
+  ChurnConfig config;
+  config.slowdown_rate = 1.0;
+  ChurnModel model(config, 9);
+  const std::vector<LifecycleEvent> events = model.generate(300.0);
+  ASSERT_GT(events.size(), 100u);
+  double log_sum = 0.0;
+  for (const LifecycleEvent& event : events) {
+    EXPECT_EQ(event.kind, EventKind::kClientSlowdown);
+    ASSERT_GT(event.factor, 0.0);
+    log_sum += std::log(event.factor);
+  }
+  // Mean log factor ~ slowdown_log_mu (0.7 by default).
+  EXPECT_NEAR(log_sum / static_cast<double>(events.size()), 0.7, 0.2);
+}
+
+TEST(ChurnModel, AllRatesZeroYieldsNoEvents) {
+  ChurnModel model(ChurnConfig{}, 1);
+  EXPECT_FALSE(model.next().has_value());
+  EXPECT_TRUE(model.generate(1e9).empty());
+  EXPECT_FALSE(ChurnConfig{}.active());
+}
+
+TEST(ChurnModel, NegativeConfigThrows) {
+  ChurnConfig bad_rate;
+  bad_rate.join_rate = -0.1;
+  EXPECT_THROW(ChurnModel(bad_rate, 1), std::invalid_argument);
+  ChurnConfig bad_sigma;
+  bad_sigma.slowdown_rate = 0.1;
+  bad_sigma.slowdown_log_sigma = -1.0;
+  EXPECT_THROW(ChurnModel(bad_sigma, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tifl::sim

@@ -22,11 +22,23 @@
 //   --engine     sync | async                                [sync]
 //   --staleness  constant | poly | invfreq (async only)      [constant]
 //   --alpha      polynomial staleness decay exponent         [0.5]
+//   --churn RATE            join/leave/slowdown events per virtual
+//                           second, each stream at RATE (async only) [0]
+//   --reprofile-every SECS  online re-tiering period; tiers are rebuilt
+//                           from decayed observed latencies without
+//                           restarting the run (async only)          [0]
+//   --churn-seed S          pin the churn stream independently of
+//                           --seed (0 = derive from the run seed)    [0]
 //
 // With --engine async the selection policy is ignored: every tier trains
 // at its own cadence and samples its members uniformly; --rounds counts
 // global model versions (tier submissions) instead of synchronized
-// rounds.
+// rounds.  Any positive --churn or --reprofile-every switches the async
+// engine to the dynamic client lifecycle: clients join, leave and slow
+// down mid-round on the event timeline, updates are submitted per client
+// with their own staleness, and ReProfile events migrate clients between
+// tiers with tier models intact.  --churn 0 --reprofile-every 0 replays
+// the static async engine bit for bit.
 #include <iostream>
 
 #include "scenarios.h"
@@ -119,6 +131,13 @@ int main(int argc, char** argv) {
       async.staleness = fl::parse_staleness(cli.get("staleness", "constant"));
       async.poly_alpha = cli.get_double("alpha", 0.5);
       async.time_budget_seconds = cli.get_double("time-budget", 0.0);
+      const double churn = cli.get_double("churn", 0.0);
+      async.churn.join_rate = churn;
+      async.churn.leave_rate = churn;
+      async.churn.slowdown_rate = churn;
+      async.churn.seed =
+          static_cast<std::uint64_t>(cli.get_int("churn-seed", 0));
+      async.reprofile_every = cli.get_double("reprofile-every", 0.0);
       const fl::AsyncRunResult run = scenario.system->run_async(async);
       const fl::RunResult& result = run.result;
 
@@ -132,6 +151,15 @@ int main(int argc, char** argv) {
                      util::format_double(result.final_accuracy() * 100, 2)});
       table.add_row({"best accuracy [%]",
                      util::format_double(result.best_accuracy() * 100, 2)});
+      if (churn > 0.0 || async.reprofile_every > 0.0) {
+        table.add_row({"joins / leaves", std::to_string(run.join_count) +
+                                             " / " +
+                                             std::to_string(run.leave_count)});
+        table.add_row({"slowdowns", std::to_string(run.slowdown_count)});
+        table.add_row({"re-tierings", std::to_string(run.reprofile_count)});
+        table.add_row({"live clients at end",
+                       std::to_string(run.final_live_clients)});
+      }
       std::cout << "\n" << tiers.to_string() << "\n" << table.to_string();
 
       const std::string csv = cli.get("csv", "");
