@@ -7,18 +7,20 @@
 namespace tifl::nn {
 
 Tensor ReLU::forward(const Tensor& x, const PassContext& ctx) {
-  if (ctx.training) cached_input_ = x;
   Tensor y(x.shape());
   tensor::relu_forward(x, y);
+  // Caching the output (not the input) is enough: the y > 0 mask equals
+  // the x > 0 mask, and it is what the fused-epilogue layers cache too.
+  if (ctx.training) cached_output_ = y;
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& dy) {
-  if (cached_input_.empty()) {
+  if (cached_output_.empty()) {
     throw std::logic_error("ReLU::backward before training forward");
   }
   Tensor dx(dy.shape());
-  tensor::relu_backward(cached_input_, dy, dx);
+  tensor::relu_backward_from_output(cached_output_, dy, dx);
   return dx;
 }
 

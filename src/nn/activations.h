@@ -12,7 +12,7 @@ class ReLU final : public Layer {
   std::string name() const override { return "ReLU"; }
 
  private:
-  Tensor cached_input_;
+  Tensor cached_output_;
 };
 
 // Collapses [B, ...] to [B, prod(...)]; backward restores the shape.

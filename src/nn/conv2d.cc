@@ -1,10 +1,11 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <stdexcept>
-#include <vector>
 
 #include "tensor/gemm.h"
 #include "tensor/init.h"
+#include "util/thread_pool.h"
 
 namespace tifl::nn {
 
@@ -45,23 +46,51 @@ Tensor Conv2D::forward(const Tensor& x, const PassContext& ctx) {
   const std::int64_t batch = x.dim(0);
   const std::int64_t oc = out_channels();
   const std::int64_t spatial = g.col_cols();
+  const std::int64_t rows = g.col_rows();
+  const std::int64_t image_size = g.image_size();
+  const float* bias = bias_.data();
+  const bool relu = fused_relu_;
 
   Tensor y({batch, oc, g.out_h(), g.out_w()});
-  std::vector<float> columns(
-      static_cast<std::size_t>(g.col_rows() * spatial));
+  for (std::int64_t b0 = 0; b0 < batch; b0 += kMaxSlabImages) {
+    const std::int64_t nb = std::min(kMaxSlabImages, batch - b0);
+    const std::int64_t slab_cols = nb * spatial;
+    float* columns =
+        ws_.acquire(kColumnsSlot,
+                    static_cast<std::size_t>(rows * slab_cols)).data();
+    tensor::im2col_batch(x.data() + b0 * image_size, nb, g, columns);
 
-  const std::int64_t image_size = g.channels * g.height * g.width;
-  for (std::int64_t b = 0; b < batch; ++b) {
-    tensor::im2col(x.data() + b * image_size, g, columns.data());
-    float* out = y.data() + b * oc * spatial;
-    tensor::gemm_nn_raw(weight_.data(), columns.data(), out, oc,
-                        g.col_rows(), spatial, /*accumulate=*/false);
-    for (std::int64_t o = 0; o < oc; ++o) {
-      const float bv = bias_[o];
-      float* plane = out + o * spatial;
-      for (std::int64_t s = 0; s < spatial; ++s) plane[s] += bv;
-    }
+    // One slab-wide GEMM: out[OC, nb*S] = W[OC, R] * columns[R, nb*S].
+    float* out =
+        ws_.acquire(kStagingSlot,
+                    static_cast<std::size_t>(oc * slab_cols)).data();
+    tensor::gemm_nn_raw(weight_.data(), columns, out, oc, rows, slab_cols,
+                        /*accumulate=*/false);
+
+    // Epilogue scatter back to NCHW, fusing bias (and ReLU when this layer
+    // absorbed the following activation).  Each (b, o) plane is written by
+    // exactly one task.
+    util::global_pool().parallel_for(
+        0, static_cast<std::size_t>(nb), [&](std::size_t bi) {
+          const std::int64_t b = static_cast<std::int64_t>(bi);
+          for (std::int64_t o = 0; o < oc; ++o) {
+            const float* src = out + o * slab_cols + b * spatial;
+            float* dst = y.data() + ((b0 + b) * oc + o) * spatial;
+            const float bv = bias[o];
+            if (relu) {
+              for (std::int64_t s = 0; s < spatial; ++s) {
+                const float v = src[s] + bv;
+                dst[s] = v > 0.0f ? v : 0.0f;
+              }
+            } else {
+              for (std::int64_t s = 0; s < spatial; ++s) dst[s] = src[s] + bv;
+            }
+          }
+        });
   }
+
+  columns_valid_ = ctx.training && batch <= kMaxSlabImages;
+  if (ctx.training && fused_relu_) cached_output_ = y;
   return y;
 }
 
@@ -74,34 +103,67 @@ Tensor Conv2D::backward(const Tensor& dy) {
   const std::int64_t batch = x.dim(0);
   const std::int64_t oc = out_channels();
   const std::int64_t spatial = g.col_cols();
-  const std::int64_t image_size = g.channels * g.height * g.width;
+  const std::int64_t rows = g.col_rows();
+  const std::int64_t image_size = g.image_size();
 
   Tensor dx(x.shape(), 0.0f);
-  std::vector<float> columns(
-      static_cast<std::size_t>(g.col_rows() * spatial));
-  std::vector<float> dcolumns(columns.size());
+  for (std::int64_t b0 = 0; b0 < batch; b0 += kMaxSlabImages) {
+    const std::int64_t nb = std::min(kMaxSlabImages, batch - b0);
+    const std::int64_t slab_cols = nb * spatial;
+    float* columns =
+        ws_.acquire(kColumnsSlot,
+                    static_cast<std::size_t>(rows * slab_cols)).data();
+    if (!columns_valid_) {
+      tensor::im2col_batch(x.data() + b0 * image_size, nb, g, columns);
+    }
 
-  for (std::int64_t b = 0; b < batch; ++b) {
-    const float* dy_b = dy.data() + b * oc * spatial;
+    // Gather dY into [OC, nb*S] staging (the layout both gradient GEMMs
+    // want), unmasking through the fused ReLU in the same pass.
+    float* dy_t =
+        ws_.acquire(kStagingSlot,
+                    static_cast<std::size_t>(oc * slab_cols)).data();
+    const bool relu = fused_relu_;
+    const float* y = relu ? cached_output_.data() : nullptr;
+    util::global_pool().parallel_for(
+        0, static_cast<std::size_t>(nb), [&](std::size_t bi) {
+          const std::int64_t b = static_cast<std::int64_t>(bi);
+          for (std::int64_t o = 0; o < oc; ++o) {
+            const float* src = dy.data() + ((b0 + b) * oc + o) * spatial;
+            float* dst = dy_t + o * slab_cols + b * spatial;
+            if (relu) {
+              const float* yo = y + ((b0 + b) * oc + o) * spatial;
+              for (std::int64_t s = 0; s < spatial; ++s) {
+                dst[s] = yo[s] > 0.0f ? src[s] : 0.0f;
+              }
+            } else {
+              for (std::int64_t s = 0; s < spatial; ++s) dst[s] = src[s];
+            }
+          }
+        });
 
-    // dW += dY_b [OC, S] * col_b^T  -> gemm_nt over [OC, S] x [R, S].
-    tensor::im2col(x.data() + b * image_size, g, columns.data());
-    tensor::gemm_nt_raw(dy_b, columns.data(), dweight_.data(), oc, spatial,
-                        g.col_rows(), /*accumulate=*/true);
-
-    // db += per-channel spatial sums of dY_b.
+    // db += per-channel sums of dY (rows of the staging slab are
+    // contiguous, batch-major within a row).
     for (std::int64_t o = 0; o < oc; ++o) {
-      const float* plane = dy_b + o * spatial;
+      const float* row = dy_t + o * slab_cols;
       float acc = 0.0f;
-      for (std::int64_t s = 0; s < spatial; ++s) acc += plane[s];
+      for (std::int64_t s = 0; s < slab_cols; ++s) acc += row[s];
       dbias_[o] += acc;
     }
 
-    // dcol = W^T [R, OC] * dY_b [OC, S]  -> gemm_tn; then scatter.
-    tensor::gemm_tn_raw(weight_.data(), dy_b, dcolumns.data(), g.col_rows(),
-                        oc, spatial, /*accumulate=*/false);
-    tensor::col2im(dcolumns.data(), g, dx.data() + b * image_size);
+    // dW += dY_t [OC, nb*S] * columns[R, nb*S]^T — one slab-wide gemm_nt.
+    tensor::gemm_nt_raw(dy_t, columns, dweight_.data(), oc, slab_cols, rows,
+                        /*accumulate=*/true);
+
+    // dcol[R, nb*S] = W^T [R, OC] * dY_t [OC, nb*S]; then scatter per image.
+    float* dcolumns =
+        ws_.acquire(kDColumnsSlot,
+                    static_cast<std::size_t>(rows * slab_cols)).data();
+    tensor::gemm_tn_raw(weight_.data(), dy_t, dcolumns, rows, oc, slab_cols,
+                        /*accumulate=*/false);
+    tensor::col2im_batch(dcolumns, nb, g, dx.data() + b0 * image_size);
   }
+
+  columns_valid_ = false;
   return dx;
 }
 

@@ -23,8 +23,11 @@ Tensor Dense::forward(const Tensor& x, const PassContext& ctx) {
   }
   if (ctx.training) cached_input_ = x;
   Tensor y({x.dim(0), out_features()});
-  tensor::gemm_nn(x, weight_, y);
-  tensor::add_row_bias(y, bias_);
+  tensor::Epilogue epilogue;
+  epilogue.bias_n = bias_.data();
+  epilogue.relu = fused_relu_;
+  tensor::gemm_nn(x, weight_, y, /*accumulate=*/false, epilogue);
+  if (ctx.training && fused_relu_) cached_output_ = y;
   return y;
 }
 
@@ -32,14 +35,23 @@ Tensor Dense::backward(const Tensor& dy) {
   if (cached_input_.empty()) {
     throw std::logic_error("Dense::backward before training forward");
   }
+  // With a fused ReLU, first unmask dY through the cached activation.
+  Tensor masked;
+  const Tensor* dy_eff = &dy;
+  if (fused_relu_) {
+    masked = Tensor(dy.shape());
+    tensor::relu_backward_from_output(cached_output_, dy, masked);
+    dy_eff = &masked;
+  }
+
   // dW += X^T dY; db += column sums of dY; dX = dY W^T.
-  tensor::gemm_tn(cached_input_, dy, dweight_, /*accumulate=*/true);
+  tensor::gemm_tn(cached_input_, *dy_eff, dweight_, /*accumulate=*/true);
   Tensor col_sum({out_features()});
-  tensor::column_sums(dy, col_sum);
+  tensor::column_sums(*dy_eff, col_sum);
   tensor::axpy(1.0f, col_sum, dbias_);
 
   Tensor dx({dy.dim(0), in_features()});
-  tensor::gemm_nt(dy, weight_, dx);
+  tensor::gemm_nt(*dy_eff, weight_, dx);
   return dx;
 }
 

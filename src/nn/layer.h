@@ -39,6 +39,16 @@ class Layer {
   virtual std::vector<Tensor*> params() { return {}; }
   virtual std::vector<Tensor*> grads() { return {}; }
 
+  // ReLU epilogue fusion (Sequential's fusion pass): a layer that supports
+  // it applies ReLU inside its own forward epilogue — and unmasks the
+  // upstream gradient in backward — letting the container skip the
+  // following ReLU layer entirely.  Numerically identical to the unfused
+  // pipeline: same adds in the same order, and the output-based gradient
+  // mask (y > 0 iff x > 0 for ReLU) matches the input-based one bit for
+  // bit.
+  virtual bool supports_relu_fusion() const { return false; }
+  virtual void set_fused_relu(bool) {}
+
   virtual std::string name() const = 0;
 
   void zero_grads() {

@@ -3,17 +3,44 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "nn/activations.h"
+
 namespace tifl::nn {
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
+  fusion_planned_ = false;
   return *this;
 }
 
+void Sequential::set_fusion_enabled(bool enabled) {
+  fusion_enabled_ = enabled;
+  fusion_planned_ = false;
+}
+
+void Sequential::plan_fusion() {
+  skip_.assign(layers_.size(), 0);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->set_fused_relu(false);
+  }
+  if (fusion_enabled_) {
+    for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+      if (skip_[i] == 0 && layers_[i]->supports_relu_fusion() &&
+          dynamic_cast<ReLU*>(layers_[i + 1].get()) != nullptr) {
+        layers_[i]->set_fused_relu(true);
+        skip_[i + 1] = 1;
+      }
+    }
+  }
+  fusion_planned_ = true;
+}
+
 Tensor Sequential::forward(const Tensor& x, const PassContext& ctx) {
+  if (!fusion_planned_) plan_fusion();
   Tensor activation = x;
-  for (auto& layer : layers_) {
-    activation = layer->forward(activation, ctx);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (skip_[i]) continue;
+    activation = layers_[i]->forward(activation, ctx);
   }
   return activation;
 }
@@ -27,8 +54,9 @@ LossResult Sequential::train_batch(const Tensor& x,
   LossResult result = loss_.compute(logits, labels, /*with_grad=*/true);
 
   Tensor grad = std::move(result.dlogits);
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    grad = (*it)->backward(grad);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    if (skip_[i]) continue;
+    grad = layers_[i]->backward(grad);
   }
 
   const std::vector<Tensor*> ps = params();

@@ -22,6 +22,13 @@ class Sequential {
 
   Sequential& add(std::unique_ptr<Layer> layer);
 
+  // ReLU-epilogue fusion (on by default): Dense/Conv2D layers immediately
+  // followed by a ReLU absorb the activation into their GEMM epilogue and
+  // the ReLU layer is skipped in forward/backward.  Bitwise identical to
+  // the unfused pipeline (same adds in the same order); the toggle exists
+  // so tests can assert exactly that.
+  void set_fusion_enabled(bool enabled);
+
   Tensor forward(const Tensor& x, const PassContext& ctx);
 
   // One optimization step on a mini-batch: forward, loss, backward, update.
@@ -47,8 +54,13 @@ class Sequential {
   Layer& layer(std::size_t i) { return *layers_.at(i); }
 
  private:
+  void plan_fusion();
+
   std::vector<std::unique_ptr<Layer>> layers_;
   SoftmaxCrossEntropy loss_;
+  std::vector<std::uint8_t> skip_;  // layer fused into its predecessor
+  bool fusion_enabled_ = true;
+  bool fusion_planned_ = false;
 };
 
 // Builds a fresh model instance (used per client / per thread).  Models

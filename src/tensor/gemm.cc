@@ -1,8 +1,11 @@
 #include "tensor/gemm.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
+#include "tensor/pack.h"
 #include "util/thread_pool.h"
 
 namespace tifl::tensor {
@@ -17,74 +20,429 @@ void check_matrix(const Tensor& t, const char* name) {
   }
 }
 
-// Rows of C handled per task; small matrices run serially.
-constexpr std::int64_t kRowGrain = 16;
+std::int64_t ceil_to(std::int64_t v, std::int64_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
 
-void parallel_rows(std::int64_t m,
-                   const std::function<void(std::int64_t, std::int64_t)>& fn) {
+// The one definition of the fused writeback, shared by every dispatch path
+// so they stay bitwise interchangeable: bias_m, then bias_n, then ReLU.
+inline float apply_epilogue(float v, std::int64_t gi, std::int64_t gj,
+                            const Epilogue& ep) {
+  if (ep.bias_m != nullptr) v += ep.bias_m[gi];
+  if (ep.bias_n != nullptr) v += ep.bias_n[gj];
+  if (ep.relu && v < 0.0f) v = 0.0f;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Microkernel: one kMR x kNR tile of C from packed panels.
+//
+// Accumulators live in registers for the whole K sweep; the packed operands
+// are read with unit stride.  The K loop is a single sequential reduction
+// per output element, so the tile's values do not depend on how M/N were
+// partitioned — the property the pool-size determinism contract rests on.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+
+// One GCC generic vector spans the full kNR tile width; the compiler lowers
+// it to whatever the target ISA provides (2x SSE, 1x AVX2, 1x AVX-512 for
+// the per-ISA kNR picked in pack.h).  The type keeps its natural alignment
+// so the accumulators below live in registers; unaligned pack-buffer
+// traffic goes through memcpy loads/stores (compiled to vmovups).
+using vnr = float __attribute__((vector_size(4 * kNR), may_alias));
+
+inline vnr load_vnr(const float* p) {
+  vnr v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store_vnr(float* p, vnr v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+void microkernel(std::int64_t kc, const float* __restrict ap,
+                 const float* __restrict bp, float* __restrict acc) {
+  static_assert(kMR == 6, "microkernel is unrolled for kMR == 6");
+  vnr c0{}, c1{}, c2{}, c3{}, c4{}, c5{};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const vnr bv = load_vnr(bp + p * kNR);
+    const float* a = ap + p * kMR;
+    c0 += bv * a[0];
+    c1 += bv * a[1];
+    c2 += bv * a[2];
+    c3 += bv * a[3];
+    c4 += bv * a[4];
+    c5 += bv * a[5];
+  }
+  store_vnr(acc + 0 * kNR, c0);
+  store_vnr(acc + 1 * kNR, c1);
+  store_vnr(acc + 2 * kNR, c2);
+  store_vnr(acc + 3 * kNR, c3);
+  store_vnr(acc + 4 * kNR, c4);
+  store_vnr(acc + 5 * kNR, c5);
+}
+
+// Two-panel variant: a kMR x 2*kNR tile from two adjacent B panels.  Each
+// A broadcast feeds two FMAs, improving the load-port to FMA-port ratio
+// (8 loads : 12 FMAs vs 7 : 6 single-panel) on wide cores.  `acc` rows are
+// 2*kNR floats.  Element values are identical to two single-panel calls —
+// same K order — so tile-width selection cannot perturb results.
+void microkernel_x2(std::int64_t kc, const float* __restrict ap,
+                    const float* __restrict bp0, const float* __restrict bp1,
+                    float* __restrict acc) {
+  static_assert(kMR == 6, "microkernel is unrolled for kMR == 6");
+  vnr c00{}, c01{}, c10{}, c11{}, c20{}, c21{};
+  vnr c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const vnr b0 = load_vnr(bp0 + p * kNR);
+    const vnr b1 = load_vnr(bp1 + p * kNR);
+    const float* a = ap + p * kMR;
+    c00 += b0 * a[0];
+    c01 += b1 * a[0];
+    c10 += b0 * a[1];
+    c11 += b1 * a[1];
+    c20 += b0 * a[2];
+    c21 += b1 * a[2];
+    c30 += b0 * a[3];
+    c31 += b1 * a[3];
+    c40 += b0 * a[4];
+    c41 += b1 * a[4];
+    c50 += b0 * a[5];
+    c51 += b1 * a[5];
+  }
+  const std::int64_t ld = 2 * kNR;
+  store_vnr(acc + 0 * ld, c00);
+  store_vnr(acc + 0 * ld + kNR, c01);
+  store_vnr(acc + 1 * ld, c10);
+  store_vnr(acc + 1 * ld + kNR, c11);
+  store_vnr(acc + 2 * ld, c20);
+  store_vnr(acc + 2 * ld + kNR, c21);
+  store_vnr(acc + 3 * ld, c30);
+  store_vnr(acc + 3 * ld + kNR, c31);
+  store_vnr(acc + 4 * ld, c40);
+  store_vnr(acc + 4 * ld + kNR, c41);
+  store_vnr(acc + 5 * ld, c50);
+  store_vnr(acc + 5 * ld + kNR, c51);
+}
+
+#else
+
+void microkernel(std::int64_t kc, const float* __restrict ap,
+                 const float* __restrict bp, float* __restrict acc) {
+  for (std::int64_t i = 0; i < kMR * kNR; ++i) acc[i] = 0.0f;
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict b = bp + p * kNR;
+    const float* __restrict a = ap + p * kMR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = a[i];
+      float* __restrict row = acc + i * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) row[j] += av * b[j];
+    }
+  }
+}
+
+void microkernel_x2(std::int64_t kc, const float* __restrict ap,
+                    const float* __restrict bp0, const float* __restrict bp1,
+                    float* __restrict acc) {
+  float tile[kMR * kNR];
+  microkernel(kc, ap, bp0, tile);
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      acc[i * 2 * kNR + j] = tile[i * kNR + j];
+    }
+  }
+  microkernel(kc, ap, bp1, tile);
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      acc[i * 2 * kNR + kNR + j] = tile[i * kNR + j];
+    }
+  }
+}
+
+#endif
+
+// Writes one microtile's accumulators into C, merging prior K blocks (or
+// the caller's C when accumulating) and applying the fused epilogue on the
+// final K block.  Handles ragged edges by clipping to mr x nr.
+void write_tile(const float* acc, std::int64_t acc_ld, float* c,
+                std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                std::int64_t gi, std::int64_t gj, bool merge_c, bool last_k,
+                const Epilogue& ep) {
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float* arow = acc + i * acc_ld;
+    for (std::int64_t j = 0; j < nr; ++j) {
+      float v = arow[j];
+      if (merge_c) v += crow[j];
+      if (last_k) v = apply_epilogue(v, gi + i, gj + j, ep);
+      crow[j] = v;
+    }
+  }
+}
+
+// Runs every microtile of an [mc x nc] block: A panels are in `apack`,
+// B panels in `bpack`, C starts at global coordinates (ic, jc).
+void run_block(const float* apack, const float* bpack, float* c,
+               std::int64_t ldc, std::int64_t ic, std::int64_t jc,
+               std::int64_t mc, std::int64_t nc, std::int64_t kc,
+               bool merge_c, bool last_k, const Epilogue& ep) {
+  alignas(64) float acc[kMR * 2 * kNR];
+  std::int64_t jr = 0;
+  while (jr < nc) {
+    const float* bpanel = bpack + jr * kc;
+    if (nc - jr >= 2 * kNR) {
+      // Full double tile from two adjacent packed panels.
+      for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+        const std::int64_t mr = std::min(kMR, mc - ir);
+        microkernel_x2(kc, apack + ir * kc, bpanel, bpanel + kc * kNR, acc);
+        write_tile(acc, 2 * kNR, c + (ic + ir) * ldc + jc + jr, ldc, mr,
+                   2 * kNR, ic + ir, jc + jr, merge_c, last_k, ep);
+      }
+      jr += 2 * kNR;
+    } else {
+      const std::int64_t nr = std::min(kNR, nc - jr);
+      for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+        const std::int64_t mr = std::min(kMR, mc - ir);
+        microkernel(kc, apack + ir * kc, bpanel, acc);
+        write_tile(acc, kNR, c + (ic + ir) * ldc + jc + jr, ldc, mr, nr,
+                   ic + ir, jc + jr, merge_c, last_k, ep);
+      }
+      jr += kNR;
+    }
+  }
+}
+
+// Tiny problems: a plain serial loop nest beats the packing overhead.
+void gemm_small(const ConstView& a, const ConstView& b, float* c,
+                std::int64_t m, std::int64_t k, std::int64_t n,
+                bool accumulate, const Epilogue& ep) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* __restrict ap = a.data + i * a.rs;
+      const float* __restrict bp = b.data + j * b.cs;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += ap[p * a.cs] * bp[p * b.rs];
+      const float v = accumulate ? crow[j] + acc : acc;
+      crow[j] = apply_epilogue(v, i, j, ep);
+    }
+  }
+}
+
+// Row-streaming kernel for shapes packing cannot amortize (see
+// kStreamMaxK/kStreamMaxM): the seed's i-k-j loop order minus its
+// SIMD-defeating zero-skip branch, parallel over C rows, epilogue fused
+// into a final sweep of each row.  Requires row-major B.
+void gemm_stream(const ConstView& a, const ConstView& b, float* c,
+                 std::int64_t m, std::int64_t k, std::int64_t n,
+                 bool accumulate, const Epilogue& ep) {
   util::global_pool().parallel_for_chunked(
       0, static_cast<std::size_t>(m),
-      [&fn](std::size_t lo, std::size_t hi) {
-        fn(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi));
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::int64_t i = static_cast<std::int64_t>(lo);
+             i < static_cast<std::int64_t>(hi); ++i) {
+          float* __restrict crow = c + i * n;
+          if (!accumulate) {
+            std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+          }
+          for (std::int64_t p = 0; p < k; ++p) {
+            const float av = a.data[i * a.rs + p * a.cs];
+            const float* __restrict brow = b.data + p * b.rs;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+          if (ep.active()) {
+            for (std::int64_t j = 0; j < n; ++j) {
+              crow[j] = apply_epilogue(crow[j], i, j, ep);
+            }
+          }
+        }
       },
-      static_cast<std::size_t>(kRowGrain));
+      /*grain=*/16);
+}
+
+// M blocks shorter than this use the column-panel parallel path (packing A
+// once, fanning tasks out over N), which keeps wide-but-short conv GEMMs
+// parallel at the top level.
+constexpr std::int64_t kMinRowsForMParallel = 2 * kMC;
+
+// The blocked, packed core.  jc -> pc -> (parallel ic | parallel jr):
+// B is packed once per (jc, pc) slab and reused by every A block.
+void gemm_blocked(const ConstView& a, const ConstView& b, float* c,
+                  std::int64_t m, std::int64_t k, std::int64_t n,
+                  bool accumulate, const Epilogue& ep) {
+  // Grow-only pack scratch.  bpack/apack_shared belong to the dispatching
+  // thread; apack_local is per worker inside the M-parallel region.
+  thread_local std::vector<float> bpack_buf;
+  thread_local std::vector<float> apack_shared;
+
+  util::ThreadPool& pool = util::global_pool();
+  const std::int64_t ldc = n;
+
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    const std::int64_t nc_pad = ceil_to(nc, kNR);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, k - pc);
+      const bool merge_c = pc > 0 || accumulate;
+      const bool last_k = pc + kc == k;
+
+      if (bpack_buf.size() < static_cast<std::size_t>(nc_pad * kc)) {
+        bpack_buf.resize(static_cast<std::size_t>(nc_pad * kc));
+      }
+      pack_b(b, pc, jc, kc, nc, bpack_buf.data());
+      const float* bpack = bpack_buf.data();
+
+      if (m >= kMinRowsForMParallel) {
+        // Tall problems: tasks own contiguous row blocks and pack their
+        // own A panels.
+        pool.parallel_for_chunked(
+            0, static_cast<std::size_t>(m),
+            [&](std::size_t lo, std::size_t hi) {
+              thread_local std::vector<float> apack_local;
+              const std::size_t need =
+                  static_cast<std::size_t>(ceil_to(kMC, kMR) * kKC);
+              if (apack_local.size() < need) apack_local.resize(need);
+              for (std::int64_t ic = static_cast<std::int64_t>(lo);
+                   ic < static_cast<std::int64_t>(hi); ic += kMC) {
+                const std::int64_t mc =
+                    std::min(kMC, static_cast<std::int64_t>(hi) - ic);
+                pack_a(a, ic, pc, mc, kc, apack_local.data());
+                run_block(apack_local.data(), bpack, c, ldc, ic, jc, mc, nc,
+                          kc, merge_c, last_k, ep);
+              }
+            },
+            static_cast<std::size_t>(kMC), static_cast<std::size_t>(kMR));
+      } else {
+        // Short-wide problems (conv layers): pack A once, parallelize over
+        // kNR-wide column panels.  Tasks write disjoint C columns.
+        const std::int64_t m_pad = ceil_to(m, kMR);
+        if (apack_shared.size() < static_cast<std::size_t>(m_pad * kc)) {
+          apack_shared.resize(static_cast<std::size_t>(m_pad * kc));
+        }
+        pack_a(a, 0, pc, m, kc, apack_shared.data());
+        const float* apack = apack_shared.data();
+        const std::size_t panels =
+            static_cast<std::size_t>((nc + kNR - 1) / kNR);
+        pool.parallel_for_chunked(
+            0, panels,
+            [&](std::size_t plo, std::size_t phi) {
+              const std::int64_t j0 = static_cast<std::int64_t>(plo) * kNR;
+              const std::int64_t j1 =
+                  std::min(nc, static_cast<std::int64_t>(phi) * kNR);
+              run_block(apack, bpack + j0 * kc, c, ldc, 0, jc + j0, m,
+                        j1 - j0, kc, merge_c, last_k, ep);
+            },
+            /*grain=*/1);
+      }
+    }
+  }
+}
+
+void gemm_dispatch(const ConstView& a, const ConstView& b, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n,
+                   bool accumulate, const Epilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    // Degenerate reduction: C's addend is zero; epilogue still applies.
+    if (!accumulate) {
+      std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m * n));
+    }
+    if (ep.active()) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        float* crow = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] = apply_epilogue(crow[j], i, j, ep);
+        }
+      }
+    }
+    return;
+  }
+  if (m * k * n < kSmallGemmLimit) {
+    gemm_small(a, b, c, m, k, n, accumulate, ep);
+  } else if (b.cs == 1 && (k <= kStreamMaxK || m <= kStreamMaxM)) {
+    gemm_stream(a, b, c, m, k, n, accumulate, ep);
+  } else {
+    gemm_blocked(a, b, c, m, k, n, accumulate, ep);
+  }
 }
 
 }  // namespace
 
+// --- raw-pointer entry points ----------------------------------------------
+
 void gemm_nn_raw(const float* a, const float* b, float* c, std::int64_t m,
-                 std::int64_t k, std::int64_t n, bool accumulate) {
-  parallel_rows(m, [=](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      float* crow = c + i * n;
-      if (!accumulate) std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
-      const float* arow = a + i * k;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;  // ReLU outputs are ~50% zero
-        const float* brow = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+                 std::int64_t k, std::int64_t n, bool accumulate,
+                 const Epilogue& epilogue) {
+  gemm_dispatch({a, k, 1}, {b, n, 1}, c, m, k, n, accumulate, epilogue);
 }
 
 void gemm_nt_raw(const float* a, const float* b_t, float* c, std::int64_t m,
-                 std::int64_t k, std::int64_t n, bool accumulate) {
-  // C[i,j] = sum_p A[i,p] * Bt[j,p]: dot products of two contiguous rows.
-  parallel_rows(m, [=](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = b_t + j * k;
-        float acc = 0.0f;
-        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] = accumulate ? crow[j] + acc : acc;
-      }
-    }
-  });
+                 std::int64_t k, std::int64_t n, bool accumulate,
+                 const Epilogue& epilogue) {
+  // Logical B[p, j] = B_t[j, p]: a transposed view, absorbed by packing.
+  gemm_dispatch({a, k, 1}, {b_t, 1, k}, c, m, k, n, accumulate, epilogue);
 }
 
 void gemm_tn_raw(const float* a_t, const float* b, float* c, std::int64_t m,
-                 std::int64_t k, std::int64_t n, bool accumulate) {
-  // C[i,j] = sum_p At[p,i] * B[p,j].  Parallel over rows i of C; each task
-  // strides down column i of A_t, streaming rows of B.
-  parallel_rows(m, [=](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      float* crow = c + i * n;
-      if (!accumulate) std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = a_t[p * m + i];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+                 std::int64_t k, std::int64_t n, bool accumulate,
+                 const Epilogue& epilogue) {
+  // Logical A[i, p] = A_t[p, i].
+  gemm_dispatch({a_t, 1, m}, {b, n, 1}, c, m, k, n, accumulate, epilogue);
 }
 
-void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+// --- reference kernels (the seed's scalar loops) ----------------------------
+
+void gemm_nn_ref(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate) {
+      std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+    }
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;  // the seed's zero-skip branch
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt_ref(const float* a, const float* b_t, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b_t + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+void gemm_tn_ref(const float* a_t, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate) {
+      std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a_t[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// --- Tensor entry points ----------------------------------------------------
+
+void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+             const Epilogue& epilogue) {
   check_matrix(a, "A");
   check_matrix(b, "B");
   check_matrix(c, "C");
@@ -95,29 +453,37 @@ void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
                                 shape_to_string(b.shape()) + " -> " +
                                 shape_to_string(c.shape()));
   }
-  gemm_nn_raw(a.data(), b.data(), c.data(), m, k, n, accumulate);
+  gemm_nn_raw(a.data(), b.data(), c.data(), m, k, n, accumulate, epilogue);
 }
 
-void gemm_nt(const Tensor& a, const Tensor& b_t, Tensor& c, bool accumulate) {
+void gemm_nt(const Tensor& a, const Tensor& b_t, Tensor& c, bool accumulate,
+             const Epilogue& epilogue) {
   check_matrix(a, "A");
   check_matrix(b_t, "B^T");
   check_matrix(c, "C");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b_t.dim(0);
   if (b_t.dim(1) != k || c.dim(0) != m || c.dim(1) != n) {
-    throw std::invalid_argument("gemm_nt: shape mismatch");
+    throw std::invalid_argument("gemm_nt: shape mismatch " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b_t.shape()) + "^T -> " +
+                                shape_to_string(c.shape()));
   }
-  gemm_nt_raw(a.data(), b_t.data(), c.data(), m, k, n, accumulate);
+  gemm_nt_raw(a.data(), b_t.data(), c.data(), m, k, n, accumulate, epilogue);
 }
 
-void gemm_tn(const Tensor& a_t, const Tensor& b, Tensor& c, bool accumulate) {
+void gemm_tn(const Tensor& a_t, const Tensor& b, Tensor& c, bool accumulate,
+             const Epilogue& epilogue) {
   check_matrix(a_t, "A^T");
   check_matrix(b, "B");
   check_matrix(c, "C");
   const std::int64_t k = a_t.dim(0), m = a_t.dim(1), n = b.dim(1);
   if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
-    throw std::invalid_argument("gemm_tn: shape mismatch");
+    throw std::invalid_argument("gemm_tn: shape mismatch " +
+                                shape_to_string(a_t.shape()) + "^T x " +
+                                shape_to_string(b.shape()) + " -> " +
+                                shape_to_string(c.shape()));
   }
-  gemm_tn_raw(a_t.data(), b.data(), c.data(), m, k, n, accumulate);
+  gemm_tn_raw(a_t.data(), b.data(), c.data(), m, k, n, accumulate, epilogue);
 }
 
 }  // namespace tifl::tensor

@@ -1,24 +1,102 @@
 #include "tensor/im2col.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "util/thread_pool.h"
+
 namespace tifl::tensor {
 
-void im2col(const float* image, const ConvGeometry& g, float* columns) {
+namespace {
+
+// Valid output-x range [x_lo, x_hi) for kernel column kw: the x values whose
+// input column x*stride - pad + kw lands inside [0, width).  Hoisting this
+// out of the pixel loop makes the interior branch-free.
+struct XRange {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+XRange valid_x(const ConvGeometry& g, std::int64_t kw) {
+  const std::int64_t lo_num = g.pad - kw;  // first in-bounds x*stride
+  const std::int64_t lo =
+      lo_num > 0 ? (lo_num + g.stride - 1) / g.stride : 0;
+  const std::int64_t hi_num = g.width + g.pad - kw;  // first out-of-bounds
+  const std::int64_t hi =
+      std::min(g.out_w(), (hi_num + g.stride - 1) / g.stride);
+  return {std::min(lo, g.out_w()), std::max<std::int64_t>(hi, 0)};
+}
+
+}  // namespace
+
+void im2col(const float* image, const ConvGeometry& g, float* columns,
+            std::int64_t col_stride) {
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
-  const std::int64_t col_cols = oh * ow;
+  if (col_stride == 0) col_stride = g.col_cols();
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.channels; ++c) {
     const float* plane = image + c * g.height * g.width;
     for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out_row = columns + row * col_cols;
+        float* out_row = columns + row * col_stride;
+        const XRange xr = valid_x(g, kw);
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t in_y = y * g.stride - g.pad + kh;
-          const bool y_ok = in_y >= 0 && in_y < g.height;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t in_x = x * g.stride - g.pad + kw;
-            const bool ok = y_ok && in_x >= 0 && in_x < g.width;
-            out_row[y * ow + x] = ok ? plane[in_y * g.width + in_x] : 0.0f;
+          float* out = out_row + y * ow;
+          if (in_y < 0 || in_y >= g.height) {
+            std::memset(out, 0, sizeof(float) * static_cast<std::size_t>(ow));
+            continue;
+          }
+          // Keep the -pad+kw shift inside the index: x >= xr.lo keeps it
+          // nonnegative, and the row base itself always stays in bounds.
+          const float* in = plane + in_y * g.width;
+          const std::int64_t shift = kw - g.pad;
+          for (std::int64_t x = 0; x < xr.lo; ++x) out[x] = 0.0f;
+          if (g.stride == 1) {
+            if (xr.hi > xr.lo) {
+              std::memcpy(out + xr.lo, in + xr.lo + shift,
+                          sizeof(float) *
+                              static_cast<std::size_t>(xr.hi - xr.lo));
+            }
+          } else {
+            for (std::int64_t x = xr.lo; x < xr.hi; ++x) {
+              out[x] = in[x * g.stride + shift];
+            }
+          }
+          for (std::int64_t x = xr.hi; x < ow; ++x) out[x] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, const ConvGeometry& g, float* image_grad,
+            std::int64_t col_stride) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  if (col_stride == 0) col_stride = g.col_cols();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* plane = image_grad + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in_row = columns + row * col_stride;
+        const XRange xr = valid_x(g, kw);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t in_y = y * g.stride - g.pad + kh;
+          if (in_y < 0 || in_y >= g.height) continue;
+          float* out = plane + in_y * g.width;
+          const std::int64_t shift = kw - g.pad;
+          const float* in = in_row + y * ow;
+          if (g.stride == 1) {
+            for (std::int64_t x = xr.lo; x < xr.hi; ++x) {
+              out[x + shift] += in[x];
+            }
+          } else {
+            for (std::int64_t x = xr.lo; x < xr.hi; ++x) {
+              out[x * g.stride + shift] += in[x];
+            }
           }
         }
       }
@@ -26,28 +104,31 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) {
   }
 }
 
-void col2im(const float* columns, const ConvGeometry& g, float* image_grad) {
-  const std::int64_t oh = g.out_h();
-  const std::int64_t ow = g.out_w();
-  const std::int64_t col_cols = oh * ow;
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.channels; ++c) {
-    float* plane = image_grad + c * g.height * g.width;
-    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        const float* in_row = columns + row * col_cols;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t in_y = y * g.stride - g.pad + kh;
-          if (in_y < 0 || in_y >= g.height) continue;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t in_x = x * g.stride - g.pad + kw;
-            if (in_x < 0 || in_x >= g.width) continue;
-            plane[in_y * g.width + in_x] += in_row[y * ow + x];
-          }
-        }
-      }
-    }
-  }
+void im2col_batch(const float* images, std::int64_t batch,
+                  const ConvGeometry& g, float* columns) {
+  const std::int64_t spatial = g.col_cols();
+  const std::int64_t slab_stride = batch * spatial;
+  const std::int64_t image_size = g.image_size();
+  util::global_pool().parallel_for(
+      0, static_cast<std::size_t>(batch),
+      [&](std::size_t b) {
+        im2col(images + static_cast<std::int64_t>(b) * image_size, g,
+               columns + static_cast<std::int64_t>(b) * spatial, slab_stride);
+      });
+}
+
+void col2im_batch(const float* columns, std::int64_t batch,
+                  const ConvGeometry& g, float* images_grad) {
+  const std::int64_t spatial = g.col_cols();
+  const std::int64_t slab_stride = batch * spatial;
+  const std::int64_t image_size = g.image_size();
+  util::global_pool().parallel_for(
+      0, static_cast<std::size_t>(batch),
+      [&](std::size_t b) {
+        col2im(columns + static_cast<std::int64_t>(b) * spatial, g,
+               images_grad + static_cast<std::int64_t>(b) * image_size,
+               slab_stride);
+      });
 }
 
 }  // namespace tifl::tensor

@@ -1,9 +1,20 @@
 // im2col / col2im transforms: rewrite convolution as GEMM.
 //
-// Layout contract (single image, channels-first):
+// Layout contract (channels-first):
 //   input  : [C, H, W]                      (contiguous slice of an NCHW batch)
 //   columns: [C*KH*KW, OH*OW]  row-major    (each column is one receptive field)
 // so that  conv_out[OC, OH*OW] = W[OC, C*KH*KW] * columns.
+//
+// Batch forms widen the column buffer instead of looping GEMMs: a whole
+// [N, C, H, W] batch lowers to one [C*KH*KW, N*OH*OW] slab where image b
+// owns columns [b*OH*OW, (b+1)*OH*OW), feeding a single batch-level GEMM
+// per conv layer.  The per-image variants take an explicit column stride so
+// they can write into (read from) a slab in place.
+//
+// All loops hoist the padding bounds out of the pixel loop — the interior
+// is a branch-free contiguous copy — and the batch forms parallelize over
+// images through the global pool (serially when nested in a training task).
+// Every output element is written by exactly one task: deterministic.
 #pragma once
 
 #include <cstdint>
@@ -27,13 +38,24 @@ struct ConvGeometry {
   }
   std::int64_t col_rows() const { return channels * kernel_h * kernel_w; }
   std::int64_t col_cols() const { return out_h() * out_w(); }
+  std::int64_t image_size() const { return channels * height * width; }
 };
 
 // Gathers image patches into the column buffer (zero-padding outside).
-void im2col(const float* image, const ConvGeometry& g, float* columns);
+// `col_stride` is the distance between consecutive rows of the column
+// matrix; 0 means the tight default col_cols().
+void im2col(const float* image, const ConvGeometry& g, float* columns,
+            std::int64_t col_stride = 0);
 
 // Scatters (accumulates) the column buffer back into the image gradient.
 // `image_grad` must be zero-initialized by the caller for a fresh gradient.
-void col2im(const float* columns, const ConvGeometry& g, float* image_grad);
+void col2im(const float* columns, const ConvGeometry& g, float* image_grad,
+            std::int64_t col_stride = 0);
+
+// Batch forms over an NCHW batch and a [col_rows, batch*col_cols] slab.
+void im2col_batch(const float* images, std::int64_t batch,
+                  const ConvGeometry& g, float* columns);
+void col2im_batch(const float* columns, std::int64_t batch,
+                  const ConvGeometry& g, float* images_grad);
 
 }  // namespace tifl::tensor

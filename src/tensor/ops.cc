@@ -70,6 +70,11 @@ void relu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
   for (std::int64_t i = 0; i < n; ++i) dxs[i] = xs[i] > 0.0f ? dys[i] : 0.0f;
 }
 
+void relu_backward_from_output(const Tensor& y, const Tensor& dy, Tensor& dx) {
+  // ReLU output is nonnegative, so the y > 0 mask equals the x > 0 mask.
+  relu_backward(y, dy, dx);
+}
+
 void softmax_rows(const Tensor& logits, Tensor& probs) {
   if (logits.rank() != 2) {
     throw std::invalid_argument("softmax_rows: want rank-2 logits");

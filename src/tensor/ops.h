@@ -22,6 +22,10 @@ void add_row_bias(Tensor& m, const Tensor& bias);
 void relu_forward(const Tensor& x, Tensor& out);
 // ReLU backward: dx = dy where x > 0 else 0.
 void relu_backward(const Tensor& x, const Tensor& dy, Tensor& dx);
+// ReLU backward from the *output*: dx = dy where y > 0 else 0.  Exact for
+// ReLU (y > 0 iff x > 0), letting fused layers mask with their cached
+// activation instead of keeping the pre-activation around.
+void relu_backward_from_output(const Tensor& y, const Tensor& dy, Tensor& dx);
 
 // Row-wise softmax of logits [M,N] -> probabilities [M,N].
 // Max-subtraction for numerical stability.

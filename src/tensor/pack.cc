@@ -1,0 +1,60 @@
+#include "tensor/pack.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tifl::tensor {
+
+void pack_a(const ConstView& a, std::int64_t row0, std::int64_t col0,
+            std::int64_t mc, std::int64_t kc, float* apack) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t mr = std::min(kMR, mc - ir);
+    float* panel = apack + ir * kc;  // ceil-panel stride is kc * kMR
+    if (a.cs == 1) {
+      // Row-major source: walk each row once, scattering into the panel.
+      for (std::int64_t i = 0; i < mr; ++i) {
+        const float* src = a.row(row0 + ir + i) + col0;
+        float* dst = panel + i;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kMR] = src[p];
+      }
+    } else {
+      // Transposed source (rs == 1): a panel column is contiguous memory.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a.data + (row0 + ir) * a.rs + (col0 + p) * a.cs;
+        float* dst = panel + p * kMR;
+        for (std::int64_t i = 0; i < mr; ++i) dst[i] = src[i * a.rs];
+      }
+    }
+    if (mr < kMR) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        float* dst = panel + p * kMR;
+        for (std::int64_t i = mr; i < kMR; ++i) dst[i] = 0.0f;
+      }
+    }
+  }
+}
+
+void pack_b(const ConstView& b, std::int64_t row0, std::int64_t col0,
+            std::int64_t kc, std::int64_t nc, float* bpack) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t nr = std::min(kNR, nc - jr);
+    float* panel = bpack + jr * kc;  // ceil-panel stride is kc * kNR
+    if (b.cs == 1) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b.row(row0 + p) + col0 + jr;
+        float* dst = panel + p * kNR;
+        std::memcpy(dst, src, sizeof(float) * static_cast<std::size_t>(nr));
+        for (std::int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    } else {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b.data + (row0 + p) * b.rs + (col0 + jr) * b.cs;
+        float* dst = panel + p * kNR;
+        for (std::int64_t j = 0; j < nr; ++j) dst[j] = src[j * b.cs];
+        for (std::int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace tifl::tensor

@@ -1,0 +1,78 @@
+// Blocking geometry and panel packing for the blocked GEMM core.
+//
+// The kernel follows the classic three-level blocking scheme (Goto/BLIS):
+// C is computed in NC-wide column slabs; each slab accumulates KC-deep rank
+// updates; inside a rank update, MC-row blocks of A stream through a
+// register-tiled kMR x kNR microkernel.  Both operands are repacked into
+// contiguous, zero-padded panels first:
+//
+//   A block [mc, kc] -> ceil(mc/kMR) panels, each kc x kMR column-major-ish:
+//                       apack[panel][p*kMR + i] = A[panel*kMR + i, p]
+//   B block [kc, nc] -> ceil(nc/kNR) panels, each kc x kNR:
+//                       bpack[panel][p*kNR + j] = B[p, panel*kNR + j]
+//
+// so the microkernel's inner loop reads both operands with unit stride
+// regardless of the caller's layout (normal or transposed views are handled
+// by the generic row/column strides in ConstView).  Edge panels are padded
+// with zeros: the microkernel always runs full tiles and the padded lanes
+// contribute exact +0.0f terms, which keeps every output element's reduction
+// order fixed — the determinism contract the FL engines rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace tifl::tensor {
+
+// Register microtile: each microkernel call produces kMR x kNR elements of
+// C.  kNR adapts to the target ISA so the 6 x (kNR/vector-width) accumulator
+// grid fills the register file without spilling: 12 zmm on AVX-512, 12 ymm
+// on AVX/AVX2, 12 xmm on baseline SSE2.
+inline constexpr std::int64_t kMR = 6;
+#if defined(__AVX512F__)
+inline constexpr std::int64_t kNR = 16;
+#elif defined(__AVX__)
+inline constexpr std::int64_t kNR = 16;
+#else
+inline constexpr std::int64_t kNR = 8;
+#endif
+
+// Cache blocking: a kMC x kKC A block (~96 KiB) lives in L2 while its
+// panels stream through L1; a kKC x kNC B slab (~2 MiB) is packed once per
+// rank update and reused by every A block, i.e. across the whole M loop.
+inline constexpr std::int64_t kMC = 96;    // multiple of kMR
+inline constexpr std::int64_t kKC = 256;
+inline constexpr std::int64_t kNC = 2048;  // multiple of kNR
+
+// Problems below this flop-count skip packing entirely (gemm_small): the
+// panel setup would cost more than it saves on tiny layer shapes.
+inline constexpr std::int64_t kSmallGemmLimit = 32 * 32 * 32;
+
+// Shapes where packing cannot amortize — shallow reductions (k below
+// kStreamMaxK: B fits L2 and is reused row to row) or very short C (m at
+// or below kStreamMaxM: B is only streamed a handful of times) — run the
+// row-streaming kernel instead when B is row-major.
+inline constexpr std::int64_t kStreamMaxK = 64;
+inline constexpr std::int64_t kStreamMaxM = 2 * kMR;
+
+// Strided read-only matrix view: element (i, j) is data[i*rs + j*cs].
+// Normal row-major is {ptr, ld, 1}; a transposed operand is {ptr, 1, ld} —
+// packing absorbs the transpose so the core never needs layout variants.
+struct ConstView {
+  const float* data;
+  std::int64_t rs;
+  std::int64_t cs;
+
+  const float* row(std::int64_t i) const { return data + i * rs; }
+};
+
+// Packs the [mc, kc] block of `a` starting at (row0, col0) into kMR-row
+// panels (zero-padded to a multiple of kMR rows).
+void pack_a(const ConstView& a, std::int64_t row0, std::int64_t col0,
+            std::int64_t mc, std::int64_t kc, float* apack);
+
+// Packs the [kc, nc] block of `b` starting at (row0, col0) into kNR-column
+// panels (zero-padded to a multiple of kNR columns).
+void pack_b(const ConstView& b, std::int64_t row0, std::int64_t col0,
+            std::int64_t kc, std::int64_t nc, float* bpack);
+
+}  // namespace tifl::tensor

@@ -1,0 +1,18 @@
+#include "tensor/workspace.h"
+
+namespace tifl::tensor {
+
+std::span<float> Workspace::acquire(std::size_t slot, std::size_t count) {
+  if (slot >= slots_.size()) slots_.resize(slot + 1);
+  std::vector<float>& buf = slots_[slot];
+  if (buf.size() < count) buf.resize(count);
+  return {buf.data(), count};
+}
+
+std::size_t Workspace::capacity_floats() const noexcept {
+  std::size_t total = 0;
+  for (const std::vector<float>& buf : slots_) total += buf.capacity();
+  return total;
+}
+
+}  // namespace tifl::tensor

@@ -1,0 +1,38 @@
+// Grow-only scratch arena for layer-persistent buffers.
+//
+// Hot-path layers (conv2d's im2col slabs, GEMM staging buffers) need large
+// scratch that used to be re-allocated on every forward/backward call.  A
+// Workspace owns a small set of slot-indexed buffers that grow to the
+// high-water mark of their slot and are then reused verbatim, so steady-state
+// training performs zero heap allocation for scratch.  Buffers are returned
+// uninitialized; callers overwrite them fully.
+//
+// Not thread-safe: a Workspace belongs to exactly one layer instance, and a
+// layer is driven by one training task at a time.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tifl::tensor {
+
+class Workspace {
+ public:
+  // Returns a buffer of at least `count` floats for `slot`, reusing (and
+  // never shrinking) the slot's previous allocation.  Contents are
+  // unspecified unless the caller wrote them through an earlier acquire of
+  // the same slot with no intervening growth.
+  std::span<float> acquire(std::size_t slot, std::size_t count);
+
+  // Total floats currently owned across all slots — a stable value after
+  // warm-up, which tests use to prove the steady state allocates nothing.
+  std::size_t capacity_floats() const noexcept;
+
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+
+ private:
+  std::vector<std::vector<float>> slots_;
+};
+
+}  // namespace tifl::tensor

@@ -7,6 +7,11 @@
 
 namespace tifl::util {
 
+namespace {
+// Set once per worker thread, read by the nested-dispatch guard.
+thread_local bool tl_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -29,6 +34,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -48,6 +54,8 @@ bool ThreadPool::on_worker_thread() const noexcept {
                      [self](const std::thread& w) { return w.get_id() == self; });
 }
 
+bool ThreadPool::on_any_worker_thread() noexcept { return tl_pool_worker; }
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body,
                               std::size_t grain) {
@@ -62,21 +70,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 void ThreadPool::parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& chunk_body,
-    std::size_t grain) {
+    std::size_t grain, std::size_t align) {
   if (begin >= end) return;
   grain = std::max<std::size_t>(1, grain);
+  align = std::max<std::size_t>(1, align);
   const std::size_t total = end - begin;
 
   // Serial fallbacks: range too small to amortize dispatch, or we are
-  // already inside a worker (nested dispatch could exhaust the pool).
-  if (total <= grain || size() == 1 || on_worker_thread()) {
+  // already inside a worker — of this pool or any other (nested dispatch
+  // could exhaust this pool, and fanning out underneath another pool's
+  // parallel region oversubscribes the machine).
+  if (total <= grain || size() == 1 || on_any_worker_thread()) {
     chunk_body(begin, end);
     return;
   }
 
   const std::size_t chunks =
       std::min(size(), (total + grain - 1) / grain);
-  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  std::size_t chunk_size = (total + chunks - 1) / chunks;
+  chunk_size = (chunk_size + align - 1) / align * align;
 
   std::vector<std::future<void>> pending;
   pending.reserve(chunks);

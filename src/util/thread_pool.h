@@ -58,14 +58,24 @@ class ThreadPool {
                     std::size_t grain = 1);
 
   // As above but hands each chunk [lo, hi) to the body, letting callers
-  // hoist per-chunk state (e.g. accumulators, RNG streams).
+  // hoist per-chunk state (e.g. accumulators, RNG streams).  `align` rounds
+  // interior chunk boundaries up to a multiple of itself so tiled kernels
+  // (GEMM row blocks) only ever see one ragged chunk, at the end of the
+  // range.
   void parallel_for_chunked(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& chunk_body,
-      std::size_t grain = 1);
+      std::size_t grain = 1, std::size_t align = 1);
 
   // True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const noexcept;
+
+  // True when the calling thread is a worker of *any* ThreadPool.  This is
+  // the guard nested kernels use: per-client training may run on an
+  // engine-injected pool rather than the global one, and a GEMM dispatched
+  // from such a worker must still degrade to serial instead of fanning out
+  // across the global pool underneath an already-parallel region.
+  static bool on_any_worker_thread() noexcept;
 
  private:
   void worker_loop();

@@ -9,9 +9,13 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <numeric>
 
 #include "fl/async_engine.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
 #include "test_helpers.h"
 #include "util/thread_pool.h"
 
@@ -40,20 +44,21 @@ std::uint64_t weight_hash(const std::vector<float>& weights) {
 }
 
 AsyncRunResult run_with_pool_size(const AsyncConfig& async,
-                                  std::size_t threads) {
+                                  std::size_t threads,
+                                  const nn::ModelFactory& factory) {
   TinyFederation fed = FederationBuilder().clients(10).jitter(0.05).build();
-  AsyncEngine engine(tiny_engine_config(1), async, tiny_factory(),
-                     &fed.clients, two_tiers(10), &fed.data.test,
-                     fed.latency);
+  AsyncEngine engine(tiny_engine_config(1), async, factory, &fed.clients,
+                     two_tiers(10), &fed.data.test, fed.latency);
   util::ThreadPool pool(threads);
   engine.set_thread_pool(&pool);
   return engine.run();
 }
 
-void expect_pool_size_invariance(const AsyncConfig& async) {
-  const AsyncRunResult r1 = run_with_pool_size(async, 1);
-  const AsyncRunResult r2 = run_with_pool_size(async, 2);
-  const AsyncRunResult r8 = run_with_pool_size(async, 8);
+void expect_pool_size_invariance(
+    const AsyncConfig& async, const nn::ModelFactory& factory = tiny_factory()) {
+  const AsyncRunResult r1 = run_with_pool_size(async, 1, factory);
+  const AsyncRunResult r2 = run_with_pool_size(async, 2, factory);
+  const AsyncRunResult r8 = run_with_pool_size(async, 8, factory);
 
   const std::uint64_t h1 = weight_hash(r1.final_weights);
   EXPECT_EQ(h1, weight_hash(r2.final_weights));
@@ -80,6 +85,28 @@ TEST(AsyncDeterminism, StaticPathIsThreadPoolSizeInvariant) {
   async.eval_every = 4;
   async.staleness = StalenessFn::kInverseFrequency;
   expect_pool_size_invariance(async);
+}
+
+TEST(AsyncDeterminism, CnnTrainingIsThreadPoolSizeInvariant) {
+  // Same invariance through the conv stack: batch im2col, the blocked /
+  // stream / small GEMM dispatch, fused ReLU epilogues and workspace reuse
+  // must all be pool-size-oblivious.  Training runs inside pool workers
+  // (serial kernels) while the shared evaluation forward runs at top level
+  // (tiled kernels) — both paths are exercised here.
+  AsyncConfig async;
+  async.total_updates = 8;
+  async.clients_per_tier_round = 4;
+  async.eval_every = 4;
+  async.staleness = StalenessFn::kConstant;
+  expect_pool_size_invariance(async, [](std::uint64_t seed) {
+    util::Rng rng(seed);
+    nn::Sequential model;
+    model.add(std::make_unique<nn::Conv2D>(1, 8, 3, rng));
+    model.add(std::make_unique<nn::ReLU>());
+    model.add(std::make_unique<nn::Flatten>());
+    model.add(std::make_unique<nn::Dense>(8 * 4 * 4, 4, rng));
+    return model;
+  });
 }
 
 TEST(AsyncDeterminism, DynamicLifecyclePathIsThreadPoolSizeInvariant) {

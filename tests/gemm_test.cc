@@ -9,6 +9,7 @@
 
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tifl::tensor {
 namespace {
@@ -121,6 +122,144 @@ TEST(Gemm, ParallelResultIsDeterministic) {
   gemm_nn(a, b, c1);
   gemm_nn(a, b, c2);
   EXPECT_EQ(max_abs_diff(c1, c2), 0.0f);
+}
+
+// --- blocked-vs-naive equivalence over odd/edge shapes ----------------------
+// M, K, N sweep {1, 3, 17, 64, 257} x accumulate on/off: exercises the
+// small, stream and packed dispatch paths, ragged microtiles (257 = 42*6+5
+// rows, 16*16+1 columns) and multi-KC reductions (257 > KC is false here,
+// but 257 columns span multiple NR panels and the x2 tile pairing).
+using EdgeCase = std::tuple<int, int, int, bool>;  // M, K, N, accumulate
+
+class GemmEdgeSweep : public ::testing::TestWithParam<EdgeCase> {
+ protected:
+  static constexpr float kEdgeTol = 1e-3f;  // K=257 float reduction slack
+};
+
+TEST_P(GemmEdgeSweep, NnMatchesReference) {
+  const auto [m, k, n, accumulate] = GetParam();
+  const Tensor a = random_matrix(m, k, 21);
+  const Tensor b = random_matrix(k, n, 22);
+  Tensor c = random_matrix(m, n, 23);
+  Tensor expected = reference_nn(a, b);
+  if (accumulate) {
+    for (std::int64_t i = 0; i < expected.numel(); ++i) expected[i] += c[i];
+  }
+  gemm_nn(a, b, c, accumulate);
+  EXPECT_LE(max_abs_diff(c, expected), kEdgeTol);
+}
+
+TEST_P(GemmEdgeSweep, NtMatchesReference) {
+  const auto [m, k, n, accumulate] = GetParam();
+  const Tensor a = random_matrix(m, k, 24);
+  const Tensor b_t = random_matrix(n, k, 25);
+  Tensor b({k, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) b.at(j, i) = b_t.at(i, j);
+  }
+  Tensor c = random_matrix(m, n, 26);
+  Tensor expected = reference_nn(a, b);
+  if (accumulate) {
+    for (std::int64_t i = 0; i < expected.numel(); ++i) expected[i] += c[i];
+  }
+  gemm_nt(a, b_t, c, accumulate);
+  EXPECT_LE(max_abs_diff(c, expected), kEdgeTol);
+}
+
+TEST_P(GemmEdgeSweep, TnMatchesReference) {
+  const auto [m, k, n, accumulate] = GetParam();
+  const Tensor a_t = random_matrix(k, m, 27);
+  const Tensor b = random_matrix(k, n, 28);
+  Tensor a({m, k});
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) a.at(j, i) = a_t.at(i, j);
+  }
+  Tensor c = random_matrix(m, n, 29);
+  Tensor expected = reference_nn(a, b);
+  if (accumulate) {
+    for (std::int64_t i = 0; i < expected.numel(); ++i) expected[i] += c[i];
+  }
+  gemm_tn(a_t, b, c, accumulate);
+  EXPECT_LE(max_abs_diff(c, expected), kEdgeTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, GemmEdgeSweep,
+    ::testing::Combine(::testing::Values(1, 3, 17, 64, 257),
+                       ::testing::Values(1, 3, 17, 64, 257),
+                       ::testing::Values(1, 3, 17, 64, 257),
+                       ::testing::Bool()));
+
+// --- fused epilogue ---------------------------------------------------------
+
+TEST(GemmEpilogue, BiasAndReluMatchSeparatePasses) {
+  // 128^3 takes the packed path; the epilogue must equal gemm + explicit
+  // bias-and-relu passes bit for bit (same adds in the same order).
+  const std::int64_t m = 128, k = 128, n = 128;
+  const Tensor a = random_matrix(m, k, 31);
+  const Tensor b = random_matrix(k, n, 32);
+  const Tensor bias_n = random_matrix(1, n, 33).reshaped({n});
+  const Tensor bias_m = random_matrix(1, m, 34).reshaped({m});
+
+  Tensor plain({m, n});
+  gemm_nn(a, b, plain);
+  Tensor expected = plain;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float v = expected.at(i, j) + bias_m[i] + bias_n[j];
+      expected.at(i, j) = v > 0.0f ? v : 0.0f;
+    }
+  }
+
+  Tensor fused({m, n});
+  Epilogue ep;
+  ep.bias_m = bias_m.data();
+  ep.bias_n = bias_n.data();
+  ep.relu = true;
+  gemm_nn(a, b, fused, /*accumulate=*/false, ep);
+  EXPECT_EQ(max_abs_diff(fused, expected), 0.0f);
+}
+
+TEST(GemmEpilogue, AppliesOnSmallAndStreamPaths) {
+  // 8x8x8 (small path) and 4x200x300 (stream path: short C) against the
+  // same manual epilogue.
+  for (const auto [m, k, n] :
+       {std::tuple<std::int64_t, std::int64_t, std::int64_t>{8, 8, 8},
+        std::tuple<std::int64_t, std::int64_t, std::int64_t>{4, 200, 300}}) {
+    const Tensor a = random_matrix(m, k, 41);
+    const Tensor b = random_matrix(k, n, 42);
+    const Tensor bias = random_matrix(1, n, 43).reshaped({n});
+    Tensor expected({m, n});
+    gemm_nn(a, b, expected);
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float v = expected.at(i, j) + bias[j];
+        expected.at(i, j) = v > 0.0f ? v : 0.0f;
+      }
+    }
+    Tensor fused({m, n});
+    Epilogue ep;
+    ep.bias_n = bias.data();
+    ep.relu = true;
+    gemm_nn(a, b, fused, /*accumulate=*/false, ep);
+    EXPECT_EQ(max_abs_diff(fused, expected), 0.0f) << m << "x" << k << "x" << n;
+  }
+}
+
+// --- dispatch determinism ---------------------------------------------------
+
+TEST(Gemm, NestedSerialMatchesTopLevelBitwise) {
+  // From the top level the blocked kernel tiles across the pool; from a
+  // worker thread it degrades to the serial blocked kernel.  Both must
+  // produce bit-identical C — the pool-size determinism contract.
+  const Tensor a = random_matrix(300, 200, 51);
+  const Tensor b = random_matrix(200, 300, 52);
+  Tensor top({300, 300}), nested({300, 300});
+  gemm_nn(a, b, top);
+  util::global_pool()
+      .submit([&] { gemm_nn(a, b, nested); })
+      .get();
+  EXPECT_EQ(max_abs_diff(top, nested), 0.0f);
 }
 
 TEST(Gemm, NtNnConsistency) {

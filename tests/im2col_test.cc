@@ -106,6 +106,100 @@ TEST(Col2Im, AdjointOfIm2Col) {
   EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-3);
 }
 
+// --- batch forms ------------------------------------------------------------
+
+TEST(Im2ColBatch, SlabMatchesPerImageColumns) {
+  // The [R, N*S] slab must hold image b's tight [R, S] column matrix in
+  // columns [b*S, (b+1)*S), exactly as the per-image transform produces it.
+  util::Rng rng(11);
+  ConvGeometry g{.channels = 2, .height = 5, .width = 4, .kernel_h = 3,
+                 .kernel_w = 3, .stride = 1, .pad = 1};
+  const std::int64_t batch = 3;
+  const std::int64_t spatial = g.col_cols();
+  std::vector<float> images(
+      static_cast<std::size_t>(batch * g.image_size()));
+  for (float& v : images) v = static_cast<float>(rng.normal());
+
+  std::vector<float> slab(
+      static_cast<std::size_t>(g.col_rows() * batch * spatial), -7.0f);
+  im2col_batch(images.data(), batch, g, slab.data());
+
+  std::vector<float> single(
+      static_cast<std::size_t>(g.col_rows() * spatial));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    im2col(images.data() + b * g.image_size(), g, single.data());
+    for (std::int64_t r = 0; r < g.col_rows(); ++r) {
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        EXPECT_EQ(slab[static_cast<std::size_t>(r * batch * spatial +
+                                                b * spatial + s)],
+                  single[static_cast<std::size_t>(r * spatial + s)])
+            << "image " << b << " row " << r << " col " << s;
+      }
+    }
+  }
+}
+
+TEST(Col2ImBatch, MatchesPerImageScatter) {
+  util::Rng rng(12);
+  ConvGeometry g{.channels = 1, .height = 6, .width = 6, .kernel_h = 3,
+                 .kernel_w = 3, .stride = 2, .pad = 1};
+  const std::int64_t batch = 4;
+  const std::int64_t spatial = g.col_cols();
+  std::vector<float> slab(
+      static_cast<std::size_t>(g.col_rows() * batch * spatial));
+  for (float& v : slab) v = static_cast<float>(rng.normal());
+
+  std::vector<float> batch_grad(
+      static_cast<std::size_t>(batch * g.image_size()), 0.0f);
+  col2im_batch(slab.data(), batch, g, batch_grad.data());
+
+  // Reference: extract each image's tight columns, scatter individually.
+  std::vector<float> single(
+      static_cast<std::size_t>(g.col_rows() * spatial));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t r = 0; r < g.col_rows(); ++r) {
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        single[static_cast<std::size_t>(r * spatial + s)] =
+            slab[static_cast<std::size_t>(r * batch * spatial + b * spatial +
+                                          s)];
+      }
+    }
+    std::vector<float> expected(static_cast<std::size_t>(g.image_size()),
+                                0.0f);
+    col2im(single.data(), g, expected.data());
+    for (std::int64_t i = 0; i < g.image_size(); ++i) {
+      EXPECT_EQ(batch_grad[static_cast<std::size_t>(b * g.image_size() + i)],
+                expected[static_cast<std::size_t>(i)])
+          << "image " << b << " element " << i;
+    }
+  }
+}
+
+TEST(Im2Col, StridedVariantMatchesTight) {
+  // Writing through a wider slab stride and reading the window back must
+  // reproduce the tight layout (guards the stride plumbing used by conv).
+  util::Rng rng(13);
+  ConvGeometry g{.channels = 2, .height = 4, .width = 5, .kernel_h = 2,
+                 .kernel_w = 2, .stride = 1, .pad = 0};
+  const std::int64_t spatial = g.col_cols();
+  const std::int64_t wide = spatial + 17;
+  std::vector<float> image(static_cast<std::size_t>(g.image_size()));
+  for (float& v : image) v = static_cast<float>(rng.normal());
+
+  std::vector<float> tight(
+      static_cast<std::size_t>(g.col_rows() * spatial));
+  im2col(image.data(), g, tight.data());
+  std::vector<float> strided(
+      static_cast<std::size_t>(g.col_rows() * wide), -1.0f);
+  im2col(image.data(), g, strided.data(), wide);
+  for (std::int64_t r = 0; r < g.col_rows(); ++r) {
+    for (std::int64_t s = 0; s < spatial; ++s) {
+      EXPECT_EQ(strided[static_cast<std::size_t>(r * wide + s)],
+                tight[static_cast<std::size_t>(r * spatial + s)]);
+    }
+  }
+}
+
 TEST(Col2Im, AccumulatesOverlappingWindows) {
   // 3x3 image, 2x2 kernel stride 1: center-adjacent pixels appear in
   // multiple windows; all-ones columns scatter window multiplicities.

@@ -219,6 +219,64 @@ TEST(Conv2D, SamePaddingPreservesSpatialSize) {
   EXPECT_EQ(y.dim(1), 8);
 }
 
+TEST(Conv2D, WorkspaceStopsGrowingAfterWarmup) {
+  // The batch im2col path stages everything in the layer's Workspace;
+  // after one forward/backward warm-up, repeated training steps must not
+  // allocate any new scratch.
+  util::Rng rng(9);
+  Conv2D layer(2, 4, 3, rng);
+  Tensor x = Tensor::randn({4, 2, 8, 8}, rng);
+  PassContext ctx{.training = true, .rng = nullptr};
+
+  Tensor y = layer.forward(x, ctx);
+  layer.backward(y);
+  const std::size_t warm = layer.workspace().capacity_floats();
+  EXPECT_GT(warm, 0u);
+
+  for (int step = 0; step < 5; ++step) {
+    Tensor out = layer.forward(x, ctx);
+    layer.backward(out);
+    EXPECT_EQ(layer.workspace().capacity_floats(), warm)
+        << "scratch grew on step " << step;
+  }
+}
+
+TEST(Conv2D, FusedReluMatchesSeparateReluBitwise) {
+  // Conv with the fused epilogue == conv + standalone ReLU, forward and
+  // backward, down to the bit.
+  util::Rng rng_a(10), rng_b(10);
+  Conv2D fused(2, 3, 3, rng_a);
+  Conv2D plain(2, 3, 3, rng_b);
+  fused.set_fused_relu(true);
+  ReLU relu;
+
+  util::Rng rng_x(77);
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng_x);
+  PassContext ctx{.training = true, .rng = nullptr};
+  Tensor yf = fused.forward(x, ctx);
+  Tensor yp = relu.forward(plain.forward(x, ctx), ctx);
+  ASSERT_EQ(yf.numel(), yp.numel());
+  for (std::int64_t i = 0; i < yf.numel(); ++i) {
+    ASSERT_EQ(yf[i], yp[i]) << "forward element " << i;
+  }
+
+  Tensor dy = Tensor::randn(yf.shape(), rng_x);
+  fused.zero_grads();
+  plain.zero_grads();
+  Tensor dxf = fused.backward(dy);
+  Tensor dxp = plain.backward(relu.backward(dy));
+  for (std::int64_t i = 0; i < dxf.numel(); ++i) {
+    ASSERT_EQ(dxf[i], dxp[i]) << "dx element " << i;
+  }
+  for (std::size_t p = 0; p < 2; ++p) {
+    const Tensor& gf = *fused.grads()[p];
+    const Tensor& gp = *plain.grads()[p];
+    for (std::int64_t i = 0; i < gf.numel(); ++i) {
+      ASSERT_EQ(gf[i], gp[i]) << "grad " << p << " element " << i;
+    }
+  }
+}
+
 TEST(Conv2D, RejectsWrongChannelCount) {
   util::Rng rng(3);
   Conv2D layer(3, 4, 3, rng);

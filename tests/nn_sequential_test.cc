@@ -17,6 +17,31 @@ using tensor::Tensor;
 
 Sequential small_mlp(std::uint64_t seed) { return mlp(8, 6, 3, seed); }
 
+TEST(Sequential, ReluFusionIsBitIdenticalToUnfused) {
+  // The fusion pass folds Dense/Conv2D + ReLU pairs into GEMM epilogues;
+  // training trajectories with fusion on and off must match bit for bit.
+  const nn::ImageGeometry geo{.channels = 1, .height = 8, .width = 8};
+  Sequential fused = mnist_cnn(geo, 4, /*seed=*/5);
+  Sequential plain = mnist_cnn(geo, 4, /*seed=*/5);
+  plain.set_fusion_enabled(false);
+
+  util::Rng data_rng(31);
+  Tensor x = Tensor::randn({6, 1, 8, 8}, data_rng);
+  std::vector<std::int32_t> labels(6);
+  for (auto& l : labels) {
+    l = static_cast<std::int32_t>(data_rng.uniform_index(4));
+  }
+
+  for (int step = 0; step < 3; ++step) {
+    Sgd opt_f(0.05), opt_p(0.05);
+    util::Rng rng_f(7), rng_p(7);
+    const LossResult rf = fused.train_batch(x, labels, opt_f, rng_f);
+    const LossResult rp = plain.train_batch(x, labels, opt_p, rng_p);
+    EXPECT_EQ(rf.loss, rp.loss) << "step " << step;
+    EXPECT_EQ(fused.weights(), plain.weights()) << "step " << step;
+  }
+}
+
 TEST(Sequential, WeightsRoundTrip) {
   Sequential model = small_mlp(1);
   const std::vector<float> w = model.weights();
