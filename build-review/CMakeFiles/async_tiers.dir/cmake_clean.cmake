@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_tiers.dir/examples/async_tiers.cpp.o"
+  "CMakeFiles/async_tiers.dir/examples/async_tiers.cpp.o.d"
+  "async_tiers"
+  "async_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

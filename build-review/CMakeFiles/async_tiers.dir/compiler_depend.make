@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for async_tiers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptive.dir/bench/bench_ablation_adaptive.cc.o"
+  "CMakeFiles/bench_ablation_adaptive.dir/bench/bench_ablation_adaptive.cc.o.d"
+  "bench_ablation_adaptive"
+  "bench_ablation_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tiering.dir/bench/bench_ablation_tiering.cc.o"
+  "CMakeFiles/bench_ablation_tiering.dir/bench/bench_ablation_tiering.cc.o.d"
+  "bench_ablation_tiering"
+  "bench_ablation_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

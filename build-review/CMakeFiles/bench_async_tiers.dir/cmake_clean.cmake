@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_tiers.dir/bench/bench_async_tiers.cc.o"
+  "CMakeFiles/bench_async_tiers.dir/bench/bench_async_tiers.cc.o.d"
+  "bench_async_tiers"
+  "bench_async_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

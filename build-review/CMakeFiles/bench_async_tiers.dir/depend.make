@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_async_tiers.
+# This may be replaced when dependencies are built.

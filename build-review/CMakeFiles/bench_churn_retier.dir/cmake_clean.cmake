@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_churn_retier.dir/bench/bench_churn_retier.cc.o"
+  "CMakeFiles/bench_churn_retier.dir/bench/bench_churn_retier.cc.o.d"
+  "bench_churn_retier"
+  "bench_churn_retier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_churn_retier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

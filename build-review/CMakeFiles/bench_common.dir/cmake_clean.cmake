@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_common.dir/bench/bench_common.cc.o.d"
+  "libbench_common.a"
+  "libbench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

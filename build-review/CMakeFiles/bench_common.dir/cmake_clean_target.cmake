@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbench_common.a"
+)

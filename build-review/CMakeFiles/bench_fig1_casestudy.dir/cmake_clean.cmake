@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_casestudy.dir/bench/bench_fig1_casestudy.cc.o"
+  "CMakeFiles/bench_fig1_casestudy.dir/bench/bench_fig1_casestudy.cc.o.d"
+  "bench_fig1_casestudy"
+  "bench_fig1_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

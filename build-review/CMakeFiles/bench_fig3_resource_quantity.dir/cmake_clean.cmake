@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_resource_quantity.dir/bench/bench_fig3_resource_quantity.cc.o"
+  "CMakeFiles/bench_fig3_resource_quantity.dir/bench/bench_fig3_resource_quantity.cc.o.d"
+  "bench_fig3_resource_quantity"
+  "bench_fig3_resource_quantity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_resource_quantity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

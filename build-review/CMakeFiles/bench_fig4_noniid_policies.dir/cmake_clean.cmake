@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_noniid_policies.dir/bench/bench_fig4_noniid_policies.cc.o"
+  "CMakeFiles/bench_fig4_noniid_policies.dir/bench/bench_fig4_noniid_policies.cc.o.d"
+  "bench_fig4_noniid_policies"
+  "bench_fig4_noniid_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_noniid_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

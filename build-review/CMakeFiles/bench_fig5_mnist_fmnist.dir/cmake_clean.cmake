@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mnist_fmnist.dir/bench/bench_fig5_mnist_fmnist.cc.o"
+  "CMakeFiles/bench_fig5_mnist_fmnist.dir/bench/bench_fig5_mnist_fmnist.cc.o.d"
+  "bench_fig5_mnist_fmnist"
+  "bench_fig5_mnist_fmnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mnist_fmnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_combined.dir/bench/bench_fig6_combined.cc.o"
+  "CMakeFiles/bench_fig6_combined.dir/bench/bench_fig6_combined.cc.o.d"
+  "bench_fig6_combined"
+  "bench_fig6_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

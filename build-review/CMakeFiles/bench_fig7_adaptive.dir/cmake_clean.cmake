@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_adaptive.dir/bench/bench_fig7_adaptive.cc.o"
+  "CMakeFiles/bench_fig7_adaptive.dir/bench/bench_fig7_adaptive.cc.o.d"
+  "bench_fig7_adaptive"
+  "bench_fig7_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

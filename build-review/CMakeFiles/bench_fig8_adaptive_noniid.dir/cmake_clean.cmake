@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_adaptive_noniid.dir/bench/bench_fig8_adaptive_noniid.cc.o"
+  "CMakeFiles/bench_fig8_adaptive_noniid.dir/bench/bench_fig8_adaptive_noniid.cc.o.d"
+  "bench_fig8_adaptive_noniid"
+  "bench_fig8_adaptive_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_adaptive_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_leaf.dir/bench/bench_fig9_leaf.cc.o"
+  "CMakeFiles/bench_fig9_leaf.dir/bench/bench_fig9_leaf.cc.o.d"
+  "bench_fig9_leaf"
+  "bench_fig9_leaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_leaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

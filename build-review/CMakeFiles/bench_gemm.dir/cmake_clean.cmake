@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gemm.dir/bench/bench_gemm.cc.o"
+  "CMakeFiles/bench_gemm.dir/bench/bench_gemm.cc.o.d"
+  "bench_gemm"
+  "bench_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro.dir/bench/bench_micro.cc.o"
+  "CMakeFiles/bench_micro.dir/bench/bench_micro.cc.o.d"
+  "bench_micro"
+  "bench_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

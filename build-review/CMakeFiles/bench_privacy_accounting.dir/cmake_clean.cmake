@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_privacy_accounting.dir/bench/bench_privacy_accounting.cc.o"
+  "CMakeFiles/bench_privacy_accounting.dir/bench/bench_privacy_accounting.cc.o.d"
+  "bench_privacy_accounting"
+  "bench_privacy_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_estimator.dir/bench/bench_table2_estimator.cc.o"
+  "CMakeFiles/bench_table2_estimator.dir/bench/bench_table2_estimator.cc.o.d"
+  "bench_table2_estimator"
+  "bench_table2_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

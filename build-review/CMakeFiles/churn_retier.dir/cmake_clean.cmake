@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_retier.dir/examples/churn_retier.cpp.o"
+  "CMakeFiles/churn_retier.dir/examples/churn_retier.cpp.o.d"
+  "churn_retier"
+  "churn_retier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_retier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

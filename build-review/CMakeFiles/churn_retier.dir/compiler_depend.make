@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for churn_retier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for churn_retier.
+# This may be replaced when dependencies are built.

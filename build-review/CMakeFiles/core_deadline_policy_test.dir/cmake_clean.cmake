@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_deadline_policy_test.dir/tests/core_deadline_policy_test.cc.o"
+  "CMakeFiles/core_deadline_policy_test.dir/tests/core_deadline_policy_test.cc.o.d"
+  "core_deadline_policy_test"
+  "core_deadline_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_deadline_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_estimator_test.dir/tests/core_estimator_test.cc.o"
+  "CMakeFiles/core_estimator_test.dir/tests/core_estimator_test.cc.o.d"
+  "core_estimator_test"
+  "core_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

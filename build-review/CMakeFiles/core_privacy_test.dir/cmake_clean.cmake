@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_privacy_test.dir/tests/core_privacy_test.cc.o"
+  "CMakeFiles/core_privacy_test.dir/tests/core_privacy_test.cc.o.d"
+  "core_privacy_test"
+  "core_privacy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_privacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

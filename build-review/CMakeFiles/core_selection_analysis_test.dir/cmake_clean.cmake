@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selection_analysis_test.dir/tests/core_selection_analysis_test.cc.o"
+  "CMakeFiles/core_selection_analysis_test.dir/tests/core_selection_analysis_test.cc.o.d"
+  "core_selection_analysis_test"
+  "core_selection_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selection_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

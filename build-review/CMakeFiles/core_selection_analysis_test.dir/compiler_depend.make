@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for core_selection_analysis_test.
+# This may be replaced when dependencies are built.

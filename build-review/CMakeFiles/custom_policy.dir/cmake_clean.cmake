@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_policy.dir/examples/custom_policy.cpp.o"
+  "CMakeFiles/custom_policy.dir/examples/custom_policy.cpp.o.d"
+  "custom_policy"
+  "custom_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/tests/data_test.cc.o"
+  "CMakeFiles/data_test.dir/tests/data_test.cc.o.d"
+  "data_test"
+  "data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_aggregator_test.dir/tests/fl_aggregator_test.cc.o"
+  "CMakeFiles/fl_aggregator_test.dir/tests/fl_aggregator_test.cc.o.d"
+  "fl_aggregator_test"
+  "fl_aggregator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

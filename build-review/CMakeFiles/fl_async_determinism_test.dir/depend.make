@@ -1,0 +1,2 @@
+# Empty dependencies file for fl_async_determinism_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_async_engine_test.dir/tests/fl_async_engine_test.cc.o"
+  "CMakeFiles/fl_async_engine_test.dir/tests/fl_async_engine_test.cc.o.d"
+  "fl_async_engine_test"
+  "fl_async_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_async_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fl_async_engine_test.
+# This may be replaced when dependencies are built.

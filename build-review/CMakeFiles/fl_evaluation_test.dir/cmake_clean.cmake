@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_evaluation_test.dir/tests/fl_evaluation_test.cc.o"
+  "CMakeFiles/fl_evaluation_test.dir/tests/fl_evaluation_test.cc.o.d"
+  "fl_evaluation_test"
+  "fl_evaluation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_evaluation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_policy_test.dir/tests/fl_policy_test.cc.o"
+  "CMakeFiles/fl_policy_test.dir/tests/fl_policy_test.cc.o.d"
+  "fl_policy_test"
+  "fl_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

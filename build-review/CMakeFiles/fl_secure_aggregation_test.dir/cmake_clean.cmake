@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_secure_aggregation_test.dir/tests/fl_secure_aggregation_test.cc.o"
+  "CMakeFiles/fl_secure_aggregation_test.dir/tests/fl_secure_aggregation_test.cc.o.d"
+  "fl_secure_aggregation_test"
+  "fl_secure_aggregation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_secure_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fl_secure_aggregation_test.
+# This may be replaced when dependencies are built.

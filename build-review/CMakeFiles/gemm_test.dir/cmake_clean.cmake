@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_test.dir/tests/gemm_test.cc.o"
+  "CMakeFiles/gemm_test.dir/tests/gemm_test.cc.o.d"
+  "gemm_test"
+  "gemm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_cifar.dir/examples/heterogeneous_cifar.cpp.o"
+  "CMakeFiles/heterogeneous_cifar.dir/examples/heterogeneous_cifar.cpp.o.d"
+  "heterogeneous_cifar"
+  "heterogeneous_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for heterogeneous_cifar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for heterogeneous_cifar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im2col_test.dir/tests/im2col_test.cc.o"
+  "CMakeFiles/im2col_test.dir/tests/im2col_test.cc.o.d"
+  "im2col_test"
+  "im2col_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im2col_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

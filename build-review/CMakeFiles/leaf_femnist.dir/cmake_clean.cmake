@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_femnist.dir/examples/leaf_femnist.cpp.o"
+  "CMakeFiles/leaf_femnist.dir/examples/leaf_femnist.cpp.o.d"
+  "leaf_femnist"
+  "leaf_femnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_femnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for leaf_femnist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for leaf_femnist.
+# This may be replaced when dependencies are built.

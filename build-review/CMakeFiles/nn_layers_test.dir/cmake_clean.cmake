@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_layers_test.dir/tests/nn_layers_test.cc.o"
+  "CMakeFiles/nn_layers_test.dir/tests/nn_layers_test.cc.o.d"
+  "nn_layers_test"
+  "nn_layers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_loss_opt_test.dir/tests/nn_loss_opt_test.cc.o"
+  "CMakeFiles/nn_loss_opt_test.dir/tests/nn_loss_opt_test.cc.o.d"
+  "nn_loss_opt_test"
+  "nn_loss_opt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_loss_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

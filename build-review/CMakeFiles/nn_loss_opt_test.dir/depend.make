@@ -1,0 +1,2 @@
+# Empty dependencies file for nn_loss_opt_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_sequential_test.dir/tests/nn_sequential_test.cc.o"
+  "CMakeFiles/nn_sequential_test.dir/tests/nn_sequential_test.cc.o.d"
+  "nn_sequential_test"
+  "nn_sequential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_test.dir/tests/ops_test.cc.o"
+  "CMakeFiles/ops_test.dir/tests/ops_test.cc.o.d"
+  "ops_test"
+  "ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_test.dir/tests/partition_test.cc.o"
+  "CMakeFiles/partition_test.dir/tests/partition_test.cc.o.d"
+  "partition_test"
+  "partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

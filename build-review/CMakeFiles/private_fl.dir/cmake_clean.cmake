@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_fl.dir/examples/private_fl.cpp.o"
+  "CMakeFiles/private_fl.dir/examples/private_fl.cpp.o.d"
+  "private_fl"
+  "private_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

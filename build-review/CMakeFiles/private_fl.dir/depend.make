@@ -1,0 +1,2 @@
+# Empty dependencies file for private_fl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_sweeps_test.dir/tests/property_sweeps_test.cc.o"
+  "CMakeFiles/property_sweeps_test.dir/tests/property_sweeps_test.cc.o.d"
+  "property_sweeps_test"
+  "property_sweeps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_churn_model_test.dir/tests/sim_churn_model_test.cc.o"
+  "CMakeFiles/sim_churn_model_test.dir/tests/sim_churn_model_test.cc.o.d"
+  "sim_churn_model_test"
+  "sim_churn_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_churn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_event_queue_test.dir/tests/sim_event_queue_test.cc.o"
+  "CMakeFiles/sim_event_queue_test.dir/tests/sim_event_queue_test.cc.o.d"
+  "sim_event_queue_test"
+  "sim_event_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_event_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_test.dir/tests/tensor_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tests/tensor_test.cc.o.d"
+  "tensor_test"
+  "tensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

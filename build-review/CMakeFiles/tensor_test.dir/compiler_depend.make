@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tensor_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_policy.cc" "CMakeFiles/tifl.dir/src/core/adaptive_policy.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/adaptive_policy.cc.o.d"
+  "/root/repo/src/core/deadline_policy.cc" "CMakeFiles/tifl.dir/src/core/deadline_policy.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/deadline_policy.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "CMakeFiles/tifl.dir/src/core/estimator.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/estimator.cc.o.d"
+  "/root/repo/src/core/privacy.cc" "CMakeFiles/tifl.dir/src/core/privacy.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/privacy.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "CMakeFiles/tifl.dir/src/core/profiler.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/profiler.cc.o.d"
+  "/root/repo/src/core/retier.cc" "CMakeFiles/tifl.dir/src/core/retier.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/retier.cc.o.d"
+  "/root/repo/src/core/selection_analysis.cc" "CMakeFiles/tifl.dir/src/core/selection_analysis.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/selection_analysis.cc.o.d"
+  "/root/repo/src/core/static_policy.cc" "CMakeFiles/tifl.dir/src/core/static_policy.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/static_policy.cc.o.d"
+  "/root/repo/src/core/system.cc" "CMakeFiles/tifl.dir/src/core/system.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/system.cc.o.d"
+  "/root/repo/src/core/tiering.cc" "CMakeFiles/tifl.dir/src/core/tiering.cc.o" "gcc" "CMakeFiles/tifl.dir/src/core/tiering.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/tifl.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/tifl.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/partition.cc" "CMakeFiles/tifl.dir/src/data/partition.cc.o" "gcc" "CMakeFiles/tifl.dir/src/data/partition.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "CMakeFiles/tifl.dir/src/data/synthetic.cc.o" "gcc" "CMakeFiles/tifl.dir/src/data/synthetic.cc.o.d"
+  "/root/repo/src/fl/aggregator.cc" "CMakeFiles/tifl.dir/src/fl/aggregator.cc.o" "gcc" "CMakeFiles/tifl.dir/src/fl/aggregator.cc.o.d"
+  "/root/repo/src/fl/async_engine.cc" "CMakeFiles/tifl.dir/src/fl/async_engine.cc.o" "gcc" "CMakeFiles/tifl.dir/src/fl/async_engine.cc.o.d"
+  "/root/repo/src/fl/client.cc" "CMakeFiles/tifl.dir/src/fl/client.cc.o" "gcc" "CMakeFiles/tifl.dir/src/fl/client.cc.o.d"
+  "/root/repo/src/fl/engine.cc" "CMakeFiles/tifl.dir/src/fl/engine.cc.o" "gcc" "CMakeFiles/tifl.dir/src/fl/engine.cc.o.d"
+  "/root/repo/src/fl/evaluation.cc" "CMakeFiles/tifl.dir/src/fl/evaluation.cc.o" "gcc" "CMakeFiles/tifl.dir/src/fl/evaluation.cc.o.d"
+  "/root/repo/src/fl/metrics.cc" "CMakeFiles/tifl.dir/src/fl/metrics.cc.o" "gcc" "CMakeFiles/tifl.dir/src/fl/metrics.cc.o.d"
+  "/root/repo/src/fl/policy.cc" "CMakeFiles/tifl.dir/src/fl/policy.cc.o" "gcc" "CMakeFiles/tifl.dir/src/fl/policy.cc.o.d"
+  "/root/repo/src/fl/secure_aggregation.cc" "CMakeFiles/tifl.dir/src/fl/secure_aggregation.cc.o" "gcc" "CMakeFiles/tifl.dir/src/fl/secure_aggregation.cc.o.d"
+  "/root/repo/src/nn/activations.cc" "CMakeFiles/tifl.dir/src/nn/activations.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/activations.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "CMakeFiles/tifl.dir/src/nn/checkpoint.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/checkpoint.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "CMakeFiles/tifl.dir/src/nn/conv2d.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "CMakeFiles/tifl.dir/src/nn/dense.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/dense.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "CMakeFiles/tifl.dir/src/nn/loss.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/loss.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "CMakeFiles/tifl.dir/src/nn/model_zoo.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/model_zoo.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "CMakeFiles/tifl.dir/src/nn/optimizer.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "CMakeFiles/tifl.dir/src/nn/pool.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/pool.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "CMakeFiles/tifl.dir/src/nn/sequential.cc.o" "gcc" "CMakeFiles/tifl.dir/src/nn/sequential.cc.o.d"
+  "/root/repo/src/sim/churn_model.cc" "CMakeFiles/tifl.dir/src/sim/churn_model.cc.o" "gcc" "CMakeFiles/tifl.dir/src/sim/churn_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/tifl.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/tifl.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/latency_model.cc" "CMakeFiles/tifl.dir/src/sim/latency_model.cc.o" "gcc" "CMakeFiles/tifl.dir/src/sim/latency_model.cc.o.d"
+  "/root/repo/src/sim/resource_profile.cc" "CMakeFiles/tifl.dir/src/sim/resource_profile.cc.o" "gcc" "CMakeFiles/tifl.dir/src/sim/resource_profile.cc.o.d"
+  "/root/repo/src/tensor/gemm.cc" "CMakeFiles/tifl.dir/src/tensor/gemm.cc.o" "gcc" "CMakeFiles/tifl.dir/src/tensor/gemm.cc.o.d"
+  "/root/repo/src/tensor/im2col.cc" "CMakeFiles/tifl.dir/src/tensor/im2col.cc.o" "gcc" "CMakeFiles/tifl.dir/src/tensor/im2col.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "CMakeFiles/tifl.dir/src/tensor/ops.cc.o" "gcc" "CMakeFiles/tifl.dir/src/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/pack.cc" "CMakeFiles/tifl.dir/src/tensor/pack.cc.o" "gcc" "CMakeFiles/tifl.dir/src/tensor/pack.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/tifl.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/tifl.dir/src/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/workspace.cc" "CMakeFiles/tifl.dir/src/tensor/workspace.cc.o" "gcc" "CMakeFiles/tifl.dir/src/tensor/workspace.cc.o.d"
+  "/root/repo/src/util/cli.cc" "CMakeFiles/tifl.dir/src/util/cli.cc.o" "gcc" "CMakeFiles/tifl.dir/src/util/cli.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "CMakeFiles/tifl.dir/src/util/histogram.cc.o" "gcc" "CMakeFiles/tifl.dir/src/util/histogram.cc.o.d"
+  "/root/repo/src/util/log.cc" "CMakeFiles/tifl.dir/src/util/log.cc.o" "gcc" "CMakeFiles/tifl.dir/src/util/log.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/tifl.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/tifl.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/tifl.dir/src/util/table.cc.o" "gcc" "CMakeFiles/tifl.dir/src/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/tifl.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/tifl.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tifl_run.dir/tools/tifl_run.cc.o"
+  "CMakeFiles/tifl_run.dir/tools/tifl_run.cc.o.d"
+  "tifl_run"
+  "tifl_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tifl_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_misc_test.dir/tests/util_misc_test.cc.o"
+  "CMakeFiles/util_misc_test.dir/tests/util_misc_test.cc.o.d"
+  "util_misc_test"
+  "util_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_rng_test.dir/tests/util_rng_test.cc.o"
+  "CMakeFiles/util_rng_test.dir/tests/util_rng_test.cc.o.d"
+  "util_rng_test"
+  "util_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_stats_test.dir/tests/util_stats_test.cc.o"
+  "CMakeFiles/util_stats_test.dir/tests/util_stats_test.cc.o.d"
+  "util_stats_test"
+  "util_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_threadpool_test.dir/tests/util_threadpool_test.cc.o"
+  "CMakeFiles/util_threadpool_test.dir/tests/util_threadpool_test.cc.o.d"
+  "util_threadpool_test"
+  "util_threadpool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_threadpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
