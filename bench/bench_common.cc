@@ -103,6 +103,23 @@ nn::ModelFactory make_factory(const ScenarioConfig& config) {
   throw std::logic_error("make_factory: unknown model kind");
 }
 
+core::SystemConfig make_system_config(const ScenarioConfig& config) {
+  core::SystemConfig system_config;
+  system_config.num_tiers = config.num_tiers;
+  system_config.profiler = config.profiler;
+  system_config.clients_per_round = config.clients_per_round;
+  system_config.engine.rounds = config.rounds;
+  system_config.engine.time_budget_seconds = config.time_budget_seconds;
+  system_config.engine.local.epochs = config.local_epochs;
+  system_config.engine.local.batch_size = config.batch_size;
+  system_config.engine.local.optimizer = config.optimizer;
+  system_config.engine.lr_decay_per_round = config.lr_decay;
+  system_config.engine.eval_every = config.eval_every;
+  system_config.engine.seed = config.seed;
+  system_config.profile_seed = util::mix_seed(config.seed, 0x9806);
+  return system_config;
+}
+
 }  // namespace
 
 Scenario build_scenario(ScenarioConfig config) {
@@ -160,23 +177,51 @@ Scenario build_scenario(ScenarioConfig config) {
   auto clients = fl::make_clients(&scenario.data->train, partition,
                                   test_shards, resources);
 
-  core::SystemConfig system_config;
-  system_config.num_tiers = config.num_tiers;
-  system_config.profiler = config.profiler;
-  system_config.clients_per_round = config.clients_per_round;
-  system_config.engine.rounds = config.rounds;
-  system_config.engine.time_budget_seconds = config.time_budget_seconds;
-  system_config.engine.local.epochs = config.local_epochs;
-  system_config.engine.local.batch_size = config.batch_size;
-  system_config.engine.local.optimizer = config.optimizer;
-  system_config.engine.lr_decay_per_round = config.lr_decay;
-  system_config.engine.eval_every = config.eval_every;
-  system_config.engine.seed = config.seed;
-  system_config.profile_seed = util::mix_seed(config.seed, 0x9806);
+  scenario.system = std::make_unique<core::TiflSystem>(
+      make_system_config(config), make_factory(config), &scenario.data->test,
+      std::move(clients), sim::LatencyModel(config.cost));
+  scenario.config = std::move(config);
+  return scenario;
+}
+
+Scenario build_virtual_scenario(ScenarioConfig config) {
+  Scenario scenario;
+  scenario.data =
+      std::make_unique<data::SyntheticData>(data::make_synthetic(config.spec));
+  const std::size_t dataset_size = scenario.data->train.size();
+
+  util::Rng rng(util::mix_seed(config.seed, 0xDA7A));
+  data::LazyShards shards(dataset_size, config.num_clients, config.lazy,
+                          util::mix_seed(config.seed, 0x1A2));
+
+  if (config.calibrate_samples > 0.0) {
+    // Mean shard size is the lazy base (spread jitter is symmetric), so
+    // the same latency calibration as the materialized path applies.
+    double mean_shard = 0.0;
+    for (std::size_t probe = 0;
+         probe < std::min<std::size_t>(config.num_clients, 1024); ++probe) {
+      mean_shard += static_cast<double>(shards.shard_size(probe));
+    }
+    mean_shard /= static_cast<double>(
+        std::min<std::size_t>(config.num_clients, 1024));
+    if (mean_shard > 0.0) {
+      config.cost.seconds_per_sample *= config.calibrate_samples / mean_shard;
+    }
+  }
+
+  fl::ClientPool::VirtualConfig pool_config;
+  pool_config.train = &scenario.data->train;
+  pool_config.shards = std::move(shards);
+  pool_config.profiles = sim::assign_equal_groups(
+      config.num_clients, config.cpu_groups, config.comm_seconds,
+      config.jitter_sigma, rng, config.shuffle_groups);
+  pool_config.cache_capacity =
+      std::max(config.pool_cache_capacity, 4 * config.clients_per_round);
 
   scenario.system = std::make_unique<core::TiflSystem>(
-      system_config, make_factory(config), &scenario.data->test,
-      std::move(clients), sim::LatencyModel(config.cost));
+      make_system_config(config), make_factory(config), &scenario.data->test,
+      fl::ClientPool(std::move(pool_config)),
+      sim::LatencyModel(config.cost));
   scenario.config = std::move(config);
   return scenario;
 }

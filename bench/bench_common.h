@@ -90,6 +90,11 @@ struct ScenarioConfig {
   std::size_t num_tiers = 5;
   core::ProfilerConfig profiler;
 
+  // Virtualized population (build_virtual_scenario): per-client lazy
+  // shard sizing and the ClientPool's live-client cache bound.
+  data::LazyShardOptions lazy;
+  std::size_t pool_cache_capacity = 64;
+
   void apply(const BenchOptions& options);
 };
 
@@ -102,6 +107,15 @@ struct Scenario {
 };
 
 Scenario build_scenario(ScenarioConfig config);
+
+// Million-client variant: instead of materializing a partition and a
+// Client per id, backs the system with a virtualized fl::ClientPool
+// (lazy IID shards over a shared permutation + per-client profiles).
+// Memory is O(dataset + num_clients * sizeof(profile)) — independent of
+// how many clients ever train.  Only `run_async` is available on the
+// resulting system; the partition/model knobs of `config` are honored
+// except the partition scheme, which is IID by construction.
+Scenario build_virtual_scenario(ScenarioConfig config);
 
 struct PolicyRun {
   std::string policy;

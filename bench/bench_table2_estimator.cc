@@ -5,6 +5,7 @@
 // policy), then Table 2: Eq. 6's estimated total training time vs the
 // engine-measured actual time and the MAPE (Eq. 7) for the slow /
 // uniform / random / fast policies.  The paper reports MAPE <= 5.01 %.
+#include <cmath>
 #include <iostream>
 
 #include "core/estimator.h"
@@ -54,10 +55,13 @@ void table2(const BenchOptions& options) {
     }
     const double estimated = scenario.system->estimate_time(name);
     const double actual = actual_sum / static_cast<double>(repeats);
+    // A zero actual has no percentage scale (estimation_mape returns
+    // +inf): report n/a instead of a raw inf in the table.
+    const double mape = core::estimation_mape(estimated, actual);
     table.add_row({name, util::format_double(estimated, 0),
                    util::format_double(actual, 0),
-                   util::format_double(
-                       core::estimation_mape(estimated, actual), 2)});
+                   std::isfinite(mape) ? util::format_double(mape, 2)
+                                       : "n/a"});
     std::cerr << "  [table2] " << name << " done\n";
   }
   std::cout << "\n== Table 2: estimated vs actual training time ("

@@ -25,7 +25,9 @@ double estimate_training_time(const TierInfo& tiers,
                               std::span<const double> tier_probs,
                               std::size_t rounds);
 
-// Eq. 7: |est - act| / act * 100.
+// Eq. 7: |est - act| / act * 100.  A zero actual (a run that never
+// advanced virtual time) yields +inf for any nonzero estimate — see
+// util::mape_percent.
 double estimation_mape(double estimated_seconds, double actual_seconds);
 
 }  // namespace tifl::core

@@ -16,21 +16,31 @@ ProfileResult profile_clients(const std::vector<fl::Client>& clients,
   if (clients.empty()) {
     throw std::invalid_argument("profile_clients: no clients");
   }
+  const fl::ClientPool pool(&clients);
+  return profile_clients(pool, latency_model, config, rng);
+}
+
+ProfileResult profile_clients(const fl::ClientPool& pool,
+                              const sim::LatencyModel& latency_model,
+                              const ProfilerConfig& config, util::Rng& rng) {
+  const std::size_t num_clients = pool.size();
+  if (num_clients == 0) {
+    throw std::invalid_argument("profile_clients: no clients");
+  }
   if (config.sync_rounds == 0 || config.tmax <= 0.0) {
     throw std::invalid_argument("profile_clients: bad config");
   }
 
   ProfileResult result;
-  result.accumulated_latency.assign(clients.size(), 0.0);
-  result.mean_latency.assign(clients.size(), 0.0);
-  result.dropout.assign(clients.size(), false);
+  result.accumulated_latency.assign(num_clients, 0.0);
+  result.mean_latency.assign(num_clients, 0.0);
+  result.dropout.assign(num_clients, false);
 
   for (std::size_t round = 0; round < config.sync_rounds; ++round) {
     double round_time = 0.0;
-    for (std::size_t c = 0; c < clients.size(); ++c) {
+    for (std::size_t c = 0; c < num_clients; ++c) {
       const double observed = latency_model.sample_latency(
-          clients[c].resource(), clients[c].train_size(), config.epochs,
-          rng);
+          pool.resource(c), pool.train_size(c), config.epochs, rng);
       // Clients answering within Tmax contribute their actual latency;
       // the rest are charged the full deadline.
       const double charged = observed < config.tmax ? observed : config.tmax;
@@ -42,7 +52,7 @@ ProfileResult profile_clients(const std::vector<fl::Client>& clients,
 
   const double dropout_threshold =
       static_cast<double>(config.sync_rounds) * config.tmax;
-  for (std::size_t c = 0; c < clients.size(); ++c) {
+  for (std::size_t c = 0; c < num_clients; ++c) {
     result.mean_latency[c] = result.accumulated_latency[c] /
                              static_cast<double>(config.sync_rounds);
     // ">=" per the paper: only clients that timed out *every* round drop.

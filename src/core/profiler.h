@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fl/client.h"
+#include "fl/client_pool.h"
 #include "sim/latency_model.h"
 #include "util/rng.h"
 
@@ -40,6 +41,15 @@ struct ProfileResult {
 };
 
 ProfileResult profile_clients(const std::vector<fl::Client>& clients,
+                              const sim::LatencyModel& latency_model,
+                              const ProfilerConfig& config, util::Rng& rng);
+
+// Pool-backed profiling: identical latency draws and RNG consumption to
+// the vector overload (which delegates here through a pass-through pool).
+// Profiling needs only resource profiles and shard sizes, so a
+// million-client virtualized pool is profiled without materializing a
+// single client.
+ProfileResult profile_clients(const fl::ClientPool& pool,
                               const sim::LatencyModel& latency_model,
                               const ProfilerConfig& config, util::Rng& rng);
 

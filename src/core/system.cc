@@ -36,25 +36,52 @@ TiflSystem::TiflSystem(SystemConfig config, nn::ModelFactory factory,
     throw std::invalid_argument("TiflSystem: null test dataset");
   }
 
-  // 1. Profiling (§4.2): measure every client, mark dropouts.
-  util::Rng profile_rng(config_.profile_seed);
-  profile_ =
-      profile_clients(clients, latency_model, config_.profiler, profile_rng);
-
-  // 2. Tiering: histogram split of mean latencies into m tiers.
-  tiers_ = build_tiers(profile_, config_.num_tiers, config_.tiering);
-
-  // 3. Engine with per-tier evaluation sets.
-  std::vector<data::Dataset> tier_sets =
-      build_tier_eval_sets(tiers_, clients, *test);
+  // Engine first (it takes ownership of the clients), then the wrapper
+  // pool over its stable storage; profiling + tiering run off the pool.
   engine_ = std::make_unique<fl::Engine>(config_.engine, factory_,
                                          std::move(clients), test,
                                          latency_model);
-  engine_->set_tier_eval_sets(std::move(tier_sets));
+  pool_.emplace(&engine_->clients());
+  profile_and_tier();
+  engine_->set_tier_eval_sets(
+      build_tier_eval_sets(tiers_, engine_->clients(), *test));
+}
+
+TiflSystem::TiflSystem(SystemConfig config, nn::ModelFactory factory,
+                       const data::Dataset* test, fl::ClientPool pool,
+                       sim::LatencyModel latency_model)
+    : config_(config),
+      latency_model_(latency_model),
+      test_(test),
+      factory_(std::move(factory)) {
+  if (test == nullptr) {
+    throw std::invalid_argument("TiflSystem: null test dataset");
+  }
+  pool_.emplace(std::move(pool));
+  profile_and_tier();
+}
+
+// Profiling (§4.2) + tiering shared by both construction modes: measure
+// every client (pool-level state only — no materialization), mark
+// dropouts, then histogram-split the mean latencies into m tiers.
+void TiflSystem::profile_and_tier() {
+  util::Rng profile_rng(config_.profile_seed);
+  profile_ =
+      profile_clients(*pool_, latency_model_, config_.profiler, profile_rng);
+  tiers_ = build_tiers(profile_, config_.num_tiers, config_.tiering);
+}
+
+fl::Engine& TiflSystem::engine() {
+  if (engine_ == nullptr) {
+    throw std::logic_error(
+        "TiflSystem: the synchronous engine is unavailable on a virtualized "
+        "client pool; use run_async");
+  }
+  return *engine_;
 }
 
 std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_vanilla() const {
-  return std::make_unique<fl::VanillaPolicy>(engine_->clients().size(),
+  return std::make_unique<fl::VanillaPolicy>(pool_->size(),
                                              config_.clients_per_round);
 }
 
@@ -79,7 +106,7 @@ std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_adaptive(
 
 fl::RunResult TiflSystem::run(fl::SelectionPolicy& policy,
                               std::optional<std::uint64_t> seed_override) {
-  return engine_->run(policy, seed_override);
+  return engine().run(policy, seed_override);
 }
 
 fl::AsyncRunResult TiflSystem::run_async(
@@ -104,9 +131,8 @@ fl::AsyncRunResult TiflSystem::run_async(
   if (resolved.time_budget_seconds == 0.0) {
     resolved.time_budget_seconds = config_.engine.time_budget_seconds;
   }
-  fl::AsyncEngine engine(config_.engine, resolved, factory_,
-                         &engine_->clients(), tiers_.members, test_,
-                         latency_model_);
+  fl::AsyncEngine engine(config_.engine, resolved, factory_, &*pool_,
+                         tiers_.members, test_, latency_model_);
 
   if (!engine.dynamic()) return engine.run(seed_override);
 
@@ -176,9 +202,12 @@ fl::AsyncRunResult TiflSystem::run_async(
   }
   // Keep the sync engine's per-tier evaluation sets in step with the
   // evolved membership (as reprofile() does) so a later sync run reports
-  // tier accuracies over the right clients.
-  engine_->set_tier_eval_sets(
-      build_tier_eval_sets(tiers_, engine_->clients(), *test_));
+  // tier accuracies over the right clients.  A virtualized pool has no
+  // sync engine (and no matched test shards) to keep in step.
+  if (engine_ != nullptr) {
+    engine_->set_tier_eval_sets(
+        build_tier_eval_sets(tiers_, engine_->clients(), *test_));
+  }
   return out;
 }
 
@@ -198,16 +227,18 @@ std::vector<std::size_t> TiflSystem::tier_sizes() const {
 }
 
 fl::Client& TiflSystem::client(std::size_t id) {
-  return engine_->mutable_clients().at(id);
+  return engine().mutable_clients().at(id);
 }
 
 double TiflSystem::reprofile(std::uint64_t seed) {
   util::Rng profile_rng(seed);
-  profile_ = profile_clients(engine_->clients(), latency_model_,
-                             config_.profiler, profile_rng);
+  profile_ =
+      profile_clients(*pool_, latency_model_, config_.profiler, profile_rng);
   tiers_ = build_tiers(profile_, config_.num_tiers, config_.tiering);
-  engine_->set_tier_eval_sets(
-      build_tier_eval_sets(tiers_, engine_->clients(), *test_));
+  if (engine_ != nullptr) {
+    engine_->set_tier_eval_sets(
+        build_tier_eval_sets(tiers_, engine_->clients(), *test_));
+  }
   return profile_.profiling_time;
 }
 

@@ -25,6 +25,7 @@
 #include "core/static_policy.h"
 #include "core/tiering.h"
 #include "fl/async_engine.h"
+#include "fl/client_pool.h"
 #include "fl/engine.h"
 
 namespace tifl::core {
@@ -47,10 +48,23 @@ class TiflSystem {
              const data::Dataset* test, std::vector<fl::Client> clients,
              sim::LatencyModel latency_model);
 
+  // Virtualized population (million-client federations): profiling and
+  // tiering run off the pool's O(1) per-client state, and only run_async
+  // is available — the synchronous engine (and its per-tier evaluation
+  // sets) requires materialized clients.  engine(), run() and client()
+  // throw in this mode.
+  TiflSystem(SystemConfig config, nn::ModelFactory factory,
+             const data::Dataset* test, fl::ClientPool pool,
+             sim::LatencyModel latency_model);
+
   const TierInfo& tiers() const { return tiers_; }
   const ProfileResult& profile() const { return profile_; }
-  fl::Engine& engine() { return *engine_; }
+  fl::Engine& engine();
   const SystemConfig& config() const { return config_; }
+  // The population every engine run draws from: wraps the sync engine's
+  // clients in classic mode, owns the virtual population in pool mode.
+  fl::ClientPool& client_pool() { return *pool_; }
+  bool virtualized() const { return engine_ == nullptr; }
 
   // --- policy factories bound to this system's tiers ----------------------
   std::unique_ptr<fl::SelectionPolicy> make_vanilla() const;
@@ -108,13 +122,19 @@ class TiflSystem {
   fl::Client& client(std::size_t id);
 
  private:
+  void profile_and_tier();
+
   SystemConfig config_;
   TierInfo tiers_;
   ProfileResult profile_;
   sim::LatencyModel latency_model_;
   const data::Dataset* test_ = nullptr;
   nn::ModelFactory factory_;  // kept for run_async engine construction
-  std::unique_ptr<fl::Engine> engine_;
+  std::unique_ptr<fl::Engine> engine_;  // null in pool (virtualized) mode
+  // Classic mode: pass-through wrapper over engine_->clients() (engine_
+  // owns the vector; its heap address is stable).  Pool mode: the owned
+  // virtual population.  Engaged in both modes after construction.
+  std::optional<fl::ClientPool> pool_;
 };
 
 // Builds the per-tier evaluation datasets (Alg. 2's TestData_t): the union

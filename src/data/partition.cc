@@ -345,6 +345,62 @@ std::vector<std::vector<std::size_t>> matched_test_indices(
   return out;
 }
 
+ShardView::ShardView(const std::vector<std::size_t>* permutation,
+                     std::size_t offset, std::size_t length)
+    : permutation_(permutation), offset_(offset), length_(length) {
+  if (permutation_ == nullptr || permutation_->empty()) {
+    throw std::invalid_argument("ShardView: null or empty permutation");
+  }
+  if (offset_ >= permutation_->size()) {
+    throw std::invalid_argument("ShardView: offset out of range");
+  }
+}
+
+std::vector<std::size_t> ShardView::materialize() const {
+  std::vector<std::size_t> indices;
+  indices.reserve(length_);
+  for (std::size_t i = 0; i < length_; ++i) indices.push_back((*this)[i]);
+  return indices;
+}
+
+LazyShards::LazyShards(std::size_t dataset_size, std::size_t num_clients,
+                       const LazyShardOptions& options, std::uint64_t seed)
+    : num_clients_(num_clients), seed_(seed) {
+  check_clients(num_clients);
+  if (dataset_size == 0) {
+    throw std::invalid_argument("LazyShards: empty dataset");
+  }
+  if (std::isnan(options.spread) || options.spread < 0.0 ||
+      options.spread > 1.0) {
+    throw std::invalid_argument("LazyShards: spread must be in [0, 1]");
+  }
+  base_ = options.samples_per_client > 0
+              ? options.samples_per_client
+              : std::max<std::size_t>(1, dataset_size / num_clients);
+  const double lo = static_cast<double>(base_) * (1.0 - options.spread);
+  const double hi = static_cast<double>(base_) * (1.0 + options.spread);
+  min_size_ = std::max<std::size_t>(1, static_cast<std::size_t>(lo));
+  size_range_ = static_cast<std::size_t>(hi) - min_size_;
+
+  util::Rng rng(util::mix_seed(seed, 0x5AD5));
+  permutation_.resize(dataset_size);
+  std::iota(permutation_.begin(), permutation_.end(), std::size_t{0});
+  rng.shuffle(permutation_);
+}
+
+std::size_t LazyShards::shard_size(std::size_t client) const {
+  if (client >= num_clients_) {
+    throw std::out_of_range("LazyShards: client out of range");
+  }
+  if (size_range_ == 0) return min_size_;
+  return min_size_ + util::mix_seed(seed_, client, 0x517E) % (size_range_ + 1);
+}
+
+ShardView LazyShards::shard(std::size_t client) const {
+  return ShardView(&permutation_, client * base_ % permutation_.size(),
+                   shard_size(client));
+}
+
 bool is_disjoint_partition(const Partition& partition,
                            std::size_t dataset_size) {
   std::vector<bool> seen(dataset_size, false);

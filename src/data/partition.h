@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "data/dataset.h"
@@ -93,5 +94,78 @@ std::vector<std::vector<std::size_t>> matched_test_indices(
 // Sanity helper for tests: true when every sample index appears in at
 // most one client shard and all indices are in range.
 bool is_disjoint_partition(const Partition& partition, std::size_t dataset_size);
+
+// --- lazy shards (million-client federations) -------------------------------
+//
+// A `Partition` stores every client's index vector — O(dataset) in total,
+// plus per-client allocation overhead that dominates once the population
+// dwarfs the dataset.  `LazyShards` replaces the stored vectors with a
+// rule: one shared seeded permutation of the dataset (O(dataset), paid
+// once) plus an O(1) per-client {offset, length} window into it, derived
+// from the seed.  A million-client federation therefore costs the same
+// memory as a ten-client one, and any client's index sequence can be
+// (re)generated on demand while it is selected.
+
+// Borrowed view of one client's shard: `length` indices read from the
+// shared permutation starting at `offset`, wrapping around the end.  The
+// permutation must outlive the view (it is owned by LazyShards).
+class ShardView {
+ public:
+  ShardView() = default;
+  ShardView(const std::vector<std::size_t>* permutation, std::size_t offset,
+            std::size_t length);
+
+  std::size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  std::size_t operator[](std::size_t i) const {
+    const std::size_t n = permutation_->size();
+    const std::size_t at = offset_ + i;
+    return (*permutation_)[at < n ? at : at % n];
+  }
+
+  std::vector<std::size_t> materialize() const;
+
+ private:
+  const std::vector<std::size_t>* permutation_ = nullptr;
+  std::size_t offset_ = 0;
+  std::size_t length_ = 0;
+};
+
+struct LazyShardOptions {
+  // Samples per client before spread; 0 = dataset_size / num_clients
+  // (floored, min 1).
+  std::size_t samples_per_client = 0;
+  // Deterministic per-client size jitter: shard sizes land in
+  // [base*(1-spread), base*(1+spread)] (min 1), a pure function of
+  // (seed, client).  Models unequal data quantities without storage.
+  double spread = 0.0;
+};
+
+// IID-style lazy shards: client c's window starts at (c * base) % N, so
+// consecutive clients tile the permutation.  While the population fits
+// the dataset (num_clients * base <= N, spread 0) shards are exactly
+// disjoint, matching a materialized IID split; beyond that the windows
+// wrap and clients share samples — virtual over-subscription, the regime
+// where a million simulated parties draw from one physical dataset.
+class LazyShards {
+ public:
+  LazyShards(std::size_t dataset_size, std::size_t num_clients,
+             const LazyShardOptions& options, std::uint64_t seed);
+
+  std::size_t num_clients() const { return num_clients_; }
+  std::size_t dataset_size() const { return permutation_.size(); }
+
+  // O(1): pure function of (seed, client), no materialization.
+  std::size_t shard_size(std::size_t client) const;
+  ShardView shard(std::size_t client) const;
+
+ private:
+  std::vector<std::size_t> permutation_;  // the only O(dataset) state
+  std::size_t num_clients_ = 0;
+  std::size_t base_ = 0;
+  std::size_t min_size_ = 0;
+  std::size_t size_range_ = 0;  // shard_size in [min_size_, min_size_+range]
+  std::uint64_t seed_ = 0;
+};
 
 }  // namespace tifl::data

@@ -155,6 +155,21 @@ struct AsyncEngine::PendingRound {
 };
 
 AsyncEngine::AsyncEngine(EngineConfig config, AsyncConfig async,
+                         nn::ModelFactory factory, ClientPool* pool,
+                         std::vector<std::vector<std::size_t>> tier_members,
+                         const data::Dataset* test,
+                         sim::LatencyModel latency_model)
+    : config_(config),
+      async_(async),
+      factory_(std::move(factory)),
+      clients_(pool),
+      tier_members_(std::move(tier_members)),
+      test_(test),
+      latency_model_(latency_model) {
+  validate();
+}
+
+AsyncEngine::AsyncEngine(EngineConfig config, AsyncConfig async,
                          nn::ModelFactory factory,
                          const std::vector<Client>* clients,
                          std::vector<std::vector<std::size_t>> tier_members,
@@ -163,11 +178,18 @@ AsyncEngine::AsyncEngine(EngineConfig config, AsyncConfig async,
     : config_(config),
       async_(async),
       factory_(std::move(factory)),
-      clients_(clients),
+      owned_pool_(clients != nullptr && !clients->empty()
+                      ? std::make_unique<ClientPool>(clients)
+                      : nullptr),
+      clients_(owned_pool_.get()),
       tier_members_(std::move(tier_members)),
       test_(test),
       latency_model_(latency_model) {
-  if (clients_ == nullptr || clients_->empty()) {
+  validate();
+}
+
+void AsyncEngine::validate() const {
+  if (clients_ == nullptr || clients_->size() == 0) {
     throw std::invalid_argument("AsyncEngine: no clients");
   }
   if (test_ == nullptr) {
@@ -284,26 +306,34 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
 
     for (std::size_t i = 0; i < count; ++i) scratch_model(i + 1);
     round.updates.assign(count, LocalUpdate{});
+    // Leases pin (and on a virtualized pool, materialize) the cohort's
+    // training state for exactly the duration of local training.
+    std::vector<ClientPool::Lease> leases;
+    leases.reserve(count);
+    for (std::size_t id : round.selected) {
+      leases.push_back(clients_->lease(id));
+    }
     pool().parallel_for(0, count, [&](std::size_t i) {
-      const Client& client = clients_->at(round.selected[i]);
+      const Client& client = *leases[i];
       // Deterministic stream per (event-seq, client id): the async
       // analogue of the sync engine's (round, client id) fork.
       util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
       round.updates[i] =
           client.local_update(global, scratch_[i + 1], params, client_rng);
     });
+    leases.clear();
     ++dispatch_seq;
 
     // A tier round is internally synchronous: it completes when its
-    // slowest sampled member responds.
+    // slowest sampled member responds.  Latency needs only pool-level
+    // state (profile + shard size), never a materialized client.
     round.latency = 0.0;
     for (std::size_t id : round.selected) {
-      const Client& client = clients_->at(id);
       round.latency = std::max(
           round.latency,
-          latency_model_.sample_latency(client.resource(),
-                                        client.train_size(), params.epochs,
-                                        rngs.latency[tier]));
+          latency_model_.sample_latency(clients_->resource(id),
+                                        clients_->train_size(id),
+                                        params.epochs, rngs.latency[tier]));
     }
     queue.schedule(round.latency, /*kind=*/0, /*actor=*/tier);
     ++scheduled;
@@ -316,76 +346,87 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
   }
 
   bool last_evaluated = false;
-  while (!queue.empty()) {
-    const sim::Event event = queue.pop();
-    const std::size_t tier = static_cast<std::size_t>(event.actor);
-    PendingRound& round = pending[tier];
+  bool budget_exhausted = false;
+  std::vector<sim::Event> batch;  // reused across pop_batch calls
+  while (!queue.empty() && !budget_exhausted) {
+    // Drain simultaneous completions in one heap pass.  Events scheduled
+    // by the handlers below land at strictly later (time, seq) keys, so
+    // per-event handling in batch order replays the one-pop-at-a-time
+    // sequence byte for byte (see EventQueue::pop_batch).
+    queue.pop_batch(batch);
+    out.max_event_batch = std::max(out.max_event_batch, batch.size());
+    for (const sim::Event& event : batch) {
+      ++out.processed_events;
+      const std::size_t tier = static_cast<std::size_t>(event.actor);
+      PendingRound& round = pending[tier];
 
-    // --- tier-level FedAvg (reduce in selection order) ---------------------
-    std::vector<WeightedUpdate> weighted;
-    weighted.reserve(round.updates.size());
-    double train_loss = 0.0;
-    for (const LocalUpdate& update : round.updates) {
-      weighted.push_back(WeightedUpdate{
-          .weights = update.weights,
-          .sample_count = static_cast<double>(update.num_samples)});
-      train_loss += update.train_loss;
+      // --- tier-level FedAvg (reduce in selection order) ---------------------
+      std::vector<WeightedUpdate> weighted;
+      weighted.reserve(round.updates.size());
+      double train_loss = 0.0;
+      for (const LocalUpdate& update : round.updates) {
+        weighted.push_back(WeightedUpdate{
+            .weights = update.weights,
+            .sample_count = static_cast<double>(update.num_samples)});
+        train_loss += update.train_loss;
+      }
+      train_loss /= static_cast<double>(round.updates.size());
+      tier_models[tier] = fedavg(weighted);
+
+      const std::size_t version = out.result.rounds.size();
+      staleness_sum[tier] +=
+          static_cast<double>(version - round.dispatch_version);
+      ++tier_updates[tier];
+      last_submit_version[tier] = version;
+      tier_lr[tier] *= config_.lr_decay_per_round;
+
+      // --- staleness-weighted cross-tier aggregation -------------------------
+      model_age.assign(num_tiers, 0);
+      for (std::size_t t = 0; t < num_tiers; ++t) {
+        if (tier_updates[t] > 0) model_age[t] = version - last_submit_version[t];
+      }
+      current_weights = cross_tier_weights(async_.staleness, async_.poly_alpha,
+                                           tier_updates, model_age);
+      aggregate_global(tier_models, current_weights, global, accum_scratch);
+
+      // --- record + evaluation ----------------------------------------------
+      RoundRecord record;
+      record.round = version;
+      record.round_latency = round.latency;
+      record.virtual_time = queue.now();
+      record.train_loss = train_loss;
+      record.selected_tier = static_cast<int>(tier);
+      record.selected_clients = round.selected;
+
+      last_evaluated = version % async_.eval_every == 0 ||
+                       version + 1 == async_.total_updates;
+      if (last_evaluated) {
+        const nn::LossResult r = evaluate(global, *test_);
+        record.global_accuracy = r.accuracy;
+        record.global_loss = r.loss;
+      } else if (!out.result.rounds.empty()) {
+        record.global_accuracy = out.result.rounds.back().global_accuracy;
+        record.global_loss = out.result.rounds.back().global_loss;
+      }
+      out.result.rounds.push_back(std::move(record));
+
+      if (version % 50 == 0) {
+        util::log_debug("async v", version, " tier=", tier,
+                        " acc=", out.result.rounds.back().global_accuracy,
+                        " t=", queue.now());
+      }
+
+      if (async_.time_budget_seconds > 0.0 &&
+          queue.now() >= async_.time_budget_seconds) {
+        util::log_info("async time budget of ", async_.time_budget_seconds,
+                       "s exhausted after ", version + 1, " updates");
+        budget_exhausted = true;
+        break;
+      }
+      // Total dispatches are capped at total_updates, so draining the queue
+      // records exactly that many versions (fewer on a time-budget break).
+      if (scheduled < async_.total_updates) dispatch(tier);
     }
-    train_loss /= static_cast<double>(round.updates.size());
-    tier_models[tier] = fedavg(weighted);
-
-    const std::size_t version = out.result.rounds.size();
-    staleness_sum[tier] +=
-        static_cast<double>(version - round.dispatch_version);
-    ++tier_updates[tier];
-    last_submit_version[tier] = version;
-    tier_lr[tier] *= config_.lr_decay_per_round;
-
-    // --- staleness-weighted cross-tier aggregation -------------------------
-    model_age.assign(num_tiers, 0);
-    for (std::size_t t = 0; t < num_tiers; ++t) {
-      if (tier_updates[t] > 0) model_age[t] = version - last_submit_version[t];
-    }
-    current_weights = cross_tier_weights(async_.staleness, async_.poly_alpha,
-                                         tier_updates, model_age);
-    aggregate_global(tier_models, current_weights, global, accum_scratch);
-
-    // --- record + evaluation ----------------------------------------------
-    RoundRecord record;
-    record.round = version;
-    record.round_latency = round.latency;
-    record.virtual_time = queue.now();
-    record.train_loss = train_loss;
-    record.selected_tier = static_cast<int>(tier);
-    record.selected_clients = round.selected;
-
-    last_evaluated = version % async_.eval_every == 0 ||
-                     version + 1 == async_.total_updates;
-    if (last_evaluated) {
-      const nn::LossResult r = evaluate(global, *test_);
-      record.global_accuracy = r.accuracy;
-      record.global_loss = r.loss;
-    } else if (!out.result.rounds.empty()) {
-      record.global_accuracy = out.result.rounds.back().global_accuracy;
-      record.global_loss = out.result.rounds.back().global_loss;
-    }
-    out.result.rounds.push_back(std::move(record));
-
-    if (version % 50 == 0) {
-      util::log_debug("async v", version, " tier=", tier,
-                      " acc=", out.result.rounds.back().global_accuracy,
-                      " t=", queue.now());
-    }
-
-    if (async_.time_budget_seconds > 0.0 &&
-        queue.now() >= async_.time_budget_seconds) {
-      util::log_info("async time budget of ", async_.time_budget_seconds,
-                     "s exhausted after ", version + 1, " updates");
-      break;
-    }
-    // Total dispatches are capped at total_updates, so draining the queue
-    // records exactly that many versions (fewer on a time-budget break).
-    if (scheduled < async_.total_updates) dispatch(tier);
   }
 
   // A time-budget break (or a carry-forward cadence) can leave the last
@@ -501,9 +542,8 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
   std::size_t dispatch_seq = 0;
 
   const auto expected_latency = [&](std::size_t c) {
-    const Client& client = clients_->at(c);
-    return latency_model_.expected_latency(client.resource(),
-                                           client.train_size(),
+    return latency_model_.expected_latency(clients_->resource(c),
+                                           clients_->train_size(c),
                                            config_.local.epochs) *
            latency_scale[c];
   };
@@ -552,12 +592,19 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
 
     for (std::size_t i = 0; i < count; ++i) scratch_model(i + 1);
     std::vector<LocalUpdate> updates(count);
+    // Pin (and, on a virtualized pool, materialize) exactly the cohort
+    // for the duration of local training — the pool's high-water mark is
+    // the in-flight set, not the population.
+    std::vector<ClientPool::Lease> leases;
+    leases.reserve(count);
+    for (std::size_t id : selected) leases.push_back(clients_->lease(id));
     pool().parallel_for(0, count, [&](std::size_t i) {
-      const Client& client = clients_->at(selected[i]);
+      const Client& client = *leases[i];
       util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
       updates[i] =
           client.local_update(global, scratch_[i + 1], params, client_rng);
     });
+    leases.clear();
     ++dispatch_seq;
 
     round.active = true;
@@ -567,13 +614,16 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
     round.weight_total = 0.0;
 
     const std::size_t version_at_dispatch = out.result.rounds.size();
+    // One bulk insert for the whole cohort: same (time, seq) keys as the
+    // per-client schedule_at calls this replaces, one heap rebuild.
+    std::vector<sim::PendingEvent> cohort;
+    cohort.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
       const std::size_t c = selected[i];
-      const Client& client = clients_->at(c);
       const double latency =
-          latency_model_.sample_latency(client.resource(),
-                                        client.train_size(), params.epochs,
-                                        rngs.latency[tier]) *
+          latency_model_.sample_latency(clients_->resource(c),
+                                        clients_->train_size(c),
+                                        params.epochs, rngs.latency[tier]) *
           latency_scale[c];
       in_flight[c] = 1;
       ++in_flight_count;
@@ -582,11 +632,12 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
       flight_dispatch_time[c] = queue.now();
       flight_dispatch_version[c] = version_at_dispatch;
       arrival_time[c] = queue.now() + latency;
-      queue.schedule_at(arrival_time[c],
-                        static_cast<std::uint64_t>(
-                            sim::EventKind::kClientUpdate),
-                        c);
+      cohort.push_back(sim::PendingEvent{
+          .delay = latency,
+          .kind = static_cast<std::uint64_t>(sim::EventKind::kClientUpdate),
+          .actor = c});
     }
+    queue.schedule_bulk(cohort);
   };
 
   // A round whose last awaited member arrived or departed: decay the lr
@@ -623,256 +674,266 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
 
   bool last_evaluated = false;
   bool stopped = false;
+  std::vector<sim::Event> batch;  // reused across pop_batch calls
   while (!queue.empty() && !stopped) {
-    const sim::Event event = queue.pop();
-    // Budget crossings must be caught on *any* event kind: the churn and
-    // reprofile streams re-arm forever, so an update-starved run (e.g.
-    // heavy leave rates) would otherwise spin on lifecycle events
-    // arbitrarily far past the budget.  A client update crossing the
-    // budget still falls through and is recorded before the post-record
-    // check below stops the run.
-    if (async_.time_budget_seconds > 0.0 &&
-        queue.now() >= async_.time_budget_seconds &&
-        static_cast<sim::EventKind>(event.kind) !=
-            sim::EventKind::kClientUpdate) {
-      util::log_info("async time budget of ", async_.time_budget_seconds,
-                     "s exhausted after ", out.result.rounds.size(),
-                     " updates");
-      break;
-    }
-    switch (static_cast<sim::EventKind>(event.kind)) {
-      case sim::EventKind::kClientUpdate: {
-        const std::size_t c = static_cast<std::size_t>(event.actor);
-        // A leave or slowdown invalidated this arrival: the client either
-        // departed or now lands at a different (rescheduled) time.
-        if (!in_flight[c] || event.time != arrival_time[c]) break;
-        in_flight[c] = 0;
-        --in_flight_count;
-        const std::size_t tier = flight_tier[c];
-        DynRound& round = rounds[tier];
-        --round.awaiting;
-        ++round.arrivals;
-
-        const std::size_t version = out.result.rounds.size();
-        const std::size_t age = version - flight_dispatch_version[c];
-        const double observed = queue.now() - flight_dispatch_time[c];
-        if (hooks_.observe) hooks_.observe(c, observed);
-
-        // Fold this client into the tier's running FedAvg, discounted by
-        // the update's *own* staleness (constant/invfreq leave the
-        // factor at 1 and weigh by update counts instead).
-        const LocalUpdate& update = flight_update[c];
-        const double w =
-            static_cast<double>(update.num_samples) *
-            staleness_factor(async_.staleness, async_.poly_alpha, age);
-        if (w > 0.0) {
-          for (std::size_t i = 0; i < weight_count; ++i) {
-            round.accum[i] += w * static_cast<double>(update.weights[i]);
-          }
-          round.weight_total += w;
-        }
-        const double client_train_loss = update.train_loss;
-        // Folded in: release the weight copy (peak flight_update memory
-        // stays bounded by the in-flight set, not the federation size).
-        flight_update[c] = LocalUpdate{};
-        if (round.weight_total > 0.0) {
-          for (std::size_t i = 0; i < weight_count; ++i) {
-            tier_models[tier][i] = static_cast<float>(
-                round.accum[i] / round.weight_total);
-          }
-        }
-
-        staleness_sum[tier] += static_cast<double>(age);
-        ++tier_updates[tier];
-        last_submit_version[tier] = version;
-
-        model_age.assign(num_tiers, 0);
-        for (std::size_t t = 0; t < num_tiers; ++t) {
-          if (tier_updates[t] > 0) {
-            model_age[t] = version - last_submit_version[t];
-          }
-        }
-        current_weights = cross_tier_weights(
-            async_.staleness, async_.poly_alpha, tier_updates, model_age);
-        aggregate_global(tier_models, current_weights, global, accum_scratch);
-
-        RoundRecord record;
-        record.round = version;
-        record.round_latency = observed;
-        record.virtual_time = queue.now();
-        record.train_loss = client_train_loss;
-        record.selected_tier = static_cast<int>(tier);
-        record.selected_clients = {c};
-
-        last_evaluated = version % async_.eval_every == 0 ||
-                         version + 1 == async_.total_updates;
-        if (last_evaluated) {
-          const nn::LossResult r = evaluate(global, *test_);
-          record.global_accuracy = r.accuracy;
-          record.global_loss = r.loss;
-        } else if (!out.result.rounds.empty()) {
-          record.global_accuracy = out.result.rounds.back().global_accuracy;
-          record.global_loss = out.result.rounds.back().global_loss;
-        }
-        out.result.rounds.push_back(std::move(record));
-
-        if (version + 1 >= async_.total_updates) {
-          stopped = true;
-          break;
-        }
-        if (async_.time_budget_seconds > 0.0 &&
-            queue.now() >= async_.time_budget_seconds) {
-          util::log_info("async time budget of ", async_.time_budget_seconds,
-                         "s exhausted after ", version + 1, " updates");
-          stopped = true;
-          break;
-        }
-
-        if (round.awaiting == 0) complete_round(tier);
-        // A re-tiering may have parked this client's new tier with no
-        // eligible members while it was in flight; revive it now.
-        if (tier_of[c] != kNoTier && !rounds[tier_of[c]].active) {
-          dispatch(tier_of[c]);
-        }
+    // Same-timestamp batch drain as the static loop: in-batch order is
+    // the exact (time, seq) pop order, and anything the handlers schedule
+    // sorts after the whole batch, so the replay sequence is unchanged.
+    queue.pop_batch(batch);
+    out.max_event_batch = std::max(out.max_event_batch, batch.size());
+    for (const sim::Event& event : batch) {
+      ++out.processed_events;
+      // Budget crossings must be caught on *any* event kind: the churn and
+      // reprofile streams re-arm forever, so an update-starved run (e.g.
+      // heavy leave rates) would otherwise spin on lifecycle events
+      // arbitrarily far past the budget.  A client update crossing the
+      // budget still falls through and is recorded before the post-record
+      // check below stops the run.
+      if (async_.time_budget_seconds > 0.0 &&
+          queue.now() >= async_.time_budget_seconds &&
+          static_cast<sim::EventKind>(event.kind) !=
+              sim::EventKind::kClientUpdate) {
+        util::log_info("async time budget of ", async_.time_budget_seconds,
+                       "s exhausted after ", out.result.rounds.size(),
+                       " updates");
+        stopped = true;
         break;
       }
-
-      case sim::EventKind::kClientLeave: {
-        const sim::LifecycleEvent churn_event = *pending_churn;
-        schedule_next_churn();
-        if (live_ids.empty()) break;
-        const std::size_t c =
-            live_ids[churn_event.pick % live_ids.size()];
-        ++out.leave_count;
-        live[c] = 0;
-        sorted_erase(live_ids, c);
-        sorted_insert(inactive_ids, c);
-        if (tier_of[c] != kNoTier) {
-          sorted_erase(tiers[tier_of[c]], c);
-          tier_of[c] = kNoTier;
-        }
-        if (hooks_.left) hooks_.left(c);
-        if (in_flight[c]) {
-          // Mid-round departure: its pending update is lost; the cohort
-          // no longer waits for it.
+      switch (static_cast<sim::EventKind>(event.kind)) {
+        case sim::EventKind::kClientUpdate: {
+          const std::size_t c = static_cast<std::size_t>(event.actor);
+          // A leave or slowdown invalidated this arrival: the client either
+          // departed or now lands at a different (rescheduled) time.
+          if (!in_flight[c] || event.time != arrival_time[c]) break;
           in_flight[c] = 0;
           --in_flight_count;
-          flight_update[c] = LocalUpdate{};
-          DynRound& round = rounds[flight_tier[c]];
+          const std::size_t tier = flight_tier[c];
+          DynRound& round = rounds[tier];
           --round.awaiting;
-          if (round.awaiting == 0) complete_round(flight_tier[c]);
-        }
-        break;
-      }
+          ++round.arrivals;
 
-      case sim::EventKind::kClientJoin: {
-        const sim::LifecycleEvent churn_event = *pending_churn;
-        schedule_next_churn();
-        if (inactive_ids.empty()) break;  // nobody waiting to (re)join
-        const std::size_t c =
-            inactive_ids[churn_event.pick % inactive_ids.size()];
-        ++out.join_count;
-        live[c] = 1;
-        sorted_erase(inactive_ids, c);
-        sorted_insert(live_ids, c);
-        const std::size_t tier = hooks_.joined
-                                     ? hooks_.joined(c, expected_latency(c))
-                                     : place_fallback(c);
-        if (tier >= num_tiers) {
-          throw std::runtime_error(
-              "AsyncEngine: joined hook returned tier out of range");
-        }
-        sorted_insert(tiers[tier], c);
-        tier_of[c] = tier;
-        if (!rounds[tier].active) dispatch(tier);
-        break;
-      }
+          const std::size_t version = out.result.rounds.size();
+          const std::size_t age = version - flight_dispatch_version[c];
+          const double observed = queue.now() - flight_dispatch_time[c];
+          if (hooks_.observe) hooks_.observe(c, observed);
 
-      case sim::EventKind::kClientSlowdown: {
-        const sim::LifecycleEvent churn_event = *pending_churn;
-        schedule_next_churn();
-        if (live_ids.empty()) break;
-        const std::size_t c =
-            live_ids[churn_event.pick % live_ids.size()];
-        ++out.slowdown_count;
-        // The event *sets* the multiplier relative to the client's
-        // profiled baseline rather than compounding it: compounded
-        // multipliers (mean ~2x) drift exponentially, and an in-flight
-        // client hit repeatedly would see its arrival recede faster than
-        // virtual time advances — a round that never completes.
-        const double previous = latency_scale[c];
-        latency_scale[c] = churn_event.factor;
-        if (in_flight[c]) {
-          // Mid-round straggler: the remaining flight time rescales from
-          // the old multiplier to the new one; the stale arrival event is
-          // left in the queue and ignored by the time check above.
-          const double remaining = arrival_time[c] - queue.now();
-          arrival_time[c] =
-              queue.now() + remaining * (churn_event.factor / previous);
-          queue.schedule_at(arrival_time[c],
-                            static_cast<std::uint64_t>(
-                                sim::EventKind::kClientUpdate),
-                            c);
-        }
-        break;
-      }
-
-      case sim::EventKind::kReProfile: {
-        queue.schedule_at(queue.now() + async_.reprofile_every,
-                          static_cast<std::uint64_t>(
-                              sim::EventKind::kReProfile),
-                          /*actor=*/0);
-        if (live_ids.empty()) break;  // nobody to tier until a join lands
-        ++out.reprofile_count;
-        std::vector<std::vector<std::size_t>> members = hooks_.retier();
-        if (members.size() != num_tiers) {
-          throw std::runtime_error(
-              "AsyncEngine: retier hook returned wrong tier count");
-        }
-        std::vector<char> seen(num_clients, 0);
-        std::size_t total = 0;
-        for (std::vector<std::size_t>& tier : members) {
-          std::sort(tier.begin(), tier.end());
-          for (std::size_t id : tier) {
-            if (id >= num_clients || !live[id] || seen[id]) {
-              throw std::runtime_error(
-                  "AsyncEngine: retier hook returned invalid membership");
+          // Fold this client into the tier's running FedAvg, discounted by
+          // the update's *own* staleness (constant/invfreq leave the
+          // factor at 1 and weigh by update counts instead).
+          const LocalUpdate& update = flight_update[c];
+          const double w =
+              static_cast<double>(update.num_samples) *
+              staleness_factor(async_.staleness, async_.poly_alpha, age);
+          if (w > 0.0) {
+            for (std::size_t i = 0; i < weight_count; ++i) {
+              round.accum[i] += w * static_cast<double>(update.weights[i]);
             }
-            seen[id] = 1;
-            ++total;
+            round.weight_total += w;
           }
+          const double client_train_loss = update.train_loss;
+          // Folded in: release the weight copy (peak flight_update memory
+          // stays bounded by the in-flight set, not the federation size).
+          flight_update[c] = LocalUpdate{};
+          if (round.weight_total > 0.0) {
+            for (std::size_t i = 0; i < weight_count; ++i) {
+              tier_models[tier][i] = static_cast<float>(
+                  round.accum[i] / round.weight_total);
+            }
+          }
+
+          staleness_sum[tier] += static_cast<double>(age);
+          ++tier_updates[tier];
+          last_submit_version[tier] = version;
+
+          model_age.assign(num_tiers, 0);
+          for (std::size_t t = 0; t < num_tiers; ++t) {
+            if (tier_updates[t] > 0) {
+              model_age[t] = version - last_submit_version[t];
+            }
+          }
+          current_weights = cross_tier_weights(
+              async_.staleness, async_.poly_alpha, tier_updates, model_age);
+          aggregate_global(tier_models, current_weights, global, accum_scratch);
+
+          RoundRecord record;
+          record.round = version;
+          record.round_latency = observed;
+          record.virtual_time = queue.now();
+          record.train_loss = client_train_loss;
+          record.selected_tier = static_cast<int>(tier);
+          record.selected_clients = {c};
+
+          last_evaluated = version % async_.eval_every == 0 ||
+                           version + 1 == async_.total_updates;
+          if (last_evaluated) {
+            const nn::LossResult r = evaluate(global, *test_);
+            record.global_accuracy = r.accuracy;
+            record.global_loss = r.loss;
+          } else if (!out.result.rounds.empty()) {
+            record.global_accuracy = out.result.rounds.back().global_accuracy;
+            record.global_loss = out.result.rounds.back().global_loss;
+          }
+          out.result.rounds.push_back(std::move(record));
+
+          if (version + 1 >= async_.total_updates) {
+            stopped = true;
+            break;
+          }
+          if (async_.time_budget_seconds > 0.0 &&
+              queue.now() >= async_.time_budget_seconds) {
+            util::log_info("async time budget of ", async_.time_budget_seconds,
+                           "s exhausted after ", version + 1, " updates");
+            stopped = true;
+            break;
+          }
+
+          if (round.awaiting == 0) complete_round(tier);
+          // A re-tiering may have parked this client's new tier with no
+          // eligible members while it was in flight; revive it now.
+          if (tier_of[c] != kNoTier && !rounds[tier_of[c]].active) {
+            dispatch(tier_of[c]);
+          }
+          break;
         }
-        if (total != live_ids.size()) {
-          throw std::runtime_error(
-              "AsyncEngine: retier hook dropped live clients");
+
+        case sim::EventKind::kClientLeave: {
+          const sim::LifecycleEvent churn_event = *pending_churn;
+          schedule_next_churn();
+          if (live_ids.empty()) break;
+          const std::size_t c =
+              live_ids[churn_event.pick % live_ids.size()];
+          ++out.leave_count;
+          live[c] = 0;
+          sorted_erase(live_ids, c);
+          sorted_insert(inactive_ids, c);
+          if (tier_of[c] != kNoTier) {
+            sorted_erase(tiers[tier_of[c]], c);
+            tier_of[c] = kNoTier;
+          }
+          if (hooks_.left) hooks_.left(c);
+          if (in_flight[c]) {
+            // Mid-round departure: its pending update is lost; the cohort
+            // no longer waits for it.
+            in_flight[c] = 0;
+            --in_flight_count;
+            flight_update[c] = LocalUpdate{};
+            DynRound& round = rounds[flight_tier[c]];
+            --round.awaiting;
+            if (round.awaiting == 0) complete_round(flight_tier[c]);
+          }
+          break;
         }
-        tiers = std::move(members);
-        for (std::size_t t = 0; t < num_tiers; ++t) {
-          for (std::size_t id : tiers[t]) tier_of[id] = t;
+
+        case sim::EventKind::kClientJoin: {
+          const sim::LifecycleEvent churn_event = *pending_churn;
+          schedule_next_churn();
+          if (inactive_ids.empty()) break;  // nobody waiting to (re)join
+          const std::size_t c =
+              inactive_ids[churn_event.pick % inactive_ids.size()];
+          ++out.join_count;
+          live[c] = 1;
+          sorted_erase(inactive_ids, c);
+          sorted_insert(live_ids, c);
+          const std::size_t tier = hooks_.joined
+                                       ? hooks_.joined(c, expected_latency(c))
+                                       : place_fallback(c);
+          if (tier >= num_tiers) {
+            throw std::runtime_error(
+                "AsyncEngine: joined hook returned tier out of range");
+          }
+          sorted_insert(tiers[tier], c);
+          tier_of[c] = tier;
+          if (!rounds[tier].active) dispatch(tier);
+          break;
         }
-        // Pending cohorts keep running under their dispatching tier; the
-        // migrated membership only shapes future sampling.  Tiers that
-        // gained their first members start their cadence now.
-        for (std::size_t t = 0; t < num_tiers; ++t) {
-          if (!rounds[t].active && !tiers[t].empty()) dispatch(t);
+
+        case sim::EventKind::kClientSlowdown: {
+          const sim::LifecycleEvent churn_event = *pending_churn;
+          schedule_next_churn();
+          if (live_ids.empty()) break;
+          const std::size_t c =
+              live_ids[churn_event.pick % live_ids.size()];
+          ++out.slowdown_count;
+          // The event *sets* the multiplier relative to the client's
+          // profiled baseline rather than compounding it: compounded
+          // multipliers (mean ~2x) drift exponentially, and an in-flight
+          // client hit repeatedly would see its arrival recede faster than
+          // virtual time advances — a round that never completes.
+          const double previous = latency_scale[c];
+          latency_scale[c] = churn_event.factor;
+          if (in_flight[c]) {
+            // Mid-round straggler: the remaining flight time rescales from
+            // the old multiplier to the new one; the stale arrival event is
+            // left in the queue and ignored by the time check above.
+            const double remaining = arrival_time[c] - queue.now();
+            arrival_time[c] =
+                queue.now() + remaining * (churn_event.factor / previous);
+            queue.schedule_at(arrival_time[c],
+                              static_cast<std::uint64_t>(
+                                  sim::EventKind::kClientUpdate),
+                              c);
+          }
+          break;
         }
-        break;
+
+        case sim::EventKind::kReProfile: {
+          queue.schedule_at(queue.now() + async_.reprofile_every,
+                            static_cast<std::uint64_t>(
+                                sim::EventKind::kReProfile),
+                            /*actor=*/0);
+          if (live_ids.empty()) break;  // nobody to tier until a join lands
+          ++out.reprofile_count;
+          std::vector<std::vector<std::size_t>> members = hooks_.retier();
+          if (members.size() != num_tiers) {
+            throw std::runtime_error(
+                "AsyncEngine: retier hook returned wrong tier count");
+          }
+          std::vector<char> seen(num_clients, 0);
+          std::size_t total = 0;
+          for (std::vector<std::size_t>& tier : members) {
+            std::sort(tier.begin(), tier.end());
+            for (std::size_t id : tier) {
+              if (id >= num_clients || !live[id] || seen[id]) {
+                throw std::runtime_error(
+                    "AsyncEngine: retier hook returned invalid membership");
+              }
+              seen[id] = 1;
+              ++total;
+            }
+          }
+          if (total != live_ids.size()) {
+            throw std::runtime_error(
+                "AsyncEngine: retier hook dropped live clients");
+          }
+          tiers = std::move(members);
+          for (std::size_t t = 0; t < num_tiers; ++t) {
+            for (std::size_t id : tiers[t]) tier_of[id] = t;
+          }
+          // Pending cohorts keep running under their dispatching tier; the
+          // migrated membership only shapes future sampling.  Tiers that
+          // gained their first members start their cadence now.
+          for (std::size_t t = 0; t < num_tiers; ++t) {
+            if (!rounds[t].active && !tiers[t].empty()) dispatch(t);
+          }
+          break;
+        }
+
+        default:
+          throw std::logic_error("AsyncEngine: unexpected event kind");
       }
+      if (stopped) break;
 
-      default:
-        throw std::logic_error("AsyncEngine: unexpected event kind");
-    }
-
-    // Training can die out entirely (every client left mid-run).  Churn
-    // streams never end, so break unless a join could revive the run.
-    if (!stopped && in_flight_count == 0 &&
-        async_.churn.join_rate <= 0.0) {
-      bool any_active = false;
-      for (const DynRound& round : rounds) any_active |= round.active;
-      if (!any_active) {
-        util::log_info("async-dyn: population died out after ",
-                       out.result.rounds.size(), " updates");
-        break;
+      // Training can die out entirely (every client left mid-run).  Churn
+      // streams never end, so stop unless a join could revive the run.
+      if (in_flight_count == 0 && async_.churn.join_rate <= 0.0) {
+        bool any_active = false;
+        for (const DynRound& round : rounds) any_active |= round.active;
+        if (!any_active) {
+          util::log_info("async-dyn: population died out after ",
+                         out.result.rounds.size(), " updates");
+          stopped = true;
+          break;
+        }
       }
     }
   }

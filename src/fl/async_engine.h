@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -36,6 +37,7 @@
 
 #include "data/dataset.h"
 #include "fl/client.h"
+#include "fl/client_pool.h"
 #include "fl/engine.h"
 #include "fl/metrics.h"
 #include "nn/sequential.h"
@@ -143,6 +145,10 @@ struct AsyncRunResult {
   std::size_t slowdown_count = 0;
   std::size_t reprofile_count = 0;
   std::size_t final_live_clients = 0;
+  // Event-loop accounting: total events consumed and the largest
+  // same-timestamp batch pop_batch handed the loop (1 = no simultaneity).
+  std::size_t processed_events = 0;
+  std::size_t max_event_batch = 0;
   // Tier membership the run ended with: the input tiers on the static
   // path; on the dynamic path, the evolved membership after every leave,
   // join and re-tiering.
@@ -151,9 +157,19 @@ struct AsyncRunResult {
 
 class AsyncEngine {
  public:
-  // `clients` is non-owning and must outlive the engine; `tier_members`
+  // `pool` is non-owning and must outlive the engine; `tier_members`
   // holds client ids per tier (fastest first, as in core::TierInfo) —
-  // empty tiers are skipped, dropouts must already be excluded.
+  // empty tiers are skipped, dropouts must already be excluded.  The
+  // engine only touches client *training state* through short-lived
+  // leases around dispatch, so a virtualized pool keeps memory bounded by
+  // the in-flight cohort regardless of the federation size.
+  AsyncEngine(EngineConfig config, AsyncConfig async,
+              nn::ModelFactory factory, ClientPool* pool,
+              std::vector<std::vector<std::size_t>> tier_members,
+              const data::Dataset* test, sim::LatencyModel latency_model);
+
+  // Convenience overload over a materialized population (non-owning, must
+  // outlive the engine): wraps `clients` in an internal pass-through pool.
   AsyncEngine(EngineConfig config, AsyncConfig async,
               nn::ModelFactory factory, const std::vector<Client>* clients,
               std::vector<std::vector<std::size_t>> tier_members,
@@ -185,6 +201,7 @@ class AsyncEngine {
 
   nn::Sequential& scratch_model(std::size_t slot);
   util::ThreadPool& pool();
+  void validate() const;
 
   AsyncRunResult run_static(std::uint64_t seed);
   AsyncRunResult run_dynamic(std::uint64_t seed);
@@ -192,7 +209,8 @@ class AsyncEngine {
   EngineConfig config_;
   AsyncConfig async_;
   nn::ModelFactory factory_;
-  const std::vector<Client>* clients_;
+  std::unique_ptr<ClientPool> owned_pool_;  // vector-overload wrapper
+  ClientPool* clients_;
   std::vector<std::vector<std::size_t>> tier_members_;
   const data::Dataset* test_;
   sim::LatencyModel latency_model_;

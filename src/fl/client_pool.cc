@@ -1,0 +1,157 @@
+#include "fl/client_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tifl::fl {
+
+ClientPool::ClientPool(const std::vector<Client>* clients)
+    : clients_(clients) {
+  if (clients_ == nullptr || clients_->empty()) {
+    throw std::invalid_argument("ClientPool: null or empty client vector");
+  }
+}
+
+ClientPool::ClientPool(VirtualConfig config)
+    : train_(config.train),
+      shards_(std::move(config.shards)),
+      profiles_(std::move(config.profiles)),
+      cache_capacity_(std::max<std::size_t>(1, config.cache_capacity)) {
+  if (train_ == nullptr) {
+    throw std::invalid_argument("ClientPool: null training dataset");
+  }
+  if (profiles_.size() != shards_.num_clients()) {
+    throw std::invalid_argument("ClientPool: profile/shard count mismatch");
+  }
+}
+
+ClientPool::ClientPool(ClientPool&& other) noexcept
+    : clients_(other.clients_),
+      train_(other.train_),
+      shards_(std::move(other.shards_)),
+      profiles_(std::move(other.profiles_)),
+      cache_capacity_(other.cache_capacity_),
+      cache_(std::move(other.cache_)),
+      lru_(std::move(other.lru_)),
+      peak_live_(other.peak_live_),
+      materializations_(other.materializations_) {}
+
+ClientPool& ClientPool::operator=(ClientPool&& other) noexcept {
+  if (this != &other) {
+    clients_ = other.clients_;
+    train_ = other.train_;
+    shards_ = std::move(other.shards_);
+    profiles_ = std::move(other.profiles_);
+    cache_capacity_ = other.cache_capacity_;
+    cache_ = std::move(other.cache_);
+    lru_ = std::move(other.lru_);
+    peak_live_ = other.peak_live_;
+    materializations_ = other.materializations_;
+  }
+  return *this;
+}
+
+ClientPool::~ClientPool() = default;
+
+std::size_t ClientPool::size() const {
+  return clients_ != nullptr ? clients_->size() : shards_.num_clients();
+}
+
+const sim::ResourceProfile& ClientPool::resource(std::size_t id) const {
+  if (clients_ != nullptr) return clients_->at(id).resource();
+  if (id >= profiles_.size()) {
+    throw std::out_of_range("ClientPool: client out of range");
+  }
+  return profiles_[id];
+}
+
+std::size_t ClientPool::train_size(std::size_t id) const {
+  if (clients_ != nullptr) return clients_->at(id).train_size();
+  return shards_.shard_size(id);
+}
+
+ClientPool::Lease ClientPool::lease(std::size_t id) {
+  if (clients_ != nullptr) {
+    return Lease(&clients_->at(id), nullptr, id);
+  }
+  if (id >= shards_.num_clients()) {
+    throw std::out_of_range("ClientPool: client out of range");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    // Miss: generate the shard from its view.  Virtual clients carry no
+    // matched test shard — per-tier eval sets are a materialized-path
+    // feature; the async engine evaluates on the shared test set.
+    ++materializations_;
+    auto entry = std::make_unique<Entry>(
+        Client(id, train_, shards_.shard(id).materialize(), {},
+               profiles_[id]));
+    it = cache_.emplace(id, std::move(entry)).first;
+    peak_live_ = std::max(peak_live_, cache_.size());
+  } else if (it->second->pins == 0) {
+    lru_.erase(it->second->lru);  // pinned entries leave the eviction list
+  }
+  ++it->second->pins;
+  return Lease(&it->second->client, this, id);
+}
+
+void ClientPool::release(std::size_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(id);
+  if (it == cache_.end() || it->second->pins == 0) return;
+  if (--it->second->pins == 0) {
+    lru_.push_front(id);
+    it->second->lru = lru_.begin();
+    evict_overflow_locked();
+  }
+}
+
+void ClientPool::evict_overflow_locked() {
+  while (cache_.size() > cache_capacity_ && !lru_.empty()) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+}
+
+std::size_t ClientPool::live_clients() const {
+  if (clients_ != nullptr) return clients_->size();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+std::size_t ClientPool::peak_live_clients() const {
+  if (clients_ != nullptr) return clients_->size();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_live_;
+}
+
+std::size_t ClientPool::materializations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return materializations_;
+}
+
+ClientPool::Lease::Lease(Lease&& other) noexcept
+    : client_(other.client_), pool_(other.pool_), id_(other.id_) {
+  other.client_ = nullptr;
+  other.pool_ = nullptr;
+}
+
+ClientPool::Lease& ClientPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->release(id_);
+    client_ = other.client_;
+    pool_ = other.pool_;
+    id_ = other.id_;
+    other.client_ = nullptr;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ClientPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->release(id_);
+}
+
+}  // namespace tifl::fl

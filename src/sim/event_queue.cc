@@ -38,6 +38,26 @@ std::uint64_t EventQueue::schedule_at(double time, std::uint64_t kind,
   return seq;
 }
 
+std::uint64_t EventQueue::schedule_bulk(std::span<const PendingEvent> events) {
+  if (events.empty()) return 0;
+  for (const PendingEvent& event : events) {
+    if (std::isnan(event.delay) || event.delay < 0.0) {
+      throw std::invalid_argument("EventQueue: negative or NaN delay");
+    }
+  }
+  const std::uint64_t first_seq = next_seq_;
+  heap_.reserve(heap_.size() + events.size());
+  // Appending then rebuilding is O(heap + batch); per-element push_heap
+  // would be O(batch log heap).  The rebuild permutes the heap *layout*
+  // only — pop order is the strict total order on (time, seq) either way.
+  for (const PendingEvent& event : events) {
+    heap_.push_back(Event{.time = now_ + event.delay, .seq = next_seq_++,
+                          .kind = event.kind, .actor = event.actor});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), after);
+  return first_seq;
+}
+
 const Event& EventQueue::peek() const {
   if (heap_.empty()) throw std::logic_error("EventQueue: peek on empty");
   return heap_.front();
@@ -50,6 +70,30 @@ Event EventQueue::pop() {
   heap_.pop_back();
   now_ = top.time;
   return top;
+}
+
+void EventQueue::pop_batch(std::vector<Event>& out) {
+  if (heap_.empty()) throw std::logic_error("EventQueue: pop_batch on empty");
+  out.clear();
+  const double batch_time = heap_.front().time;
+  // Repeated pop_heap keeps (time, seq) order within the batch — equal
+  // times resolve by seq exactly as single pops would.
+  while (!heap_.empty() && heap_.front().time == batch_time) {
+    std::pop_heap(heap_.begin(), heap_.end(), after);
+    out.push_back(heap_.back());
+    heap_.pop_back();
+  }
+  now_ = batch_time;
+}
+
+void EventQueue::pop_until(double horizon, std::vector<Event>& out) {
+  out.clear();
+  while (!heap_.empty() && heap_.front().time <= horizon) {
+    std::pop_heap(heap_.begin(), heap_.end(), after);
+    out.push_back(heap_.back());
+    heap_.pop_back();
+    now_ = out.back().time;
+  }
 }
 
 void EventQueue::reset() {

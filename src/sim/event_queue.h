@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace tifl::sim {
@@ -37,6 +38,14 @@ struct Event {
   std::uint64_t actor = 0;  // caller-defined actor id (tier, client, ...)
 };
 
+// One entry of a schedule_bulk() call: an event without its (time, seq)
+// key, scheduled `delay` seconds from now alongside its batch siblings.
+struct PendingEvent {
+  double delay = 0.0;
+  std::uint64_t kind = 0;
+  std::uint64_t actor = 0;
+};
+
 class EventQueue {
  public:
   // Current virtual time: the timestamp of the last popped event (0
@@ -46,8 +55,10 @@ class EventQueue {
   std::size_t size() const noexcept { return heap_.size(); }
   bool empty() const noexcept { return heap_.empty(); }
 
-  // Schedules an event `delay >= 0` virtual seconds from now; returns its
-  // seq (callers key per-event state — e.g. RNG forks — off this).
+  // Schedules an event `delay >= 0` virtual seconds from now (negative
+  // and NaN delays throw std::invalid_argument, exactly like
+  // schedule_at); returns its seq (callers key per-event state — e.g.
+  // RNG forks — off this).
   std::uint64_t schedule(double delay, std::uint64_t kind,
                          std::uint64_t actor);
 
@@ -56,11 +67,38 @@ class EventQueue {
   std::uint64_t schedule_at(double time, std::uint64_t kind,
                             std::uint64_t actor);
 
+  // Schedules every entry in one pass, assigning consecutive seqs in span
+  // order — byte-identical pop order to calling schedule() per entry, but
+  // a large seed burst (e.g. one event per client of a million-client
+  // federation) costs one O(n) heap rebuild instead of n O(log n)
+  // sift-ups.  Validates every delay up front (all-or-nothing: a bad
+  // entry throws before anything is scheduled).  Returns the seq of the
+  // first entry (entry i got seq + i); 0 on an empty span.
+  std::uint64_t schedule_bulk(std::span<const PendingEvent> events);
+
   // Earliest pending event; throws std::logic_error when empty.
   const Event& peek() const;
 
   // Removes and returns the earliest event, advancing now() to its time.
   Event pop();
+
+  // Removes every event sharing the earliest pending timestamp into
+  // `out` (cleared first), in exactly the order repeated pop() would
+  // return them, and advances now() to that timestamp.  Events scheduled
+  // *while the batch is processed* cannot land inside it: schedule_at
+  // rejects times before now() and fresh seqs break any time tie after
+  // the whole batch — which is what lets an event loop drain same-time
+  // batches without perturbing the (time, seq) replay sequence.
+  // Throws std::logic_error when empty.
+  void pop_batch(std::vector<Event>& out);
+
+  // Like pop_batch, but drains every event with time <= horizon (possibly
+  // spanning many timestamps); now() advances to the last popped event's
+  // time (untouched when nothing qualifies, leaving `out` empty).  Only
+  // safe for consumers that do not schedule while processing `out` —
+  // a mid-batch schedule_at(now()+d) with d < horizon - now() would pop
+  // *after* events it should precede under one-at-a-time semantics.
+  void pop_until(double horizon, std::vector<Event>& out);
 
   // Drops all pending events and rewinds the clock to zero.  seq keeps
   // counting so pre/post-reset events never collide.

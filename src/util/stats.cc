@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace tifl::util {
 
@@ -43,7 +44,13 @@ double RunningStat::variance() const noexcept {
 double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
 
 double mape_percent(double estimated, double actual) {
-  if (actual == 0.0) return 0.0;
+  if (actual == 0.0) {
+    // A zero actual admits no percentage scale: an exact estimate is a
+    // perfect 0, anything else is infinitely wrong.  (Returning 0 here
+    // used to report a perfectly *wrong* estimator as perfect.)
+    return estimated == 0.0 ? 0.0
+                            : std::numeric_limits<double>::infinity();
+  }
   return std::abs(estimated - actual) / std::abs(actual) * 100.0;
 }
 
@@ -68,13 +75,24 @@ double stddev(std::span<const double> xs) {
 
 double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return xs[lo] + frac * (xs[hi] - xs[lo]);
+  // Selection instead of a full sort: O(n) for the lo-th order statistic,
+  // then the (lo+1)-th is the minimum of the partitioned upper tail.
+  // Identical values to the sort-based formula, bit for bit — the same
+  // order statistics feed the same interpolation.
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(lo),
+                   xs.end());
+  const double at_lo = xs[lo];
+  double at_hi = at_lo;
+  if (hi != lo) {
+    at_hi = *std::min_element(
+        xs.begin() + static_cast<std::ptrdiff_t>(lo) + 1, xs.end());
+  }
+  return at_lo + frac * (at_hi - at_lo);
 }
 
 std::size_t argmin(std::span<const double> xs) {
@@ -90,8 +108,14 @@ std::size_t argmax(std::span<const double> xs) {
 }
 
 std::vector<double> normalized(std::vector<double> weights) {
+  // Clamp negatives (and NaN) to zero *before* summing: mixed-sign input
+  // with a positive total used to divide through and emit negative
+  // "probabilities", which silently corrupt weighted sampling.
   double total = 0.0;
-  for (double w : weights) total += w;
+  for (double& w : weights) {
+    if (!(w > 0.0)) w = 0.0;
+    total += w;
+  }
   if (total <= 0.0) {
     if (!weights.empty()) {
       const double u = 1.0 / static_cast<double>(weights.size());

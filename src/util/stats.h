@@ -32,21 +32,27 @@ class RunningStat {
 };
 
 // Mean absolute percentage error, |est - act| / act * 100 (Eq. 7).
-// Returns 0 when `actual` is 0 to avoid a meaningless division.
+// `actual == 0` has no percentage scale: returns 0 for an exact estimate
+// and +infinity otherwise (callers printing tables should treat inf as
+// "n/a" rather than average it away).
 double mape_percent(double estimated, double actual);
 
 double mean(std::span<const double> xs);
 double stddev(std::span<const double> xs);
 double sum(std::span<const double> xs);
 
-// Linear-interpolated percentile, p in [0, 100].  Sorts a copy.
+// Linear-interpolated percentile, p in [0, 100].  Selects the two
+// bracketing order statistics in O(n) (nth_element on the by-value copy)
+// instead of sorting — same values as the sort-based definition.
 double percentile(std::vector<double> xs, double p);
 
 // argmin / argmax over a span; returns 0 on empty input.
 std::size_t argmin(std::span<const double> xs);
 std::size_t argmax(std::span<const double> xs);
 
-// Normalize a non-negative vector to sum to 1 (uniform if all zero).
+// Normalize to a probability vector: negatives/NaN are clamped to 0
+// first, then the result sums to 1 (uniform when nothing positive
+// remains).  Output entries are always in [0, 1].
 std::vector<double> normalized(std::vector<double> weights);
 
 }  // namespace tifl::util

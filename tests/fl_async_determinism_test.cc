@@ -121,5 +121,61 @@ TEST(AsyncDeterminism, DynamicLifecyclePathIsThreadPoolSizeInvariant) {
   expect_pool_size_invariance(async);
 }
 
+// --- batched event loop over a virtualized pool ------------------------------
+//
+// The engine's loops now consume same-timestamp batches (pop_batch) and
+// bulk-schedule cohorts (schedule_bulk), and clients materialize lazily
+// through a ClientPool LRU.  The same pool-size sweep must still be
+// bitwise invariant: cache hits/misses, eviction order and batch
+// boundaries may not leak into results.
+
+AsyncRunResult run_virtual_with_pool_size(const AsyncConfig& async,
+                                          std::size_t threads) {
+  auto data = std::make_unique<data::SyntheticData>(testing::tiny_data());
+  ClientPool::VirtualConfig config;
+  config.train = &data->train;
+  config.shards = data::LazyShards(
+      data->train.size(), 64, {.samples_per_client = 30, .spread = 0.5}, 7);
+  config.profiles.assign(64, sim::ResourceProfile{});
+  for (std::size_t c = 0; c < 64; ++c) {
+    config.profiles[c].cpus = c < 32 ? 2.0 : 0.5;
+    config.profiles[c].jitter_sigma = 0.05;
+  }
+  config.cache_capacity = 8;  // smaller than the population: evictions occur
+  ClientPool pool(std::move(config));
+
+  AsyncEngine engine(tiny_engine_config(1), async, tiny_factory(), &pool,
+                     two_tiers(64), &data->test, sim::LatencyModel({0.01, 1.0}));
+  util::ThreadPool workers(threads);
+  engine.set_thread_pool(&workers);
+  return engine.run();
+}
+
+TEST(AsyncDeterminism, VirtualPoolBatchedLoopIsThreadPoolSizeInvariant) {
+  AsyncConfig async;
+  async.total_updates = 20;
+  async.clients_per_tier_round = 4;
+  async.eval_every = 4;
+  async.staleness = StalenessFn::kInverseFrequency;
+  async.churn.join_rate = 0.05;
+  async.churn.leave_rate = 0.05;
+  async.churn.slowdown_rate = 0.1;
+
+  const AsyncRunResult r1 = run_virtual_with_pool_size(async, 1);
+  const AsyncRunResult r2 = run_virtual_with_pool_size(async, 2);
+  const AsyncRunResult r8 = run_virtual_with_pool_size(async, 8);
+
+  EXPECT_EQ(r1.final_weights, r2.final_weights);
+  EXPECT_EQ(r1.final_weights, r8.final_weights);
+  EXPECT_EQ(r1.processed_events, r8.processed_events);
+  ASSERT_EQ(r1.result.rounds.size(), r8.result.rounds.size());
+  for (std::size_t i = 0; i < r1.result.rounds.size(); ++i) {
+    EXPECT_EQ(r1.result.rounds[i].selected_clients,
+              r8.result.rounds[i].selected_clients);
+    EXPECT_DOUBLE_EQ(r1.result.rounds[i].virtual_time,
+                     r8.result.rounds[i].virtual_time);
+  }
+}
+
 }  // namespace
 }  // namespace tifl::fl

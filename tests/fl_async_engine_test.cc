@@ -286,8 +286,14 @@ TEST(AsyncEngine, ConstructorValidation) {
   const EngineConfig config = tiny_engine_config(1);
   const AsyncConfig async = tiny_async_config(5);
 
-  EXPECT_THROW(AsyncEngine(config, async, tiny_factory(), nullptr,
-                           two_tiers(10), &fed.data.test, fed.latency),
+  EXPECT_THROW(
+      AsyncEngine(config, async, tiny_factory(),
+                  static_cast<const std::vector<Client>*>(nullptr),
+                  two_tiers(10), &fed.data.test, fed.latency),
+      std::invalid_argument);
+  EXPECT_THROW(AsyncEngine(config, async, tiny_factory(),
+                           static_cast<ClientPool*>(nullptr), two_tiers(10),
+                           &fed.data.test, fed.latency),
                std::invalid_argument);
   EXPECT_THROW(AsyncEngine(config, async, tiny_factory(), &fed.clients,
                            two_tiers(10), nullptr, fed.latency),

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "data/synthetic.h"
 
@@ -370,6 +371,83 @@ TEST(IsDisjointPartition, DetectsOverlapAndRange) {
   EXPECT_TRUE(is_disjoint_partition({{0, 1}, {2, 3}}, 4));
   EXPECT_FALSE(is_disjoint_partition({{0, 1}, {1, 2}}, 4));  // overlap
   EXPECT_FALSE(is_disjoint_partition({{0, 9}}, 4));          // out of range
+}
+
+// --- lazy shards ------------------------------------------------------------
+
+TEST(LazyShards, ShardsAreInRangeDeterministicAndMatchMaterialize) {
+  const LazyShards shards(1000, 30, {.samples_per_client = 40, .spread = 0.5},
+                          /*seed=*/7);
+  const LazyShards replay(1000, 30, {.samples_per_client = 40, .spread = 0.5},
+                          /*seed=*/7);
+  EXPECT_EQ(shards.num_clients(), 30u);
+  EXPECT_EQ(shards.dataset_size(), 1000u);
+  for (std::size_t c = 0; c < 30; ++c) {
+    const ShardView view = shards.shard(c);
+    EXPECT_EQ(view.size(), shards.shard_size(c));
+    EXPECT_GE(view.size(), 20u);  // base * (1 - spread)
+    EXPECT_LE(view.size(), 60u);  // base * (1 + spread)
+    const std::vector<std::size_t> materialized = view.materialize();
+    ASSERT_EQ(materialized.size(), view.size());
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      EXPECT_LT(view[i], 1000u);
+      EXPECT_EQ(view[i], materialized[i]);
+      EXPECT_EQ(view[i], replay.shard(c)[i]);  // pure function of the seed
+    }
+  }
+}
+
+TEST(LazyShards, ZeroSpreadTilesTheDatasetDisjointly) {
+  // While the population fits the dataset, lazy IID shards are an exact
+  // partition: consecutive windows over one permutation.
+  const LazyShards shards(1000, 20, {.samples_per_client = 50, .spread = 0.0},
+                          3);
+  Partition materialized;
+  for (std::size_t c = 0; c < 20; ++c) {
+    materialized.push_back(shards.shard(c).materialize());
+    EXPECT_EQ(materialized.back().size(), 50u);
+  }
+  EXPECT_TRUE(is_disjoint_partition(materialized, 1000));
+}
+
+TEST(LazyShards, OversubscribedPopulationWrapsWithoutGrowth) {
+  // 10k clients x 50 samples over a 1k-sample dataset: windows wrap, and
+  // the only O(dataset) state is the shared permutation — shards stay
+  // valid, in range, and distinct across clients.
+  const LazyShards shards(1000, 10000, {.samples_per_client = 50}, 11);
+  std::size_t checked = 0;
+  for (std::size_t c = 0; c < 10000; c += 997) {
+    const ShardView view = shards.shard(c);
+    ASSERT_EQ(view.size(), 50u);
+    std::set<std::size_t> unique;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      EXPECT_LT(view[i], 1000u);
+      unique.insert(view[i]);
+    }
+    // A 50-wide window of a permutation never repeats an index.
+    EXPECT_EQ(unique.size(), view.size());
+    ++checked;
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+TEST(LazyShards, SpreadSizesVaryAcrossClients) {
+  const LazyShards shards(4000, 64, {.samples_per_client = 50, .spread = 0.5},
+                          21);
+  std::set<std::size_t> sizes;
+  for (std::size_t c = 0; c < 64; ++c) sizes.insert(shards.shard_size(c));
+  EXPECT_GT(sizes.size(), 4u);  // the jitter actually spreads
+}
+
+TEST(LazyShards, ValidatesArguments) {
+  EXPECT_THROW(LazyShards(0, 5, {}, 1), std::invalid_argument);
+  EXPECT_THROW(LazyShards(100, 0, {}, 1), std::invalid_argument);
+  EXPECT_THROW(LazyShards(100, 5, {.spread = -0.1}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(LazyShards(100, 5, {.spread = 1.5}, 1), std::invalid_argument);
+  const LazyShards shards(100, 5, {}, 1);
+  EXPECT_THROW(shards.shard_size(5), std::out_of_range);
+  EXPECT_THROW(ShardView(nullptr, 0, 1), std::invalid_argument);
 }
 
 }  // namespace

@@ -75,6 +75,40 @@ TEST(ChurnModel, NextMatchesGenerate) {
   }
 }
 
+TEST(ChurnModel, GenerateIsPureUnderInterleavingWithNext) {
+  // The header claims generate() "does not perturb this model's next()".
+  // Interleave the two aggressively and check both directions: next()
+  // walks the reference stream unaffected by generate() calls in between,
+  // and generate() always previews exactly the events next() goes on to
+  // return.
+  const std::vector<LifecycleEvent> reference =
+      ChurnModel(full_config(), 23).generate(300.0);
+  ASSERT_GT(reference.size(), 10u);
+
+  ChurnModel model(full_config(), 23);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Before every next(), a generate() whose horizon sweeps widely —
+    // including past events already consumed and far into the future.
+    const double horizon = (i % 3 == 0) ? 1.0 : (i % 3 == 1) ? 150.0 : 400.0;
+    const std::vector<LifecycleEvent> preview = model.generate(horizon);
+    // The preview must be the untaken tail of the reference stream.
+    for (std::size_t j = 0; j < preview.size() && i + j < reference.size();
+         ++j) {
+      EXPECT_DOUBLE_EQ(preview[j].time, reference[i + j].time);
+      EXPECT_EQ(preview[j].kind, reference[i + j].kind);
+      EXPECT_EQ(preview[j].pick, reference[i + j].pick);
+      EXPECT_DOUBLE_EQ(preview[j].factor, reference[i + j].factor);
+    }
+
+    const std::optional<LifecycleEvent> got = model.next();
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_DOUBLE_EQ(got->time, reference[i].time) << i;
+    EXPECT_EQ(got->kind, reference[i].kind) << i;
+    EXPECT_EQ(got->pick, reference[i].pick) << i;
+    EXPECT_DOUBLE_EQ(got->factor, reference[i].factor) << i;
+  }
+}
+
 TEST(ChurnModel, StreamIsTimeOrderedAndKindsMatchRates) {
   ChurnConfig config;
   config.leave_rate = 0.3;  // joins and slowdowns disabled

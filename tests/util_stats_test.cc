@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -70,8 +71,14 @@ TEST(Mape, MatchesPaperDefinition) {
   EXPECT_NEAR(mape_percent(46242.0, 44977.0), 2.8125, 0.01);
 }
 
-TEST(Mape, ZeroActualReturnsZero) {
-  EXPECT_EQ(mape_percent(5.0, 0.0), 0.0);
+TEST(Mape, ZeroActualIsInfUnlessEstimateExact) {
+  // A nonzero estimate of a zero actual is infinitely wrong — returning 0
+  // here (the old behavior) reported a perfectly wrong estimator as
+  // perfect.
+  EXPECT_TRUE(std::isinf(mape_percent(5.0, 0.0)));
+  EXPECT_GT(mape_percent(5.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(mape_percent(-5.0, 0.0)));
+  EXPECT_EQ(mape_percent(0.0, 0.0), 0.0);
 }
 
 TEST(Mape, ExactEstimateIsZero) { EXPECT_EQ(mape_percent(7.0, 7.0), 0.0); }
@@ -104,6 +111,32 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
 }
 
+TEST(Percentile, SelectionMatchesSortBasedDefinitionBitForBit) {
+  // The nth_element implementation must reproduce the historical
+  // sort-then-interpolate values exactly: same order statistics, same
+  // interpolation, bit-identical doubles — on unsorted data with ties.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs(1 + static_cast<std::size_t>(rng.uniform_index(400)));
+    for (double& x : xs) {
+      x = trial % 2 ? std::floor(rng.normal(0.0, 3.0)) /*heavy ties*/
+                    : rng.lognormal(0.0, 1.0);
+    }
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+      const double rank =
+          p / 100.0 * static_cast<double>(sorted.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(rank);
+      const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      const double expected =
+          sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+      EXPECT_EQ(percentile(xs, p), expected) << "p=" << p;
+    }
+  }
+}
+
 TEST(ArgMinMax, Basic) {
   const std::vector<double> xs{3.0, 1.0, 4.0, 1.5, 9.0};
   EXPECT_EQ(argmin(xs), 1u);
@@ -121,6 +154,28 @@ TEST(Normalized, SumsToOne) {
 TEST(Normalized, AllZeroBecomesUniform) {
   const std::vector<double> out = normalized({0.0, 0.0, 0.0, 0.0});
   for (double v : out) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(Normalized, MixedSignClampsToProbabilities) {
+  // Mixed-sign weights with a positive total used to divide through and
+  // emit negative "probabilities"; negatives must clamp to 0 first.
+  const std::vector<double> out = normalized({3.0, -1.0, 1.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.75);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.25);
+  double total = 0.0;
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(Normalized, AllNegativeBecomesUniform) {
+  const std::vector<double> out = normalized({-2.0, -3.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
 }
 
 // --- histogram -------------------------------------------------------------

@@ -29,6 +29,13 @@
 //                           restarting the run (async only)          [0]
 //   --churn-seed S          pin the churn stream independently of
 //                           --seed (0 = derive from the run seed)    [0]
+//   --virtual               virtualize the client population: lazy IID
+//                           shards + on-demand client materialization
+//                           (fl::ClientPool), so --clients 1000000 runs
+//                           in bounded memory.  async engine only; auto-
+//                           enabled at >= 100000 clients.
+//   --samples-per-client N  virtual shard size (0 = dataset/clients) [50]
+//   --shard-spread F        virtual shard-size jitter in [0,1]       [0.5]
 //
 // With --engine async the selection policy is ignored: every tier trains
 // at its own cadence and samples its members uniformly; --rounds counts
@@ -118,14 +125,31 @@ int main(int argc, char** argv) {
   try {
     ScenarioConfig config = from_flags(cli, options);
     config.time_budget_seconds = cli.get_double("time-budget", 0.0);
-    Scenario scenario = build_scenario(std::move(config));
-    print_tiering(*scenario.system);
 
     const std::string engine = cli.get("engine", "sync");
     if (engine != "sync" && engine != "async") {
       throw std::invalid_argument("unknown --engine " + engine +
                                   " (sync | async)");
     }
+    // Paper-scale populations never materialize a Client per id: beyond
+    // 100k clients (or on request) the population is virtualized — lazy
+    // shards over a shared permutation plus an LRU of in-flight clients.
+    const bool virtualized =
+        cli.get_bool("virtual") || config.num_clients >= 100000;
+    if (virtualized) {
+      if (engine != "async") {
+        throw std::invalid_argument(
+            "--virtual (and populations >= 100000 clients) requires "
+            "--engine async: the synchronous engine materializes every "
+            "client");
+      }
+      config.lazy.samples_per_client = static_cast<std::size_t>(
+          cli.get_int("samples-per-client", 50));
+      config.lazy.spread = cli.get_double("shard-spread", 0.5);
+    }
+    Scenario scenario = virtualized ? build_virtual_scenario(std::move(config))
+                                    : build_scenario(std::move(config));
+    print_tiering(*scenario.system);
     if (engine == "async") {
       fl::AsyncConfig async;
       async.staleness = fl::parse_staleness(cli.get("staleness", "constant"));
