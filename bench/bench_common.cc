@@ -230,29 +230,19 @@ namespace {
 
 std::unique_ptr<fl::SelectionPolicy> make_policy(core::TiflSystem& system,
                                                  const std::string& name) {
-  if (name == "vanilla") return system.make_vanilla();
-  if (name == "overprovision") {
-    // Extension baseline: Bonawitz et al.'s 130 % over-provisioning.
-    return std::make_unique<fl::OverProvisionPolicy>(
-        system.engine().clients().size(),
-        system.config().clients_per_round);
+  // All names — "vanilla", "overprovision", "deadline", "adaptive"/"TiFL",
+  // the Table 1 presets, and any user-registered policy — resolve through
+  // the registry, bound to this system's tiering/profiling snapshot.
+  auto policy = system.make_policy(name);
+  if (!policy->supports(fl::EngineKind::kSync)) {
+    throw std::invalid_argument(
+        "policy '" + name + "' does not support the sync engine "
+        "(sync-capable: " +
+        fl::join_policy_names(fl::PolicyRegistry::instance().names(
+            fl::EngineKind::kSync)) +
+        ")");
   }
-  if (name == "deadline") {
-    // Extension baseline: FedCS-style filtering at the median tier's
-    // average latency — slower clients never participate.
-    const auto& latencies = system.tiers().avg_latency;
-    const double deadline = latencies[latencies.size() / 2];
-    return std::make_unique<core::DeadlinePolicy>(
-        system.profile(), deadline, system.config().clients_per_round);
-  }
-  if (name == "adaptive" || name == "TiFL") {
-    core::AdaptiveConfig adaptive;
-    adaptive.interval = std::max<std::size_t>(
-        2, system.config().engine.rounds / 25);
-    auto policy = system.make_adaptive(adaptive);
-    return policy;
-  }
-  return system.make_static(name);
+  return policy;
 }
 
 }  // namespace

@@ -1,12 +1,13 @@
-// Writing your own selection policy.
+// Writing (and registering) your own selection policy.
 //
 // TiFL's scheduler is an ordinary `fl::SelectionPolicy`; anything that
-// can pick clients each round and react to the engine's feedback plugs
-// into the same engine.  This example implements a "sticky" tier policy
-// from scratch: stay on the current tier while the global accuracy keeps
-// improving, hop to the next (cyclically) once it stalls — a greedy
-// cousin of Algorithm 2 with no credits and no probabilities — and races
-// it against uniform static selection and adaptive TiFL.
+// can pick clients from a `SelectionContext` and react to the engine's
+// feedback plugs into the same engines.  This example implements a
+// "sticky" tier policy from scratch: stay on the current tier while the
+// global accuracy keeps improving, hop to the next (cyclically) once it
+// stalls — a greedy cousin of Algorithm 2 with no credits and no
+// probabilities — registers it in the string-keyed policy registry, and
+// races it against uniform static selection and adaptive TiFL.
 //
 //   ./build/examples/custom_policy [--rounds N]
 #include <iostream>
@@ -14,6 +15,7 @@
 #include "core/system.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "fl/policy_registry.h"
 #include "nn/model_zoo.h"
 #include "util/cli.h"
 #include "util/log.h"
@@ -23,20 +25,23 @@ namespace {
 
 using namespace tifl;
 
-// The whole extension surface: select() and observe().
+// The whole extension surface: select() and observe().  The context form
+// also hands policies the virtual time, a live tier view and the
+// dispatching tier on the async engine — this one only needs the round's
+// RNG stream, so it stays sync-only (the default supports()).
 class StickyTierPolicy final : public fl::SelectionPolicy {
  public:
-  StickyTierPolicy(const core::TierInfo& tiers,
+  StickyTierPolicy(std::vector<std::vector<std::size_t>> members,
                    std::size_t clients_per_round)
-      : members_(tiers.members), clients_per_round_(clients_per_round) {}
+      : members_(std::move(members)), clients_per_round_(clients_per_round) {}
 
-  fl::Selection select(std::size_t round, util::Rng& rng) override {
-    (void)round;
+  using fl::SelectionPolicy::select;
+  fl::Selection select(const fl::SelectionContext& context) override {
     // Skip tiers that cannot fill a round.
     while (members_[tier_].size() < clients_per_round_) advance();
     const auto& pool = members_[tier_];
     const auto picks = fl::sample_without_replacement(
-        pool.size(), clients_per_round_, rng);
+        pool.size(), clients_per_round_, context.stream());
     fl::Selection selection;
     selection.tier = static_cast<int>(tier_);
     for (std::size_t p : picks) selection.clients.push_back(pool[p]);
@@ -66,6 +71,22 @@ class StickyTierPolicy final : public fl::SelectionPolicy {
   double best_accuracy_ = 0.0;
   std::size_t stalled_ = 0;
 };
+
+// One registration makes the policy addressable by name everywhere a
+// name is accepted: `system.make_policy("sticky")` here, and equally
+// `tifl_run --policy sticky` if this ran inside the tool.
+void register_sticky() {
+  fl::PolicyRegistry::instance().add(
+      "sticky",
+      {.factory =
+           [](const fl::PolicyContext& context) {
+             return std::make_unique<StickyTierPolicy>(
+                 context.tier_members, context.clients_per_round);
+           },
+       .summary = "stay on a tier until global accuracy stalls",
+       .sync = true,
+       .async = false});
+}
 
 }  // namespace
 
@@ -103,6 +124,8 @@ int main(int argc, char** argv) {
   core::TiflSystem system(config, factory, &dataset.test, std::move(clients),
                           sim::LatencyModel(sim::cifar_cost_model()));
 
+  register_sticky();
+
   util::TablePrinter table(
       {"policy", "time [s]", "final acc [%]", "best acc [%]"});
   auto report = [&table](const std::string& name,
@@ -112,20 +135,17 @@ int main(int argc, char** argv) {
                    util::format_double(result.best_accuracy() * 100, 2)});
   };
 
-  {
-    StickyTierPolicy sticky(system.tiers(), config.clients_per_round);
-    report("sticky (custom)", system.run(sticky));
-  }
-  {
-    auto uniform = system.make_static("uniform");
-    report("uniform", system.run(*uniform));
-  }
-  {
-    auto adaptive = system.make_adaptive();
-    report("TiFL adaptive", system.run(*adaptive));
+  // Every policy — the custom one included — now resolves by name.
+  for (const auto& [label, name] :
+       {std::pair<std::string, std::string>{"sticky (custom)", "sticky"},
+        {"uniform", "uniform"},
+        {"TiFL adaptive", "adaptive"}}) {
+    auto policy = system.make_policy(name);
+    report(label, system.run(*policy));
   }
   std::cout << table.to_string()
-            << "\nAny SelectionPolicy subclass drops into the same engine "
-               "— TiFL's scheduler is not privileged (cf. §4.1).\n";
+            << "\nAny SelectionPolicy subclass drops into the same engines "
+               "— TiFL's scheduler is not privileged (cf. §4.1), and one "
+               "PolicyRegistry::add makes it addressable by name.\n";
   return 0;
 }

@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> history;
     explicit Probe(std::unique_ptr<fl::SelectionPolicy> policy)
         : inner(std::move(policy)) {}
-    fl::Selection select(std::size_t round, util::Rng& rng) override {
-      return inner->select(round, rng);
+    fl::Selection select(const fl::SelectionContext& context) override {
+      return inner->select(context);
     }
     void observe(const fl::RoundFeedback& feedback) override {
       if (!feedback.tier_accuracies.empty()) {

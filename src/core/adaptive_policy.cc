@@ -39,7 +39,10 @@ AdaptiveTierPolicy::AdaptiveTierPolicy(const TierInfo& tiers,
 }
 
 bool AdaptiveTierPolicy::tier_eligible(std::size_t t) const {
-  return members_[t].size() >= config_.clients_per_round;
+  // Sync rounds must fill |C| slots from one tier (§4.3's n_j > |C|); an
+  // async tier round simply caps at the live member count.
+  return async_mode_ ? !members_[t].empty()
+                     : members_[t].size() >= config_.clients_per_round;
 }
 
 void AdaptiveTierPolicy::change_probs() {
@@ -81,18 +84,33 @@ void AdaptiveTierPolicy::change_probs() {
   }
 }
 
-fl::Selection AdaptiveTierPolicy::select(std::size_t round, util::Rng& rng) {
+void AdaptiveTierPolicy::maybe_change_probs(std::size_t round,
+                                            std::size_t reference_tier) {
   // Alg. 2 lines 3-7: every I rounds, re-derive probabilities if the
-  // current tier's accuracy stalled relative to I rounds ago.
-  if (round % config_.interval == 0 && round >= config_.interval &&
-      accuracy_history_.size() >= config_.interval + 1) {
-    const std::vector<double>& now = accuracy_history_.back();
-    const std::vector<double>& before =
-        accuracy_history_[accuracy_history_.size() - 1 - config_.interval];
-    if (now[current_tier_] <= before[current_tier_]) {
-      change_probs();
-    }
+  // reference tier's accuracy stalled relative to I rounds ago.  The
+  // async engine asks once per tier round, so guard to one stall check
+  // per global version.
+  if (round % config_.interval != 0 || round < config_.interval ||
+      accuracy_history_.size() < config_.interval + 1) {
+    return;
   }
+  if (round == last_stall_check_) return;
+  last_stall_check_ = round;
+  const std::vector<double>& now = accuracy_history_.back();
+  const std::vector<double>& before =
+      accuracy_history_[accuracy_history_.size() - 1 - config_.interval];
+  if (now[reference_tier] <= before[reference_tier]) {
+    change_probs();
+  }
+}
+
+fl::Selection AdaptiveTierPolicy::select(const fl::SelectionContext& context) {
+  // Per-call, not sticky: a policy instance that served an async run must
+  // apply the strict sync eligibility again when a sync engine drives it.
+  async_mode_ = context.tier >= 0;
+  if (context.tier >= 0) return select_tier_round(context);
+
+  maybe_change_probs(context.round, current_tier_);
 
   // Alg. 2 lines 8-14: draw tiers until one with credits remains.
   const std::size_t T = members_.size();
@@ -117,17 +135,56 @@ fl::Selection AdaptiveTierPolicy::select(std::size_t round, util::Rng& rng) {
     }
   }
 
-  current_tier_ = rng.weighted_index(effective);
+  current_tier_ = context.stream().weighted_index(effective);
   credits_[current_tier_] -= 1.0;  // Alg. 2 line 11
 
   const std::vector<std::size_t>& pool = members_[current_tier_];
   const std::vector<std::size_t> picks = fl::sample_without_replacement(
-      pool.size(), config_.clients_per_round, rng);
+      pool.size(), config_.clients_per_round, context.stream());
 
   fl::Selection selection;
   selection.tier = static_cast<int>(current_tier_);
   selection.clients.reserve(picks.size());
   for (std::size_t p : picks) selection.clients.push_back(pool[p]);
+  return selection;
+}
+
+// Async per-tier cadence: the engine fixed the tier; Alg. 2's
+// probabilities scale that tier's share of the work instead of drawing
+// the tier.  round(p_t * T * |C|) members per tier round keeps a
+// uniform-probability policy at exactly the engine's default |C|.
+fl::Selection AdaptiveTierPolicy::select_tier_round(
+    const fl::SelectionContext& context) {
+  const std::size_t tier = static_cast<std::size_t>(context.tier);
+  if (tier >= members_.size()) {
+    throw std::invalid_argument("AdaptiveTierPolicy: tier out of range");
+  }
+  maybe_change_probs(context.round, tier);
+  if (context.candidates.empty()) return {};
+
+  const double share =
+      probs_[tier] * static_cast<double>(members_.size()) *
+      static_cast<double>(config_.clients_per_round);
+  std::size_t count = static_cast<std::size_t>(std::llround(share));
+  if (credits_[tier] <= 0.0) {
+    // Out of credits: throttle to a minimal presence rather than a hard
+    // stop — async tiers do not block each other, so the time cost Alg. 2
+    // guards against is per-tier work, not round latency.
+    count = std::min<std::size_t>(count, 1);
+  }
+  count = std::min(count, context.candidates.size());
+  if (count == 0) return {};  // parked; the engine retries next version
+
+  if (credits_[tier] > 0.0) credits_[tier] -= 1.0;
+  const std::vector<std::size_t> picks = fl::sample_without_replacement(
+      context.candidates.size(), count, context.stream());
+
+  fl::Selection selection;
+  selection.tier = context.tier;
+  selection.clients.reserve(picks.size());
+  for (std::size_t p : picks) {
+    selection.clients.push_back(context.candidates[p]);
+  }
   return selection;
 }
 
@@ -145,6 +202,30 @@ void AdaptiveTierPolicy::observe(const fl::RoundFeedback& feedback) {
   } else {
     accuracy_history_.emplace_back(members_.size(), 0.0);
   }
+}
+
+void AdaptiveTierPolicy::on_join(std::size_t client, std::size_t tier) {
+  if (tier >= members_.size()) return;
+  members_[tier].push_back(client);
+}
+
+void AdaptiveTierPolicy::on_leave(std::size_t client) {
+  for (std::vector<std::size_t>& tier : members_) {
+    const auto it = std::find(tier.begin(), tier.end(), client);
+    if (it != tier.end()) {
+      tier.erase(it);
+      return;
+    }
+  }
+}
+
+void AdaptiveTierPolicy::on_retier(
+    std::span<const std::vector<std::size_t>> members) {
+  if (members.size() != members_.size()) {
+    throw std::invalid_argument(
+        "AdaptiveTierPolicy: re-tiering changed the tier count");
+  }
+  members_.assign(members.begin(), members.end());
 }
 
 }  // namespace tifl::core

@@ -13,6 +13,19 @@
 // accuracy (deficit-driven probabilities) against training time (credits
 // throttling slow tiers).
 //
+// Both engines are supported (SelectionContext-driven):
+//  * Sync (`context.tier == -1`): Alg. 2 verbatim — draw a tier from the
+//    credit-gated probabilities, sample |C| members from it.
+//  * Async (`context.tier >= 0`): tiers dispatch at their own cadence, so
+//    the probabilities cannot pick *when* a tier runs; instead they bias
+//    *how much* each tier contributes per round: tier t samples
+//    round(p_t * T * |C|) members (uniform probabilities reproduce the
+//    engine's default |C|), a credit is spent per dispatched round, and a
+//    tier whose credits are exhausted is throttled to a single member.
+//    A zero share parks the tier until the next global version.  The
+//    stall test compares the *dispatching* tier's accuracy I versions
+//    apart, at most once per version.
+//
 // Unspecified details in the paper, resolved here (see DESIGN.md):
 //  * ChangeProbs rule — default kDeficit: p_t proportional to
 //    (max_s A_s − A_t + epsilon); alternative kRank: probabilities
@@ -55,15 +68,30 @@ class AdaptiveTierPolicy final : public fl::SelectionPolicy {
   AdaptiveTierPolicy(const TierInfo& tiers, AdaptiveConfig config,
                      std::size_t total_rounds);
 
-  fl::Selection select(std::size_t round, util::Rng& rng) override;
+  using fl::SelectionPolicy::select;
+  fl::Selection select(const fl::SelectionContext& context) override;
   void observe(const fl::RoundFeedback& feedback) override;
   std::string name() const override { return "adaptive"; }
+  bool needs_tier_feedback() const override { return true; }  // A_t^r
+  bool supports(fl::EngineKind kind) const override {
+    (void)kind;
+    return true;
+  }
+
+  // Track dynamic populations so ChangeProbs eligibility and the member
+  // snapshot stay live under churn/re-tiering.
+  void on_join(std::size_t client, std::size_t tier) override;
+  void on_leave(std::size_t client) override;
+  void on_retier(
+      std::span<const std::vector<std::size_t>> members) override;
 
   const std::vector<double>& probs() const { return probs_; }
   const std::vector<double>& credits() const { return credits_; }
   std::size_t change_probs_invocations() const { return prob_changes_; }
 
  private:
+  fl::Selection select_tier_round(const fl::SelectionContext& context);
+  void maybe_change_probs(std::size_t round, std::size_t reference_tier);
   void change_probs();
   bool tier_eligible(std::size_t t) const;
 
@@ -76,6 +104,11 @@ class AdaptiveTierPolicy final : public fl::SelectionPolicy {
   std::vector<std::vector<double>> accuracy_history_;
   std::size_t current_tier_ = 0;
   std::size_t prob_changes_ = 0;
+  // Which engine drove the *latest* select (set per call): async relaxes
+  // eligibility to "has members" (tier rounds cap at the candidate
+  // count) and guards the stall test to once per version.
+  bool async_mode_ = false;
+  std::size_t last_stall_check_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace tifl::core

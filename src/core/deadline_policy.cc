@@ -23,10 +23,9 @@ DeadlinePolicy::DeadlinePolicy(const ProfileResult& profile,
   }
 }
 
-fl::Selection DeadlinePolicy::select(std::size_t round, util::Rng& rng) {
-  (void)round;
+fl::Selection DeadlinePolicy::select(const fl::SelectionContext& context) {
   const std::vector<std::size_t> picks = fl::sample_without_replacement(
-      eligible_.size(), clients_per_round_, rng);
+      eligible_.size(), clients_per_round_, context.stream());
   fl::Selection selection;
   selection.clients.reserve(picks.size());
   for (std::size_t p : picks) selection.clients.push_back(eligible_[p]);

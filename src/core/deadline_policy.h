@@ -4,7 +4,8 @@
 // and samples the round's participants uniformly from that set.  Filters
 // stragglers like TiFL's fast tiers do, but with a hard cutoff that
 // permanently excludes slow clients' data instead of scheduling them
-// deliberately.
+// deliberately.  Sync only: a round deadline is meaningless when every
+// tier proceeds at its own pace (the default supports() already says so).
 #pragma once
 
 #include <string>
@@ -22,7 +23,8 @@ class DeadlinePolicy final : public fl::SelectionPolicy {
   DeadlinePolicy(const ProfileResult& profile, double deadline_seconds,
                  std::size_t clients_per_round);
 
-  fl::Selection select(std::size_t round, util::Rng& rng) override;
+  using fl::SelectionPolicy::select;
+  fl::Selection select(const fl::SelectionContext& context) override;
   std::string name() const override { return "deadline"; }
 
   const std::vector<std::size_t>& eligible_clients() const {

@@ -1,0 +1,120 @@
+#include "core/policy_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/adaptive_policy.h"
+#include "core/deadline_policy.h"
+#include "core/static_policy.h"
+#include "core/tiering.h"
+#include "fl/policy_registry.h"
+
+namespace tifl::core {
+
+namespace {
+
+TierInfo tiers_from(const fl::PolicyContext& context) {
+  if (context.tier_members.empty()) {
+    throw std::invalid_argument(
+        "policy context has no tier structure (tiered policies need a "
+        "profiled TiflSystem)");
+  }
+  TierInfo tiers;
+  tiers.members = context.tier_members;
+  tiers.avg_latency = context.tier_avg_latency;
+  return tiers;
+}
+
+std::unique_ptr<fl::SelectionPolicy> make_adaptive(
+    const fl::PolicyContext& context) {
+  AdaptiveConfig adaptive;
+  adaptive.clients_per_round = context.clients_per_round;
+  // The bench harness's historical scaling: re-examine probabilities
+  // roughly 25 times over the run, never more often than every 2 rounds.
+  adaptive.interval =
+      std::max<std::size_t>(2, context.total_rounds / 25);
+  return std::make_unique<AdaptiveTierPolicy>(tiers_from(context), adaptive,
+                                              context.total_rounds);
+}
+
+std::unique_ptr<fl::SelectionPolicy> make_table1(
+    const fl::PolicyContext& context, const std::string& name) {
+  const TierInfo tiers = tiers_from(context);
+  return std::make_unique<StaticTierPolicy>(
+      tiers, table1_probs(name, tiers.tier_count()),
+      context.clients_per_round, name);
+}
+
+std::unique_ptr<fl::SelectionPolicy> make_deadline(
+    const fl::PolicyContext& context) {
+  // FedCS-style filtering at the median tier's average latency — slower
+  // clients never participate (the bench harness's historical choice).
+  if (context.tier_avg_latency.empty() ||
+      context.client_mean_latency.empty()) {
+    throw std::invalid_argument(
+        "policy context has no profiling data (deadline needs a profiled "
+        "TiflSystem)");
+  }
+  ProfileResult profile;
+  profile.mean_latency = context.client_mean_latency;
+  profile.dropout = context.client_dropout.empty()
+                        ? std::vector<bool>(context.client_mean_latency.size(),
+                                            false)
+                        : context.client_dropout;
+  const double deadline =
+      context.tier_avg_latency[context.tier_avg_latency.size() / 2];
+  return std::make_unique<DeadlinePolicy>(profile, deadline,
+                                          context.clients_per_round);
+}
+
+}  // namespace
+
+void register_builtin_policies() {
+  static const bool registered = [] {
+    fl::PolicyRegistry& registry = fl::PolicyRegistry::instance();
+    registry.add("adaptive",
+                 {.factory = make_adaptive,
+                  .summary = "TiFL Alg. 2: accuracy-driven tier "
+                             "probabilities + credits",
+                  .sync = true,
+                  .async = true});
+    registry.add("TiFL",
+                 {.factory = make_adaptive,
+                  .summary = "alias of 'adaptive'",
+                  .sync = true,
+                  .async = true});
+    registry.add("deadline",
+                 {.factory = make_deadline,
+                  .summary = "FedCS baseline: only clients under the median "
+                             "tier latency",
+                  .sync = true,
+                  .async = false});
+    struct Preset {
+      const char* name;
+      const char* summary;
+    };
+    for (const Preset& preset : {
+             Preset{"slow", "Table 1: always the slowest tier"},
+             Preset{"uniform", "Table 1: every tier equally likely"},
+             Preset{"random", "Table 1: 0.7/0.1/0.1/0.05/0.05 (5 tiers)"},
+             Preset{"fast", "Table 1: always the fastest tier"},
+             Preset{"fast1", "Table 1: slowest tier at p=0.1"},
+             Preset{"fast2", "Table 1: slowest tier at p=0.05"},
+             Preset{"fast3", "Table 1: slowest tier excluded"},
+         }) {
+      const std::string name = preset.name;
+      registry.add(name,
+                   {.factory =
+                        [name](const fl::PolicyContext& context) {
+                          return make_table1(context, name);
+                        },
+                    .summary = preset.summary,
+                    .sync = true,
+                    .async = true});
+    }
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace tifl::core

@@ -1,0 +1,12 @@
+// Registration of the TiFL core policies (adaptive, Table 1 static
+// presets, deadline) into fl::PolicyRegistry.  Idempotent — call it from
+// any entry point that resolves policies by name before a TiflSystem
+// exists (tifl_run's --help, for instance); TiflSystem's constructors
+// call it themselves.
+#pragma once
+
+namespace tifl::core {
+
+void register_builtin_policies();
+
+}  // namespace tifl::core

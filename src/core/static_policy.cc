@@ -1,5 +1,6 @@
 #include "core/static_policy.h"
 
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -35,13 +36,36 @@ StaticTierPolicy::StaticTierPolicy(const TierInfo& tiers,
   probs_ = util::normalized(std::move(probs_));
 }
 
-fl::Selection StaticTierPolicy::select(std::size_t round, util::Rng& rng) {
-  (void)round;
-  const std::size_t tier = rng.weighted_index(probs_);
+fl::Selection StaticTierPolicy::select(const fl::SelectionContext& context) {
+  if (context.tier >= 0) {
+    // Async per-tier cadence: scale the dispatching tier's sample count
+    // by its probability share (uniform probabilities -> the engine's
+    // default |C|); zero-probability tiers park.
+    const std::size_t tier = static_cast<std::size_t>(context.tier);
+    if (tier >= probs_.size()) {
+      throw std::invalid_argument("StaticTierPolicy: tier out of range");
+    }
+    const double share = probs_[tier] * static_cast<double>(probs_.size()) *
+                         static_cast<double>(clients_per_round_);
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(std::llround(share)),
+                 context.candidates.size());
+    fl::Selection selection;
+    selection.tier = context.tier;
+    if (count == 0) return selection;
+    selection.clients.reserve(count);
+    for (std::size_t p : fl::sample_without_replacement(
+             context.candidates.size(), count, context.stream())) {
+      selection.clients.push_back(context.candidates[p]);
+    }
+    return selection;
+  }
+
+  const std::size_t tier = context.stream().weighted_index(probs_);
   const std::vector<std::size_t>& pool = members_[tier];
 
-  const std::vector<std::size_t> picks =
-      fl::sample_without_replacement(pool.size(), clients_per_round_, rng);
+  const std::vector<std::size_t> picks = fl::sample_without_replacement(
+      pool.size(), clients_per_round_, context.stream());
   fl::Selection selection;
   selection.tier = static_cast<int>(tier);
   selection.clients.reserve(picks.size());
@@ -76,8 +100,9 @@ std::vector<double> table1_probs(const std::string& name,
     std::fill(probs.begin(), probs.end() - 1, rest);
     probs.back() = slow_prob;
   } else {
-    throw std::invalid_argument("table1_probs: unknown policy '" + name +
-                                "'");
+    throw std::invalid_argument(
+        "table1_probs: unknown policy '" + name +
+        "' (valid: slow, uniform, random, fast, fast1, fast2, fast3)");
   }
   return probs;
 }

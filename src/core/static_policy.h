@@ -3,6 +3,12 @@
 // within that tier.  Table 1 of the paper defines the named policy
 // presets ("slow", "uniform", "random", "fast", "fast1".."fast3"),
 // reproduced by `table1_probs`.
+//
+// On the async engine (context.tier >= 0) the probabilities bias per-tier
+// participation instead of a per-round tier draw: tier t samples
+// round(p_t * T * |C|) members each tier round, so "uniform" reproduces
+// the engine's default |C| everywhere while "fast"/"slow" concentrate all
+// work in one tier and park the rest.
 #pragma once
 
 #include <string>
@@ -22,8 +28,13 @@ class StaticTierPolicy final : public fl::SelectionPolicy {
   StaticTierPolicy(const TierInfo& tiers, std::vector<double> tier_probs,
                    std::size_t clients_per_round, std::string policy_name);
 
-  fl::Selection select(std::size_t round, util::Rng& rng) override;
+  using fl::SelectionPolicy::select;
+  fl::Selection select(const fl::SelectionContext& context) override;
   std::string name() const override { return name_; }
+  bool supports(fl::EngineKind kind) const override {
+    (void)kind;
+    return true;
+  }
 
   const std::vector<double>& tier_probs() const { return probs_; }
 
@@ -36,7 +47,8 @@ class StaticTierPolicy final : public fl::SelectionPolicy {
 
 // Table 1 presets.  `name` in {"slow", "uniform", "random", "fast",
 // "fast1", "fast2", "fast3"}; probabilities are returned fastest-tier
-// first, matching TierInfo ordering.  Throws on unknown names.
+// first, matching TierInfo ordering.  Throws on unknown names, listing
+// the valid presets.
 std::vector<double> table1_probs(const std::string& name,
                                  std::size_t num_tiers = 5);
 

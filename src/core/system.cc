@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/policy_registry.h"
 #include "core/retier.h"
 
 namespace tifl::core {
@@ -35,6 +36,7 @@ TiflSystem::TiflSystem(SystemConfig config, nn::ModelFactory factory,
   if (test == nullptr) {
     throw std::invalid_argument("TiflSystem: null test dataset");
   }
+  register_builtin_policies();
 
   // Engine first (it takes ownership of the clients), then the wrapper
   // pool over its stable storage; profiling + tiering run off the pool.
@@ -57,6 +59,7 @@ TiflSystem::TiflSystem(SystemConfig config, nn::ModelFactory factory,
   if (test == nullptr) {
     throw std::invalid_argument("TiflSystem: null test dataset");
   }
+  register_builtin_policies();
   pool_.emplace(std::move(pool));
   profile_and_tier();
 }
@@ -78,6 +81,24 @@ fl::Engine& TiflSystem::engine() {
         "client pool; use run_async");
   }
   return *engine_;
+}
+
+fl::PolicyContext TiflSystem::policy_context() const {
+  fl::PolicyContext context;
+  context.num_clients = pool_->size();
+  context.clients_per_round = config_.clients_per_round;
+  context.clients_per_tier_round = config_.async.clients_per_tier_round;
+  context.total_rounds = config_.engine.rounds;
+  context.tier_members = tiers_.members;
+  context.tier_avg_latency = tiers_.avg_latency;
+  context.client_mean_latency = profile_.mean_latency;
+  context.client_dropout = profile_.dropout;
+  return context;
+}
+
+std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_policy(
+    const std::string& name) const {
+  return fl::make_policy(name, policy_context());
 }
 
 std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_vanilla() const {
@@ -111,7 +132,8 @@ fl::RunResult TiflSystem::run(fl::SelectionPolicy& policy,
 
 fl::AsyncRunResult TiflSystem::run_async(
     std::optional<fl::AsyncConfig> async,
-    std::optional<std::uint64_t> seed_override) {
+    std::optional<std::uint64_t> seed_override,
+    fl::SelectionPolicy* policy) {
   bool any_members = false;
   for (const std::vector<std::size_t>& members : tiers_.members) {
     any_members = any_members || !members.empty();
@@ -133,6 +155,18 @@ fl::AsyncRunResult TiflSystem::run_async(
   }
   fl::AsyncEngine engine(config_.engine, resolved, factory_, &*pool_,
                          tiers_.members, test_, latency_model_);
+  if (policy != nullptr) {
+    engine.set_policy(policy);
+    // Feed Alg. 2-style policies their per-tier accuracies (TestData_t) —
+    // but only when the policy consumes them: the sets cost tier_count
+    // extra evaluations per evaluated version.  A virtualized pool has no
+    // matched test shards to materialize; the policy then sees empty
+    // tier_accuracies and carries zeros forward.
+    if (engine_ != nullptr && policy->needs_tier_feedback()) {
+      engine.set_tier_eval_sets(
+          build_tier_eval_sets(tiers_, engine_->clients(), *test_));
+    }
+  }
 
   if (!engine.dynamic()) return engine.run(seed_override);
 

@@ -27,6 +27,7 @@
 #include "fl/async_engine.h"
 #include "fl/client_pool.h"
 #include "fl/engine.h"
+#include "fl/policy_registry.h"
 
 namespace tifl::core {
 
@@ -67,6 +68,21 @@ class TiflSystem {
   bool virtualized() const { return engine_ == nullptr; }
 
   // --- policy factories bound to this system's tiers ----------------------
+  // The registry is the canonical way to resolve a policy by name
+  // ("adaptive", "vanilla", every Table 1 preset, "deadline", …): it
+  // builds the policy against this system's population, tiering and
+  // profiling snapshot, and unknown names throw listing the valid
+  // options.  See fl/policy_registry.h; custom policies registered there
+  // resolve here too.
+  std::unique_ptr<fl::SelectionPolicy> make_policy(
+      const std::string& name) const;
+  // The snapshot make_policy hands to registry factories — exposed so
+  // callers can resolve names through fl::make_policy directly.
+  fl::PolicyContext policy_context() const;
+
+  // Typed factories for programmatic construction (custom probability
+  // vectors, custom AdaptiveConfig).  For by-name lookup prefer
+  // make_policy; these remain for configs the registry cannot express.
   std::unique_ptr<fl::SelectionPolicy> make_vanilla() const;
   // `table1_name` in {"slow","uniform","random","fast","fast1".."fast3"}.
   std::unique_ptr<fl::SelectionPolicy> make_static(
@@ -85,8 +101,11 @@ class TiflSystem {
   // `async` overrides config().async; zero-valued total_updates /
   // clients_per_tier_round / time_budget_seconds inherit engine.rounds /
   // clients_per_round / engine.time_budget_seconds.
-  // No selection policy is involved — tiers sample their own members
-  // uniformly, which is what makes tier cadences independent.
+  // `policy` (non-owning, optional) drives per-tier member selection: the
+  // engine asks it for every tier round's sample, so Alg. 2 runs on the
+  // async path (`make_policy("adaptive")`), fed by per-tier accuracies
+  // from the materialized tier evaluation sets.  Null keeps the default
+  // uniform self-sampling, bit-identical to the policy-free engine.
   //
   // Dynamic client lifecycle: when async.churn has a positive rate or
   // async.reprofile_every > 0, the run handles joins, leaves and
@@ -99,7 +118,8 @@ class TiflSystem {
   // bit.
   fl::AsyncRunResult run_async(
       std::optional<fl::AsyncConfig> async = {},
-      std::optional<std::uint64_t> seed_override = {});
+      std::optional<std::uint64_t> seed_override = {},
+      fl::SelectionPolicy* policy = nullptr);
 
   // Eq. 6 estimate for a Table 1 policy under this system's tiering.
   double estimate_time(const std::string& table1_name) const;

@@ -19,8 +19,10 @@ StalenessFn parse_staleness(const std::string& name) {
   if (name == "invfreq" || name == "inverse-frequency" || name == "fedat") {
     return StalenessFn::kInverseFrequency;
   }
-  throw std::invalid_argument("unknown staleness function '" + name +
-                              "' (constant | poly | invfreq)");
+  throw std::invalid_argument(
+      "unknown staleness function '" + name +
+      "' (valid: constant, poly | polynomial, invfreq | inverse-frequency | "
+      "fedat)");
 }
 
 std::string staleness_name(StalenessFn fn) {
@@ -246,6 +248,34 @@ void AsyncEngine::set_lifecycle_hooks(LifecycleHooks hooks) {
   hooks_ = std::move(hooks);
 }
 
+void AsyncEngine::set_policy(SelectionPolicy* policy) {
+  if (policy != nullptr && !policy->supports(EngineKind::kAsync)) {
+    throw std::invalid_argument(
+        "AsyncEngine: policy '" + policy->name() +
+        "' does not support the async engine");
+  }
+  policy_ = policy;
+}
+
+void AsyncEngine::set_tier_eval_sets(std::vector<data::Dataset> sets) {
+  if (!sets.empty() && sets.size() != tier_members_.size()) {
+    throw std::invalid_argument(
+        "AsyncEngine: tier eval set count does not match tier count");
+  }
+  tier_eval_sets_ = std::move(sets);
+}
+
+std::vector<double> AsyncEngine::evaluate_tiers(
+    std::span<const float> weights) {
+  std::vector<double> accuracies;
+  accuracies.reserve(tier_eval_sets_.size());
+  for (const data::Dataset& set : tier_eval_sets_) {
+    accuracies.push_back(set.size() > 0 ? evaluate(weights, set).accuracy
+                                        : 0.0);
+  }
+  return accuracies;
+}
+
 nn::LossResult AsyncEngine::evaluate(std::span<const float> weights,
                                      const data::Dataset& dataset) {
   return evaluate_weights(scratch_model(0), weights, dataset,
@@ -254,12 +284,19 @@ nn::LossResult AsyncEngine::evaluate(std::span<const float> weights,
 
 AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
   const std::uint64_t seed = seed_override.value_or(config_.seed);
+  // Default policy: uniform self-sampling — an explicit instance of the
+  // same class a caller could install, so "no policy" and "uniform
+  // policy" are one code path (a determinism ctest asserts the replay of
+  // the pre-seam engine is bit-for-bit).
+  UniformTierPolicy uniform(async_.clients_per_tier_round);
+  SelectionPolicy& policy = policy_ != nullptr ? *policy_ : uniform;
   // The static path below is kept byte-for-byte: a configuration with no
   // churn and reprofile_every == 0 must replay PR 1's engine exactly.
-  return dynamic() ? run_dynamic(seed) : run_static(seed);
+  return dynamic() ? run_dynamic(seed, policy) : run_static(seed, policy);
 }
 
-AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
+AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
+                                       SelectionPolicy& policy) {
   const std::size_t num_tiers = tier_members_.size();
 
   TierRngs rngs = make_tier_rngs(seed, num_tiers);
@@ -278,7 +315,10 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
 
   sim::EventQueue queue;
   AsyncRunResult out;
-  out.result.policy_name = "async/" + staleness_name(async_.staleness);
+  out.result.policy_name =
+      policy_ != nullptr
+          ? "async/" + policy.name() + "/" + staleness_name(async_.staleness)
+          : "async/" + staleness_name(async_.staleness);
   out.result.rounds.reserve(async_.total_updates);
   std::vector<double> current_weights;
   std::vector<std::size_t> model_age;     // reused per aggregation
@@ -286,20 +326,50 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
 
   std::size_t dispatch_seq = 0;   // event-order dispatch counter
   std::size_t scheduled = 0;      // dispatched tier rounds (in flight + done)
+  // Tiers whose last selection came back empty (cadence parked by the
+  // policy); retried once per *later* recorded version — `parked_at`
+  // keeps a just-parked tier from being re-asked at the same version.
+  // The default uniform policy never parks, keeping this path cold on
+  // pre-seam replays.
+  std::vector<char> parked(num_tiers, 0);
+  std::vector<std::size_t> parked_at(num_tiers, 0);
+  std::vector<std::size_t> staleness_scratch(num_tiers, 0);
 
   const auto dispatch = [&](std::size_t tier) {
+    parked[tier] = 0;
     const std::vector<std::size_t>& members = tier_members_[tier];
-    const std::size_t count =
-        std::min(async_.clients_per_tier_round, members.size());
+
+    const std::size_t version = out.result.rounds.size();
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      staleness_scratch[t] =
+          tier_updates[t] > 0 ? version - last_submit_version[t] : 0;
+    }
+    SelectionContext context;
+    context.round = version;
+    context.virtual_time = queue.now();
+    context.tier = static_cast<int>(tier);
+    context.candidates = members;
+    context.tiers = TierView{.members = tier_members_,
+                             .update_counts = tier_updates,
+                             .staleness = staleness_scratch};
+    context.rng = &rngs.selection[tier];
+    Selection selection = policy.select(context);
+    if (selection.clients.empty()) {
+      parked[tier] = 1;
+      parked_at[tier] = version;
+      return;
+    }
+    for (std::size_t id : selection.clients) {
+      if (id >= clients_->size()) {
+        throw std::logic_error(
+            "AsyncEngine: policy selected a client outside the population");
+      }
+    }
+    const std::size_t count = selection.clients.size();
 
     PendingRound& round = pending[tier];
-    round.selected.clear();
-    for (std::size_t local :
-         sample_without_replacement(members.size(), count,
-                                    rngs.selection[tier])) {
-      round.selected.push_back(members[local]);
-    }
-    round.dispatch_version = out.result.rounds.size();
+    round.selected = std::move(selection.clients);
+    round.dispatch_version = version;
 
     LocalTrainParams params = config_.local;
     params.lr = tier_lr[tier];
@@ -408,6 +478,17 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
         record.global_accuracy = out.result.rounds.back().global_accuracy;
         record.global_loss = out.result.rounds.back().global_loss;
       }
+
+      RoundFeedback feedback;
+      feedback.round = version;
+      feedback.virtual_time = queue.now();
+      feedback.global_accuracy = record.global_accuracy;
+      feedback.global_loss = record.global_loss;
+      feedback.submitting_tier = static_cast<int>(tier);
+      feedback.staleness = version - round.dispatch_version;
+      if (last_evaluated) feedback.tier_accuracies = evaluate_tiers(global);
+      policy.observe(feedback);
+
       out.result.rounds.push_back(std::move(record));
 
       if (version % 50 == 0) {
@@ -426,6 +507,14 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
       // Total dispatches are capped at total_updates, so draining the queue
       // records exactly that many versions (fewer on a time-budget break).
       if (scheduled < async_.total_updates) dispatch(tier);
+      // Policy-parked tiers get another chance at the new global version
+      // (skipping any tier parked at this very version just above).
+      for (std::size_t t = 0; t < num_tiers; ++t) {
+        if (parked[t] && parked_at[t] < out.result.rounds.size() &&
+            scheduled < async_.total_updates) {
+          dispatch(t);
+        }
+      }
     }
   }
 
@@ -455,7 +544,8 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed) {
 // changed mid-flight lands late and is discounted by its own age, while
 // its on-time cohort already moved the model.  A tier re-dispatches when
 // every awaited member has arrived or left.
-AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
+AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
+                                        SelectionPolicy& policy) {
   const std::size_t num_tiers = tier_members_.size();
   const std::size_t num_clients = clients_->size();
   if (async_.reprofile_every > 0.0 && !hooks_.retier) {
@@ -533,7 +623,10 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
 
   sim::EventQueue queue;
   AsyncRunResult out;
-  out.result.policy_name = "async-dyn/" + staleness_name(async_.staleness);
+  out.result.policy_name =
+      policy_ != nullptr ? "async-dyn/" + policy.name() + "/" +
+                               staleness_name(async_.staleness)
+                         : "async-dyn/" + staleness_name(async_.staleness);
   out.result.rounds.reserve(async_.total_updates);
   std::vector<double> current_weights;
   std::vector<std::size_t> model_age;     // reused per aggregation
@@ -568,9 +661,18 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
     return best;
   };
 
+  // Tiers whose last selection came back empty (cadence parked by the
+  // policy); retried once per *later* recorded version (`parked_at`
+  // prevents a same-version re-ask).  The default uniform policy never
+  // parks, so pre-seam replays never take the retry path.
+  std::vector<char> parked(num_tiers, 0);
+  std::vector<std::size_t> parked_at(num_tiers, 0);
+  std::vector<std::size_t> staleness_scratch(num_tiers, 0);
+
   const auto dispatch = [&](std::size_t tier) {
     DynRound& round = rounds[tier];
     round.active = false;
+    parked[tier] = 0;
     if (out.result.rounds.size() >= async_.total_updates) return;
     // A client already training for another tier (possible right after a
     // re-tiering migration) cannot take a second task.
@@ -579,13 +681,35 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
       if (!in_flight[id]) eligible.push_back(id);
     }
     if (eligible.empty()) return;
-    const std::size_t count =
-        std::min(async_.clients_per_tier_round, eligible.size());
-    std::vector<std::size_t> selected;
-    for (std::size_t local : sample_without_replacement(
-             eligible.size(), count, rngs.selection[tier])) {
-      selected.push_back(eligible[local]);
+
+    const std::size_t version = out.result.rounds.size();
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      staleness_scratch[t] =
+          tier_updates[t] > 0 ? version - last_submit_version[t] : 0;
     }
+    SelectionContext context;
+    context.round = version;
+    context.virtual_time = queue.now();
+    context.tier = static_cast<int>(tier);
+    context.candidates = eligible;
+    context.tiers = TierView{.members = tiers,
+                             .update_counts = tier_updates,
+                             .staleness = staleness_scratch};
+    context.rng = &rngs.selection[tier];
+    Selection selection = policy.select(context);
+    if (selection.clients.empty()) {
+      parked[tier] = 1;
+      parked_at[tier] = version;
+      return;
+    }
+    for (std::size_t id : selection.clients) {
+      if (id >= num_clients || !live[id] || in_flight[id]) {
+        throw std::logic_error(
+            "AsyncEngine: policy selected a dead or busy client");
+      }
+    }
+    const std::size_t count = selection.clients.size();
+    std::vector<std::size_t> selected = std::move(selection.clients);
 
     LocalTrainParams params = config_.local;
     params.lr = tier_lr[tier];
@@ -773,6 +897,17 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
             record.global_accuracy = out.result.rounds.back().global_accuracy;
             record.global_loss = out.result.rounds.back().global_loss;
           }
+
+          RoundFeedback feedback;
+          feedback.round = version;
+          feedback.virtual_time = queue.now();
+          feedback.global_accuracy = record.global_accuracy;
+          feedback.global_loss = record.global_loss;
+          feedback.submitting_tier = static_cast<int>(tier);
+          feedback.staleness = age;
+          if (last_evaluated) feedback.tier_accuracies = evaluate_tiers(global);
+          policy.observe(feedback);
+
           out.result.rounds.push_back(std::move(record));
 
           if (version + 1 >= async_.total_updates) {
@@ -793,6 +928,14 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
           if (tier_of[c] != kNoTier && !rounds[tier_of[c]].active) {
             dispatch(tier_of[c]);
           }
+          // Policy-parked tiers get another chance at the new version
+          // (skipping any tier parked at this very version just above).
+          for (std::size_t t = 0; t < num_tiers; ++t) {
+            if (parked[t] && parked_at[t] < out.result.rounds.size() &&
+                !rounds[t].active) {
+              dispatch(t);
+            }
+          }
           break;
         }
 
@@ -811,6 +954,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
             tier_of[c] = kNoTier;
           }
           if (hooks_.left) hooks_.left(c);
+          policy.on_leave(c);
           if (in_flight[c]) {
             // Mid-round departure: its pending update is lost; the cohort
             // no longer waits for it.
@@ -843,6 +987,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
           }
           sorted_insert(tiers[tier], c);
           tier_of[c] = tier;
+          policy.on_join(c, tier);
           if (!rounds[tier].active) dispatch(tier);
           break;
         }
@@ -909,6 +1054,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed) {
           for (std::size_t t = 0; t < num_tiers; ++t) {
             for (std::size_t id : tiers[t]) tier_of[id] = t;
           }
+          policy.on_retier(tiers);
           // Pending cohorts keep running under their dispatching tier; the
           // migrated membership only shapes future sampling.  Tiers that
           // gained their first members start their cadence now.

@@ -4,7 +4,8 @@
 // client each round, here each *tier* trains and submits updates at its
 // own cadence on a shared discrete-event timeline (sim::EventQueue):
 //
-//   per tier round: sample |C| clients from the tier -> train them from a
+//   per tier round: the selection policy samples the tier's members
+//   (default: |C| uniform; see set_policy) -> train them from a
 //   snapshot of the current global model -> the tier's completion event
 //   fires after the slowest member's simulated latency -> FedAvg the tier
 //   update into the tier's model -> recompute the global model as a
@@ -40,6 +41,7 @@
 #include "fl/client_pool.h"
 #include "fl/engine.h"
 #include "fl/metrics.h"
+#include "fl/policy.h"
 #include "nn/sequential.h"
 #include "sim/churn_model.h"
 #include "sim/event_queue.h"
@@ -177,6 +179,21 @@ class AsyncEngine {
 
   AsyncRunResult run(std::optional<std::uint64_t> seed_override = {});
 
+  // --- selection-policy seam -------------------------------------------------
+  // Installs the policy that picks each tier round's member sample (and
+  // may bias tier cadence through the returned count; an empty selection
+  // parks the tier until the next global version).  Non-owning; nullptr
+  // restores the default `UniformTierPolicy`, which replays the engine's
+  // historical uniform self-sampling bit for bit.  Throws when the policy
+  // does not support the async engine.
+  void set_policy(SelectionPolicy* policy);
+  // Per-tier held-out evaluation sets (Alg. 2's TestData_t).  When set,
+  // RoundFeedback::tier_accuracies is filled on every evaluated global
+  // version, which is what feeds adaptive selection on the async path.
+  // Evaluation never touches the run's RNG streams, so installing sets
+  // does not perturb training results.
+  void set_tier_eval_sets(std::vector<data::Dataset> sets);
+
   nn::LossResult evaluate(std::span<const float> weights,
                           const data::Dataset& dataset);
 
@@ -203,8 +220,10 @@ class AsyncEngine {
   util::ThreadPool& pool();
   void validate() const;
 
-  AsyncRunResult run_static(std::uint64_t seed);
-  AsyncRunResult run_dynamic(std::uint64_t seed);
+  AsyncRunResult run_static(std::uint64_t seed, SelectionPolicy& policy);
+  AsyncRunResult run_dynamic(std::uint64_t seed, SelectionPolicy& policy);
+  // Tier accuracies for the policy's feedback (empty without eval sets).
+  std::vector<double> evaluate_tiers(std::span<const float> weights);
 
   EngineConfig config_;
   AsyncConfig async_;
@@ -215,6 +234,8 @@ class AsyncEngine {
   const data::Dataset* test_;
   sim::LatencyModel latency_model_;
   LifecycleHooks hooks_;
+  SelectionPolicy* policy_ = nullptr;  // non-owning; null = uniform default
+  std::vector<data::Dataset> tier_eval_sets_;
   util::ThreadPool* pool_ = nullptr;
   std::vector<nn::Sequential> scratch_;  // slot 0 = eval, 1.. = training
 };

@@ -53,6 +53,11 @@ double Engine::expected_client_latency(std::size_t client_id) const {
 
 RunResult Engine::run(SelectionPolicy& policy,
                       std::optional<std::uint64_t> seed_override) {
+  if (!policy.supports(EngineKind::kSync)) {
+    throw std::invalid_argument(
+        "Engine: policy '" + policy.name() +
+        "' does not support the synchronous engine");
+  }
   const std::uint64_t seed = seed_override.value_or(config_.seed);
   util::Rng root(seed);
   util::Rng policy_rng = root.fork(0xF01);
@@ -69,7 +74,9 @@ RunResult Engine::run(SelectionPolicy& policy,
   HierarchicalAggregator hierarchical(config_.aggregator_fanout);
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
-    Selection selection = policy.select(round, policy_rng);
+    SelectionContext context = SelectionContext::untiered(round, policy_rng);
+    context.virtual_time = clock.now();
+    Selection selection = policy.select(context);
     if (selection.clients.empty()) {
       throw std::logic_error("Engine: policy selected no clients");
     }
@@ -166,6 +173,8 @@ RunResult Engine::run(SelectionPolicy& policy,
 
     RoundFeedback feedback;
     feedback.round = round;
+    feedback.virtual_time = clock.now();
+    feedback.submitting_tier = selection.tier;
     const bool eval_now =
         round % config_.eval_every == 0 || round + 1 == config_.rounds;
     if (eval_now) {

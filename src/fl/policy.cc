@@ -6,6 +6,10 @@
 
 namespace tifl::fl {
 
+std::string engine_kind_name(EngineKind kind) {
+  return kind == EngineKind::kSync ? "sync" : "async";
+}
+
 std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                     std::size_t count,
                                                     util::Rng& rng) {
@@ -32,11 +36,10 @@ VanillaPolicy::VanillaPolicy(std::size_t num_clients,
   }
 }
 
-Selection VanillaPolicy::select(std::size_t round, util::Rng& rng) {
-  (void)round;
+Selection VanillaPolicy::select(const SelectionContext& context) {
   return Selection{
       .clients = sample_without_replacement(num_clients_, clients_per_round_,
-                                            rng),
+                                            context.stream()),
       .tier = -1,
       .aggregate_count = 0,
   };
@@ -48,6 +51,8 @@ OverProvisionPolicy::OverProvisionPolicy(std::size_t num_clients,
   if (target == 0 || factor < 1.0) {
     throw std::invalid_argument("OverProvisionPolicy: bad target/factor");
   }
+  // ceil(factor * target) can exceed the population; clamp so the policy
+  // degrades to "select everyone, aggregate the `target` fastest".
   selected_per_round_ = std::min(
       num_clients,
       static_cast<std::size_t>(
@@ -58,14 +63,43 @@ OverProvisionPolicy::OverProvisionPolicy(std::size_t num_clients,
   }
 }
 
-Selection OverProvisionPolicy::select(std::size_t round, util::Rng& rng) {
-  (void)round;
+Selection OverProvisionPolicy::select(const SelectionContext& context) {
   return Selection{
       .clients = sample_without_replacement(num_clients_,
-                                            selected_per_round_, rng),
+                                            selected_per_round_,
+                                            context.stream()),
       .tier = -1,
       .aggregate_count = target_,
   };
+}
+
+UniformTierPolicy::UniformTierPolicy(std::size_t clients_per_tier_round)
+    : clients_per_tier_round_(clients_per_tier_round) {
+  if (clients_per_tier_round == 0) {
+    throw std::invalid_argument(
+        "UniformTierPolicy: clients_per_tier_round must be > 0");
+  }
+}
+
+Selection UniformTierPolicy::select(const SelectionContext& context) {
+  if (context.tier < 0) {
+    throw std::logic_error(
+        "UniformTierPolicy: async-only policy asked for an untiered "
+        "selection (use it with the async engine)");
+  }
+  // Bit-for-bit the pre-seam uniform self-sampling: one
+  // sample_without_replacement call over the candidate count on the
+  // tier's selection stream.
+  const std::size_t count =
+      std::min(clients_per_tier_round_, context.candidates.size());
+  Selection selection;
+  selection.tier = context.tier;
+  selection.clients.reserve(count);
+  for (std::size_t local : sample_without_replacement(
+           context.candidates.size(), count, context.stream())) {
+    selection.clients.push_back(context.candidates[local]);
+  }
+  return selection;
 }
 
 }  // namespace tifl::fl

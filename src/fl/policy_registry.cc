@@ -1,0 +1,107 @@
+#include "fl/policy_registry.h"
+
+#include <stdexcept>
+
+namespace tifl::fl {
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+PolicyRegistry::PolicyRegistry() {
+  add("vanilla",
+      {.factory =
+           [](const PolicyContext& context) {
+             return std::make_unique<VanillaPolicy>(
+                 context.num_clients, context.clients_per_round);
+           },
+       .summary = "conventional FL: |C| clients uniform over the pool",
+       .sync = true,
+       .async = false});
+  add("overprovision",
+      {.factory =
+           [](const PolicyContext& context) {
+             return std::make_unique<OverProvisionPolicy>(
+                 context.num_clients, context.clients_per_round);
+           },
+       .summary = "select 130% of target, aggregate the fastest "
+                  "[Bonawitz et al.]",
+       .sync = true,
+       .async = false});
+  add("uniform-async",
+      {.factory =
+           [](const PolicyContext& context) {
+             return std::make_unique<UniformTierPolicy>(
+                 context.tier_round_clients());
+           },
+       .summary = "async default: uniform self-sampling within the "
+                  "dispatching tier",
+       .sync = false,
+       .async = true});
+}
+
+void PolicyRegistry::add(std::string name, Entry entry) {
+  if (name.empty()) {
+    throw std::invalid_argument("PolicyRegistry: empty policy name");
+  }
+  if (!entry.factory) {
+    throw std::invalid_argument("PolicyRegistry: null factory for '" + name +
+                                "'");
+  }
+  if (!entries_.emplace(std::move(name), std::move(entry)).second) {
+    throw std::invalid_argument("PolicyRegistry: duplicate policy name");
+  }
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<std::string> PolicyRegistry::names(EngineKind kind) const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) {
+    if (kind == EngineKind::kSync ? entry.sync : entry.async) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::string join_policy_names(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const std::string& name : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
+const PolicyRegistry::Entry& PolicyRegistry::entry(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown policy '" + name + "' (valid: " +
+                                join_policy_names(names()) + ")");
+  }
+  return it->second;
+}
+
+std::unique_ptr<SelectionPolicy> PolicyRegistry::make(
+    const PolicyContext& context, const std::string& name) const {
+  return entry(name).factory(context);
+}
+
+std::unique_ptr<SelectionPolicy> make_policy(const std::string& name,
+                                             const PolicyContext& context) {
+  return PolicyRegistry::instance().make(context, name);
+}
+
+}  // namespace tifl::fl

@@ -1,0 +1,101 @@
+// String-keyed selection-policy registry.
+//
+// Every policy the runner/bench layer can name ("adaptive", "vanilla",
+// "fast1", …) is a factory registered here, keyed by name and annotated
+// with a one-line summary plus the engines it supports.  The registry
+// subsumes the old `TiflSystem::make_*` factories and the bench-local
+// name switch: `tifl_run --policy`, `run_policies` and the examples all
+// resolve names through `make_policy(name, context)`, and `--help`
+// renders its policy list from `names()` so documentation cannot drift
+// from the code.
+//
+// Factories receive a `PolicyContext` — the plain-data snapshot of a
+// system's population, tiering and profiling state a policy needs at
+// construction time (core::TiflSystem::policy_context() builds one).
+// The fl builtins (vanilla, overprovision, uniform-async) self-register;
+// core::register_builtin_policies() adds the tiered TiFL policies.
+// User policies register the same way — see examples/custom_policy.cpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/policy.h"
+
+namespace tifl::fl {
+
+// Construction-time snapshot of the federation a factory builds against.
+// Plain data only, so the registry stays below src/core in the layering.
+struct PolicyContext {
+  std::size_t num_clients = 0;
+  std::size_t clients_per_round = 5;
+  // Clients sampled per async tier round; 0 inherits clients_per_round
+  // (mirrors AsyncConfig::clients_per_tier_round resolution).
+  std::size_t clients_per_tier_round = 0;
+
+  std::size_t tier_round_clients() const {
+    return clients_per_tier_round > 0 ? clients_per_tier_round
+                                      : clients_per_round;
+  }
+  // Sync rounds / async global versions the run will produce (sizes
+  // adaptive credit schedules and ChangeProbs intervals).
+  std::size_t total_rounds = 0;
+  // Tier structure (fastest tier first); empty when untiered.
+  std::vector<std::vector<std::size_t>> tier_members;
+  std::vector<double> tier_avg_latency;
+  // Profiling outputs (deadline-style policies); empty when unavailable.
+  std::vector<double> client_mean_latency;
+  std::vector<bool> client_dropout;
+};
+
+class PolicyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<SelectionPolicy>(const PolicyContext&)>;
+
+  struct Entry {
+    Factory factory;
+    std::string summary;  // one-line --help text
+    bool sync = true;     // engines the produced policy supports (must
+    bool async = false;   // match SelectionPolicy::supports; test-pinned)
+  };
+
+  // Process-wide instance, pre-loaded with the fl builtins.
+  static PolicyRegistry& instance();
+
+  // Registers a factory under `name`; throws std::invalid_argument on a
+  // duplicate name.
+  void add(std::string name, Entry entry);
+
+  bool contains(const std::string& name) const;
+
+  // All registered names, sorted; the EngineKind overload keeps only
+  // policies that support that engine.
+  std::vector<std::string> names() const;
+  std::vector<std::string> names(EngineKind kind) const;
+
+  // Lookup; unknown names throw std::invalid_argument listing every
+  // valid option.
+  const Entry& entry(const std::string& name) const;
+  std::unique_ptr<SelectionPolicy> make(const PolicyContext& context,
+                                        const std::string& name) const;
+
+ private:
+  PolicyRegistry();
+
+  std::map<std::string, Entry> entries_;
+};
+
+// Sugar for PolicyRegistry::instance().make(context, name).
+std::unique_ptr<SelectionPolicy> make_policy(const std::string& name,
+                                             const PolicyContext& context);
+
+// "a, b, c" — the formatting shared by the registry's unknown-name error
+// and the engines'/runner's capability errors and help text.
+std::string join_policy_names(const std::vector<std::string>& names);
+
+}  // namespace tifl::fl

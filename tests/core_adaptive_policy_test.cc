@@ -229,5 +229,117 @@ TEST(Adaptive, FeedbackArityMismatchThrows) {
   EXPECT_THROW(policy.observe(feedback({0.5, 0.5})), std::invalid_argument);
 }
 
+// --- async (per-tier cadence) mode -------------------------------------------
+
+fl::SelectionContext tier_context(std::size_t tier,
+                                  std::span<const std::size_t> candidates,
+                                  util::Rng& rng, std::size_t version = 0) {
+  fl::SelectionContext context;
+  context.round = version;
+  context.tier = static_cast<int>(tier);
+  context.candidates = candidates;
+  context.rng = &rng;
+  return context;
+}
+
+TEST(AdaptiveAsync, UniformProbabilitiesReproduceDefaultShare) {
+  // p_t = 1/T makes round(p_t * T * |C|) == |C| — the engine's default.
+  AdaptiveTierPolicy policy(synthetic_tiers(), AdaptiveConfig{}, 100);
+  const TierInfo tiers = synthetic_tiers();
+  util::Rng rng(20);
+  for (std::size_t t = 0; t < 5; ++t) {
+    const fl::Selection s =
+        policy.select(tier_context(t, tiers.members[t], rng));
+    EXPECT_EQ(s.tier, static_cast<int>(t));
+    EXPECT_EQ(s.clients.size(), 5u);
+    for (std::size_t c : s.clients) {
+      EXPECT_TRUE(std::find(tiers.members[t].begin(), tiers.members[t].end(),
+                            c) != tiers.members[t].end());
+    }
+  }
+}
+
+TEST(AdaptiveAsync, ChangeProbsShiftsPerTierShares) {
+  AdaptiveConfig config;
+  config.interval = 2;
+  AdaptiveTierPolicy policy(synthetic_tiers(), config, 100);
+  const TierInfo tiers = synthetic_tiers();
+  util::Rng rng(21);
+  // Tier 4 lags; stalled accuracy at version 2 triggers ChangeProbs.
+  for (std::size_t version = 0; version < 4; ++version) {
+    policy.select(tier_context(0, tiers.members[0], rng, version));
+    fl::RoundFeedback f = feedback({0.9, 0.9, 0.9, 0.9, 0.1}, version);
+    f.submitting_tier = 0;
+    policy.observe(f);
+  }
+  // The stall test runs at the next interval-aligned select (version 4):
+  // the lagging tier's share then exceeds the default |C| = 5 (capped at
+  // its live member count); a healthy tier's share rounds to zero and
+  // parks.
+  const fl::Selection lagging =
+      policy.select(tier_context(4, tiers.members[4], rng, 4));
+  ASSERT_GE(policy.change_probs_invocations(), 1u);
+  EXPECT_GT(lagging.clients.size(), 5u);
+  const fl::Selection healthy =
+      policy.select(tier_context(0, tiers.members[0], rng, 5));
+  EXPECT_TRUE(healthy.clients.empty());
+}
+
+TEST(AdaptiveAsync, ExhaustedCreditsThrottleToSingleMember) {
+  AdaptiveConfig config;
+  config.credits = {1, 100, 100, 100, 100};
+  AdaptiveTierPolicy policy(synthetic_tiers(), config, 100);
+  const TierInfo tiers = synthetic_tiers();
+  util::Rng rng(22);
+  // First tier-0 dispatch spends its only credit at the default share.
+  EXPECT_EQ(policy.select(tier_context(0, tiers.members[0], rng, 0))
+                .clients.size(),
+            5u);
+  // Out of credits: throttled to one member; credits stay at zero.
+  EXPECT_EQ(policy.select(tier_context(0, tiers.members[0], rng, 1))
+                .clients.size(),
+            1u);
+  EXPECT_DOUBLE_EQ(policy.credits()[0], 0.0);
+}
+
+TEST(AdaptiveAsync, EmptyCandidatesParkTheTier) {
+  AdaptiveTierPolicy policy(synthetic_tiers(), AdaptiveConfig{}, 100);
+  util::Rng rng(23);
+  const std::vector<std::size_t> none;
+  EXPECT_TRUE(policy.select(tier_context(2, none, rng)).clients.empty());
+}
+
+TEST(AdaptiveAsync, SyncEligibilityRestoredAfterAsyncSelects) {
+  // Eligibility mode is per call, not sticky: after serving an async
+  // dispatch, a sync select on the same instance must still refuse tiers
+  // that cannot fill |C| (sampling from one would throw).
+  TierInfo tiers = synthetic_tiers(3, 6);
+  tiers.members[1].resize(2);  // below |C| = 5
+  AdaptiveConfig config;
+  config.clients_per_round = 5;
+  AdaptiveTierPolicy policy(tiers, config, 50);
+  util::Rng rng(24);
+  policy.select(tier_context(1, tiers.members[1], rng));  // async, relaxed
+  for (std::size_t round = 0; round < 30; ++round) {
+    fl::Selection s;
+    ASSERT_NO_THROW(s = policy.select(round, rng));
+    EXPECT_NE(s.tier, 1);
+    policy.observe(feedback({0.5, 0.0, 0.5}, round));
+  }
+}
+
+TEST(AdaptiveAsync, LifecycleNotificationsTrackMembership) {
+  TierInfo tiers = synthetic_tiers(2, 3);  // tiers {0,1,2} and {3,4,5}
+  AdaptiveConfig config;
+  config.clients_per_round = 2;
+  AdaptiveTierPolicy policy(tiers, config, 50);
+  policy.on_leave(4);
+  policy.on_join(7, 0);
+  std::vector<std::vector<std::size_t>> retiered{{0, 1, 7}, {2, 3, 5}};
+  EXPECT_NO_THROW(policy.on_retier(retiered));
+  std::vector<std::vector<std::size_t>> wrong_count{{0, 1, 2}};
+  EXPECT_THROW(policy.on_retier(wrong_count), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tifl::core

@@ -12,6 +12,7 @@
 #include <memory>
 #include <numeric>
 
+#include "core/adaptive_policy.h"
 #include "fl/async_engine.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
@@ -45,10 +46,12 @@ std::uint64_t weight_hash(const std::vector<float>& weights) {
 
 AsyncRunResult run_with_pool_size(const AsyncConfig& async,
                                   std::size_t threads,
-                                  const nn::ModelFactory& factory) {
+                                  const nn::ModelFactory& factory,
+                                  SelectionPolicy* policy = nullptr) {
   TinyFederation fed = FederationBuilder().clients(10).jitter(0.05).build();
   AsyncEngine engine(tiny_engine_config(1), async, factory, &fed.clients,
                      two_tiers(10), &fed.data.test, fed.latency);
+  engine.set_policy(policy);
   util::ThreadPool pool(threads);
   engine.set_thread_pool(&pool);
   return engine.run();
@@ -119,6 +122,89 @@ TEST(AsyncDeterminism, DynamicLifecyclePathIsThreadPoolSizeInvariant) {
   async.churn.leave_rate = 0.05;
   async.churn.slowdown_rate = 0.1;
   expect_pool_size_invariance(async);
+}
+
+// --- policy seam --------------------------------------------------------------
+//
+// The default (no policy installed) must replay the pre-seam engine's
+// uniform self-sampling bit for bit, and an *explicitly installed*
+// UniformTierPolicy must be indistinguishable from it — on both run
+// paths, across pool sizes 1/2/8.  Any drift here means the seam
+// perturbed RNG stream consumption.
+
+void expect_uniform_policy_matches_default(const AsyncConfig& async) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    UniformTierPolicy uniform(async.clients_per_tier_round);
+    const AsyncRunResult with_default =
+        run_with_pool_size(async, threads, tiny_factory());
+    const AsyncRunResult with_policy =
+        run_with_pool_size(async, threads, tiny_factory(), &uniform);
+    EXPECT_EQ(weight_hash(with_default.final_weights),
+              weight_hash(with_policy.final_weights));
+    EXPECT_EQ(with_default.final_weights, with_policy.final_weights);
+    ASSERT_EQ(with_default.result.rounds.size(),
+              with_policy.result.rounds.size());
+    for (std::size_t i = 0; i < with_default.result.rounds.size(); ++i) {
+      EXPECT_EQ(with_default.result.rounds[i].selected_clients,
+                with_policy.result.rounds[i].selected_clients);
+      EXPECT_DOUBLE_EQ(with_default.result.rounds[i].virtual_time,
+                       with_policy.result.rounds[i].virtual_time);
+    }
+    EXPECT_EQ(with_default.tier_updates, with_policy.tier_updates);
+  }
+}
+
+TEST(AsyncDeterminism, ExplicitUniformPolicyReplaysDefaultStaticPath) {
+  AsyncConfig async;
+  async.total_updates = 16;
+  async.clients_per_tier_round = 4;
+  async.eval_every = 4;
+  async.staleness = StalenessFn::kInverseFrequency;
+  expect_uniform_policy_matches_default(async);
+}
+
+TEST(AsyncDeterminism, ExplicitUniformPolicyReplaysDefaultDynamicPath) {
+  AsyncConfig async;
+  async.total_updates = 20;
+  async.clients_per_tier_round = 4;
+  async.eval_every = 4;
+  async.staleness = StalenessFn::kPolynomial;
+  async.churn.join_rate = 0.05;
+  async.churn.leave_rate = 0.05;
+  async.churn.slowdown_rate = 0.1;
+  expect_uniform_policy_matches_default(async);
+}
+
+TEST(AsyncDeterminism, AdaptivePolicySeamIsThreadPoolSizeInvariant) {
+  // The full Alg. 2 seam (per-tier counts, credits, ChangeProbs driven by
+  // per-tier feedback) must stay a pure function of the seed too.
+  AsyncConfig async;
+  async.total_updates = 16;
+  async.clients_per_tier_round = 4;
+  async.eval_every = 2;
+  async.staleness = StalenessFn::kInverseFrequency;
+
+  auto run_adaptive = [&](std::size_t threads) {
+    core::TierInfo tiers;
+    tiers.members = two_tiers(10);
+    tiers.avg_latency = {1.0, 2.0};
+    core::AdaptiveConfig adaptive;
+    adaptive.clients_per_round = async.clients_per_tier_round;
+    adaptive.interval = 4;
+    core::AdaptiveTierPolicy policy(tiers, adaptive, async.total_updates);
+    return run_with_pool_size(async, threads, tiny_factory(), &policy);
+  };
+  const AsyncRunResult r1 = run_adaptive(1);
+  const AsyncRunResult r2 = run_adaptive(2);
+  const AsyncRunResult r8 = run_adaptive(8);
+  EXPECT_EQ(r1.final_weights, r2.final_weights);
+  EXPECT_EQ(r1.final_weights, r8.final_weights);
+  ASSERT_EQ(r1.result.rounds.size(), r8.result.rounds.size());
+  for (std::size_t i = 0; i < r1.result.rounds.size(); ++i) {
+    EXPECT_EQ(r1.result.rounds[i].selected_clients,
+              r8.result.rounds[i].selected_clients);
+  }
 }
 
 // --- batched event loop over a virtualized pool ------------------------------

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/adaptive_policy.h"
+#include "core/static_policy.h"
 #include "test_helpers.h"
 
 namespace tifl::fl {
@@ -103,6 +105,67 @@ TEST(CrossTierWeights, SizeMismatchThrows) {
   EXPECT_THROW(
       cross_tier_weights(StalenessFn::kConstant, 0.5, updates, staleness),
       std::invalid_argument);
+}
+
+TEST(CrossTierWeights, AllZeroUpdateCountsYieldAllZeroWeights) {
+  // Before any tier submits there is no model to average: every weight
+  // must be exactly 0 (no normalization against a zero total).
+  const std::vector<std::size_t> updates{0, 0, 0};
+  const std::vector<std::size_t> staleness{0, 0, 0};
+  for (StalenessFn fn : {StalenessFn::kConstant, StalenessFn::kPolynomial,
+                         StalenessFn::kInverseFrequency}) {
+    const std::vector<double> w =
+        cross_tier_weights(fn, 1.0, updates, staleness);
+    ASSERT_EQ(w.size(), 3u) << staleness_name(fn);
+    for (double v : w) EXPECT_DOUBLE_EQ(v, 0.0) << staleness_name(fn);
+  }
+}
+
+TEST(CrossTierWeights, SingleSubmittedTierTakesAllMass) {
+  const std::vector<std::size_t> updates{0, 7, 0};
+  const std::vector<std::size_t> staleness{0, 3, 0};
+  for (StalenessFn fn : {StalenessFn::kConstant, StalenessFn::kPolynomial,
+                         StalenessFn::kInverseFrequency}) {
+    const std::vector<double> w =
+        cross_tier_weights(fn, 1.0, updates, staleness);
+    EXPECT_DOUBLE_EQ(w[0], 0.0) << staleness_name(fn);
+    EXPECT_DOUBLE_EQ(w[1], 1.0) << staleness_name(fn);
+    EXPECT_DOUBLE_EQ(w[2], 0.0) << staleness_name(fn);
+  }
+}
+
+TEST(CrossTierWeights, MixedZeroNonzeroKeepsZerosPinnedUnderInvFreq) {
+  // Inverse frequency boosts rare submitters — but a *never*-submitted
+  // tier must stay at exactly 0 even though u_max - 0 is the largest
+  // boost, and the submitted tiers' weights still sum to 1.
+  const std::vector<std::size_t> updates{9, 0, 1, 0, 3};
+  const std::vector<std::size_t> staleness{0, 0, 6, 0, 2};
+  const std::vector<double> w = cross_tier_weights(
+      StalenessFn::kInverseFrequency, 1.0, updates, staleness);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[3], 0.0);
+  EXPECT_GT(w[2], w[4]);  // 1 submission beats 3 under invfreq
+  EXPECT_GT(w[4], w[0]);  // 3 submissions beat 9
+  EXPECT_NEAR(w[0] + w[2] + w[4], 1.0, 1e-12);
+  // Exact masses: 1 + (9 - u_t) over total.
+  const double total = 1.0 + 9.0 + 7.0;
+  EXPECT_NEAR(w[0], 1.0 / total, 1e-12);
+  EXPECT_NEAR(w[2], 9.0 / total, 1e-12);
+  EXPECT_NEAR(w[4], 7.0 / total, 1e-12);
+}
+
+TEST(StalenessFn, UnknownNameErrorListsValidOptions) {
+  try {
+    parse_staleness("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    for (const char* option : {"constant", "poly", "polynomial", "invfreq",
+                               "inverse-frequency", "fedat"}) {
+      EXPECT_NE(message.find(option), std::string::npos)
+          << "missing '" << option << "' in: " << message;
+    }
+  }
 }
 
 // --- engine determinism -----------------------------------------------------
@@ -316,6 +379,99 @@ TEST(AsyncEngine, ConstructorValidation) {
   EXPECT_THROW(AsyncEngine(config, zero_clients, tiny_factory(),
                            &fed.clients, two_tiers(10), &fed.data.test,
                            fed.latency),
+               std::invalid_argument);
+}
+
+// --- selection-policy seam ---------------------------------------------------
+
+TEST(AsyncEngine, RejectsSyncOnlyPolicies) {
+  TinyFederation fed = FederationBuilder().clients(10).build();
+  AsyncEngine engine(tiny_engine_config(1), tiny_async_config(5),
+                     tiny_factory(), &fed.clients, two_tiers(10),
+                     &fed.data.test, fed.latency);
+  VanillaPolicy vanilla(10, 3);
+  EXPECT_THROW(engine.set_policy(&vanilla), std::invalid_argument);
+  OverProvisionPolicy overprovision(10, 3);
+  EXPECT_THROW(engine.set_policy(&overprovision), std::invalid_argument);
+  UniformTierPolicy uniform(3);
+  EXPECT_NO_THROW(engine.set_policy(&uniform));
+  EXPECT_NO_THROW(engine.set_policy(nullptr));
+}
+
+TEST(AsyncEngine, FastStaticPolicyConcentratesWorkAndParksOtherTiers) {
+  // "fast" puts all probability mass on tier 0: under the async seam its
+  // share scales to T*|C| members per tier-0 round while tier 1 parks —
+  // every submission must come from tier 0.
+  TinyFederation fed = FederationBuilder().clients(10).jitter(0.02).build();
+  core::TierInfo tiers;
+  tiers.members = two_tiers(10);
+  tiers.avg_latency = {1.0, 2.0};
+  core::StaticTierPolicy fast(tiers, core::table1_probs("fast", 2), 2,
+                              "fast");
+
+  AsyncConfig async = tiny_async_config(8);
+  async.clients_per_tier_round = 2;
+  AsyncEngine engine(tiny_engine_config(1), async, tiny_factory(),
+                     &fed.clients, two_tiers(10), &fed.data.test,
+                     fed.latency);
+  engine.set_policy(&fast);
+  const AsyncRunResult out = engine.run();
+
+  EXPECT_EQ(out.tier_updates[0], out.result.rounds.size());
+  EXPECT_EQ(out.tier_updates[1], 0u);
+  for (const RoundRecord& record : out.result.rounds) {
+    EXPECT_EQ(record.selected_tier, 0);
+    // Share = 1.0 * 2 tiers * |C|=2 -> 4 members per tier-0 round.
+    EXPECT_EQ(record.selected_clients.size(), 4u);
+    for (std::size_t c : record.selected_clients) EXPECT_LT(c, 5u);
+  }
+}
+
+TEST(AsyncEngine, AdaptivePolicyReceivesTierAccuraciesAndCompletes) {
+  // Full Alg. 2 on the async path: per-tier eval sets feed the policy's
+  // accuracy history, and the run still records exactly total_updates
+  // versions with both tiers contributing.
+  TinyFederation fed = FederationBuilder().clients(10).jitter(0.05).build();
+  core::TierInfo tiers;
+  tiers.members = two_tiers(10);
+  tiers.avg_latency = {1.0, 2.0};
+  core::AdaptiveConfig adaptive;
+  adaptive.clients_per_round = 3;
+  adaptive.interval = 2;
+  core::AdaptiveTierPolicy policy(tiers, adaptive, 12);
+
+  AsyncConfig async = tiny_async_config(12);
+  async.clients_per_tier_round = 3;
+  AsyncEngine engine(tiny_engine_config(1), async, tiny_factory(),
+                     &fed.clients, two_tiers(10), &fed.data.test,
+                     fed.latency);
+  engine.set_policy(&policy);
+  std::vector<std::size_t> first_half, second_half;
+  for (std::size_t i = 0; i < fed.data.test.size(); ++i) {
+    (i < fed.data.test.size() / 2 ? first_half : second_half).push_back(i);
+  }
+  std::vector<data::Dataset> sets;
+  sets.push_back(fed.data.test.subset(first_half));
+  sets.push_back(fed.data.test.subset(second_half));
+  engine.set_tier_eval_sets(std::move(sets));
+
+  const AsyncRunResult out = engine.run();
+  EXPECT_EQ(out.result.rounds.size(), 12u);
+  EXPECT_EQ(out.tier_updates[0] + out.tier_updates[1], 12u);
+  EXPECT_GT(out.tier_updates[0], 0u);
+  EXPECT_GT(out.tier_updates[1], 0u);
+  EXPECT_EQ(out.result.policy_name, "async/adaptive/constant");
+}
+
+TEST(AsyncEngine, TierEvalSetCountMismatchThrows) {
+  TinyFederation fed = FederationBuilder().clients(10).build();
+  AsyncEngine engine(tiny_engine_config(1), tiny_async_config(5),
+                     tiny_factory(), &fed.clients, two_tiers(10),
+                     &fed.data.test, fed.latency);
+  std::vector<data::Dataset> one_set;
+  const std::vector<std::size_t> indices{0, 1, 2};
+  one_set.push_back(fed.data.test.subset(indices));
+  EXPECT_THROW(engine.set_tier_eval_sets(std::move(one_set)),
                std::invalid_argument);
 }
 

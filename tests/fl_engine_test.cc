@@ -253,8 +253,8 @@ TEST(Engine, TierEvalSetsProduceFeedback) {
     VanillaPolicy inner;
     std::vector<std::size_t> feedback_sizes;
     explicit Recorder(std::size_t n) : inner(n, 3) {}
-    Selection select(std::size_t r, util::Rng& rng) override {
-      return inner.select(r, rng);
+    Selection select(const SelectionContext& context) override {
+      return inner.select(context);
     }
     void observe(const RoundFeedback& f) override {
       feedback_sizes.push_back(f.tier_accuracies.size());
@@ -307,8 +307,8 @@ TEST(Engine, AggregateCountZeroKeepsEveryUpdate) {
   struct Full final : SelectionPolicy {
     VanillaPolicy inner;
     explicit Full(std::size_t n) : inner(n, 4) {}
-    Selection select(std::size_t r, util::Rng& rng) override {
-      Selection s = inner.select(r, rng);
+    Selection select(const SelectionContext& context) override {
+      Selection s = inner.select(context);
       s.aggregate_count = s.clients.size();  // "drop none"
       return s;
     }

@@ -1,0 +1,137 @@
+#include "fl/policy_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/policy_registry.h"
+
+namespace tifl::fl {
+namespace {
+
+// A context rich enough to instantiate every builtin: 10 clients over two
+// tiers with profiling data.
+PolicyContext rich_context() {
+  PolicyContext context;
+  context.num_clients = 10;
+  context.clients_per_round = 3;
+  context.total_rounds = 40;
+  context.tier_members = {{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}};
+  context.tier_avg_latency = {1.0, 4.0};
+  context.client_mean_latency = {1, 1, 1, 1, 1, 4, 4, 4, 4, 4};
+  context.client_dropout.assign(10, false);
+  return context;
+}
+
+TEST(PolicyRegistry, BuiltinsResolveByNameWithMatchingNames) {
+  core::register_builtin_policies();
+  const PolicyContext context = rich_context();
+  for (const char* name : {"vanilla", "overprovision", "uniform-async",
+                           "adaptive", "deadline", "slow", "uniform",
+                           "fast", "fast1", "fast2", "fast3"}) {
+    auto policy = make_policy(name, context);
+    ASSERT_NE(policy, nullptr) << name;
+    // Table 1 presets report their preset name; the rest their class name.
+    if (std::string(name) != "uniform-async") {
+      EXPECT_EQ(policy->name(), name);
+    }
+  }
+  // "random" is a 5-tier preset; two tiers must throw from table1_probs.
+  EXPECT_THROW(make_policy("random", context), std::invalid_argument);
+  // The alias produces the same policy class as "adaptive".
+  EXPECT_EQ(make_policy("TiFL", context)->name(), "adaptive");
+}
+
+TEST(PolicyRegistry, UnknownNameErrorListsValidOptions) {
+  core::register_builtin_policies();
+  try {
+    make_policy("definitely-not-registered", rich_context());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("definitely-not-registered"), std::string::npos);
+    for (const char* option : {"adaptive", "vanilla", "uniform",
+                               "deadline", "overprovision"}) {
+      EXPECT_NE(message.find(option), std::string::npos)
+          << "missing '" << option << "' in: " << message;
+    }
+  }
+}
+
+TEST(PolicyRegistry, RegistrationValidatesAndRejectsDuplicates) {
+  PolicyRegistry& registry = PolicyRegistry::instance();
+  EXPECT_THROW(registry.add("vanilla", {.factory =
+                                            [](const PolicyContext&) {
+                                              return std::unique_ptr<
+                                                  SelectionPolicy>();
+                                            },
+                                        .summary = "dup"}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("", {.factory =
+                                     [](const PolicyContext&) {
+                                       return std::unique_ptr<
+                                           SelectionPolicy>();
+                                     },
+                                 .summary = "unnamed"}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("null-factory", {.factory = nullptr,
+                                             .summary = "no factory"}),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistry, CustomPoliciesRegisterAndResolve) {
+  PolicyRegistry& registry = PolicyRegistry::instance();
+  if (!registry.contains("registry-test-policy")) {
+    registry.add("registry-test-policy",
+                 {.factory =
+                      [](const PolicyContext& context) {
+                        return std::make_unique<VanillaPolicy>(
+                            context.num_clients, context.clients_per_round);
+                      },
+                  .summary = "test-only",
+                  .sync = true,
+                  .async = false});
+  }
+  EXPECT_TRUE(registry.contains("registry-test-policy"));
+  auto policy = registry.make(rich_context(), "registry-test-policy");
+  EXPECT_EQ(policy->name(), "vanilla");
+  const std::vector<std::string> names = registry.names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "registry-test-policy"),
+            names.end());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PolicyRegistry, EngineAnnotationsMatchInstantiatedPolicies) {
+  // The registry's sync/async flags feed tifl_run's --help and its
+  // capability errors; they must agree with what the instantiated policy
+  // actually reports, or the documentation drifts from the code.
+  core::register_builtin_policies();
+  const PolicyRegistry& registry = PolicyRegistry::instance();
+  const PolicyContext context = rich_context();
+  for (const std::string& name : registry.names()) {
+    if (name == "random") continue;  // needs 5 tiers
+    if (name == "registry-test-policy") continue;  // test artifact
+    const PolicyRegistry::Entry& entry = registry.entry(name);
+    auto policy = registry.make(context, name);
+    EXPECT_EQ(policy->supports(EngineKind::kSync), entry.sync) << name;
+    EXPECT_EQ(policy->supports(EngineKind::kAsync), entry.async) << name;
+  }
+}
+
+TEST(PolicyRegistry, EngineFilteredNamesAreSubsets) {
+  core::register_builtin_policies();
+  const PolicyRegistry& registry = PolicyRegistry::instance();
+  const std::vector<std::string> all = registry.names();
+  for (EngineKind kind : {EngineKind::kSync, EngineKind::kAsync}) {
+    for (const std::string& name : registry.names(kind)) {
+      EXPECT_NE(std::find(all.begin(), all.end(), name), all.end());
+      EXPECT_TRUE(kind == EngineKind::kSync ? registry.entry(name).sync
+                                            : registry.entry(name).async);
+    }
+  }
+  EXPECT_FALSE(registry.names(EngineKind::kAsync).empty());
+}
+
+}  // namespace
+}  // namespace tifl::fl

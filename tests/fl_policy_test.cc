@@ -119,5 +119,88 @@ TEST(OverProvisionPolicy, InvalidConfigThrows) {
   EXPECT_THROW(OverProvisionPolicy(5, 6), std::invalid_argument);
 }
 
+TEST(OverProvisionPolicy, CeilBeyondPopulationSelectsEveryoneOnce) {
+  // ceil(factor * target) > population: the selection clamps to the whole
+  // pool (each client exactly once) while aggregate_count keeps the
+  // original target, so the engine still drops the stragglers.
+  OverProvisionPolicy policy(10, 8, 2.0);  // ceil(16) -> clamp 10
+  EXPECT_EQ(policy.selected_per_round(), 10u);
+  util::Rng rng(11);
+  const Selection s = policy.select(0, rng);
+  EXPECT_EQ(s.clients.size(), 10u);
+  EXPECT_EQ(s.aggregate_count, 8u);
+  std::set<std::size_t> unique(s.clients.begin(), s.clients.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(OverProvisionPolicy, TargetEqualToPopulationDegradesToFullRound) {
+  // target == population: clamped selection equals the target, i.e. no
+  // straggler can actually be dropped (aggregate_count == |selection|).
+  OverProvisionPolicy policy(10, 10, 1.3);
+  EXPECT_EQ(policy.selected_per_round(), 10u);
+  util::Rng rng(12);
+  const Selection s = policy.select(0, rng);
+  EXPECT_EQ(s.clients.size(), 10u);
+  EXPECT_EQ(s.aggregate_count, 10u);
+}
+
+// --- v2 context API ----------------------------------------------------------
+
+TEST(SelectionPolicy, UntieredShimMatchesExplicitContext) {
+  VanillaPolicy policy(30, 6);
+  util::Rng rng_a(21), rng_b(21);
+  const Selection via_shim = policy.select(3, rng_a);
+  SelectionContext context;
+  context.round = 3;
+  context.rng = &rng_b;
+  const Selection via_context = policy.select(context);
+  EXPECT_EQ(via_shim.clients, via_context.clients);
+}
+
+TEST(SelectionPolicy, EngineSupportDefaultsAndOverrides) {
+  VanillaPolicy vanilla(10, 2);
+  EXPECT_TRUE(vanilla.supports(EngineKind::kSync));
+  EXPECT_FALSE(vanilla.supports(EngineKind::kAsync));
+  OverProvisionPolicy overprovision(10, 2);
+  EXPECT_TRUE(overprovision.supports(EngineKind::kSync));
+  EXPECT_FALSE(overprovision.supports(EngineKind::kAsync));
+  UniformTierPolicy uniform(2);
+  EXPECT_FALSE(uniform.supports(EngineKind::kSync));
+  EXPECT_TRUE(uniform.supports(EngineKind::kAsync));
+}
+
+TEST(UniformTierPolicy, SamplesWithinDispatchingTier) {
+  UniformTierPolicy policy(3);
+  const std::vector<std::size_t> candidates{10, 20, 30, 40, 50};
+  util::Rng rng(31);
+  SelectionContext context;
+  context.round = 0;
+  context.tier = 2;
+  context.candidates = candidates;
+  context.rng = &rng;
+  const Selection s = policy.select(context);
+  EXPECT_EQ(s.tier, 2);
+  EXPECT_EQ(s.clients.size(), 3u);
+  std::set<std::size_t> unique(s.clients.begin(), s.clients.end());
+  EXPECT_EQ(unique.size(), 3u);
+  for (std::size_t c : s.clients) {
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), c),
+              candidates.end());
+  }
+}
+
+TEST(UniformTierPolicy, CapsAtCandidateCountAndRejectsUntieredCalls) {
+  UniformTierPolicy policy(8);
+  const std::vector<std::size_t> candidates{1, 2, 3};
+  util::Rng rng(32);
+  SelectionContext context;
+  context.tier = 0;
+  context.candidates = candidates;
+  context.rng = &rng;
+  EXPECT_EQ(policy.select(context).clients.size(), 3u);
+  EXPECT_THROW(policy.select(0, rng), std::logic_error);
+  EXPECT_THROW(UniformTierPolicy(0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tifl::fl

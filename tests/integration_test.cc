@@ -256,5 +256,63 @@ TEST(TiflSystem, NonIidDataHurtsVanillaAccuracy) {
   EXPECT_GT(run_with_classes(0), run_with_classes(1));
 }
 
+TEST(TiflSystem, RegistryPoliciesMatchTypedFactories) {
+  // make_policy(name) must build the same policies the typed factories
+  // do: identical selection streams mean identical runs.
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(8), tiny_factory(), &fed.data.test,
+                    fed.clients, fed.latency);
+  {
+    auto by_name = system.make_policy("uniform");
+    auto typed = system.make_static("uniform");
+    const fl::RunResult a = system.run(*by_name);
+    const fl::RunResult b = system.run(*typed);
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+      EXPECT_EQ(a.rounds[i].selected_clients, b.rounds[i].selected_clients);
+      EXPECT_DOUBLE_EQ(a.rounds[i].global_accuracy,
+                       b.rounds[i].global_accuracy);
+    }
+  }
+  {
+    auto vanilla = system.make_policy("vanilla");
+    EXPECT_EQ(vanilla->name(), "vanilla");
+    EXPECT_GT(system.run(*vanilla).final_accuracy(), 0.0);
+  }
+}
+
+TEST(TiflSystem, AsyncAdaptivePolicyRunsAlg2EndToEnd) {
+  // Alg. 2 on the async path: per-tier eval sets are materialized and the
+  // run produces exactly the requested versions under the policy seam.
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(16, 3), tiny_factory(),
+                    &fed.data.test, fed.clients, fed.latency);
+  auto adaptive = system.make_policy("adaptive");
+  fl::AsyncConfig async;
+  async.total_updates = 16;
+  async.clients_per_tier_round = 3;
+  async.eval_every = 2;
+  const fl::AsyncRunResult run = system.run_async(async, {}, adaptive.get());
+  EXPECT_EQ(run.result.rounds.size(), 16u);
+  EXPECT_EQ(run.result.policy_name, "async/adaptive/constant");
+  std::size_t total = 0;
+  for (std::size_t updates : run.tier_updates) total += updates;
+  EXPECT_EQ(total, 16u);
+  EXPECT_GT(run.result.final_accuracy(), 0.3);  // chance = 0.25
+}
+
+TEST(TiflSystem, AsyncDefaultIsBitIdenticalWithAndWithoutNullPolicy) {
+  // Passing no policy and passing nullptr are the same run.
+  TinyFederation fed = tiny_federation(20);
+  TiflSystem system(tiny_system_config(10, 3), tiny_factory(),
+                    &fed.data.test, fed.clients, fed.latency);
+  fl::AsyncConfig async;
+  async.total_updates = 10;
+  async.clients_per_tier_round = 3;
+  const fl::AsyncRunResult a = system.run_async(async);
+  const fl::AsyncRunResult b = system.run_async(async, {}, nullptr);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+}
+
 }  // namespace
 }  // namespace tifl::core

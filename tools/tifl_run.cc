@@ -12,9 +12,9 @@
 //   --partition  iid | classes | quantity | combine | leaf   [iid]
 //   --classes    k for class-limited partitions              [5]
 //   --affinity   group<->class affinity for combine          [0]
-//   --policy     vanilla | slow | uniform | random | fast |
-//                fast1..fast3 | adaptive | overprovision |
-//                deadline                                    [adaptive]
+//   --policy     any name in the selection-policy registry; `--help`
+//                prints the live list with per-engine support
+//                                    [sync: adaptive; async: uniform]
 //   --rounds N [100]   --clients N [50]   --per-round N [5]
 //   --tiers M [5]      --seed S [1]       --scale S [0.25]
 //   --time-budget SECONDS [0 = unlimited]
@@ -37,10 +37,13 @@
 //   --samples-per-client N  virtual shard size (0 = dataset/clients) [50]
 //   --shard-spread F        virtual shard-size jitter in [0,1]       [0.5]
 //
-// With --engine async the selection policy is ignored: every tier trains
-// at its own cadence and samples its members uniformly; --rounds counts
-// global model versions (tier submissions) instead of synchronized
-// rounds.  Any positive --churn or --reprofile-every switches the async
+// With --engine async every tier trains at its own cadence; --policy
+// drives per-tier member selection (e.g. `--policy adaptive` runs Alg. 2
+// against the async per-tier accuracies; omit it for the default uniform
+// self-sampling) and --rounds counts global model versions (tier
+// submissions) instead of synchronized rounds.  Policies that cannot
+// drive the selected engine are rejected up front with the list of
+// capable ones.  Any positive --churn or --reprofile-every switches the async
 // engine to the dynamic client lifecycle: clients join, leave and slow
 // down mid-round on the event timeline, updates are submitted per client
 // with their own staleness, and ReProfile events migrate clients between
@@ -48,6 +51,8 @@
 // the static async engine bit for bit.
 #include <iostream>
 
+#include "core/policy_registry.h"
+#include "fl/policy_registry.h"
 #include "scenarios.h"
 #include "util/log.h"
 
@@ -55,6 +60,42 @@ namespace {
 
 using namespace tifl;
 using namespace tifl::bench;
+
+// The policy list is rendered from the live registry so the help text
+// cannot drift from the code.
+void print_usage() {
+  core::register_builtin_policies();
+  const fl::PolicyRegistry& registry = fl::PolicyRegistry::instance();
+  std::cout <<
+      "tifl_run — config-driven experiment runner\n"
+      "\n"
+      "usage: tifl_run [flags]\n"
+      "  --dataset    cifar | mnist | fmnist | femnist            [cifar]\n"
+      "  --partition  iid | classes | quantity | combine | leaf   [iid]\n"
+      "  --classes N  --affinity F  (partition knobs)\n"
+      "  --policy     selection policy by name (see list below)\n"
+      "               [sync default: adaptive; async default: uniform\n"
+      "               self-sampling]\n"
+      "  --rounds N [100]   --clients N [50]   --per-round N [5]\n"
+      "  --tiers M [5]      --seed S [1]       --scale S [0.25]\n"
+      "  --time-budget SECONDS [0 = unlimited]   --csv FILE\n"
+      "  --engine     sync | async                                [sync]\n"
+      "  --staleness  constant | poly | invfreq (async)    [constant]\n"
+      "  --alpha F    --churn RATE  --reprofile-every SECS\n"
+      "  --churn-seed S  --virtual  --samples-per-client N\n"
+      "  --shard-spread F\n"
+      "\n"
+      "selection policies (from the registry):\n";
+  for (const std::string& name : registry.names()) {
+    const fl::PolicyRegistry::Entry& entry = registry.entry(name);
+    std::string engines = entry.sync && entry.async ? "sync+async"
+                          : entry.sync              ? "sync"
+                                                    : "async";
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 14; ++pad) std::cout << ' ';
+    std::cout << "[" << engines << "]  " << entry.summary << "\n";
+  }
+}
 
 ScenarioConfig from_flags(const util::Cli& cli, const BenchOptions& options) {
   ScenarioConfig config = cifar_base(options);
@@ -120,6 +161,10 @@ ScenarioConfig from_flags(const util::Cli& cli, const BenchOptions& options) {
 int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
   const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_usage();
+    return 0;
+  }
   BenchOptions options = BenchOptions::from_cli(argc, argv);
 
   try {
@@ -162,7 +207,25 @@ int main(int argc, char** argv) {
       async.churn.seed =
           static_cast<std::uint64_t>(cli.get_int("churn-seed", 0));
       async.reprofile_every = cli.get_double("reprofile-every", 0.0);
-      const fl::AsyncRunResult run = scenario.system->run_async(async);
+
+      // --policy drives per-tier member selection; unset keeps the
+      // engine's default uniform self-sampling (bit-identical to the
+      // pre-policy-seam engine).
+      std::unique_ptr<fl::SelectionPolicy> policy;
+      const std::string policy_name = cli.get("policy", "");
+      if (!policy_name.empty()) {
+        policy = scenario.system->make_policy(policy_name);
+        if (!policy->supports(fl::EngineKind::kAsync)) {
+          throw std::invalid_argument(
+              "policy '" + policy_name +
+              "' does not support the async engine (async-capable: " +
+              fl::join_policy_names(fl::PolicyRegistry::instance().names(
+                  fl::EngineKind::kAsync)) +
+              ")");
+        }
+      }
+      const fl::AsyncRunResult run =
+          scenario.system->run_async(async, {}, policy.get());
       const fl::RunResult& result = run.result;
 
       util::TablePrinter tiers = async_cadence_table(run);
@@ -194,6 +257,8 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Sync path: run_policies resolves the name through the registry and
+    // rejects async-only policies with the sync-capable list.
     const std::string policy_name = cli.get("policy", "adaptive");
     const std::vector<PolicyRun> runs =
         run_policies(scenario, {policy_name}, options);
