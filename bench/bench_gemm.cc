@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "nn/activations.h"
+#include "obs/metrics.h"
 #include "nn/layer.h"
 #include "nn/model_zoo.h"
 #include "nn/optimizer.h"
@@ -423,7 +424,7 @@ int main(int argc, char** argv) {
   json << "  ],\n  \"cnn_step\": {\"model\": \"mnist_cnn\", \"batch\": "
        << step.batch << ", \"ms_seed\": " << step.ms_seed
        << ", \"ms_new\": " << step.ms_new << ", \"speedup\": " << step.speedup
-       << "}\n}\n";
+       << "},\n  \"metrics\": " << obs::Registry::global().to_json() << "\n}\n";
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

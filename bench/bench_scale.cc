@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace tifl::bench {
@@ -63,6 +64,7 @@ struct ScaleResult {
   std::size_t pool_materializations = 0;
   double events_per_second = 0.0;
   double peak_rss_mb = 0.0;
+  std::string metrics;  // obs registry snapshot (JSON object)
 };
 
 ScenarioConfig scale_config(std::size_t clients, std::size_t updates,
@@ -101,6 +103,9 @@ ScaleResult run_scale(std::size_t clients, std::size_t updates,
                       std::uint64_t seed) {
   ScaleResult result;
   result.clients = clients;
+  // Per-scale snapshot: zero the global registry so each scale's metrics
+  // block reflects that run only (instrument references stay valid).
+  obs::Registry::global().reset();
 
   double t0 = now_seconds();
   Scenario scenario =
@@ -135,6 +140,7 @@ ScaleResult run_scale(std::size_t clients, std::size_t updates,
           ? static_cast<double>(result.events) / result.run_seconds
           : 0.0;
   result.peak_rss_mb = peak_rss_mb();
+  result.metrics = obs::Registry::global().to_json();
   return result;
 }
 
@@ -201,7 +207,8 @@ int main(int argc, char** argv) {
          << ", \"slowdowns\": " << r.slowdowns
          << ", \"pool_peak_live\": " << r.pool_peak_live
          << ", \"pool_materializations\": " << r.pool_materializations
-         << ", \"peak_rss_mb\": " << r.peak_rss_mb << "}"
+         << ", \"peak_rss_mb\": " << r.peak_rss_mb
+         << ",\n     \"metrics\": " << r.metrics << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

@@ -68,10 +68,16 @@ TiflSystem::TiflSystem(SystemConfig config, nn::ModelFactory factory,
 // every client (pool-level state only — no materialization), mark
 // dropouts, then histogram-split the mean latencies into m tiers.
 void TiflSystem::profile_and_tier() {
+  obs::ScopedPhase phase(&profile_phases_, obs::Phase::kProfile);
   util::Rng profile_rng(config_.profile_seed);
   profile_ =
       profile_clients(*pool_, latency_model_, config_.profiler, profile_rng);
   tiers_ = build_tiers(profile_, config_.num_tiers, config_.tiering);
+}
+
+void TiflSystem::prepend_profile_phases(fl::RunResult& result) const {
+  const std::vector<obs::PhaseStat> stats = profile_phases_.stats();
+  result.phases.insert(result.phases.begin(), stats.begin(), stats.end());
 }
 
 fl::Engine& TiflSystem::engine() {
@@ -127,7 +133,9 @@ std::unique_ptr<fl::SelectionPolicy> TiflSystem::make_adaptive(
 
 fl::RunResult TiflSystem::run(fl::SelectionPolicy& policy,
                               std::optional<std::uint64_t> seed_override) {
-  return engine().run(policy, seed_override);
+  fl::RunResult result = engine().run(policy, seed_override);
+  prepend_profile_phases(result);
+  return result;
 }
 
 fl::AsyncRunResult TiflSystem::run_async(
@@ -168,7 +176,11 @@ fl::AsyncRunResult TiflSystem::run_async(
     }
   }
 
-  if (!engine.dynamic()) return engine.run(seed_override);
+  if (!engine.dynamic()) {
+    fl::AsyncRunResult out = engine.run(seed_override);
+    prepend_profile_phases(out.result);
+    return out;
+  }
 
   // Dynamic lifecycle: back the engine's join/leave/reprofile events with
   // an OnlineReTierer.  The engine reports what it observes; the
@@ -242,6 +254,7 @@ fl::AsyncRunResult TiflSystem::run_async(
     engine_->set_tier_eval_sets(
         build_tier_eval_sets(tiers_, engine_->clients(), *test_));
   }
+  prepend_profile_phases(out.result);
   return out;
 }
 
@@ -265,6 +278,7 @@ fl::Client& TiflSystem::client(std::size_t id) {
 }
 
 double TiflSystem::reprofile(std::uint64_t seed) {
+  obs::ScopedPhase phase(&profile_phases_, obs::Phase::kProfile);
   util::Rng profile_rng(seed);
   profile_ =
       profile_clients(*pool_, latency_model_, config_.profiler, profile_rng);

@@ -28,6 +28,7 @@
 #include "fl/client_pool.h"
 #include "fl/engine.h"
 #include "fl/policy_registry.h"
+#include "obs/phase.h"
 
 namespace tifl::core {
 
@@ -143,8 +144,14 @@ class TiflSystem {
 
  private:
   void profile_and_tier();
+  // Splices the profiling phase's wall time ahead of a run's own phase
+  // stats, so `tifl_run --report` shows the full profile/select/train/
+  // aggregate/eval breakdown.
+  void prepend_profile_phases(fl::RunResult& result) const;
 
   SystemConfig config_;
+  // Wall time spent in profile_and_tier / reprofile (obs::Phase::kProfile).
+  obs::PhaseTimer profile_phases_;
   TierInfo tiers_;
   ProfileResult profile_;
   sim::LatencyModel latency_model_;

@@ -8,6 +8,9 @@
 #include "fl/aggregator.h"
 #include "fl/evaluation.h"
 #include "fl/policy.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
@@ -145,6 +148,40 @@ void aggregate_global(const std::vector<std::vector<float>>& tier_models,
   for (std::size_t i = 0; i < weight_count; ++i) {
     global[i] = static_cast<float>(accum[i]);
   }
+}
+
+// Engine-level instruments, resolved once.  Counter/histogram updates are
+// relaxed atomics; the trace layer is a branch-on-null when disabled.
+struct AsyncMetrics {
+  obs::Counter& events;
+  obs::Counter& tier_rounds;
+  obs::Counter& parks;
+  obs::Counter& park_retries;
+  obs::Counter& stale_events;
+  obs::Counter& joins;
+  obs::Counter& leaves;
+  obs::Counter& slowdowns;
+  obs::Counter& reprofiles;
+  obs::Histo& staleness;
+  obs::Histo& event_batch;
+};
+
+AsyncMetrics& async_metrics() {
+  obs::Registry& reg = obs::Registry::global();
+  static AsyncMetrics m{
+      reg.counter("async.events"),
+      reg.counter("async.tier_rounds"),
+      reg.counter("async.parks"),
+      reg.counter("async.park_retries"),
+      reg.counter("async.stale_events"),
+      reg.counter("async.joins"),
+      reg.counter("async.leaves"),
+      reg.counter("async.slowdowns"),
+      reg.counter("async.reprofiles"),
+      reg.histogram("async.staleness"),
+      reg.histogram("async.event_batch"),
+  };
+  return m;
 }
 
 }  // namespace
@@ -298,6 +335,8 @@ AsyncRunResult AsyncEngine::run(std::optional<std::uint64_t> seed_override) {
 AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
                                        SelectionPolicy& policy) {
   const std::size_t num_tiers = tier_members_.size();
+  AsyncMetrics& metrics = async_metrics();
+  obs::PhaseTimer phases;
 
   TierRngs rngs = make_tier_rngs(seed, num_tiers);
 
@@ -353,10 +392,20 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
                              .update_counts = tier_updates,
                              .staleness = staleness_scratch};
     context.rng = &rngs.selection[tier];
-    Selection selection = policy.select(context);
+    Selection selection;
+    {
+      obs::ScopedPhase phase(&phases, obs::Phase::kSelect);
+      selection = policy.select(context);
+    }
     if (selection.clients.empty()) {
       parked[tier] = 1;
       parked_at[tier] = version;
+      metrics.parks.add();
+      if (obs::Tracer* t = obs::tracer()) {
+        t->instant(queue.now(), "async", "park",
+                   static_cast<std::int64_t>(tier),
+                   {obs::field("version", version)});
+      }
       return;
     }
     for (std::size_t id : selection.clients) {
@@ -380,18 +429,21 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
     // training state for exactly the duration of local training.
     std::vector<ClientPool::Lease> leases;
     leases.reserve(count);
-    for (std::size_t id : round.selected) {
-      leases.push_back(clients_->lease(id));
+    {
+      obs::ScopedPhase phase(&phases, obs::Phase::kTrain);
+      for (std::size_t id : round.selected) {
+        leases.push_back(clients_->lease(id));
+      }
+      pool().parallel_for(0, count, [&](std::size_t i) {
+        const Client& client = *leases[i];
+        // Deterministic stream per (event-seq, client id): the async
+        // analogue of the sync engine's (round, client id) fork.
+        util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
+        round.updates[i] =
+            client.local_update(global, scratch_[i + 1], params, client_rng);
+      });
+      leases.clear();
     }
-    pool().parallel_for(0, count, [&](std::size_t i) {
-      const Client& client = *leases[i];
-      // Deterministic stream per (event-seq, client id): the async
-      // analogue of the sync engine's (round, client id) fork.
-      util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
-      round.updates[i] =
-          client.local_update(global, scratch_[i + 1], params, client_rng);
-    });
-    leases.clear();
     ++dispatch_seq;
 
     // A tier round is internally synchronous: it completes when its
@@ -407,6 +459,11 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
     }
     queue.schedule(round.latency, /*kind=*/0, /*actor=*/tier);
     ++scheduled;
+    if (obs::Tracer* t = obs::tracer()) {
+      t->span(queue.now(), round.latency, "async", "tier_round",
+              static_cast<std::int64_t>(tier),
+              {obs::field("version", version), obs::field("clients", count)});
+    }
   };
 
   for (std::size_t t = 0; t < num_tiers; ++t) {
@@ -425,11 +482,14 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
     // sequence byte for byte (see EventQueue::pop_batch).
     queue.pop_batch(batch);
     out.max_event_batch = std::max(out.max_event_batch, batch.size());
+    metrics.event_batch.record(static_cast<double>(batch.size()));
     for (const sim::Event& event : batch) {
       ++out.processed_events;
+      metrics.events.add();
       const std::size_t tier = static_cast<std::size_t>(event.actor);
       PendingRound& round = pending[tier];
 
+      obs::ScopedPhase agg_phase(&phases, obs::Phase::kAggregate);
       // --- tier-level FedAvg (reduce in selection order) ---------------------
       std::vector<WeightedUpdate> weighted;
       weighted.reserve(round.updates.size());
@@ -449,6 +509,9 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
       ++tier_updates[tier];
       last_submit_version[tier] = version;
       tier_lr[tier] *= config_.lr_decay_per_round;
+      metrics.tier_rounds.add();
+      metrics.staleness.record(
+          static_cast<double>(version - round.dispatch_version));
 
       // --- staleness-weighted cross-tier aggregation -------------------------
       model_age.assign(num_tiers, 0);
@@ -458,6 +521,14 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
       current_weights = cross_tier_weights(async_.staleness, async_.poly_alpha,
                                            tier_updates, model_age);
       aggregate_global(tier_models, current_weights, global, accum_scratch);
+      agg_phase.stop();
+      if (obs::Tracer* t = obs::tracer()) {
+        t->instant(queue.now(), "async", "aggregate",
+                   static_cast<std::int64_t>(tier),
+                   {obs::field("version", version),
+                    obs::field("staleness", version - round.dispatch_version),
+                    obs::field("weight", current_weights[tier])});
+      }
 
       // --- record + evaluation ----------------------------------------------
       RoundRecord record;
@@ -471,9 +542,17 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
       last_evaluated = version % async_.eval_every == 0 ||
                        version + 1 == async_.total_updates;
       if (last_evaluated) {
+        obs::ScopedPhase phase(&phases, obs::Phase::kEval);
         const nn::LossResult r = evaluate(global, *test_);
+        phase.stop();
         record.global_accuracy = r.accuracy;
         record.global_loss = r.loss;
+        if (obs::Tracer* t = obs::tracer()) {
+          t->instant(queue.now(), "async", "eval",
+                     static_cast<std::int64_t>(tier),
+                     {obs::field("version", version),
+                      obs::field("accuracy", r.accuracy)});
+        }
       } else if (!out.result.rounds.empty()) {
         record.global_accuracy = out.result.rounds.back().global_accuracy;
         record.global_loss = out.result.rounds.back().global_loss;
@@ -486,7 +565,10 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
       feedback.global_loss = record.global_loss;
       feedback.submitting_tier = static_cast<int>(tier);
       feedback.staleness = version - round.dispatch_version;
-      if (last_evaluated) feedback.tier_accuracies = evaluate_tiers(global);
+      if (last_evaluated) {
+        obs::ScopedPhase phase(&phases, obs::Phase::kEval);
+        feedback.tier_accuracies = evaluate_tiers(global);
+      }
       policy.observe(feedback);
 
       out.result.rounds.push_back(std::move(record));
@@ -512,6 +594,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
       for (std::size_t t = 0; t < num_tiers; ++t) {
         if (parked[t] && parked_at[t] < out.result.rounds.size() &&
             scheduled < async_.total_updates) {
+          metrics.park_retries.add();
           dispatch(t);
         }
       }
@@ -521,6 +604,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
   // A time-budget break (or a carry-forward cadence) can leave the last
   // record holding a stale accuracy; refresh it from the final weights.
   if (!out.result.rounds.empty() && !last_evaluated) {
+    obs::ScopedPhase phase(&phases, obs::Phase::kEval);
     const nn::LossResult r = evaluate(global, *test_);
     out.result.rounds.back().global_accuracy = r.accuracy;
     out.result.rounds.back().global_loss = r.loss;
@@ -528,6 +612,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
 
   finalize_result(out, std::move(global), tier_updates, staleness_sum,
                   std::move(current_weights));
+  out.result.phases = phases.stats();
   out.final_members = tier_members_;
   for (const std::vector<std::size_t>& members : tier_members_) {
     out.final_live_clients += members.size();
@@ -548,6 +633,8 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
                                         SelectionPolicy& policy) {
   const std::size_t num_tiers = tier_members_.size();
   const std::size_t num_clients = clients_->size();
+  AsyncMetrics& metrics = async_metrics();
+  obs::PhaseTimer phases;
   if (async_.reprofile_every > 0.0 && !hooks_.retier) {
     throw std::invalid_argument(
         "AsyncEngine: reprofile_every > 0 requires a retier hook");
@@ -696,10 +783,20 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
                              .update_counts = tier_updates,
                              .staleness = staleness_scratch};
     context.rng = &rngs.selection[tier];
-    Selection selection = policy.select(context);
+    Selection selection;
+    {
+      obs::ScopedPhase phase(&phases, obs::Phase::kSelect);
+      selection = policy.select(context);
+    }
     if (selection.clients.empty()) {
       parked[tier] = 1;
       parked_at[tier] = version;
+      metrics.parks.add();
+      if (obs::Tracer* t = obs::tracer()) {
+        t->instant(queue.now(), "async", "park",
+                   static_cast<std::int64_t>(tier),
+                   {obs::field("version", version)});
+      }
       return;
     }
     for (std::size_t id : selection.clients) {
@@ -721,14 +818,17 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     // the in-flight set, not the population.
     std::vector<ClientPool::Lease> leases;
     leases.reserve(count);
-    for (std::size_t id : selected) leases.push_back(clients_->lease(id));
-    pool().parallel_for(0, count, [&](std::size_t i) {
-      const Client& client = *leases[i];
-      util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
-      updates[i] =
-          client.local_update(global, scratch_[i + 1], params, client_rng);
-    });
-    leases.clear();
+    {
+      obs::ScopedPhase phase(&phases, obs::Phase::kTrain);
+      for (std::size_t id : selected) leases.push_back(clients_->lease(id));
+      pool().parallel_for(0, count, [&](std::size_t i) {
+        const Client& client = *leases[i];
+        util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
+        updates[i] =
+            client.local_update(global, scratch_[i + 1], params, client_rng);
+      });
+      leases.clear();
+    }
     ++dispatch_seq;
 
     round.active = true;
@@ -762,13 +862,22 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           .actor = c});
     }
     queue.schedule_bulk(cohort);
+    if (obs::Tracer* t = obs::tracer()) {
+      t->instant(queue.now(), "async", "cohort",
+                 static_cast<std::int64_t>(tier),
+                 {obs::field("version", version_at_dispatch),
+                  obs::field("clients", count)});
+    }
   };
 
   // A round whose last awaited member arrived or departed: decay the lr
   // (once per completed cohort, matching the static path's per-round
   // decay) and start the tier's next round.
   const auto complete_round = [&](std::size_t tier) {
-    if (rounds[tier].arrivals > 0) tier_lr[tier] *= config_.lr_decay_per_round;
+    if (rounds[tier].arrivals > 0) {
+      tier_lr[tier] *= config_.lr_decay_per_round;
+      metrics.tier_rounds.add();
+    }
     dispatch(tier);
   };
 
@@ -805,8 +914,10 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     // sorts after the whole batch, so the replay sequence is unchanged.
     queue.pop_batch(batch);
     out.max_event_batch = std::max(out.max_event_batch, batch.size());
+    metrics.event_batch.record(static_cast<double>(batch.size()));
     for (const sim::Event& event : batch) {
       ++out.processed_events;
+      metrics.events.add();
       // Budget crossings must be caught on *any* event kind: the churn and
       // reprofile streams re-arm forever, so an update-starved run (e.g.
       // heavy leave rates) would otherwise spin on lifecycle events
@@ -828,7 +939,10 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           const std::size_t c = static_cast<std::size_t>(event.actor);
           // A leave or slowdown invalidated this arrival: the client either
           // departed or now lands at a different (rescheduled) time.
-          if (!in_flight[c] || event.time != arrival_time[c]) break;
+          if (!in_flight[c] || event.time != arrival_time[c]) {
+            metrics.stale_events.add();
+            break;
+          }
           in_flight[c] = 0;
           --in_flight_count;
           const std::size_t tier = flight_tier[c];
@@ -841,6 +955,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           const double observed = queue.now() - flight_dispatch_time[c];
           if (hooks_.observe) hooks_.observe(c, observed);
 
+          obs::ScopedPhase agg_phase(&phases, obs::Phase::kAggregate);
           // Fold this client into the tier's running FedAvg, discounted by
           // the update's *own* staleness (constant/invfreq leave the
           // factor at 1 and weigh by update counts instead).
@@ -878,6 +993,15 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           current_weights = cross_tier_weights(
               async_.staleness, async_.poly_alpha, tier_updates, model_age);
           aggregate_global(tier_models, current_weights, global, accum_scratch);
+          agg_phase.stop();
+          metrics.staleness.record(static_cast<double>(age));
+          if (obs::Tracer* t = obs::tracer()) {
+            t->instant(queue.now(), "async", "update",
+                       static_cast<std::int64_t>(c),
+                       {obs::field("version", version),
+                        obs::field("tier", tier),
+                        obs::field("staleness", age)});
+          }
 
           RoundRecord record;
           record.round = version;
@@ -890,9 +1014,17 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           last_evaluated = version % async_.eval_every == 0 ||
                            version + 1 == async_.total_updates;
           if (last_evaluated) {
+            obs::ScopedPhase phase(&phases, obs::Phase::kEval);
             const nn::LossResult r = evaluate(global, *test_);
+            phase.stop();
             record.global_accuracy = r.accuracy;
             record.global_loss = r.loss;
+            if (obs::Tracer* t = obs::tracer()) {
+              t->instant(queue.now(), "async", "eval",
+                         static_cast<std::int64_t>(tier),
+                         {obs::field("version", version),
+                          obs::field("accuracy", r.accuracy)});
+            }
           } else if (!out.result.rounds.empty()) {
             record.global_accuracy = out.result.rounds.back().global_accuracy;
             record.global_loss = out.result.rounds.back().global_loss;
@@ -905,7 +1037,10 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           feedback.global_loss = record.global_loss;
           feedback.submitting_tier = static_cast<int>(tier);
           feedback.staleness = age;
-          if (last_evaluated) feedback.tier_accuracies = evaluate_tiers(global);
+          if (last_evaluated) {
+            obs::ScopedPhase phase(&phases, obs::Phase::kEval);
+            feedback.tier_accuracies = evaluate_tiers(global);
+          }
           policy.observe(feedback);
 
           out.result.rounds.push_back(std::move(record));
@@ -933,6 +1068,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           for (std::size_t t = 0; t < num_tiers; ++t) {
             if (parked[t] && parked_at[t] < out.result.rounds.size() &&
                 !rounds[t].active) {
+              metrics.park_retries.add();
               dispatch(t);
             }
           }
@@ -946,6 +1082,13 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           const std::size_t c =
               live_ids[churn_event.pick % live_ids.size()];
           ++out.leave_count;
+          metrics.leaves.add();
+          if (obs::Tracer* t = obs::tracer()) {
+            t->instant(queue.now(), "churn", "leave",
+                       static_cast<std::int64_t>(c),
+                       {obs::field("in_flight",
+                                   static_cast<std::int64_t>(in_flight[c]))});
+          }
           live[c] = 0;
           sorted_erase(live_ids, c);
           sorted_insert(inactive_ids, c);
@@ -987,6 +1130,12 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           }
           sorted_insert(tiers[tier], c);
           tier_of[c] = tier;
+          metrics.joins.add();
+          if (obs::Tracer* t = obs::tracer()) {
+            t->instant(queue.now(), "churn", "join",
+                       static_cast<std::int64_t>(c),
+                       {obs::field("tier", tier)});
+          }
           policy.on_join(c, tier);
           if (!rounds[tier].active) dispatch(tier);
           break;
@@ -1006,6 +1155,12 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           // virtual time advances — a round that never completes.
           const double previous = latency_scale[c];
           latency_scale[c] = churn_event.factor;
+          metrics.slowdowns.add();
+          if (obs::Tracer* t = obs::tracer()) {
+            t->instant(queue.now(), "churn", "slowdown",
+                       static_cast<std::int64_t>(c),
+                       {obs::field("factor", churn_event.factor)});
+          }
           if (in_flight[c]) {
             // Mid-round straggler: the remaining flight time rescales from
             // the old multiplier to the new one; the stale arrival event is
@@ -1028,6 +1183,13 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
                             /*actor=*/0);
           if (live_ids.empty()) break;  // nobody to tier until a join lands
           ++out.reprofile_count;
+          metrics.reprofiles.add();
+          if (obs::Tracer* t = obs::tracer()) {
+            t->instant(queue.now(), "churn", "reprofile", /*actor=*/0,
+                       {obs::field("live",
+                                   static_cast<std::int64_t>(
+                                       live_ids.size()))});
+          }
           std::vector<std::vector<std::size_t>> members = hooks_.retier();
           if (members.size() != num_tiers) {
             throw std::runtime_error(
@@ -1085,6 +1247,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   }
 
   if (!out.result.rounds.empty() && !last_evaluated) {
+    obs::ScopedPhase phase(&phases, obs::Phase::kEval);
     const nn::LossResult r = evaluate(global, *test_);
     out.result.rounds.back().global_accuracy = r.accuracy;
     out.result.rounds.back().global_loss = r.loss;
@@ -1092,6 +1255,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
 
   finalize_result(out, std::move(global), tier_updates, staleness_sum,
                   std::move(current_weights));
+  out.result.phases = phases.stats();
   out.final_members = std::move(tiers);
   out.final_live_clients = live_ids.size();
   return out;

@@ -3,7 +3,35 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace tifl::fl {
+
+namespace {
+
+// lease() is called once per sampled client per round — cheap enough to
+// count unconditionally.  Hit rate is derived at snapshot time from
+// hits / (hits + misses).
+struct PoolMetrics {
+  obs::Counter& lease_hits;
+  obs::Counter& lease_misses;
+  obs::Counter& evictions;
+  obs::Gauge& live;
+  obs::Gauge& peak_live;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{
+      obs::Registry::global().counter("pool.lease_hits"),
+      obs::Registry::global().counter("pool.lease_misses"),
+      obs::Registry::global().counter("pool.evictions"),
+      obs::Registry::global().gauge("pool.live_clients"),
+      obs::Registry::global().gauge("pool.peak_live_clients"),
+  };
+  return m;
+}
+
+}  // namespace
 
 ClientPool::ClientPool(const std::vector<Client>* clients)
     : clients_(clients) {
@@ -77,6 +105,7 @@ ClientPool::Lease ClientPool::lease(std::size_t id) {
   if (id >= shards_.num_clients()) {
     throw std::out_of_range("ClientPool: client out of range");
   }
+  PoolMetrics& metrics = pool_metrics();
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = cache_.find(id);
   if (it == cache_.end()) {
@@ -84,13 +113,19 @@ ClientPool::Lease ClientPool::lease(std::size_t id) {
     // matched test shard — per-tier eval sets are a materialized-path
     // feature; the async engine evaluates on the shared test set.
     ++materializations_;
+    metrics.lease_misses.add();
     auto entry = std::make_unique<Entry>(
         Client(id, train_, shards_.shard(id).materialize(), {},
                profiles_[id]));
     it = cache_.emplace(id, std::move(entry)).first;
     peak_live_ = std::max(peak_live_, cache_.size());
-  } else if (it->second->pins == 0) {
-    lru_.erase(it->second->lru);  // pinned entries leave the eviction list
+    metrics.live.set(static_cast<double>(cache_.size()));
+    metrics.peak_live.set_max(static_cast<double>(peak_live_));
+  } else {
+    metrics.lease_hits.add();
+    if (it->second->pins == 0) {
+      lru_.erase(it->second->lru);  // pinned entries leave the eviction list
+    }
   }
   ++it->second->pins;
   return Lease(&it->second->client, this, id);
@@ -108,11 +143,14 @@ void ClientPool::release(std::size_t id) {
 }
 
 void ClientPool::evict_overflow_locked() {
+  PoolMetrics& metrics = pool_metrics();
   while (cache_.size() > cache_capacity_ && !lru_.empty()) {
     const std::size_t victim = lru_.back();
     lru_.pop_back();
     cache_.erase(victim);
+    metrics.evictions.add();
   }
+  metrics.live.set(static_cast<double>(cache_.size()));
 }
 
 std::size_t ClientPool::live_clients() const {

@@ -6,6 +6,8 @@
 #include "fl/evaluation.h"
 #include "fl/secure_aggregation.h"
 
+#include "obs/phase.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
@@ -72,11 +74,16 @@ RunResult Engine::run(SelectionPolicy& policy,
   result.rounds.reserve(config_.rounds);
 
   HierarchicalAggregator hierarchical(config_.aggregator_fanout);
+  obs::PhaseTimer phases;
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     SelectionContext context = SelectionContext::untiered(round, policy_rng);
     context.virtual_time = clock.now();
-    Selection selection = policy.select(context);
+    Selection selection;
+    {
+      obs::ScopedPhase phase(&phases, obs::Phase::kSelect);
+      selection = policy.select(context);
+    }
     if (selection.clients.empty()) {
       throw std::logic_error("Engine: policy selected no clients");
     }
@@ -90,13 +97,16 @@ RunResult Engine::run(SelectionPolicy& policy,
 
     // --- parallel local training -----------------------------------------
     std::vector<LocalUpdate> updates(n);
-    util::global_pool().parallel_for(0, n, [&](std::size_t i) {
-      const Client& client = clients_.at(selection.clients[i]);
-      // Deterministic stream per (round, client id).
-      util::Rng client_rng(util::mix_seed(seed, round, client.id()));
-      updates[i] =
-          client.local_update(global, scratch_[i + 1], params, client_rng);
-    });
+    {
+      obs::ScopedPhase phase(&phases, obs::Phase::kTrain);
+      util::global_pool().parallel_for(0, n, [&](std::size_t i) {
+        const Client& client = clients_.at(selection.clients[i]);
+        // Deterministic stream per (round, client id).
+        util::Rng client_rng(util::mix_seed(seed, round, client.id()));
+        updates[i] =
+            client.local_update(global, scratch_[i + 1], params, client_rng);
+      });
+    }
 
     // --- simulated round latency (Eq. 1) ---------------------------------
     // With over-provisioning (aggregate_count < n) the aggregator
@@ -130,6 +140,7 @@ RunResult Engine::run(SelectionPolicy& policy,
     clock.advance(round_latency);
 
     // --- aggregation ------------------------------------------------------
+    obs::ScopedPhase agg_phase(&phases, obs::Phase::kAggregate);
     if (config_.secure_aggregation) {
       if (keep < n) {
         throw std::logic_error(
@@ -159,6 +170,13 @@ RunResult Engine::run(SelectionPolicy& policy,
                    ? hierarchical.aggregate(weighted)
                    : fedavg(weighted);
     }
+    agg_phase.stop();
+    if (obs::Tracer* t = obs::tracer()) {
+      t->span(clock.now() - round_latency, round_latency, "sync", "round",
+              selection.tier,
+              {obs::field("round", round), obs::field("clients", n),
+               obs::field("kept", keep)});
+    }
 
     lr *= config_.lr_decay_per_round;
 
@@ -178,9 +196,17 @@ RunResult Engine::run(SelectionPolicy& policy,
     const bool eval_now =
         round % config_.eval_every == 0 || round + 1 == config_.rounds;
     if (eval_now) {
+      obs::ScopedPhase phase(&phases, obs::Phase::kEval);
       const nn::LossResult r = evaluate(global, *test_);
+      phase.stop();
       record.global_accuracy = r.accuracy;
       record.global_loss = r.loss;
+      if (obs::Tracer* t = obs::tracer()) {
+        t->instant(clock.now(), "sync", "eval", selection.tier,
+                   {obs::field("round", round),
+                    obs::field("accuracy", r.accuracy)});
+      }
+      obs::ScopedPhase tier_phase(&phases, obs::Phase::kEval);
       for (const data::Dataset& tier_set : tier_eval_sets_) {
         feedback.tier_accuracies.push_back(
             tier_set.size() > 0 ? evaluate(global, tier_set).accuracy : 0.0);
@@ -209,6 +235,7 @@ RunResult Engine::run(SelectionPolicy& policy,
       break;
     }
   }
+  result.phases = phases.stats();
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase.h"
+
 namespace tifl::fl {
 
 struct RoundRecord {
@@ -24,6 +26,9 @@ struct RoundRecord {
 struct RunResult {
   std::string policy_name;
   std::vector<RoundRecord> rounds;
+  // Wall-clock phase profile of the run (profile/select/train/aggregate/
+  // eval), filled by the engines; `tifl_run --report` prints it.
+  std::vector<obs::PhaseStat> phases;
 
   double total_time() const {
     return rounds.empty() ? 0.0 : rounds.back().virtual_time;

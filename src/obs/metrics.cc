@@ -1,0 +1,217 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+namespace tifl::obs {
+
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "null";  // JSON has no NaN
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "1e999" : "-1e999";  // parses as +-inf in most readers
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, end);
+}
+
+// --- Histo -------------------------------------------------------------------
+
+void Histo::record(double v) noexcept {
+  counts_[util::hdr::bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  // Exact running aggregates; CAS loops are uncontended in practice (all
+  // built-in sites record from the engine loop thread).
+  const std::uint64_t prior = count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  if (prior == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histo::min() const noexcept {
+  return count() == 0 ? std::numeric_limits<double>::infinity()
+                      : min_.load(std::memory_order_relaxed);
+}
+
+double Histo::max() const noexcept {
+  return count() == 0 ? -std::numeric_limits<double>::infinity()
+                      : max_.load(std::memory_order_relaxed);
+}
+
+double Histo::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histo::percentile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (int b = 0; b < util::hdr::kBucketCount; ++b) {
+    const std::uint64_t n = counts_[b].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    const double next = cum + static_cast<double>(n);
+    if (rank <= next) {
+      // Interpolate inside the bucket, then clamp to the exact extremes so
+      // quantization never reports beyond an observed value.
+      const double lo = util::hdr::bucket_lower(b);
+      double hi = util::hdr::bucket_upper(b);
+      if (std::isinf(hi)) hi = max();
+      const double frac = (rank - cum) / static_cast<double>(n);
+      return std::clamp(lo + frac * (hi - lo), min(), max());
+    }
+    cum = next;
+  }
+  return max();
+}
+
+void Histo::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<Histo::Bucket> Histo::buckets() const {
+  std::vector<Bucket> out;
+  for (int b = 0; b < util::hdr::kBucketCount; ++b) {
+    const std::uint64_t n = counts_[b].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.push_back({util::hdr::bucket_lower(b), util::hdr::bucket_upper(b), n});
+  }
+  return out;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+namespace {
+
+template <typename Map>
+auto& lookup(Map& map, std::mutex& mutex, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u0000";  // instrument names are ASCII; coarse escape
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return lookup(counters_, mutex_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return lookup(gauges_, mutex_, name);
+}
+
+Histo& Registry::histogram(std::string_view name) {
+  return lookup(histograms_, mutex_, name);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    out += std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    append_double(out, g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": ";
+    out += std::to_string(h->count());
+    if (h->count() > 0) {
+      out += ", \"sum\": ";
+      append_double(out, h->sum());
+      out += ", \"min\": ";
+      append_double(out, h->min());
+      out += ", \"max\": ";
+      append_double(out, h->max());
+      out += ", \"mean\": ";
+      append_double(out, h->mean());
+      out += ", \"p50\": ";
+      append_double(out, h->percentile(0.50));
+      out += ", \"p90\": ";
+      append_double(out, h->percentile(0.90));
+      out += ", \"p99\": ";
+      append_double(out, h->percentile(0.99));
+    }
+    out += '}';
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace tifl::obs

@@ -1,0 +1,27 @@
+#include "obs/phase.h"
+
+namespace tifl::obs {
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kProfile: return "profile";
+    case Phase::kSelect: return "select";
+    case Phase::kTrain: return "train";
+    case Phase::kAggregate: return "aggregate";
+    case Phase::kEval: return "eval";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+std::vector<PhaseStat> PhaseTimer::stats() const {
+  std::vector<PhaseStat> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].calls == 0) continue;
+    out.push_back({phase_name(static_cast<Phase>(i)), slots_[i].seconds,
+                   slots_[i].calls});
+  }
+  return out;
+}
+
+}  // namespace tifl::obs

@@ -1,0 +1,92 @@
+// Phase profiling: RAII wall-clock timers around the engines' coarse
+// phases (profile / select / train / aggregate / eval), accumulated per
+// run and surfaced through fl::RunResult so `tifl_run --report` can print
+// a where-did-the-time-go table.
+//
+// These measure *wall* time on purpose — they answer "what does this run
+// cost on this machine", complementing the virtual-time trace stream.
+// Phase totals are therefore excluded from the determinism contract and
+// never flow into the trace.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tifl::obs {
+
+enum class Phase {
+  kProfile = 0,
+  kSelect,
+  kTrain,
+  kAggregate,
+  kEval,
+  kCount,
+};
+
+const char* phase_name(Phase p) noexcept;
+
+struct PhaseStat {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+};
+
+// Per-run accumulator.  Not thread-safe: phases are timed on the engine
+// loop thread only (worker threads run inside the train phase's span).
+class PhaseTimer {
+ public:
+  void add(Phase p, double seconds) noexcept {
+    auto& slot = slots_[static_cast<std::size_t>(p)];
+    slot.seconds += seconds;
+    ++slot.calls;
+  }
+
+  double seconds(Phase p) const noexcept {
+    return slots_[static_cast<std::size_t>(p)].seconds;
+  }
+  std::uint64_t calls(Phase p) const noexcept {
+    return slots_[static_cast<std::size_t>(p)].calls;
+  }
+
+  // Phases with at least one call, in enum order.
+  std::vector<PhaseStat> stats() const;
+
+ private:
+  struct Slot {
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+  std::array<Slot, static_cast<std::size_t>(Phase::kCount)> slots_{};
+};
+
+// Times one phase for the lifetime of the scope.  A null timer disables
+// the clock reads entirely.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* timer, Phase phase) : timer_(timer), phase_(phase) {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhase() { stop(); }
+
+  // Ends the phase early; the destructor then becomes a no-op.
+  void stop() {
+    if (timer_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->add(phase_,
+                std::chrono::duration<double>(elapsed).count());
+    timer_ = nullptr;
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tifl::obs

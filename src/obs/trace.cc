@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace tifl::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+std::mutex g_write_mutex;
+
+void append_quoted(std::string& line, std::string_view s) {
+  line += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      line += '\\';
+      line += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      line += c;
+    }
+  }
+  line += '"';
+}
+
+}  // namespace
+
+void Tracer::write(double ts, double dur, std::string_view cat,
+                   std::string_view name, std::int64_t actor,
+                   std::initializer_list<Field> args) {
+  // One line is built in full, then written under the mutex: interleaved
+  // emitters can reorder lines but never splice them.
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts\": ";
+  append_double(line, ts);
+  if (dur >= 0.0) {
+    line += ", \"dur\": ";
+    append_double(line, dur);
+  }
+  line += ", \"cat\": ";
+  append_quoted(line, cat);
+  line += ", \"name\": ";
+  append_quoted(line, name);
+  line += ", \"actor\": ";
+  line += std::to_string(actor);
+  if (args.size() > 0) {
+    line += ", \"args\": {";
+    bool first = true;
+    for (const Field& f : args) {
+      if (!first) line += ", ";
+      first = false;
+      append_quoted(line, f.key);
+      line += ": ";
+      switch (f.kind) {
+        case Field::Kind::kInt:
+          line += std::to_string(f.i);
+          break;
+        case Field::Kind::kDouble:
+          append_double(line, f.d);
+          break;
+        case Field::Kind::kString:
+          append_quoted(line, f.s);
+          break;
+      }
+    }
+    line += '}';
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  out_->flush();
+}
+
+void set_tracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+Tracer* tracer() noexcept {
+  return g_tracer.load(std::memory_order_acquire);
+}
+
+}  // namespace tifl::obs

@@ -1,0 +1,108 @@
+// Structured event tracing: a deterministic JSONL stream of scheduler,
+// selection and aggregation decisions, timestamped in *virtual* simulation
+// time.
+//
+// Every line is one flat JSON object with a fixed field order:
+//
+//   {"ts": <virtual seconds>, "dur": <span length, omitted for instants>,
+//    "cat": "<subsystem>", "name": "<event>", "actor": <tier/client id>,
+//    "args": {...}}
+//
+// Determinism contract: built-in emitters only record seed-derived values
+// (virtual times, tier ids, staleness weights) — never wall-clock or
+// thread ids — and doubles are formatted with shortest-round-trip
+// std::to_chars.  Two runs of the same seed therefore produce
+// byte-identical streams regardless of thread-pool size; the async
+// determinism suite pins this.
+//
+// Gating: the tracer is installed as a process-global pointer.  A disabled
+// tracer costs exactly one branch-on-null per site:
+//
+//   if (obs::Tracer* t = obs::tracer()) t->emit(...);
+//
+// `tools/trace2chrome` converts the stream to Chrome trace_event JSON for
+// chrome://tracing; the format is also the designed seed of the
+// append-only event log the durability/replay roadmap item needs.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tifl::obs {
+
+// One "args" entry.  Only the active member for `kind` is read.
+struct Field {
+  enum class Kind { kInt, kDouble, kString };
+
+  std::string_view key;
+  Kind kind;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string_view s;
+};
+
+inline Field field(std::string_view key, std::int64_t v) {
+  return {key, Field::Kind::kInt, v, 0.0, {}};
+}
+inline Field field(std::string_view key, int v) {
+  return field(key, static_cast<std::int64_t>(v));
+}
+inline Field field(std::string_view key, std::size_t v) {
+  return field(key, static_cast<std::int64_t>(v));
+}
+inline Field field(std::string_view key, double v) {
+  return {key, Field::Kind::kDouble, 0, v, {}};
+}
+inline Field field(std::string_view key, std::string_view v) {
+  return {key, Field::Kind::kString, 0, 0.0, v};
+}
+
+class Tracer {
+ public:
+  // Writes lines to `out`; the stream must outlive the tracer.  The tracer
+  // serializes writers internally (one mutex per emit) — built-in sites
+  // all emit from the engine loop thread, so it is uncontended.
+  explicit Tracer(std::ostream* out) : out_(out) {}
+
+  // A completed span: [ts, ts + dur) in virtual seconds.
+  void span(double ts, double dur, std::string_view cat,
+            std::string_view name, std::int64_t actor,
+            std::initializer_list<Field> args = {}) {
+    write(ts, dur, cat, name, actor, args);
+  }
+
+  // A point event.
+  void instant(double ts, std::string_view cat, std::string_view name,
+               std::int64_t actor, std::initializer_list<Field> args = {}) {
+    write(ts, -1.0, cat, name, actor, args);
+  }
+
+  void flush();
+
+ private:
+  void write(double ts, double dur, std::string_view cat,
+             std::string_view name, std::int64_t actor,
+             std::initializer_list<Field> args);
+
+  std::ostream* out_;
+};
+
+// Process-global tracer; null (the default) disables all built-in sites.
+// Installation is not synchronized against in-flight emitters: install
+// before starting a run, uninstall after it completes.
+void set_tracer(Tracer* tracer);
+Tracer* tracer() noexcept;
+
+// RAII install/uninstall for a run scope.
+class TracerScope {
+ public:
+  explicit TracerScope(Tracer* t) { set_tracer(t); }
+  ~TracerScope() { set_tracer(nullptr); }
+  TracerScope(const TracerScope&) = delete;
+  TracerScope& operator=(const TracerScope&) = delete;
+};
+
+}  // namespace tifl::obs

@@ -1,8 +1,12 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/metrics.h"
 
 namespace tifl::sim {
 
@@ -14,6 +18,48 @@ namespace {
 bool after(const Event& a, const Event& b) {
   if (a.time != b.time) return a.time > b.time;
   return a.seq > b.seq;
+}
+
+// Shared across every queue instance: at paper scale all queues of a
+// process serve one engine run, and per-instance registration would churn
+// instrument names.  References are resolved once and cached.
+struct QueueMetrics {
+  obs::Counter& scheduled;
+  obs::Counter& popped;
+  obs::Gauge& depth_max;
+  obs::Histo& horizon;       // virtual seconds from now() to the event
+  obs::Histo& schedule_ns;   // sampled wall cost of one schedule call
+  obs::Histo& pop_ns;        // sampled wall cost of one pop/pop_batch
+};
+
+QueueMetrics& queue_metrics() {
+  static QueueMetrics m{
+      obs::Registry::global().counter("sim.events_scheduled"),
+      obs::Registry::global().counter("sim.events_popped"),
+      obs::Registry::global().gauge("sim.queue_depth_max"),
+      obs::Registry::global().histogram("sim.schedule_horizon"),
+      obs::Registry::global().histogram("sim.schedule_ns"),
+      obs::Registry::global().histogram("sim.pop_ns"),
+  };
+  return m;
+}
+
+// Wall-clock cost sampling: timing every heap op would distort the thing
+// being measured, so only every 64th call reads the clock.
+constexpr std::uint64_t kLatencySampleMask = 63;
+
+bool sample_now(std::atomic<std::uint64_t>& counter) {
+  return (counter.fetch_add(1, std::memory_order_relaxed) &
+          kLatencySampleMask) == 0;
+}
+
+std::atomic<std::uint64_t> g_schedule_ops{0};
+std::atomic<std::uint64_t> g_pop_ops{0};
+
+double wall_ns_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -31,10 +77,18 @@ std::uint64_t EventQueue::schedule_at(double time, std::uint64_t kind,
   if (std::isnan(time) || time < now_) {
     throw std::invalid_argument("EventQueue: event time in the past");
   }
+  QueueMetrics& metrics = queue_metrics();
+  const bool timed = sample_now(g_schedule_ops);
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   const std::uint64_t seq = next_seq_++;
   heap_.push_back(Event{.time = time, .seq = seq, .kind = kind,
                         .actor = actor});
   std::push_heap(heap_.begin(), heap_.end(), after);
+  if (timed) metrics.schedule_ns.record(wall_ns_since(start));
+  metrics.scheduled.add();
+  metrics.horizon.record(time - now_);
+  metrics.depth_max.set_max(static_cast<double>(heap_.size()));
   return seq;
 }
 
@@ -50,11 +104,21 @@ std::uint64_t EventQueue::schedule_bulk(std::span<const PendingEvent> events) {
   // Appending then rebuilding is O(heap + batch); per-element push_heap
   // would be O(batch log heap).  The rebuild permutes the heap *layout*
   // only — pop order is the strict total order on (time, seq) either way.
+  const bool timed = sample_now(g_schedule_ops);
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   for (const PendingEvent& event : events) {
     heap_.push_back(Event{.time = now_ + event.delay, .seq = next_seq_++,
                           .kind = event.kind, .actor = event.actor});
   }
   std::make_heap(heap_.begin(), heap_.end(), after);
+  QueueMetrics& metrics = queue_metrics();
+  if (timed) metrics.schedule_ns.record(wall_ns_since(start));
+  metrics.scheduled.add(events.size());
+  for (const PendingEvent& event : events) {
+    metrics.horizon.record(event.delay);
+  }
+  metrics.depth_max.set_max(static_cast<double>(heap_.size()));
   return first_seq;
 }
 
@@ -65,15 +129,24 @@ const Event& EventQueue::peek() const {
 
 Event EventQueue::pop() {
   if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty");
+  const bool timed = sample_now(g_pop_ops);
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   std::pop_heap(heap_.begin(), heap_.end(), after);
   const Event top = heap_.back();
   heap_.pop_back();
   now_ = top.time;
+  QueueMetrics& metrics = queue_metrics();
+  if (timed) metrics.pop_ns.record(wall_ns_since(start));
+  metrics.popped.add();
   return top;
 }
 
 void EventQueue::pop_batch(std::vector<Event>& out) {
   if (heap_.empty()) throw std::logic_error("EventQueue: pop_batch on empty");
+  const bool timed = sample_now(g_pop_ops);
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   out.clear();
   const double batch_time = heap_.front().time;
   // Repeated pop_heap keeps (time, seq) order within the batch — equal
@@ -84,6 +157,9 @@ void EventQueue::pop_batch(std::vector<Event>& out) {
     heap_.pop_back();
   }
   now_ = batch_time;
+  QueueMetrics& metrics = queue_metrics();
+  if (timed) metrics.pop_ns.record(wall_ns_since(start));
+  metrics.popped.add(out.size());
 }
 
 void EventQueue::pop_until(double horizon, std::vector<Event>& out) {
@@ -94,6 +170,7 @@ void EventQueue::pop_until(double horizon, std::vector<Event>& out) {
     heap_.pop_back();
     now_ = out.back().time;
   }
+  queue_metrics().popped.add(out.size());
 }
 
 void EventQueue::reset() {

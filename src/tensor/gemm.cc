@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tensor/pack.h"
 #include "util/thread_pool.h"
 
@@ -229,6 +230,75 @@ void gemm_small(const ConstView& a, const ConstView& b, float* c,
   }
 }
 
+// Row-streaming compute for rows [i0, i1) of C.  A standalone function
+// with by-value operands on purpose: routing these loops through the
+// type-erased parallel_for closure (captured references, no
+// respecialization across the std::function boundary) measured ~20%
+// slower than the identical loops compiled as a plain function.
+//
+// Narrow C rows (n <= kStreamRowBlockMaxN) are computed four at a time so
+// each B row load feeds four FMAs.  Per-row reduction order is untouched
+// by the blocking — every row still accumulates over p ascending, j
+// ascending — so chunk boundaries and the 4-row grouping cannot perturb
+// results (the pool-size determinism contract).
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))  // inlining into the closure re-pessimizes it
+#endif
+void stream_rows(const ConstView a, const ConstView b, float* const c,
+                 const std::int64_t i0, const std::int64_t i1,
+                 const std::int64_t k, const std::int64_t n,
+                 const bool accumulate, const Epilogue& ep) {
+  std::int64_t i = i0;
+  if (n <= kStreamRowBlockMaxN) {
+    for (; i + 4 <= i1; i += 4) {
+      float* __restrict c0 = c + i * n;
+      float* __restrict c1 = c0 + n;
+      float* __restrict c2 = c1 + n;
+      float* __restrict c3 = c2 + n;
+      if (!accumulate) {
+        std::memset(c0, 0, sizeof(float) * static_cast<std::size_t>(4 * n));
+      }
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float a0 = a.data[(i + 0) * a.rs + p * a.cs];
+        const float a1 = a.data[(i + 1) * a.rs + p * a.cs];
+        const float a2 = a.data[(i + 2) * a.rs + p * a.cs];
+        const float a3 = a.data[(i + 3) * a.rs + p * a.cs];
+        const float* __restrict brow = b.data + p * b.rs;
+        for (std::int64_t j = 0; j < n; ++j) {
+          c0[j] += a0 * brow[j];
+          c1[j] += a1 * brow[j];
+          c2[j] += a2 * brow[j];
+          c3[j] += a3 * brow[j];
+        }
+      }
+      if (ep.active()) {
+        for (std::int64_t r = 0; r < 4; ++r) {
+          float* crow = c + (i + r) * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            crow[j] = apply_epilogue(crow[j], i + r, j, ep);
+          }
+        }
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    float* __restrict crow = c + i * n;
+    if (!accumulate) {
+      std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a.data[i * a.rs + p * a.cs];
+      const float* __restrict brow = b.data + p * b.rs;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+    if (ep.active()) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] = apply_epilogue(crow[j], i, j, ep);
+      }
+    }
+  }
+}
+
 // Row-streaming kernel for shapes packing cannot amortize (see
 // kStreamMaxK/kStreamMaxM): the seed's i-k-j loop order minus its
 // SIMD-defeating zero-skip branch, parallel over C rows, epilogue fused
@@ -239,25 +309,10 @@ void gemm_stream(const ConstView& a, const ConstView& b, float* c,
   util::global_pool().parallel_for_chunked(
       0, static_cast<std::size_t>(m),
       [&](std::size_t lo, std::size_t hi) {
-        for (std::int64_t i = static_cast<std::int64_t>(lo);
-             i < static_cast<std::int64_t>(hi); ++i) {
-          float* __restrict crow = c + i * n;
-          if (!accumulate) {
-            std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
-          }
-          for (std::int64_t p = 0; p < k; ++p) {
-            const float av = a.data[i * a.rs + p * a.cs];
-            const float* __restrict brow = b.data + p * b.rs;
-            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-          if (ep.active()) {
-            for (std::int64_t j = 0; j < n; ++j) {
-              crow[j] = apply_epilogue(crow[j], i, j, ep);
-            }
-          }
-        }
+        stream_rows(a, b, c, static_cast<std::int64_t>(lo),
+                    static_cast<std::int64_t>(hi), k, n, accumulate, ep);
       },
-      /*grain=*/16);
+      /*grain=*/16, /*align=*/4);
 }
 
 // M blocks shorter than this use the column-panel parallel path (packing A
@@ -338,11 +393,31 @@ void gemm_blocked(const ConstView& a, const ConstView& b, float* c,
   }
 }
 
+// Dispatch-path counters: which kernel served how many calls.  One
+// relaxed add per GEMM — noise next to even the smallest kernel.
+struct GemmMetrics {
+  obs::Counter& small;
+  obs::Counter& stream;
+  obs::Counter& blocked;
+  obs::Counter& degenerate;
+};
+
+GemmMetrics& gemm_metrics() {
+  static GemmMetrics m{
+      obs::Registry::global().counter("gemm.small"),
+      obs::Registry::global().counter("gemm.stream"),
+      obs::Registry::global().counter("gemm.blocked"),
+      obs::Registry::global().counter("gemm.degenerate"),
+  };
+  return m;
+}
+
 void gemm_dispatch(const ConstView& a, const ConstView& b, float* c,
                    std::int64_t m, std::int64_t k, std::int64_t n,
                    bool accumulate, const Epilogue& ep) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
+    gemm_metrics().degenerate.add();
     // Degenerate reduction: C's addend is zero; epilogue still applies.
     if (!accumulate) {
       std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m * n));
@@ -358,10 +433,13 @@ void gemm_dispatch(const ConstView& a, const ConstView& b, float* c,
     return;
   }
   if (m * k * n < kSmallGemmLimit) {
+    gemm_metrics().small.add();
     gemm_small(a, b, c, m, k, n, accumulate, ep);
   } else if (b.cs == 1 && (k <= kStreamMaxK || m <= kStreamMaxM)) {
+    gemm_metrics().stream.add();
     gemm_stream(a, b, c, m, k, n, accumulate, ep);
   } else {
+    gemm_metrics().blocked.add();
     gemm_blocked(a, b, c, m, k, n, accumulate, ep);
   }
 }

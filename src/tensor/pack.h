@@ -47,12 +47,21 @@ inline constexpr std::int64_t kNC = 2048;  // multiple of kNR
 // panel setup would cost more than it saves on tiny layer shapes.
 inline constexpr std::int64_t kSmallGemmLimit = 32 * 32 * 32;
 
-// Shapes where packing cannot amortize — shallow reductions (k below
-// kStreamMaxK: B fits L2 and is reused row to row) or very short C (m at
-// or below kStreamMaxM: B is only streamed a handful of times) — run the
-// row-streaming kernel instead when B is row-major.
-inline constexpr std::int64_t kStreamMaxK = 64;
+// Shapes where packing cannot amortize — shallow reductions (k at or below
+// kStreamMaxK) or very short C (m at or below kStreamMaxM: B is only
+// streamed a handful of times) — run the row-streaming kernel instead when
+// B is row-major.  The k threshold sits at the measured crossover: by
+// k ~ 24 the packed microkernel already beats row streaming ~1.3x and the
+// gap widens with depth (~3x by k = 64), while below it the per-tile
+// accumulator setup/writeback cannot amortize over so few rank-1 updates.
+inline constexpr std::int64_t kStreamMaxK = 16;
 inline constexpr std::int64_t kStreamMaxM = 2 * kMR;
+
+// Streamed C rows at or below this width are computed four rows per B
+// sweep (each B row load feeds four FMAs); wider rows go one at a time —
+// with multi-kilobyte rows the extra write streams cost more than the
+// B reuse saves.
+inline constexpr std::int64_t kStreamRowBlockMaxN = 512;
 
 // Strided read-only matrix view: element (i, j) is data[i*rs + j*cs].
 // Normal row-major is {ptr, ld, 1}; a transposed operand is {ptr, 1, ld} —

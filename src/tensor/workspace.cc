@@ -1,11 +1,21 @@
 #include "tensor/workspace.h"
 
+#include "obs/metrics.h"
+
 namespace tifl::tensor {
 
 std::span<float> Workspace::acquire(std::size_t slot, std::size_t count) {
   if (slot >= slots_.size()) slots_.resize(slot + 1);
   std::vector<float>& buf = slots_[slot];
-  if (buf.size() < count) buf.resize(count);
+  if (buf.size() < count) {
+    // Growth is a warm-up event (steady state reuses verbatim), so the
+    // per-growth delta is cheap to track globally: the gauge accumulates
+    // scratch bytes ever granted across the process's workspaces.
+    static obs::Gauge& bytes =
+        obs::Registry::global().gauge("tensor.workspace_bytes");
+    bytes.add(static_cast<double>((count - buf.size()) * sizeof(float)));
+    buf.resize(count);
+  }
   return {buf.data(), count};
 }
 

@@ -1,7 +1,9 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
 
@@ -52,5 +54,73 @@ std::size_t Histogram::bin_of(double value) const {
       std::upper_bound(edges_.begin() + 1, edges_.end() - 1, value);
   return static_cast<std::size_t>(it - (edges_.begin() + 1));
 }
+
+double Histogram::percentile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  std::size_t total = 0;
+  for (std::size_t c : counts_) total += c;
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (rank <= next && counts_[b] > 0) {
+      const double frac = (rank - cum) / static_cast<double>(counts_[b]);
+      return edges_[b] + frac * (edges_[b + 1] - edges_[b]);
+    }
+    cum = next;
+  }
+  return edges_.back();
+}
+
+namespace hdr {
+
+namespace {
+
+// pow10_table[i] == 10^(kDecadeMin + i), for i in [0, decades].
+constexpr int kDecades = kDecadeMax - kDecadeMin;
+
+const double* pow10_table() {
+  static const auto table = [] {
+    std::array<double, kDecades + 1> t{};
+    for (int i = 0; i <= kDecades; ++i) {
+      t[static_cast<std::size_t>(i)] =
+          std::pow(10.0, static_cast<double>(kDecadeMin + i));
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+int bucket_index(double v) noexcept {
+  const double* p10 = pow10_table();
+  if (!(v >= p10[0])) return 0;  // zero, negative, tiny — and NaN
+  if (v >= p10[kDecades]) return kBucketCount - 1;
+  // Decade via log10, then nudge to absorb rounding at exact powers.
+  int d = static_cast<int>(std::floor(std::log10(v))) - kDecadeMin;
+  d = std::clamp(d, 0, kDecades - 1);
+  if (v < p10[d]) --d;
+  if (v >= p10[d + 1]) ++d;
+  const int sub =
+      std::clamp(static_cast<int>(v / p10[d]) - 1, 0, kSubBuckets - 1);
+  return 1 + d * kSubBuckets + sub;
+}
+
+double bucket_lower(int b) noexcept {
+  if (b <= 0) return 0.0;
+  if (b >= kBucketCount - 1) return pow10_table()[kDecades];
+  const int d = (b - 1) / kSubBuckets;
+  const int sub = (b - 1) % kSubBuckets;
+  return pow10_table()[d] * static_cast<double>(sub + 1);
+}
+
+double bucket_upper(int b) noexcept {
+  if (b < 0) return 0.0;
+  if (b >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  return bucket_lower(b + 1);
+}
+
+}  // namespace hdr
 
 }  // namespace tifl::util

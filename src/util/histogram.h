@@ -28,9 +28,37 @@ class Histogram {
   // Half-open bin edges; edges().size() == bin_count() + 1.
   const std::vector<double>& edges() const noexcept { return edges_; }
 
+  // Quantile estimate for q in [0, 1] (clamped): finds the bin holding the
+  // q * total'th sample and interpolates linearly inside it, so estimates
+  // move smoothly with q instead of jumping at bin boundaries.  q = 0 and
+  // q = 1 return the first/last bin edge.
+  double percentile(double q) const noexcept;
+
  private:
   std::vector<double> edges_;
   std::vector<std::size_t> counts_;
 };
+
+// HDR-style log-linear bucket geometry for incremental histograms
+// (obs::Histo): decades from 1e-9 to 1e9, each split into one sub-bucket
+// per leading digit (~4% relative resolution at the decade top, bounded
+// bucket count for any value range).  Bucket 0 catches zero, negative and
+// sub-1e-9 values; the last bucket catches >= 1e9.
+namespace hdr {
+
+inline constexpr int kDecadeMin = -9;
+inline constexpr int kDecadeMax = 9;
+inline constexpr int kSubBuckets = 9;
+inline constexpr int kBucketCount =
+    2 + (kDecadeMax - kDecadeMin) * kSubBuckets;
+
+// Bucket for `v`; total order: index(u) <= index(v) whenever u <= v.
+int bucket_index(double v) noexcept;
+// Half-open bucket range [lower, upper).  bucket_lower(0) is 0;
+// bucket_upper(kBucketCount - 1) is +infinity.
+double bucket_lower(int b) noexcept;
+double bucket_upper(int b) noexcept;
+
+}  // namespace hdr
 
 }  // namespace tifl::util

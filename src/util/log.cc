@@ -1,6 +1,10 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -19,15 +23,57 @@ const char* level_name(LogLevel level) {
   }
   return "?????";
 }
+
+// Short per-thread ordinal in first-log order: stable within a run and
+// far more readable than a 15-digit pthread id.  The main thread almost
+// always logs first and claims t00.
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+// `[YYYY-MM-DD HH:MM:SS.mmm]`, local time.
+void format_timestamp(char (&buf)[32]) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  std::size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03d", static_cast<int>(ms));
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void log(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+  char stamp[32];
+  format_timestamp(stamp);
+  char tid[8];
+  std::snprintf(tid, sizeof(tid), "t%02u", thread_ordinal());
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  std::cerr << "[" << stamp << "] [" << level_name(level) << "] [" << tid
+            << "] " << message << '\n';
 }
 
 }  // namespace tifl::util

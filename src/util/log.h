@@ -1,10 +1,16 @@
 // Leveled stderr logger.  Intentionally minimal: the FL engine logs round
 // progress at kInfo, benches usually run with kWarn to keep table output
 // clean.  Thread-safe (a single mutex around formatting + write).
+//
+// Line shape: `[2026-08-07 14:03:12.481] [INFO ] [t03] message` — wall
+// timestamp (local time, ms), level, short per-thread ordinal (main
+// thread logs as t00; workers get ordinals in first-log order).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tifl::util {
 
@@ -12,6 +18,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Case-insensitive level name ("debug", "info", "warn"/"warning",
+// "error") to level; nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 // Emits `message` if `level` passes the global threshold.
 void log(LogLevel level, const std::string& message);

@@ -12,11 +12,14 @@
 #include <memory>
 #include <numeric>
 
+#include <sstream>
+
 #include "core/adaptive_policy.h"
 #include "fl/async_engine.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
+#include "obs/trace.h"
 #include "test_helpers.h"
 #include "util/thread_pool.h"
 
@@ -261,6 +264,55 @@ TEST(AsyncDeterminism, VirtualPoolBatchedLoopIsThreadPoolSizeInvariant) {
     EXPECT_DOUBLE_EQ(r1.result.rounds[i].virtual_time,
                      r8.result.rounds[i].virtual_time);
   }
+}
+
+// --- trace stream determinism -------------------------------------------------
+//
+// The obs::Tracer contract (src/obs/trace.h): built-in emitters record
+// only seed-derived values in virtual time, so the trace stream is
+// byte-identical across thread-pool sizes.  Any wall-clock, thread-id or
+// FP-reduction-order leak into an emitted field breaks this.
+
+std::string trace_with_pool_size(const AsyncConfig& async,
+                                 std::size_t threads) {
+  std::ostringstream out;
+  obs::Tracer tracer(&out);
+  obs::TracerScope scope(&tracer);
+  run_with_pool_size(async, threads, tiny_factory());
+  tracer.flush();
+  return out.str();
+}
+
+void expect_trace_pool_size_invariance(const AsyncConfig& async) {
+  const std::string t1 = trace_with_pool_size(async, 1);
+  const std::string t2 = trace_with_pool_size(async, 2);
+  const std::string t8 = trace_with_pool_size(async, 8);
+  EXPECT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+  // Repeat at the same pool size: also a pure function of the seed.
+  EXPECT_EQ(t1, trace_with_pool_size(async, 1));
+}
+
+TEST(AsyncDeterminism, StaticPathTraceIsByteIdenticalAcrossPoolSizes) {
+  AsyncConfig async;
+  async.total_updates = 16;
+  async.clients_per_tier_round = 4;
+  async.eval_every = 4;
+  async.staleness = StalenessFn::kInverseFrequency;
+  expect_trace_pool_size_invariance(async);
+}
+
+TEST(AsyncDeterminism, DynamicPathTraceIsByteIdenticalAcrossPoolSizes) {
+  AsyncConfig async;
+  async.total_updates = 20;
+  async.clients_per_tier_round = 4;
+  async.eval_every = 4;
+  async.staleness = StalenessFn::kPolynomial;
+  async.churn.join_rate = 0.05;
+  async.churn.leave_rate = 0.05;
+  async.churn.slowdown_rate = 0.1;
+  expect_trace_pool_size_invariance(async);
 }
 
 }  // namespace

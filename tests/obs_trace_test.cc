@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tifl::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Tracer, DisabledByDefault) {
+  // No tracer installed: the global hook is null, so every built-in site's
+  // `if (obs::Tracer* t = obs::tracer())` is one untaken branch.
+  EXPECT_EQ(tracer(), nullptr);
+}
+
+TEST(Tracer, ScopeInstallsAndUninstalls) {
+  std::ostringstream out;
+  Tracer t(&out);
+  {
+    TracerScope scope(&t);
+    EXPECT_EQ(tracer(), &t);
+  }
+  EXPECT_EQ(tracer(), nullptr);
+}
+
+TEST(Tracer, SpanLineShape) {
+  std::ostringstream out;
+  Tracer t(&out);
+  t.span(1.5, 2.25, "async", "tier_round", 3,
+         {field("version", 7), field("clients", std::size_t{4})});
+  EXPECT_EQ(out.str(),
+            "{\"ts\": 1.5, \"dur\": 2.25, \"cat\": \"async\", "
+            "\"name\": \"tier_round\", \"actor\": 3, "
+            "\"args\": {\"version\": 7, \"clients\": 4}}\n");
+}
+
+TEST(Tracer, InstantOmitsDur) {
+  std::ostringstream out;
+  Tracer t(&out);
+  t.instant(0.0, "churn", "join", 42);
+  EXPECT_EQ(out.str(),
+            "{\"ts\": 0, \"cat\": \"churn\", \"name\": \"join\", "
+            "\"actor\": 42}\n");
+}
+
+TEST(Tracer, DoubleFieldsAreShortestRoundTrip) {
+  std::ostringstream out;
+  Tracer t(&out);
+  t.instant(0.1, "x", "y", 0, {field("w", 1.0 / 3.0)});
+  const std::string text = out.str();
+  // 0.1 renders as "0.1", not "0.10000000000000001".
+  EXPECT_NE(text.find("\"ts\": 0.1,"), std::string::npos);
+  // Round-trip: parsing the emitted digits recovers the exact double.
+  const std::size_t at = text.find("\"w\": ");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(text.substr(at + 5)), 1.0 / 3.0);
+}
+
+TEST(Tracer, EscapesQuotesAndStripsControlChars) {
+  std::ostringstream out;
+  Tracer t(&out);
+  t.instant(0.0, "c", "quote\"back\\slash\nnewline", 0,
+            {field("s", std::string_view("a\"b"))});
+  EXPECT_EQ(out.str(),
+            "{\"ts\": 0, \"cat\": \"c\", "
+            "\"name\": \"quote\\\"back\\\\slashnewline\", \"actor\": 0, "
+            "\"args\": {\"s\": \"a\\\"b\"}}\n");
+}
+
+TEST(Tracer, OneLinePerEvent) {
+  std::ostringstream out;
+  Tracer t(&out);
+  for (int i = 0; i < 5; ++i) {
+    t.instant(static_cast<double>(i), "cat", "tick", i);
+  }
+  t.flush();
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(Tracer, IdenticalEmitsAreByteIdentical) {
+  // The determinism guard's foundation: equal inputs, equal bytes.
+  const auto emit = [] {
+    std::ostringstream out;
+    Tracer t(&out);
+    t.span(12.75, 0.5, "async", "tier_round", 1,
+           {field("version", 9), field("weight", 0.3333333333333333)});
+    t.instant(13.25, "async", "eval", 1, {field("accuracy", 0.515625)});
+    return out.str();
+  };
+  EXPECT_EQ(emit(), emit());
+}
+
+}  // namespace
+}  // namespace tifl::obs

@@ -242,5 +242,103 @@ TEST(Histogram, SingleBinHoldsEverything) {
   EXPECT_EQ(h.bin_of(5.0), 0u);
 }
 
+TEST(Histogram, PercentileEndpointsAreEdges) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  Histogram h(xs, 2, BinningMode::kEqualWidth);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.edges().front());
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), h.edges().back());
+  // Out-of-range quantiles clamp rather than extrapolate.
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.edges().front());
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), h.edges().back());
+}
+
+TEST(Histogram, PercentileInterpolatesInsideBin) {
+  // 8 uniform samples over [0, 8) in 4 bins of 2: the distribution is
+  // uniform, so quantiles are (near) linear in q.
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  Histogram h(xs, 4, BinningMode::kEqualWidth);
+  const double lo = h.edges().front(), hi = h.edges().back();
+  for (double q : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(h.percentile(q), lo + q * (hi - lo), (hi - lo) / 4.0)
+        << "q=" << q;
+  }
+  // Monotone in q.
+  double prev = h.percentile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    EXPECT_GE(h.percentile(q), prev);
+    prev = h.percentile(q);
+  }
+}
+
+TEST(Histogram, PercentileSingleSample) {
+  const std::vector<double> xs{42.0};
+  Histogram h(xs, 3, BinningMode::kEqualWidth);
+  // Degenerate range (the constructor widens it by an epsilon): every
+  // quantile collapses to the sample up to that widening.
+  EXPECT_NEAR(h.percentile(0.0), 42.0, 1e-6);
+  EXPECT_NEAR(h.percentile(0.5), 42.0, 1e-6);
+  EXPECT_NEAR(h.percentile(1.0), 42.0, 1e-6);
+  EXPECT_GE(h.percentile(0.5), h.edges().front());
+  EXPECT_LE(h.percentile(0.5), h.edges().back());
+}
+
+TEST(Histogram, PercentileNegativeValues) {
+  const std::vector<double> xs{-8.0, -4.0, -2.0, -1.0};
+  Histogram h(xs, 2, BinningMode::kQuantile);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), -8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), -1.0);
+  const double median = h.percentile(0.5);
+  EXPECT_GE(median, -8.0);
+  EXPECT_LE(median, -1.0);
+}
+
+// --- hdr log-linear buckets (obs::Histo geometry) ---------------------------
+
+TEST(HdrBuckets, IndexIsMonotoneAndTotal) {
+  // Monotone over a wide sweep, and every value lands in a valid bucket.
+  double prev_value = 0.0;
+  int prev_index = hdr::bucket_index(0.0);
+  EXPECT_EQ(prev_index, 0);
+  for (double v = 1e-12; v < 1e12; v *= 1.7) {
+    const int index = hdr::bucket_index(v);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, hdr::kBucketCount);
+    EXPECT_GE(index, prev_index) << "v=" << v << " prev=" << prev_value;
+    prev_index = index;
+    prev_value = v;
+  }
+}
+
+TEST(HdrBuckets, ValueFallsInsideItsBucketRange) {
+  for (double v : {1e-9, 3.7e-5, 0.5, 1.0, 2.0, 9.99, 10.0, 123.0, 8.8e8}) {
+    const int b = hdr::bucket_index(v);
+    EXPECT_GE(v, hdr::bucket_lower(b)) << "v=" << v;
+    EXPECT_LT(v, hdr::bucket_upper(b)) << "v=" << v;
+  }
+}
+
+TEST(HdrBuckets, UnderflowAndOverflowBuckets) {
+  // Zero, negatives and NaN all land in the underflow bucket; huge values
+  // land in the terminal bucket with an infinite upper edge.
+  EXPECT_EQ(hdr::bucket_index(0.0), 0);
+  EXPECT_EQ(hdr::bucket_index(-5.0), 0);
+  EXPECT_EQ(hdr::bucket_index(std::nan("")), 0);
+  EXPECT_EQ(hdr::bucket_index(1e-10), 0);
+  EXPECT_EQ(hdr::bucket_index(1e9), hdr::kBucketCount - 1);
+  EXPECT_EQ(hdr::bucket_index(1e300), hdr::kBucketCount - 1);
+  EXPECT_TRUE(std::isinf(hdr::bucket_upper(hdr::kBucketCount - 1)));
+  EXPECT_DOUBLE_EQ(hdr::bucket_lower(0), 0.0);
+}
+
+TEST(HdrBuckets, LeadingDigitSubBuckets) {
+  // Within a decade, the sub-bucket is the leading digit: 1.x and 1.99
+  // share a bucket; 2.0 starts the next one.
+  EXPECT_EQ(hdr::bucket_index(1.0), hdr::bucket_index(1.99));
+  EXPECT_NE(hdr::bucket_index(1.99), hdr::bucket_index(2.0));
+  EXPECT_EQ(hdr::bucket_index(2.0), hdr::bucket_index(2.5));
+  // Decade boundary: 9.99 and 10.0 differ.
+  EXPECT_NE(hdr::bucket_index(9.99), hdr::bucket_index(10.0));
+}
+
 }  // namespace
 }  // namespace tifl::util

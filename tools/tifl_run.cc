@@ -36,6 +36,14 @@
 //                           enabled at >= 100000 clients.
 //   --samples-per-client N  virtual shard size (0 = dataset/clients) [50]
 //   --shard-spread F        virtual shard-size jitter in [0,1]       [0.5]
+//   --log-level  debug | info | warn | error                  [warn]
+//   --metrics-out FILE      write the global metrics registry snapshot
+//                           (counters/gauges/histograms) as JSON
+//   --trace-out FILE        stream the structured event trace as JSONL
+//                           (virtual-time stamped; convert with
+//                           trace2chrome for chrome://tracing)
+//   --report                print the wall-clock phase profile
+//                           (profile/select/train/aggregate/eval)
 //
 // With --engine async every tier trains at its own cadence; --policy
 // drives per-tier member selection (e.g. `--policy adaptive` runs Alg. 2
@@ -49,10 +57,14 @@
 // with their own staleness, and ReProfile events migrate clients between
 // tiers with tier models intact.  --churn 0 --reprofile-every 0 replays
 // the static async engine bit for bit.
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "core/policy_registry.h"
 #include "fl/policy_registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenarios.h"
 #include "util/log.h"
 
@@ -84,6 +96,10 @@ void print_usage() {
       "  --alpha F    --churn RATE  --reprofile-every SECS\n"
       "  --churn-seed S  --virtual  --samples-per-client N\n"
       "  --shard-spread F\n"
+      "  --log-level  debug | info | warn | error          [warn]\n"
+      "  --metrics-out FILE   metrics registry snapshot (JSON)\n"
+      "  --trace-out FILE     structured event trace (JSONL)\n"
+      "  --report             wall-clock phase profile table\n"
       "\n"
       "selection policies (from the registry):\n";
   for (const std::string& name : registry.names()) {
@@ -168,6 +184,15 @@ int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::from_cli(argc, argv);
 
   try {
+    const std::string level_name = cli.get("log-level", "warn");
+    const std::optional<util::LogLevel> level =
+        util::parse_log_level(level_name);
+    if (!level.has_value()) {
+      throw std::invalid_argument("unknown --log-level " + level_name +
+                                  " (debug | info | warn | error)");
+    }
+    util::set_log_level(*level);
+
     ScenarioConfig config = from_flags(cli, options);
     config.time_budget_seconds = cli.get_double("time-budget", 0.0);
 
@@ -194,6 +219,51 @@ int main(int argc, char** argv) {
     }
     Scenario scenario = virtualized ? build_virtual_scenario(std::move(config))
                                     : build_scenario(std::move(config));
+
+    // Tracing covers the run only (installed after scenario setup so data
+    // loading stays out of the stream); metrics snapshot after the run.
+    const std::string trace_out = cli.get("trace-out", "");
+    std::ofstream trace_stream;
+    std::optional<obs::Tracer> tracer;
+    std::optional<obs::TracerScope> trace_scope;
+    if (!trace_out.empty()) {
+      trace_stream.open(trace_out);
+      if (!trace_stream) {
+        throw std::runtime_error("cannot open --trace-out file " + trace_out);
+      }
+      tracer.emplace(&trace_stream);
+      trace_scope.emplace(&*tracer);
+    }
+    const std::string metrics_out = cli.get("metrics-out", "");
+    const bool report = cli.has("report");
+    const auto finish = [&](const fl::RunResult& result) {
+      if (tracer.has_value()) {
+        trace_scope.reset();
+        tracer->flush();
+        trace_stream.close();
+        std::cout << "trace written to " << trace_out << "\n";
+      }
+      if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        if (!out) {
+          throw std::runtime_error("cannot open --metrics-out file " +
+                                   metrics_out);
+        }
+        out << obs::Registry::global().to_json() << "\n";
+        std::cout << "metrics written to " << metrics_out << "\n";
+      }
+      if (report && !result.phases.empty()) {
+        util::TablePrinter phase_table({"phase", "seconds", "calls"});
+        for (const obs::PhaseStat& stat : result.phases) {
+          phase_table.add_row({stat.name,
+                               util::format_double(stat.seconds, 3),
+                               std::to_string(stat.calls)});
+        }
+        std::cout << "\nphase profile (wall seconds)\n"
+                  << phase_table.to_string();
+      }
+    };
+
     print_tiering(*scenario.system);
     if (engine == "async") {
       fl::AsyncConfig async;
@@ -248,6 +318,7 @@ int main(int argc, char** argv) {
                        std::to_string(run.final_live_clients)});
       }
       std::cout << "\n" << tiers.to_string() << "\n" << table.to_string();
+      finish(result);
 
       const std::string csv = cli.get("csv", "");
       if (!csv.empty()) {
@@ -274,6 +345,7 @@ int main(int argc, char** argv) {
     table.add_row({"best accuracy [%]",
                    util::format_double(result.best_accuracy() * 100, 2)});
     std::cout << "\n" << table.to_string();
+    finish(result);
 
     const std::string csv = cli.get("csv", "");
     if (!csv.empty()) {

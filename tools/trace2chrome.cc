@@ -1,0 +1,133 @@
+// trace2chrome — converts a tifl trace stream (the JSONL written by
+// `tifl_run --trace-out`, see src/obs/trace.h) into Chrome trace_event
+// JSON loadable by chrome://tracing or https://ui.perfetto.dev.
+//
+//   trace2chrome run.jsonl > run.json
+//   trace2chrome run.jsonl run.json
+//   tifl_run ... --trace-out /dev/stdout | trace2chrome - run.json
+//
+// Mapping: each line becomes one trace event; virtual seconds scale to
+// trace microseconds, spans ("dur" present) become "X" complete events,
+// instants become "i" events, the actor id (tier or client) becomes the
+// tid so each actor gets its own track, and "args" pass through verbatim.
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace {
+
+// Extracts the JSON value that follows `"<key>": ` or nullopt if the key
+// is absent.  Works on the tracer's flat fixed-order lines; values are
+// numbers, quoted strings, or (for "args") a trailing object.
+std::optional<std::string_view> raw_value(std::string_view line,
+                                          std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 4);
+  needle += '"';
+  needle += key;
+  needle += "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t begin = at + needle.size();
+  std::size_t end;
+  if (begin < line.size() && line[begin] == '"') {
+    // Quoted string: scan to the closing quote (tracer escapes inner ones).
+    end = begin + 1;
+    while (end < line.size() && (line[end] != '"' || line[end - 1] == '\\')) {
+      ++end;
+    }
+    ++end;
+  } else if (begin < line.size() && line[begin] == '{') {
+    // Object ("args" is last): everything up to the line's final brace.
+    end = line.rfind('}');
+  } else {
+    end = line.find_first_of(",}", begin);
+  }
+  if (end == std::string_view::npos || end <= begin) return std::nullopt;
+  return line.substr(begin, end - begin);
+}
+
+std::optional<double> number_value(std::string_view line,
+                                   std::string_view key) {
+  const std::optional<std::string_view> raw = raw_value(line, key);
+  if (!raw.has_value()) return std::nullopt;
+  double parsed = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), parsed);
+  if (ec != std::errc() || ptr != raw->data() + raw->size()) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3 || std::string_view(argv[1]) == "--help") {
+    std::cerr << "usage: trace2chrome <trace.jsonl | -> [out.json]\n";
+    return argc >= 2 ? 0 : 1;
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (std::string_view(argv[1]) != "-") {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "trace2chrome: cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    in = &file;
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (argc == 3) {
+    out_file.open(argv[2]);
+    if (!out_file) {
+      std::cerr << "trace2chrome: cannot open " << argv[2] << "\n";
+      return 1;
+    }
+    out = &out_file;
+  }
+
+  // Shortest-round-trip for the scaled timestamps (default ostream
+  // precision truncates microsecond values to 6 significant digits).
+  out->precision(17);
+  *out << "{\"traceEvents\": [";
+  std::string line;
+  std::size_t events = 0;
+  std::size_t lineno = 0;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::optional<double> ts = number_value(line, "ts");
+    const std::optional<std::string_view> cat = raw_value(line, "cat");
+    const std::optional<std::string_view> name = raw_value(line, "name");
+    const std::optional<std::string_view> actor = raw_value(line, "actor");
+    if (!ts.has_value() || !cat.has_value() || !name.has_value() ||
+        !actor.has_value()) {
+      std::cerr << "trace2chrome: skipping malformed line " << lineno << "\n";
+      continue;
+    }
+    const std::optional<double> dur = number_value(line, "dur");
+    const std::optional<std::string_view> args = raw_value(line, "args");
+
+    if (events > 0) *out << ",";
+    *out << "\n{\"name\": " << *name << ", \"cat\": " << *cat
+         << ", \"ph\": \"" << (dur.has_value() ? "X" : "i") << "\""
+         << ", \"ts\": " << *ts * 1e6;
+    if (dur.has_value()) *out << ", \"dur\": " << *dur * 1e6;
+    *out << ", \"pid\": 1, \"tid\": " << *actor;
+    if (!dur.has_value()) *out << ", \"s\": \"t\"";
+    if (args.has_value()) *out << ", \"args\": " << *args;
+    *out << "}";
+    ++events;
+  }
+  *out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+
+  std::cerr << "trace2chrome: " << events << " events converted\n";
+  return 0;
+}
