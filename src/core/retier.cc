@@ -6,25 +6,49 @@
 
 namespace tifl::core {
 
+namespace {
+
+void validate(const RetierConfig& config, const std::vector<double>& latency,
+              const std::vector<bool>& inactive) {
+  if (latency.size() != inactive.size()) {
+    throw std::invalid_argument("OnlineReTierer: latency/inactive mismatch");
+  }
+  if (latency.empty()) {
+    throw std::invalid_argument("OnlineReTierer: no clients");
+  }
+  if (config.ema_alpha <= 0.0 || config.ema_alpha > 1.0) {
+    throw std::invalid_argument("OnlineReTierer: ema_alpha outside (0, 1]");
+  }
+  if (config.num_tiers == 0) {
+    throw std::invalid_argument("OnlineReTierer: need at least one tier");
+  }
+}
+
+}  // namespace
+
 OnlineReTierer::OnlineReTierer(RetierConfig config,
                                std::vector<double> initial_latency,
                                std::vector<bool> inactive)
     : config_(config),
       latency_(std::move(initial_latency)),
       inactive_(std::move(inactive)) {
-  if (latency_.size() != inactive_.size()) {
-    throw std::invalid_argument("OnlineReTierer: latency/inactive mismatch");
-  }
-  if (latency_.empty()) {
-    throw std::invalid_argument("OnlineReTierer: no clients");
-  }
-  if (config_.ema_alpha <= 0.0 || config_.ema_alpha > 1.0) {
-    throw std::invalid_argument("OnlineReTierer: ema_alpha outside (0, 1]");
-  }
-  if (config_.num_tiers == 0) {
-    throw std::invalid_argument("OnlineReTierer: need at least one tier");
-  }
+  validate(config_, latency_, inactive_);
   rebuild();
+}
+
+OnlineReTierer::OnlineReTierer(RetierConfig config,
+                               std::vector<double> initial_latency,
+                               std::vector<bool> inactive,
+                               TierInfo initial_tiers)
+    : config_(config),
+      latency_(std::move(initial_latency)),
+      inactive_(std::move(inactive)),
+      tiers_(std::move(initial_tiers)) {
+  validate(config_, latency_, inactive_);
+  if (tiers_.tier_count() != config_.num_tiers) {
+    throw std::invalid_argument(
+        "OnlineReTierer: initial tiers do not match num_tiers");
+  }
 }
 
 void OnlineReTierer::observe(std::size_t client, double latency) {

@@ -38,6 +38,14 @@ class OnlineReTierer {
   OnlineReTierer(RetierConfig config, std::vector<double> initial_latency,
                  std::vector<bool> inactive);
 
+  // As above, but adopts `initial_tiers` instead of rebuilding them.
+  // Contract: `initial_tiers` must equal what build_tiers(initial_latency,
+  // !active, config.num_tiers, config.strategy) would return — the caller
+  // uses this when that partition is already in hand (straight from
+  // profiling), skipping a redundant O(n log n) pass over the population.
+  OnlineReTierer(RetierConfig config, std::vector<double> initial_latency,
+                 std::vector<bool> inactive, TierInfo initial_tiers);
+
   // Fold one observed end-to-end response latency into client c's EMA.
   void observe(std::size_t client, double latency);
 

@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "core/policy_registry.h"
@@ -73,6 +74,7 @@ void TiflSystem::profile_and_tier() {
   profile_ =
       profile_clients(*pool_, latency_model_, config_.profiler, profile_rng);
   tiers_ = build_tiers(profile_, config_.num_tiers, config_.tiering);
+  tiers_match_profile_ = true;
 }
 
 void TiflSystem::prepend_profile_phases(fl::RunResult& result) const {
@@ -161,6 +163,14 @@ fl::AsyncRunResult TiflSystem::run_async(
   if (resolved.time_budget_seconds == 0.0) {
     resolved.time_budget_seconds = config_.engine.time_budget_seconds;
   }
+  // Match the pool's cache segmentation to the worker-shard count so each
+  // event-queue shard's clients age in their own LRU.  Performance-only:
+  // materialization is a pure function of the id, so skipping (a previous
+  // run's cache still holds entries) never changes results.
+  if (pool_->virtualized() && resolved.shards != pool_->cache_segments() &&
+      pool_->live_clients() == 0) {
+    pool_->set_cache_segments(resolved.shards);
+  }
   fl::AsyncEngine engine(config_.engine, resolved, factory_, &*pool_,
                          tiers_.members, test_, latency_model_);
   if (policy != nullptr) {
@@ -200,8 +210,21 @@ fl::AsyncRunResult TiflSystem::run_async(
   for (const std::vector<std::size_t>& members : tiers_.members) {
     for (std::size_t id : members) inactive[id] = false;
   }
-  OnlineReTierer retierer(retier_config, profile_.mean_latency,
-                          std::move(inactive));
+  // When tiers_ is still verbatim build_tiers(profile_) output, the
+  // rebuild the retierer's constructor would run reproduces it exactly
+  // (same latencies, same inactive set) — seed it instead of paying the
+  // O(n log n) tiering again, which dominated run setup at 1M clients.
+  // After a dynamic run has evolved the membership the estimates no
+  // longer match the profile, so fall back to the rebuilding constructor.
+  std::optional<OnlineReTierer> retierer_storage;
+  if (tiers_match_profile_) {
+    retierer_storage.emplace(retier_config, profile_.mean_latency,
+                             std::move(inactive), tiers_);
+  } else {
+    retierer_storage.emplace(retier_config, profile_.mean_latency,
+                             std::move(inactive));
+  }
+  OnlineReTierer& retierer = *retierer_storage;
 
   fl::LifecycleHooks hooks;
   hooks.observe = [&retierer](std::size_t client, double latency) {
@@ -219,6 +242,7 @@ fl::AsyncRunResult TiflSystem::run_async(
   };
   hooks.retier = [this, &retierer]() {
     tiers_ = retierer.rebuild();
+    tiers_match_profile_ = false;
     return tiers_.members;
   };
   engine.set_lifecycle_hooks(std::move(hooks));
@@ -231,6 +255,7 @@ fl::AsyncRunResult TiflSystem::run_async(
   // population changes, and with re-tiering on, the last ReProfile's
   // partition stands until the next one would have fired.
   tiers_ = TierInfo{};
+  tiers_match_profile_ = false;
   tiers_.members = std::move(out.final_members);
   out.final_members = tiers_.members;
   tiers_.avg_latency.assign(tiers_.members.size(), 0.0);
@@ -283,6 +308,7 @@ double TiflSystem::reprofile(std::uint64_t seed) {
   profile_ =
       profile_clients(*pool_, latency_model_, config_.profiler, profile_rng);
   tiers_ = build_tiers(profile_, config_.num_tiers, config_.tiering);
+  tiers_match_profile_ = true;
   if (engine_ != nullptr) {
     engine_->set_tier_eval_sets(
         build_tier_eval_sets(tiers_, engine_->clients(), *test_));

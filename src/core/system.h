@@ -153,6 +153,13 @@ class TiflSystem {
   // Wall time spent in profile_and_tier / reprofile (obs::Phase::kProfile).
   obs::PhaseTimer profile_phases_;
   TierInfo tiers_;
+  // True while tiers_ is verbatim build_tiers(profile_) output (set by
+  // profile_and_tier / reprofile, cleared once a dynamic run evolves the
+  // membership).  Lets run_async seed the OnlineReTierer with the
+  // already-built partition instead of re-running the O(n log n) tiering
+  // over a million clients — bit-identical, since build_tiers is a pure
+  // function of inputs the retierer would pass unchanged.
+  bool tiers_match_profile_ = false;
   ProfileResult profile_;
   sim::LatencyModel latency_model_;
   const data::Dataset* test_ = nullptr;

@@ -1,6 +1,7 @@
 #include "fl/async_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -11,7 +12,9 @@
 #include "obs/metrics.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
+#include "sim/sharded_event_queue.h"
 #include "util/log.h"
+#include "util/segmented_id_set.h"
 #include "util/thread_pool.h"
 
 namespace tifl::fl {
@@ -162,8 +165,17 @@ struct AsyncMetrics {
   obs::Counter& leaves;
   obs::Counter& slowdowns;
   obs::Counter& reprofiles;
+  obs::Counter& barriers;
+  // One-time run setup (per-client state arrays, membership sets, initial
+  // heap fill) and end-of-run finalization (flat membership reporting,
+  // per-shard metric merges) — wall time, so benches can report
+  // steady-state event throughput separately from the O(population)
+  // bookends.
+  obs::Counter& setup_ns;
+  obs::Counter& finalize_ns;
   obs::Histo& staleness;
   obs::Histo& event_batch;
+  obs::Histo& barrier_tasks;
 };
 
 AsyncMetrics& async_metrics() {
@@ -178,8 +190,12 @@ AsyncMetrics& async_metrics() {
       reg.counter("async.leaves"),
       reg.counter("async.slowdowns"),
       reg.counter("async.reprofiles"),
+      reg.counter("async.barriers"),
+      reg.counter("async.setup_ns"),
+      reg.counter("async.finalize_ns"),
       reg.histogram("async.staleness"),
       reg.histogram("async.event_batch"),
+      reg.histogram("async.barrier_tasks"),
   };
   return m;
 }
@@ -249,6 +265,12 @@ void AsyncEngine::validate() const {
   }
   if (std::isnan(async_.reprofile_every) || async_.reprofile_every < 0.0) {
     throw std::invalid_argument("AsyncEngine: negative reprofile_every");
+  }
+  if (async_.shards == 0) {
+    throw std::invalid_argument("AsyncEngine: shards must be > 0");
+  }
+  if (std::isnan(async_.barrier_window) || async_.barrier_window < 0.0) {
+    throw std::invalid_argument("AsyncEngine: negative or NaN barrier_window");
   }
   for (double rate : {async_.churn.join_rate, async_.churn.leave_rate,
                       async_.churn.slowdown_rate}) {
@@ -336,6 +358,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
                                        SelectionPolicy& policy) {
   const std::size_t num_tiers = tier_members_.size();
   AsyncMetrics& metrics = async_metrics();
+  const auto setup_start = std::chrono::steady_clock::now();
   obs::PhaseTimer phases;
 
   TierRngs rngs = make_tier_rngs(seed, num_tiers);
@@ -352,7 +375,10 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
   std::vector<double> staleness_sum(num_tiers, 0.0);
   std::vector<PendingRound> pending(num_tiers);
 
-  sim::EventQueue queue;
+  // Tier-round completions are the only scheduled events here, so tiers
+  // are the actor space.  Any shard count pops the single-heap (time,
+  // seq) order (oracle-pinned), so results don't depend on async_.shards.
+  sim::ShardedEventQueue queue(async_.shards, num_tiers);
   AsyncRunResult out;
   out.result.policy_name =
       policy_ != nullptr
@@ -465,6 +491,11 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
               {obs::field("version", version), obs::field("clients", count)});
     }
   };
+
+  metrics.setup_ns.add(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - setup_start)
+          .count()));
 
   for (std::size_t t = 0; t < num_tiers; ++t) {
     if (!tier_members_[t].empty() && scheduled < async_.total_updates) {
@@ -610,6 +641,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
     out.result.rounds.back().global_loss = r.loss;
   }
 
+  const auto finalize_start = std::chrono::steady_clock::now();
   finalize_result(out, std::move(global), tier_updates, staleness_sum,
                   std::move(current_weights));
   out.result.phases = phases.stats();
@@ -617,6 +649,13 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
   for (const std::vector<std::size_t>& members : tier_members_) {
     out.final_live_clients += members.size();
   }
+  // Fold the per-shard queue registries into the process-global snapshot
+  // under the single-queue instrument names (sim.events_popped etc.).
+  queue.merge_metrics_into(obs::Registry::global());
+  metrics.finalize_ns.add(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - finalize_start)
+          .count()));
   return out;
 }
 
@@ -634,6 +673,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   const std::size_t num_tiers = tier_members_.size();
   const std::size_t num_clients = clients_->size();
   AsyncMetrics& metrics = async_metrics();
+  const auto setup_start = std::chrono::steady_clock::now();
   obs::PhaseTimer phases;
   if (async_.reprofile_every > 0.0 && !hooks_.retier) {
     throw std::invalid_argument(
@@ -641,11 +681,16 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   }
 
   // Membership evolves during the run (leaves, joins, re-tierings), so
-  // work on a run-local copy: repeated run() calls stay a pure function
-  // of the seed.  Sorted ascending — the sorted_erase/insert below and
-  // deterministic sampling rely on it.
-  std::vector<std::vector<std::size_t>> tiers = tier_members_;
-  for (std::vector<std::size_t>& members : tiers) {
+  // work on run-local state: repeated run() calls stay a pure function
+  // of the seed.  Authoritative membership lives in order-statistics sets
+  // (SegmentedIdSet: O(block) churn instead of an O(n) memmove per event
+  // at million-client scale); `tiers_flat` is a dirty-cached ascending
+  // copy rebuilt only where an interface needs a plain vector (custom
+  // selection policies, re-tier callbacks, final reporting).  Both views
+  // iterate in ascending id order, exactly like the flat sorted vectors
+  // they replace, so sampling and picks are bit-identical.
+  std::vector<std::vector<std::size_t>> tiers_flat = tier_members_;
+  for (std::vector<std::size_t>& members : tiers_flat) {
     std::sort(members.begin(), members.end());
   }
 
@@ -686,18 +731,42 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   std::vector<std::size_t> flight_tier(num_clients, 0);
   std::vector<LocalUpdate> flight_update(num_clients);
 
-  std::vector<std::size_t> live_ids;      // sorted ascending
-  std::vector<std::size_t> inactive_ids;  // sorted ascending (join reserve)
+  std::vector<util::SegmentedIdSet> tier_sets;
+  tier_sets.reserve(num_tiers);
   for (std::size_t t = 0; t < num_tiers; ++t) {
-    for (std::size_t id : tiers[t]) {
+    tier_sets.emplace_back(num_clients);
+  }
+  std::vector<char> tier_dirty(num_tiers, 0);
+  util::SegmentedIdSet live_set(num_clients);
+  util::SegmentedIdSet inactive_set(num_clients);  // join reserve
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    for (std::size_t id : tiers_flat[t]) {
       live[id] = 1;
       tier_of[id] = t;
+      tier_sets[t].insert(id);
     }
   }
   for (std::size_t c = 0; c < num_clients; ++c) {
-    (live[c] ? live_ids : inactive_ids).push_back(c);
+    (live[c] ? live_set : inactive_set).insert(c);
   }
 
+  // Refresh + return the flat membership copies; every plain-vector
+  // consumer below goes through this.
+  const auto flat_tiers = [&]() -> std::vector<std::vector<std::size_t>>& {
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      if (tier_dirty[t]) {
+        tiers_flat[t] = tier_sets[t].to_vector();
+        tier_dirty[t] = 0;
+      }
+    }
+    return tiers_flat;
+  };
+
+  // In-flight members keyed by their *current* tier (cohort-sized sorted
+  // vectors).  The default-policy fast path subtracts these from a tier
+  // by rank instead of scanning its whole membership for busy clients;
+  // rebucketed on re-tiering, erased on arrival and departure.
+  std::vector<std::vector<std::size_t>> inflight_by_tier(num_tiers);
   const auto sorted_insert = [](std::vector<std::size_t>& ids,
                                 std::size_t id) {
     ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
@@ -708,7 +777,10 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     if (it != ids.end() && *it == id) ids.erase(it);
   };
 
-  sim::EventQueue queue;
+  // Clients are the actor space: each shard owns a contiguous id range
+  // and its own heap, and pops replay the single-heap (time, seq) order
+  // at every shard count (lifecycle/reprofile events ride on actor 0).
+  sim::ShardedEventQueue queue(async_.shards, num_clients);
   AsyncRunResult out;
   out.result.policy_name =
       policy_ != nullptr ? "async-dyn/" + policy.name() + "/" +
@@ -720,6 +792,58 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   std::vector<double> accum_scratch;      // aggregate_global scratch
 
   std::size_t dispatch_seq = 0;
+
+  // Deferred cohort training (barrier windows).  A dispatch snapshots the
+  // global model and its dispatch seq into a TrainTask instead of
+  // training inline; tasks flush through the thread pool at the window
+  // barrier, or early when one of their members' arrival lands inside the
+  // same window.  Training is order-independent — each client's RNG is
+  // forked from (dispatch seq, client id) and reads only the snapshot —
+  // so any flush point (including the window-0 default) produces
+  // byte-identical weights to the legacy train-at-dispatch.
+  struct TrainTask {
+    std::vector<std::size_t> members;  // selection order
+    std::vector<float> snapshot;       // global at dispatch time
+    double lr = 0.0;
+    std::size_t seq = 0;  // dispatch_seq at creation (RNG fork key)
+    bool done = false;
+  };
+  std::vector<TrainTask> window_tasks;
+  constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> task_of(num_clients, kNoTask);
+  std::vector<std::size_t> train_ids;            // run_task scratch
+  std::vector<ClientPool::Lease> lease_scratch;  // run_task scratch
+
+  const auto run_task = [&](std::size_t index) {
+    TrainTask& task = window_tasks[index];
+    if (task.done) return;
+    task.done = true;
+    // Only members still awaiting *this* dispatch train: a mid-window
+    // leave clears in_flight, and a same-window re-dispatch of a member
+    // (leave + rejoin) re-points its task_of at the newer task.
+    train_ids.clear();
+    for (std::size_t c : task.members) {
+      if (in_flight[c] && task_of[c] == index) train_ids.push_back(c);
+    }
+    if (train_ids.empty()) return;
+    const std::size_t count = train_ids.size();
+    LocalTrainParams params = config_.local;
+    params.lr = task.lr;
+    for (std::size_t i = 0; i < count; ++i) scratch_model(i + 1);
+    obs::ScopedPhase phase(&phases, obs::Phase::kTrain);
+    lease_scratch.clear();
+    lease_scratch.reserve(count);
+    for (std::size_t id : train_ids) {
+      lease_scratch.push_back(clients_->lease(id));
+    }
+    pool().parallel_for(0, count, [&](std::size_t i) {
+      const Client& client = *lease_scratch[i];
+      util::Rng client_rng(util::mix_seed(seed, task.seq, client.id()));
+      flight_update[client.id()] = client.local_update(
+          task.snapshot, scratch_[i + 1], params, client_rng);
+    });
+    lease_scratch.clear();
+  };
 
   const auto expected_latency = [&](std::size_t c) {
     return latency_model_.expected_latency(clients_->resource(c),
@@ -735,10 +859,11 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     std::size_t best = 0;
     double best_distance = std::numeric_limits<double>::infinity();
     for (std::size_t t = 0; t < num_tiers; ++t) {
-      if (tiers[t].empty()) continue;
+      if (tier_sets[t].empty()) continue;
       double mean = 0.0;
-      for (std::size_t id : tiers[t]) mean += expected_latency(id);
-      mean /= static_cast<double>(tiers[t].size());
+      tier_sets[t].for_each(
+          [&](std::size_t id) { mean += expected_latency(id); });
+      mean /= static_cast<double>(tier_sets[t].size());
       const double distance = std::abs(mean - mine);
       if (distance < best_distance) {
         best_distance = distance;
@@ -761,75 +886,94 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     round.active = false;
     parked[tier] = 0;
     if (out.result.rounds.size() >= async_.total_updates) return;
-    // A client already training for another tier (possible right after a
-    // re-tiering migration) cannot take a second task.
-    std::vector<std::size_t> eligible;
-    for (std::size_t id : tiers[tier]) {
-      if (!in_flight[id]) eligible.push_back(id);
-    }
-    if (eligible.empty()) return;
-
     const std::size_t version = out.result.rounds.size();
-    for (std::size_t t = 0; t < num_tiers; ++t) {
-      staleness_scratch[t] =
-          tier_updates[t] > 0 ? version - last_submit_version[t] : 0;
-    }
-    SelectionContext context;
-    context.round = version;
-    context.virtual_time = queue.now();
-    context.tier = static_cast<int>(tier);
-    context.candidates = eligible;
-    context.tiers = TierView{.members = tiers,
-                             .update_counts = tier_updates,
-                             .staleness = staleness_scratch};
-    context.rng = &rngs.selection[tier];
-    Selection selection;
-    {
+
+    std::vector<std::size_t> selected;
+    if (policy_ == nullptr) {
+      // Default-policy fast path.  UniformTierPolicy::select draws
+      // sample_without_replacement(|eligible|, count) and returns
+      // eligible[draw], where eligible = tier members minus in-flight
+      // clients in ascending id order.  Replicate that draw-for-draw
+      // against the order-statistics set: the in-flight "holes" are
+      // rank-adjusted away instead of materializing an O(tier size)
+      // eligible list per dispatch.  Both paths consume the exact same
+      // selection-stream values, so installing an explicit
+      // UniformTierPolicy replays this path bit for bit (ctest-pinned).
+      const std::size_t busy = inflight_by_tier[tier].size();
+      const std::size_t eligible_count = tier_sets[tier].size() - busy;
+      if (eligible_count == 0) return;
       obs::ScopedPhase phase(&phases, obs::Phase::kSelect);
-      selection = policy.select(context);
-    }
-    if (selection.clients.empty()) {
-      parked[tier] = 1;
-      parked_at[tier] = version;
-      metrics.parks.add();
-      if (obs::Tracer* t = obs::tracer()) {
-        t->instant(queue.now(), "async", "park",
-                   static_cast<std::int64_t>(tier),
-                   {obs::field("version", version)});
+      const std::size_t count =
+          std::min(async_.clients_per_tier_round, eligible_count);
+      const std::vector<std::size_t> draws = sample_without_replacement(
+          eligible_count, count, rngs.selection[tier]);
+      // Ranks of the busy members within the tier's ascending id order
+      // (ascending, because inflight_by_tier is sorted by id).
+      std::vector<std::size_t> blocked;
+      blocked.reserve(busy);
+      for (std::size_t id : inflight_by_tier[tier]) {
+        blocked.push_back(tier_sets[tier].rank(id));
       }
-      return;
-    }
-    for (std::size_t id : selection.clients) {
-      if (id >= num_clients || !live[id] || in_flight[id]) {
-        throw std::logic_error(
-            "AsyncEngine: policy selected a dead or busy client");
+      selected.reserve(count);
+      for (std::size_t local : draws) {
+        std::size_t idx = local;
+        for (std::size_t r : blocked) {
+          if (r <= idx) {
+            ++idx;
+          } else {
+            break;
+          }
+        }
+        selected.push_back(tier_sets[tier].kth(idx));
       }
-    }
-    const std::size_t count = selection.clients.size();
-    std::vector<std::size_t> selected = std::move(selection.clients);
+    } else {
+      // Custom policy: materialize the eligible list and ask.  A client
+      // already training for another tier (possible right after a
+      // re-tiering migration) cannot take a second task.
+      std::vector<std::size_t> eligible;
+      for (std::size_t id : flat_tiers()[tier]) {
+        if (!in_flight[id]) eligible.push_back(id);
+      }
+      if (eligible.empty()) return;
 
-    LocalTrainParams params = config_.local;
-    params.lr = tier_lr[tier];
-
-    for (std::size_t i = 0; i < count; ++i) scratch_model(i + 1);
-    std::vector<LocalUpdate> updates(count);
-    // Pin (and, on a virtualized pool, materialize) exactly the cohort
-    // for the duration of local training — the pool's high-water mark is
-    // the in-flight set, not the population.
-    std::vector<ClientPool::Lease> leases;
-    leases.reserve(count);
-    {
-      obs::ScopedPhase phase(&phases, obs::Phase::kTrain);
-      for (std::size_t id : selected) leases.push_back(clients_->lease(id));
-      pool().parallel_for(0, count, [&](std::size_t i) {
-        const Client& client = *leases[i];
-        util::Rng client_rng(util::mix_seed(seed, dispatch_seq, client.id()));
-        updates[i] =
-            client.local_update(global, scratch_[i + 1], params, client_rng);
-      });
-      leases.clear();
+      for (std::size_t t = 0; t < num_tiers; ++t) {
+        staleness_scratch[t] =
+            tier_updates[t] > 0 ? version - last_submit_version[t] : 0;
+      }
+      SelectionContext context;
+      context.round = version;
+      context.virtual_time = queue.now();
+      context.tier = static_cast<int>(tier);
+      context.candidates = eligible;
+      context.tiers = TierView{.members = tiers_flat,
+                               .update_counts = tier_updates,
+                               .staleness = staleness_scratch};
+      context.rng = &rngs.selection[tier];
+      Selection selection;
+      {
+        obs::ScopedPhase phase(&phases, obs::Phase::kSelect);
+        selection = policy.select(context);
+      }
+      if (selection.clients.empty()) {
+        parked[tier] = 1;
+        parked_at[tier] = version;
+        metrics.parks.add();
+        if (obs::Tracer* t = obs::tracer()) {
+          t->instant(queue.now(), "async", "park",
+                     static_cast<std::int64_t>(tier),
+                     {obs::field("version", version)});
+        }
+        return;
+      }
+      for (std::size_t id : selection.clients) {
+        if (id >= num_clients || !live[id] || in_flight[id]) {
+          throw std::logic_error(
+              "AsyncEngine: policy selected a dead or busy client");
+        }
+      }
+      selected = std::move(selection.clients);
     }
-    ++dispatch_seq;
+    const std::size_t count = selected.size();
 
     round.active = true;
     round.awaiting = count;
@@ -837,24 +981,36 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     round.accum.assign(weight_count, 0.0);
     round.weight_total = 0.0;
 
-    const std::size_t version_at_dispatch = out.result.rounds.size();
+    // Snapshot the model and dispatch seq; training runs at the window
+    // barrier (or at the cohort's first same-window arrival).
+    const std::size_t task_index = window_tasks.size();
+    window_tasks.push_back(TrainTask{});
+    TrainTask& task = window_tasks.back();
+    task.members = std::move(selected);
+    task.snapshot = global;
+    task.lr = tier_lr[tier];
+    task.seq = dispatch_seq;
+    ++dispatch_seq;
+
     // One bulk insert for the whole cohort: same (time, seq) keys as the
     // per-client schedule_at calls this replaces, one heap rebuild.
     std::vector<sim::PendingEvent> cohort;
     cohort.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t c = selected[i];
+      const std::size_t c = task.members[i];
       const double latency =
           latency_model_.sample_latency(clients_->resource(c),
                                         clients_->train_size(c),
-                                        params.epochs, rngs.latency[tier]) *
+                                        config_.local.epochs,
+                                        rngs.latency[tier]) *
           latency_scale[c];
       in_flight[c] = 1;
       ++in_flight_count;
+      sorted_insert(inflight_by_tier[tier], c);
+      task_of[c] = task_index;
       flight_tier[c] = tier;
-      flight_update[c] = std::move(updates[i]);
       flight_dispatch_time[c] = queue.now();
-      flight_dispatch_version[c] = version_at_dispatch;
+      flight_dispatch_version[c] = version;
       arrival_time[c] = queue.now() + latency;
       cohort.push_back(sim::PendingEvent{
           .delay = latency,
@@ -865,7 +1021,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     if (obs::Tracer* t = obs::tracer()) {
       t->instant(queue.now(), "async", "cohort",
                  static_cast<std::int64_t>(tier),
-                 {obs::field("version", version_at_dispatch),
+                 {obs::field("version", version),
                   obs::field("clients", count)});
     }
   };
@@ -901,14 +1057,42 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
                       /*actor=*/0);
   }
 
+  metrics.setup_ns.add(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - setup_start)
+          .count()));
+
   for (std::size_t t = 0; t < num_tiers; ++t) {
-    if (!tiers[t].empty()) dispatch(t);
+    if (!tier_sets[t].empty()) dispatch(t);
   }
+
+  // Virtual-time barrier: run every deferred task dispatched inside the
+  // window that just closed (dispatch order), then forget them.  task_of
+  // is cleared blindly — every window task has run by then, so a member
+  // re-dispatched within the window already trained under its newer task.
+  const auto flush_window = [&]() {
+    if (window_tasks.empty()) return;
+    metrics.barriers.add();
+    metrics.barrier_tasks.record(static_cast<double>(window_tasks.size()));
+    for (std::size_t i = 0; i < window_tasks.size(); ++i) run_task(i);
+    for (const TrainTask& task : window_tasks) {
+      for (std::size_t c : task.members) task_of[c] = kNoTask;
+    }
+    window_tasks.clear();
+  };
 
   bool last_evaluated = false;
   bool stopped = false;
+  double window_end = -std::numeric_limits<double>::infinity();
   std::vector<sim::Event> batch;  // reused across pop_batch calls
   while (!queue.empty() && !stopped) {
+    if (queue.peek().time > window_end) {
+      // The next event opens a new barrier window [T, T + window]: flush
+      // the cohorts the closing window deferred.  Window boundaries are a
+      // pure function of event times, so they are shard-count invariant.
+      flush_window();
+      window_end = queue.peek().time + async_.barrier_window;
+    }
     // Same-timestamp batch drain as the static loop: in-batch order is
     // the exact (time, seq) pop order, and anything the handlers schedule
     // sorts after the whole batch, so the replay sequence is unchanged.
@@ -943,8 +1127,13 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
             metrics.stale_events.add();
             break;
           }
+          // The cohort may still be awaiting its window barrier: train it
+          // now.  Deferred tasks are order-independent, so an early flush
+          // is byte-identical to flushing at the barrier.
+          if (task_of[c] != kNoTask) run_task(task_of[c]);
           in_flight[c] = 0;
           --in_flight_count;
+          sorted_erase(inflight_by_tier[tier_of[c]], c);
           const std::size_t tier = flight_tier[c];
           DynRound& round = rounds[tier];
           --round.awaiting;
@@ -1078,9 +1267,9 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
         case sim::EventKind::kClientLeave: {
           const sim::LifecycleEvent churn_event = *pending_churn;
           schedule_next_churn();
-          if (live_ids.empty()) break;
+          if (live_set.empty()) break;
           const std::size_t c =
-              live_ids[churn_event.pick % live_ids.size()];
+              live_set.kth(churn_event.pick % live_set.size());
           ++out.leave_count;
           metrics.leaves.add();
           if (obs::Tracer* t = obs::tracer()) {
@@ -1090,10 +1279,12 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
                                    static_cast<std::int64_t>(in_flight[c]))});
           }
           live[c] = 0;
-          sorted_erase(live_ids, c);
-          sorted_insert(inactive_ids, c);
+          live_set.erase(c);
+          inactive_set.insert(c);
           if (tier_of[c] != kNoTier) {
-            sorted_erase(tiers[tier_of[c]], c);
+            if (in_flight[c]) sorted_erase(inflight_by_tier[tier_of[c]], c);
+            tier_sets[tier_of[c]].erase(c);
+            tier_dirty[tier_of[c]] = 1;
             tier_of[c] = kNoTier;
           }
           if (hooks_.left) hooks_.left(c);
@@ -1114,13 +1305,13 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
         case sim::EventKind::kClientJoin: {
           const sim::LifecycleEvent churn_event = *pending_churn;
           schedule_next_churn();
-          if (inactive_ids.empty()) break;  // nobody waiting to (re)join
+          if (inactive_set.empty()) break;  // nobody waiting to (re)join
           const std::size_t c =
-              inactive_ids[churn_event.pick % inactive_ids.size()];
+              inactive_set.kth(churn_event.pick % inactive_set.size());
           ++out.join_count;
           live[c] = 1;
-          sorted_erase(inactive_ids, c);
-          sorted_insert(live_ids, c);
+          inactive_set.erase(c);
+          live_set.insert(c);
           const std::size_t tier = hooks_.joined
                                        ? hooks_.joined(c, expected_latency(c))
                                        : place_fallback(c);
@@ -1128,7 +1319,8 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
             throw std::runtime_error(
                 "AsyncEngine: joined hook returned tier out of range");
           }
-          sorted_insert(tiers[tier], c);
+          tier_sets[tier].insert(c);
+          tier_dirty[tier] = 1;
           tier_of[c] = tier;
           metrics.joins.add();
           if (obs::Tracer* t = obs::tracer()) {
@@ -1144,9 +1336,9 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
         case sim::EventKind::kClientSlowdown: {
           const sim::LifecycleEvent churn_event = *pending_churn;
           schedule_next_churn();
-          if (live_ids.empty()) break;
+          if (live_set.empty()) break;
           const std::size_t c =
-              live_ids[churn_event.pick % live_ids.size()];
+              live_set.kth(churn_event.pick % live_set.size());
           ++out.slowdown_count;
           // The event *sets* the multiplier relative to the client's
           // profiled baseline rather than compounding it: compounded
@@ -1181,14 +1373,14 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
                             static_cast<std::uint64_t>(
                                 sim::EventKind::kReProfile),
                             /*actor=*/0);
-          if (live_ids.empty()) break;  // nobody to tier until a join lands
+          if (live_set.empty()) break;  // nobody to tier until a join lands
           ++out.reprofile_count;
           metrics.reprofiles.add();
           if (obs::Tracer* t = obs::tracer()) {
             t->instant(queue.now(), "churn", "reprofile", /*actor=*/0,
                        {obs::field("live",
                                    static_cast<std::int64_t>(
-                                       live_ids.size()))});
+                                       live_set.size()))});
           }
           std::vector<std::vector<std::size_t>> members = hooks_.retier();
           if (members.size() != num_tiers) {
@@ -1208,20 +1400,36 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
               ++total;
             }
           }
-          if (total != live_ids.size()) {
+          if (total != live_set.size()) {
             throw std::runtime_error(
                 "AsyncEngine: retier hook dropped live clients");
           }
-          tiers = std::move(members);
-          for (std::size_t t = 0; t < num_tiers; ++t) {
-            for (std::size_t id : tiers[t]) tier_of[id] = t;
+          tiers_flat = std::move(members);
+          // Re-bucket the in-flight lists under the migrated tier_of
+          // (collected ascending, so per-tier order stays sorted).
+          std::vector<std::size_t> migrated;
+          for (std::vector<std::size_t>& list : inflight_by_tier) {
+            migrated.insert(migrated.end(), list.begin(), list.end());
+            list.clear();
           }
-          policy.on_retier(tiers);
+          std::sort(migrated.begin(), migrated.end());
+          for (std::size_t t = 0; t < num_tiers; ++t) {
+            tier_dirty[t] = 0;
+            tier_sets[t].clear();
+            for (std::size_t id : tiers_flat[t]) {
+              tier_sets[t].insert(id);
+              tier_of[id] = t;
+            }
+          }
+          for (std::size_t id : migrated) {
+            inflight_by_tier[tier_of[id]].push_back(id);
+          }
+          policy.on_retier(tiers_flat);
           // Pending cohorts keep running under their dispatching tier; the
           // migrated membership only shapes future sampling.  Tiers that
           // gained their first members start their cadence now.
           for (std::size_t t = 0; t < num_tiers; ++t) {
-            if (!rounds[t].active && !tiers[t].empty()) dispatch(t);
+            if (!rounds[t].active && !tier_sets[t].empty()) dispatch(t);
           }
           break;
         }
@@ -1253,11 +1461,19 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     out.result.rounds.back().global_loss = r.loss;
   }
 
+  const auto finalize_start = std::chrono::steady_clock::now();
   finalize_result(out, std::move(global), tier_updates, staleness_sum,
                   std::move(current_weights));
   out.result.phases = phases.stats();
-  out.final_members = std::move(tiers);
-  out.final_live_clients = live_ids.size();
+  out.final_members = std::move(flat_tiers());
+  out.final_live_clients = live_set.size();
+  // Fold the per-shard queue registries into the process-global snapshot
+  // under the single-queue instrument names (sim.events_popped etc.).
+  queue.merge_metrics_into(obs::Registry::global());
+  metrics.finalize_ns.add(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - finalize_start)
+          .count()));
   return out;
 }
 

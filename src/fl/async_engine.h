@@ -105,6 +105,24 @@ struct AsyncConfig {
   // and no re-profiling — a churn-free baseline comparable version-for-
   // version with churned runs.
   bool dynamic_lifecycle = false;
+
+  // --- sharded runtime -------------------------------------------------------
+  // Worker shards for the event queue (sim::ShardedEventQueue): each
+  // shard owns a contiguous actor range and its own event heap.  The
+  // global pop order is the single-heap (time, seq) order at every shard
+  // count, so results are bit-reproducible across --shards values
+  // (determinism ctests pin 1/2/4/8).  Clamped to the actor count.
+  std::size_t shards = 1;
+  // Virtual-time barrier window for the dynamic path: events inside
+  // [T, T + barrier_window] are processed in exact global order with
+  // cohort *training* deferred to the window's end, where all pending
+  // cohorts flush through one thread-pool pass.  Training tasks are
+  // order-independent — each trains from the global snapshot taken at its
+  // dispatch with an RNG forked from (dispatch seq, client id) — so any
+  // window (including 0, the flush-every-timestamp default) produces
+  // byte-identical results; the window only widens the batch of
+  // train-parallelism between barriers.
+  double barrier_window = 0.0;
 };
 
 // Callbacks the dynamic lifecycle path raises toward the tiering layer

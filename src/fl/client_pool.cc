@@ -31,6 +31,13 @@ PoolMetrics& pool_metrics() {
   return m;
 }
 
+void raise_max(std::atomic<std::size_t>& slot, std::size_t v) {
+  std::size_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 ClientPool::ClientPool(const std::vector<Client>* clients)
@@ -51,6 +58,7 @@ ClientPool::ClientPool(VirtualConfig config)
   if (profiles_.size() != shards_.num_clients()) {
     throw std::invalid_argument("ClientPool: profile/shard count mismatch");
   }
+  rebuild_segments(1);
 }
 
 ClientPool::ClientPool(ClientPool&& other) noexcept
@@ -59,10 +67,10 @@ ClientPool::ClientPool(ClientPool&& other) noexcept
       shards_(std::move(other.shards_)),
       profiles_(std::move(other.profiles_)),
       cache_capacity_(other.cache_capacity_),
-      cache_(std::move(other.cache_)),
-      lru_(std::move(other.lru_)),
-      peak_live_(other.peak_live_),
-      materializations_(other.materializations_) {}
+      segments_(std::move(other.segments_)),
+      total_live_(other.total_live_.load()),
+      peak_live_(other.peak_live_.load()),
+      materializations_(other.materializations_.load()) {}
 
 ClientPool& ClientPool::operator=(ClientPool&& other) noexcept {
   if (this != &other) {
@@ -71,10 +79,10 @@ ClientPool& ClientPool::operator=(ClientPool&& other) noexcept {
     shards_ = std::move(other.shards_);
     profiles_ = std::move(other.profiles_);
     cache_capacity_ = other.cache_capacity_;
-    cache_ = std::move(other.cache_);
-    lru_ = std::move(other.lru_);
-    peak_live_ = other.peak_live_;
-    materializations_ = other.materializations_;
+    segments_ = std::move(other.segments_);
+    total_live_.store(other.total_live_.load());
+    peak_live_.store(other.peak_live_.load());
+    materializations_.store(other.materializations_.load());
   }
   return *this;
 }
@@ -83,6 +91,36 @@ ClientPool::~ClientPool() = default;
 
 std::size_t ClientPool::size() const {
   return clients_ != nullptr ? clients_->size() : shards_.num_clients();
+}
+
+void ClientPool::rebuild_segments(std::size_t n) {
+  n = std::clamp<std::size_t>(n, 1, std::max<std::size_t>(1, size()));
+  segments_.clear();
+  segments_.reserve(n);
+  // Equal capacity shares, rounded up so n segments never hold fewer
+  // total entries than the single-cache capacity they replace.
+  const std::size_t share = (cache_capacity_ + n - 1) / n;
+  for (std::size_t s = 0; s < n; ++s) {
+    segments_.push_back(std::make_unique<Segment>());
+    segments_.back()->capacity = std::max<std::size_t>(1, share);
+  }
+}
+
+void ClientPool::set_cache_segments(std::size_t n) {
+  if (clients_ != nullptr) return;  // materialized backend: nothing to split
+  if (total_live_.load(std::memory_order_relaxed) != 0) {
+    throw std::logic_error(
+        "ClientPool: cannot re-segment while clients are materialized");
+  }
+  rebuild_segments(n);
+}
+
+std::size_t ClientPool::segment_of(std::size_t id) const {
+  const std::size_t n = segments_.size();
+  const std::size_t population = size();
+  if (n <= 1 || population == 0) return 0;
+  if (id >= population) return n - 1;
+  return id * n / population;
 }
 
 const sim::ResourceProfile& ClientPool::resource(std::size_t id) const {
@@ -106,25 +144,28 @@ ClientPool::Lease ClientPool::lease(std::size_t id) {
     throw std::out_of_range("ClientPool: client out of range");
   }
   PoolMetrics& metrics = pool_metrics();
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = cache_.find(id);
-  if (it == cache_.end()) {
+  Segment& segment = *segments_[segment_of(id)];
+  std::lock_guard<std::mutex> lock(segment.mutex);
+  auto it = segment.cache.find(id);
+  if (it == segment.cache.end()) {
     // Miss: generate the shard from its view.  Virtual clients carry no
     // matched test shard — per-tier eval sets are a materialized-path
     // feature; the async engine evaluates on the shared test set.
-    ++materializations_;
+    materializations_.fetch_add(1, std::memory_order_relaxed);
     metrics.lease_misses.add();
     auto entry = std::make_unique<Entry>(
         Client(id, train_, shards_.shard(id).materialize(), {},
                profiles_[id]));
-    it = cache_.emplace(id, std::move(entry)).first;
-    peak_live_ = std::max(peak_live_, cache_.size());
-    metrics.live.set(static_cast<double>(cache_.size()));
-    metrics.peak_live.set_max(static_cast<double>(peak_live_));
+    it = segment.cache.emplace(id, std::move(entry)).first;
+    const std::size_t live =
+        total_live_.fetch_add(1, std::memory_order_relaxed) + 1;
+    raise_max(peak_live_, live);
+    metrics.live.set(static_cast<double>(live));
+    metrics.peak_live.set_max(static_cast<double>(live));
   } else {
     metrics.lease_hits.add();
     if (it->second->pins == 0) {
-      lru_.erase(it->second->lru);  // pinned entries leave the eviction list
+      segment.lru.erase(it->second->lru);  // pinned entries leave the list
     }
   }
   ++it->second->pins;
@@ -132,42 +173,42 @@ ClientPool::Lease ClientPool::lease(std::size_t id) {
 }
 
 void ClientPool::release(std::size_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = cache_.find(id);
-  if (it == cache_.end() || it->second->pins == 0) return;
+  Segment& segment = *segments_[segment_of(id)];
+  std::lock_guard<std::mutex> lock(segment.mutex);
+  const auto it = segment.cache.find(id);
+  if (it == segment.cache.end() || it->second->pins == 0) return;
   if (--it->second->pins == 0) {
-    lru_.push_front(id);
-    it->second->lru = lru_.begin();
-    evict_overflow_locked();
+    segment.lru.push_front(id);
+    it->second->lru = segment.lru.begin();
+    evict_overflow_locked(segment);
   }
 }
 
-void ClientPool::evict_overflow_locked() {
+void ClientPool::evict_overflow_locked(Segment& segment) {
   PoolMetrics& metrics = pool_metrics();
-  while (cache_.size() > cache_capacity_ && !lru_.empty()) {
-    const std::size_t victim = lru_.back();
-    lru_.pop_back();
-    cache_.erase(victim);
+  while (segment.cache.size() > segment.capacity && !segment.lru.empty()) {
+    const std::size_t victim = segment.lru.back();
+    segment.lru.pop_back();
+    segment.cache.erase(victim);
+    total_live_.fetch_sub(1, std::memory_order_relaxed);
     metrics.evictions.add();
   }
-  metrics.live.set(static_cast<double>(cache_.size()));
+  metrics.live.set(
+      static_cast<double>(total_live_.load(std::memory_order_relaxed)));
 }
 
 std::size_t ClientPool::live_clients() const {
   if (clients_ != nullptr) return clients_->size();
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.size();
+  return total_live_.load(std::memory_order_relaxed);
 }
 
 std::size_t ClientPool::peak_live_clients() const {
   if (clients_ != nullptr) return clients_->size();
-  std::lock_guard<std::mutex> lock(mutex_);
-  return peak_live_;
+  return peak_live_.load(std::memory_order_relaxed);
 }
 
 std::size_t ClientPool::materializations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return materializations_;
+  return materializations_.load(std::memory_order_relaxed);
 }
 
 ClientPool::Lease::Lease(Lease&& other) noexcept

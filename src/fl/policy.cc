@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace tifl::fl {
 
@@ -17,15 +18,38 @@ std::vector<std::size_t> sample_without_replacement(std::size_t n,
     throw std::invalid_argument(
         "sample_without_replacement: count exceeds population");
   }
-  std::vector<std::size_t> pool(n);
-  std::iota(pool.begin(), pool.end(), std::size_t{0});
-  // Partial Fisher-Yates: settle the first `count` slots only.
+  // Both branches settle the first `count` slots of a partial
+  // Fisher-Yates over the identity permutation, consuming exactly one
+  // uniform_index(n - i) draw per slot — so the draw sequence and the
+  // returned sample are identical regardless of branch.  The sparse
+  // branch tracks only displaced slots in a hash map instead of
+  // materializing all n ids: O(count) memory and time, which is what lets
+  // million-client populations sample cohorts without an O(n) scan per
+  // dispatch.  The dense branch stays cheaper when most of the population
+  // is drawn anyway.
+  if (count * 4 >= n || n < 1024) {
+    std::vector<std::size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), std::size_t{0});
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + rng.uniform_index(n - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(count);
+    return pool;
+  }
+  std::vector<std::size_t> sample(count);
+  std::unordered_map<std::size_t, std::size_t> displaced;
+  displaced.reserve(count * 2);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t j = i + rng.uniform_index(n - i);
-    std::swap(pool[i], pool[j]);
+    const auto it_j = displaced.find(j);
+    const std::size_t value_j = it_j == displaced.end() ? j : it_j->second;
+    const auto it_i = displaced.find(i);
+    const std::size_t value_i = it_i == displaced.end() ? i : it_i->second;
+    sample[i] = value_j;
+    displaced[j] = value_i;  // virtual swap: slot j now holds slot i's value
   }
-  pool.resize(count);
-  return pool;
+  return sample;
 }
 
 VanillaPolicy::VanillaPolicy(std::size_t num_clients,

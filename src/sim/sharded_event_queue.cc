@@ -1,0 +1,227 @@
+#include "sim/sharded_event_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace tifl::sim {
+
+namespace {
+
+// Same strict total order as EventQueue: min-heap on (time, seq).
+bool after(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+bool before_key(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+// Wall-clock cost sampling, one stride counter per shard (see
+// EventQueue's kLatencySampleMask): only every 64th op reads the clock.
+constexpr std::uint64_t kLatencySampleMask = 63;
+
+double wall_ns_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ShardedEventQueue::ShardedEventQueue(std::size_t shards,
+                                     std::size_t num_actors)
+    : num_actors_(std::max<std::size_t>(1, num_actors)) {
+  shards = std::clamp<std::size_t>(shards, 1, num_actors_);
+  heaps_.resize(shards);
+  registries_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    registries_.push_back(std::make_unique<obs::Registry>());
+    Shard& shard = heaps_[s];
+    shard.scheduled = &registries_[s]->counter("sim.events_scheduled");
+    shard.popped = &registries_[s]->counter("sim.events_popped");
+    shard.horizon = &registries_[s]->histogram("sim.schedule_horizon");
+    shard.schedule_ns = &registries_[s]->histogram("sim.schedule_ns");
+    shard.pop_ns = &registries_[s]->histogram("sim.pop_ns");
+  }
+}
+
+std::size_t ShardedEventQueue::shard_of(std::uint64_t actor) const noexcept {
+  // Contiguous ownership ranges: shard s owns actors in
+  // [s * num_actors / shards, (s+1) * num_actors / shards); out-of-range
+  // control actors fold onto the last shard.
+  const std::size_t shards = heaps_.size();
+  if (actor >= num_actors_) return shards - 1;
+  return static_cast<std::size_t>(actor) * shards / num_actors_;
+}
+
+ShardedEventQueue::Shard& ShardedEventQueue::shard_for(
+    std::uint64_t actor) noexcept {
+  return heaps_[shard_of(actor)];
+}
+
+std::uint64_t ShardedEventQueue::schedule(double delay, std::uint64_t kind,
+                                          std::uint64_t actor) {
+  if (std::isnan(delay) || delay < 0.0) {
+    throw std::invalid_argument("ShardedEventQueue: negative or NaN delay");
+  }
+  return schedule_at(now_ + delay, kind, actor);
+}
+
+std::uint64_t ShardedEventQueue::schedule_at(double time, std::uint64_t kind,
+                                             std::uint64_t actor) {
+  if (std::isnan(time) || time < now_) {
+    throw std::invalid_argument("ShardedEventQueue: event time in the past");
+  }
+  Shard& shard = shard_for(actor);
+  const bool timed = (shard.schedule_ops++ & kLatencySampleMask) == 0;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  const std::uint64_t seq = next_seq_++;
+  shard.heap.push_back(
+      Event{.time = time, .seq = seq, .kind = kind, .actor = actor});
+  std::push_heap(shard.heap.begin(), shard.heap.end(), after);
+  ++size_;
+  if (timed) shard.schedule_ns->record(wall_ns_since(start));
+  shard.scheduled->add();
+  shard.horizon->record(time - now_);
+  // Global depth high-water mark, recorded once (shard 0's registry) so
+  // the merged gauge is the true queue depth, not a sum of shard maxima.
+  registries_[0]->gauge("sim.queue_depth_max").set_max(
+      static_cast<double>(size_));
+  return seq;
+}
+
+std::uint64_t ShardedEventQueue::schedule_bulk(
+    std::span<const PendingEvent> events) {
+  if (events.empty()) return 0;
+  for (const PendingEvent& event : events) {
+    if (std::isnan(event.delay) || event.delay < 0.0) {
+      throw std::invalid_argument("ShardedEventQueue: negative or NaN delay");
+    }
+  }
+  const std::uint64_t first_seq = next_seq_;
+  // Append per owning shard, then rebuild each touched shard's heap once:
+  // the bulk-cohort analogue of EventQueue::schedule_bulk, except a cohort
+  // straddling shard boundaries rebuilds only the shards it touches.
+  std::vector<char> touched(heaps_.size(), 0);
+  for (const PendingEvent& event : events) {
+    const std::size_t s = shard_of(event.actor);
+    Shard& shard = heaps_[s];
+    shard.heap.push_back(Event{.time = now_ + event.delay,
+                               .seq = next_seq_++,
+                               .kind = event.kind,
+                               .actor = event.actor});
+    touched[s] = 1;
+    shard.scheduled->add();
+    shard.horizon->record(event.delay);
+  }
+  size_ += events.size();
+  for (std::size_t s = 0; s < heaps_.size(); ++s) {
+    if (touched[s]) {
+      std::make_heap(heaps_[s].heap.begin(), heaps_[s].heap.end(), after);
+    }
+  }
+  registries_[0]->gauge("sim.queue_depth_max").set_max(
+      static_cast<double>(size_));
+  return first_seq;
+}
+
+std::size_t ShardedEventQueue::min_shard() const {
+  std::size_t best = heaps_.size();
+  for (std::size_t s = 0; s < heaps_.size(); ++s) {
+    if (heaps_[s].heap.empty()) continue;
+    if (best == heaps_.size() ||
+        before_key(heaps_[s].heap.front(), heaps_[best].heap.front())) {
+      best = s;
+    }
+  }
+  if (best == heaps_.size()) {
+    throw std::logic_error("ShardedEventQueue: empty");
+  }
+  return best;
+}
+
+const Event& ShardedEventQueue::peek() const {
+  return heaps_[min_shard()].heap.front();
+}
+
+Event ShardedEventQueue::pop() {
+  Shard& shard = heaps_[min_shard()];
+  const bool timed = (shard.pop_ops++ & kLatencySampleMask) == 0;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  std::pop_heap(shard.heap.begin(), shard.heap.end(), after);
+  const Event top = shard.heap.back();
+  shard.heap.pop_back();
+  --size_;
+  now_ = top.time;
+  if (timed) shard.pop_ns->record(wall_ns_since(start));
+  shard.popped->add();
+  return top;
+}
+
+void ShardedEventQueue::pop_batch(std::vector<Event>& out) {
+  out.clear();
+  if (size_ == 0) {
+    throw std::logic_error("ShardedEventQueue: pop_batch on empty");
+  }
+  const double batch_time = peek().time;
+  // Per-shard batch drain: each shard surrenders its events at the batch
+  // timestamp in (time, seq) heap order; the cross-shard merge below
+  // restores the global seq order a single heap would have produced.
+  for (Shard& shard : heaps_) {
+    if (shard.heap.empty() || shard.heap.front().time != batch_time) continue;
+    const bool timed = (shard.pop_ops++ & kLatencySampleMask) == 0;
+    const auto start = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+    std::size_t drained = 0;
+    while (!shard.heap.empty() && shard.heap.front().time == batch_time) {
+      std::pop_heap(shard.heap.begin(), shard.heap.end(), after);
+      out.push_back(shard.heap.back());
+      shard.heap.pop_back();
+      ++drained;
+    }
+    if (timed) shard.pop_ns->record(wall_ns_since(start));
+    shard.popped->add(drained);
+  }
+  size_ -= out.size();
+  now_ = batch_time;
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+}
+
+void ShardedEventQueue::pop_until(double horizon, std::vector<Event>& out) {
+  out.clear();
+  for (Shard& shard : heaps_) {
+    std::size_t drained = 0;
+    while (!shard.heap.empty() && shard.heap.front().time <= horizon) {
+      std::pop_heap(shard.heap.begin(), shard.heap.end(), after);
+      out.push_back(shard.heap.back());
+      shard.heap.pop_back();
+      ++drained;
+    }
+    if (drained > 0) shard.popped->add(drained);
+  }
+  if (out.empty()) return;
+  size_ -= out.size();
+  std::sort(out.begin(), out.end(), before_key);
+  now_ = out.back().time;
+}
+
+void ShardedEventQueue::reset() {
+  for (Shard& shard : heaps_) shard.heap.clear();
+  size_ = 0;
+  now_ = 0.0;
+}
+
+void ShardedEventQueue::merge_metrics_into(obs::Registry& target) const {
+  for (const std::unique_ptr<obs::Registry>& registry : registries_) {
+    target.merge_from(*registry);
+  }
+}
+
+}  // namespace tifl::sim

@@ -1,0 +1,113 @@
+// Sharded deterministic discrete-event scheduler: the event queue of the
+// sharded runtime.  The actor-id space is split into `shard_count()`
+// contiguous ranges; every shard owns its own binary min-heap (and its own
+// metrics registry), so scheduling and draining touch only the owning
+// shard's storage — rethinkdb's per-thread event queues are the exemplar
+// layout.
+//
+// Determinism contract (oracle-pinned by tests/sim_sharded_queue_test.cc):
+// the *global* pop order is the strict total order on (time, seq), exactly
+// the order a single-heap sim::EventQueue fed the same schedule sequence
+// would produce — for any shard count.  Cross-shard merging happens only
+// at pop time: pop/pop_batch/pop_until select among the shard heads, so a
+// consumer draining the queue observes one virtual timeline regardless of
+// how events were partitioned.  This is what makes an engine run
+// bit-reproducible across --shards values.
+//
+// Per-shard metrics (the ROADMAP "per-shard metrics aggregation" item):
+// each shard records its schedule/pop counters and horizon histogram into
+// its own obs::Registry view; merge_metrics_into() folds them — in shard
+// order, sorted-key, order-independent sums — into one deterministic
+// snapshot whose values do not depend on the shard count.  Queue-global
+// quantities (depth high-water mark) are recorded once, on shard 0's
+// registry, so the merged gauge is the true global maximum rather than a
+// max-of-shard-maxima.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+
+namespace tifl::sim {
+
+class ShardedEventQueue {
+ public:
+  // `shards` is clamped to [1, max(1, num_actors)]; `num_actors` sizes the
+  // contiguous ownership ranges (actor ids >= num_actors land on the last
+  // shard rather than throwing: control actors — tiers, churn source 0 —
+  // share the id space with clients).
+  explicit ShardedEventQueue(std::size_t shards, std::size_t num_actors);
+
+  // --- EventQueue-compatible surface (oracle-pinned) -------------------------
+  double now() const noexcept { return now_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::uint64_t schedule(double delay, std::uint64_t kind,
+                         std::uint64_t actor);
+  std::uint64_t schedule_at(double time, std::uint64_t kind,
+                            std::uint64_t actor);
+  // Consecutive seqs in span order, one heap rebuild per *touched shard*.
+  std::uint64_t schedule_bulk(std::span<const PendingEvent> events);
+
+  const Event& peek() const;
+  Event pop();
+  void pop_batch(std::vector<Event>& out);
+  void pop_until(double horizon, std::vector<Event>& out);
+  void reset();
+
+  // --- sharding surface ------------------------------------------------------
+  std::size_t shard_count() const noexcept { return heaps_.size(); }
+  std::size_t shard_of(std::uint64_t actor) const noexcept;
+  std::size_t shard_size(std::size_t shard) const {
+    return heaps_.at(shard).size();
+  }
+  // Earliest pending timestamp (peek().time); throws when empty.
+  double next_time() const { return peek().time; }
+
+  // Read-only view of one shard's metrics registry.
+  const obs::Registry& shard_metrics(std::size_t shard) const {
+    return *registries_.at(shard);
+  }
+  // Folds every shard's registry into `target` in shard-index order (see
+  // obs::Registry::merge_from).  Counter and histogram totals are
+  // invariant under the shard count; only the wall-clock `*_ns` sampling
+  // histograms vary run to run.  The engines call this once per run, into
+  // the global registry, so snapshots keep the single-queue instrument
+  // names.
+  void merge_metrics_into(obs::Registry& target) const;
+
+ private:
+  // One shard: its heap plus cached references into its own registry.
+  // Instrument names deliberately match the single-heap EventQueue's, so
+  // a merged snapshot is a drop-in replacement for the unsharded one.
+  struct Shard {
+    std::vector<Event> heap;
+    obs::Counter* scheduled = nullptr;
+    obs::Counter* popped = nullptr;
+    obs::Histo* horizon = nullptr;
+    obs::Histo* schedule_ns = nullptr;
+    obs::Histo* pop_ns = nullptr;
+    std::uint64_t schedule_ops = 0;
+    std::uint64_t pop_ops = 0;
+
+    std::size_t size() const noexcept { return heap.size(); }
+  };
+
+  Shard& shard_for(std::uint64_t actor) noexcept;
+  std::size_t min_shard() const;  // index of the (time, seq)-min head
+
+  std::vector<Shard> heaps_;
+  std::vector<std::unique_ptr<obs::Registry>> registries_;
+  std::size_t num_actors_ = 0;
+  std::size_t size_ = 0;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tifl::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <set>
 #include <vector>
 
@@ -167,6 +168,37 @@ TEST(SelectionPolicy, EngineSupportDefaultsAndOverrides) {
   UniformTierPolicy uniform(2);
   EXPECT_FALSE(uniform.supports(EngineKind::kSync));
   EXPECT_TRUE(uniform.supports(EngineKind::kAsync));
+}
+
+TEST(SampleWithoutReplacement, SparseBranchMatchesDenseBranch) {
+  // The sparse (hash-map virtual-swap) branch must reproduce the dense
+  // partial Fisher-Yates bit for bit: same rng draws, same sample.  Run a
+  // reference dense shuffle by hand and compare against the library call
+  // at population sizes that exercise the sparse branch (n >= 1024 with a
+  // small count) and the dense one.
+  for (std::uint64_t seed : {1u, 7u, 42u, 9001u}) {
+    for (std::size_t n : {64ul, 1024ul, 4096ul, 100000ul}) {
+      for (std::size_t count : {1ul, 8ul, 63ul}) {
+        if (count > n) continue;
+        util::Rng reference_rng(seed);
+        std::vector<std::size_t> pool(n);
+        std::iota(pool.begin(), pool.end(), std::size_t{0});
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::size_t j = i + reference_rng.uniform_index(n - i);
+          std::swap(pool[i], pool[j]);
+        }
+        pool.resize(count);
+        util::Rng rng(seed);
+        const auto got = sample_without_replacement(n, count, rng);
+        EXPECT_EQ(got, pool) << "seed " << seed << " n " << n << " count "
+                             << count;
+        // Both must consume the same number of draws: the next value from
+        // each stream agrees.
+        EXPECT_EQ(rng.uniform_index(1u << 20),
+                  reference_rng.uniform_index(1u << 20));
+      }
+    }
+  }
 }
 
 TEST(UniformTierPolicy, SamplesWithinDispatchingTier) {

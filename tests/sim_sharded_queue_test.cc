@@ -1,0 +1,217 @@
+// Oracle-backed determinism suite for the sharded event queue: every
+// randomized schedule/schedule_bulk/pop/pop_batch/pop_until interleaving
+// replayed on a ShardedEventQueue must produce the exact (time, seq) pop
+// order of the single-heap sim::EventQueue fed the same calls — for shard
+// counts 1/2/4/8, including bulk cohorts straddling shard-ownership
+// boundaries and same-timestamp cross-shard drains.  This is the contract
+// the engines' bit-reproducibility across --shards values rests on.
+#include "sim/sharded_event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace tifl::sim {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+
+bool same_event(const Event& a, const Event& b) {
+  return a.time == b.time && a.seq == b.seq && a.kind == b.kind &&
+         a.actor == b.actor;
+}
+
+TEST(ShardedEventQueue, StartsEmptyAtTimeZero) {
+  ShardedEventQueue queue(4, 100);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.now(), 0.0);
+  EXPECT_EQ(queue.shard_count(), 4u);
+}
+
+TEST(ShardedEventQueue, ShardCountClampsToActorSpace) {
+  EXPECT_EQ(ShardedEventQueue(0, 100).shard_count(), 1u);
+  EXPECT_EQ(ShardedEventQueue(8, 3).shard_count(), 3u);
+  EXPECT_EQ(ShardedEventQueue(8, 0).shard_count(), 1u);
+}
+
+TEST(ShardedEventQueue, OwnershipRangesAreContiguousAndComplete) {
+  const std::size_t num_actors = 103;  // deliberately not divisible
+  ShardedEventQueue queue(4, num_actors);
+  std::size_t previous = 0;
+  for (std::uint64_t actor = 0; actor < num_actors; ++actor) {
+    const std::size_t shard = queue.shard_of(actor);
+    ASSERT_LT(shard, queue.shard_count());
+    ASSERT_GE(shard, previous) << "ownership must be contiguous";
+    previous = shard;
+  }
+  EXPECT_EQ(queue.shard_of(0), 0u);
+  EXPECT_EQ(queue.shard_of(num_actors - 1), queue.shard_count() - 1);
+  // Control actors beyond the population fold onto the last shard.
+  EXPECT_EQ(queue.shard_of(num_actors + 7), queue.shard_count() - 1);
+}
+
+TEST(ShardedEventQueue, SimultaneousCrossShardEventsPopInInsertionOrder) {
+  // 16 actors spread across every shard, all at one timestamp: the drain
+  // must interleave shards back into global seq (insertion) order.
+  ShardedEventQueue queue(4, 16);
+  for (std::uint64_t actor = 15; actor < 16; --actor) {
+    queue.schedule_at(7.0, /*kind=*/0, actor);
+    if (actor == 0) break;
+  }
+  std::vector<Event> batch;
+  queue.pop_batch(batch);
+  ASSERT_EQ(batch.size(), 16u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].seq, i);
+    EXPECT_EQ(batch[i].actor, 15 - i);  // insertion order, not actor order
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.now(), 7.0);
+}
+
+TEST(ShardedEventQueue, ValidationMatchesEventQueue) {
+  ShardedEventQueue queue(2, 10);
+  EXPECT_THROW(queue.schedule(-1.0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(std::nan(""), 0, 0), std::invalid_argument);
+  EXPECT_THROW(queue.peek(), std::logic_error);
+  EXPECT_THROW(queue.pop(), std::logic_error);
+  std::vector<Event> batch;
+  EXPECT_THROW(queue.pop_batch(batch), std::logic_error);
+  queue.schedule_at(5.0, 0, 0);
+  queue.pop();
+  EXPECT_THROW(queue.schedule_at(4.0, 0, 0), std::invalid_argument);
+  // Bulk validation is all-or-nothing: one bad delay schedules nothing.
+  const std::vector<PendingEvent> bad{{1.0, 0, 1}, {-2.0, 0, 2}};
+  EXPECT_THROW(queue.schedule_bulk(bad), std::invalid_argument);
+  EXPECT_TRUE(queue.empty());
+}
+
+// One randomized op-sequence driver, replayed on the oracle (EventQueue)
+// and on a ShardedEventQueue per shard count.  Ops are drawn from a
+// seeded stream so failures reproduce; timestamps collide on a coarse
+// grid to force same-timestamp cross-shard drains; bulk cohorts span the
+// whole actor space so they straddle every ownership boundary.
+template <typename Queue>
+std::vector<Event> drive(Queue& queue, std::uint64_t seed,
+                         std::size_t num_actors, std::size_t ops) {
+  util::Rng rng(seed);
+  std::vector<Event> popped;
+  std::vector<Event> batch;
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::uint64_t action = rng.uniform_index(6);
+    switch (action) {
+      case 0:
+      case 1: {  // single schedule on a colliding time grid
+        const double delay =
+            static_cast<double>(rng.uniform_index(8)) * 0.25;
+        queue.schedule(delay, /*kind=*/action,
+                       /*actor=*/rng.uniform_index(num_actors));
+        break;
+      }
+      case 2: {  // bulk cohort straddling shard boundaries
+        const std::size_t count = 1 + rng.uniform_index(12);
+        std::vector<PendingEvent> cohort;
+        cohort.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          cohort.push_back(PendingEvent{
+              .delay = static_cast<double>(rng.uniform_index(6)) * 0.5,
+              .kind = 2,
+              .actor = rng.uniform_index(num_actors)});
+        }
+        queue.schedule_bulk(cohort);
+        break;
+      }
+      case 3: {  // pop one
+        if (!queue.empty()) popped.push_back(queue.pop());
+        break;
+      }
+      case 4: {  // same-timestamp batch drain
+        if (!queue.empty()) {
+          queue.pop_batch(batch);
+          popped.insert(popped.end(), batch.begin(), batch.end());
+        }
+        break;
+      }
+      case 5: {  // horizon drain
+        if (!queue.empty()) {
+          queue.pop_until(queue.peek().time + 0.75, batch);
+          popped.insert(popped.end(), batch.begin(), batch.end());
+        }
+        break;
+      }
+    }
+  }
+  while (!queue.empty()) popped.push_back(queue.pop());
+  return popped;
+}
+
+TEST(ShardedEventQueue, RandomizedInterleavingsMatchSingleHeapOracle) {
+  const std::size_t num_actors = 59;  // prime: uneven ownership ranges
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EventQueue oracle;
+    const std::vector<Event> expected = drive(oracle, seed, num_actors, 200);
+    for (std::size_t shards : kShardCounts) {
+      ShardedEventQueue queue(shards, num_actors);
+      const std::vector<Event> got = drive(queue, seed, num_actors, 200);
+      ASSERT_EQ(got.size(), expected.size())
+          << "seed " << seed << " shards " << shards;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_TRUE(same_event(got[i], expected[i]))
+            << "seed " << seed << " shards " << shards << " event " << i
+            << ": got (t=" << got[i].time << ", seq=" << got[i].seq
+            << ") want (t=" << expected[i].time
+            << ", seq=" << expected[i].seq << ")";
+      }
+      EXPECT_EQ(queue.now(), oracle.now())
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardedEventQueue, ResetRewindsClockButKeepsSeqMonotone) {
+  ShardedEventQueue queue(4, 16);
+  queue.schedule_at(3.0, 0, 1);
+  const std::uint64_t seq_before = queue.schedule_at(4.0, 0, 9);
+  queue.pop();
+  queue.reset();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.now(), 0.0);
+  const std::uint64_t seq_after = queue.schedule_at(1.0, 0, 2);
+  EXPECT_GT(seq_after, seq_before);
+}
+
+TEST(ShardedEventQueue, MergedMetricsAreShardCountInvariant) {
+  // Same op sequence at every shard count: the merged registry snapshot —
+  // dropping the wall-clock *_ns sampling histograms — must be
+  // byte-identical, the per-shard-metrics determinism guarantee.
+  const auto deterministic = [](std::string_view name) {
+    return !name.ends_with("_ns");
+  };
+  std::string golden;
+  for (std::size_t shards : kShardCounts) {
+    ShardedEventQueue queue(shards, 59);
+    drive(queue, /*seed=*/7, /*num_actors=*/59, /*ops=*/200);
+    obs::Registry merged;
+    queue.merge_metrics_into(merged);
+    const std::string json = merged.to_json(deterministic);
+    if (golden.empty()) {
+      golden = json;
+      EXPECT_NE(golden.find("sim.events_scheduled"), std::string::npos);
+      EXPECT_NE(golden.find("sim.events_popped"), std::string::npos);
+      EXPECT_NE(golden.find("sim.queue_depth_max"), std::string::npos);
+    } else {
+      EXPECT_EQ(json, golden) << "shards " << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tifl::sim

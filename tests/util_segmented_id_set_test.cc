@@ -1,0 +1,82 @@
+#include "util/segmented_id_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tifl::util {
+namespace {
+
+TEST(SegmentedIdSet, InsertEraseContains) {
+  SegmentedIdSet set(100);
+  EXPECT_TRUE(set.empty());
+  set.insert(5);
+  set.insert(99);
+  set.insert(0);
+  set.insert(5);  // duplicate: no-op
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_FALSE(set.contains(6));
+  set.erase(5);
+  set.erase(5);  // absent: no-op
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_EQ(set.to_vector(), (std::vector<std::size_t>{0, 99}));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(SegmentedIdSet, RejectsIdsOutsideUniverse) {
+  SegmentedIdSet set(10);
+  EXPECT_THROW(set.insert(10), std::out_of_range);
+  EXPECT_THROW(set.contains(11), std::out_of_range);
+  EXPECT_THROW(set.kth(0), std::out_of_range);  // empty
+}
+
+TEST(SegmentedIdSet, KthAndRankMatchFlatSortedVectorAcrossBlocks) {
+  // Universe spans multiple blocks so rank/select cross block boundaries.
+  const std::size_t universe = SegmentedIdSet::kBlockSpan * 3 + 17;
+  SegmentedIdSet set(universe);
+  std::set<std::size_t> reference;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t id = rng.uniform_index(universe);
+    if (rng.uniform_index(3) == 0) {
+      set.erase(id);
+      reference.erase(id);
+    } else {
+      set.insert(id);
+      reference.insert(id);
+    }
+  }
+  const std::vector<std::size_t> flat(reference.begin(), reference.end());
+  ASSERT_EQ(set.size(), flat.size());
+  EXPECT_EQ(set.to_vector(), flat);
+  for (std::size_t k = 0; k < flat.size(); k += 37) {
+    EXPECT_EQ(set.kth(k), flat[k]) << "k=" << k;
+  }
+  for (std::size_t probe = 0; probe < universe; probe += 1013) {
+    const std::size_t expected = static_cast<std::size_t>(
+        std::lower_bound(flat.begin(), flat.end(), probe) - flat.begin());
+    EXPECT_EQ(set.rank(probe), expected) << "probe=" << probe;
+  }
+}
+
+TEST(SegmentedIdSet, ForEachVisitsAscending) {
+  SegmentedIdSet set(SegmentedIdSet::kBlockSpan * 2);
+  set.insert(SegmentedIdSet::kBlockSpan + 1);
+  set.insert(3);
+  set.insert(SegmentedIdSet::kBlockSpan - 1);
+  std::vector<std::size_t> seen;
+  set.for_each([&seen](std::size_t id) { seen.push_back(id); });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tifl::util
