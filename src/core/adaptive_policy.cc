@@ -228,4 +228,47 @@ void AdaptiveTierPolicy::on_retier(
   members_.assign(members.begin(), members.end());
 }
 
+void AdaptiveTierPolicy::save_state(util::ByteSink& sink) const {
+  sink.put_u64(members_.size());
+  for (const std::vector<std::size_t>& tier : members_) {
+    sink.put_size_vec(tier);
+  }
+  sink.put_f64_vec(probs_);
+  sink.put_f64_vec(credits_);
+  sink.put_u64(accuracy_history_.size());
+  for (const std::vector<double>& row : accuracy_history_) {
+    sink.put_f64_vec(row);
+  }
+  sink.put_u64(current_tier_);
+  sink.put_u64(prob_changes_);
+  sink.put_bool(async_mode_);
+  sink.put_u64(last_stall_check_);
+}
+
+void AdaptiveTierPolicy::restore_state(util::ByteSource& source) {
+  const std::size_t tiers = source.checked_count(source.get_u64(), 8);
+  if (tiers != members_.size()) {
+    throw std::runtime_error(
+        "AdaptiveTierPolicy: snapshot tier count mismatch");
+  }
+  for (std::vector<std::size_t>& tier : members_) {
+    tier = source.get_size_vec();
+  }
+  probs_ = source.get_f64_vec();
+  credits_ = source.get_f64_vec();
+  if (probs_.size() != tiers || credits_.size() != tiers) {
+    throw std::runtime_error("AdaptiveTierPolicy: snapshot vector mismatch");
+  }
+  const std::size_t history = source.checked_count(source.get_u64(), 8);
+  accuracy_history_.clear();
+  accuracy_history_.reserve(history);
+  for (std::size_t r = 0; r < history; ++r) {
+    accuracy_history_.push_back(source.get_f64_vec());
+  }
+  current_tier_ = source.get_u64();
+  prob_changes_ = source.get_u64();
+  async_mode_ = source.get_bool();
+  last_stall_check_ = source.get_u64();
+}
+
 }  // namespace tifl::core

@@ -89,6 +89,11 @@ class AdaptiveTierPolicy final : public fl::SelectionPolicy {
   const std::vector<double>& credits() const { return credits_; }
   std::size_t change_probs_invocations() const { return prob_changes_; }
 
+  // Checkpoint/resume: the full Alg. 2 mutable state (membership snapshot,
+  // probabilities, credits, accuracy history, stall-check cursors).
+  void save_state(util::ByteSink& sink) const override;
+  void restore_state(util::ByteSource& source) override;
+
  private:
   fl::Selection select_tier_round(const fl::SelectionContext& context);
   void maybe_change_probs(std::size_t round, std::size_t reference_tier);

@@ -89,4 +89,36 @@ const TierInfo& OnlineReTierer::rebuild() {
   return tiers_;
 }
 
+void OnlineReTierer::save_state(util::ByteSink& sink) const {
+  sink.put_f64_vec(latency_);
+  sink.put_u64(inactive_.size());
+  for (bool flag : inactive_) sink.put_bool(flag);
+  sink.put_u64(tiers_.members.size());
+  for (const std::vector<std::size_t>& tier : tiers_.members) {
+    sink.put_size_vec(tier);
+  }
+  sink.put_f64_vec(tiers_.avg_latency);
+  sink.put_size_vec(tiers_.dropouts);
+}
+
+void OnlineReTierer::restore_state(util::ByteSource& source) {
+  std::vector<double> latency = source.get_f64_vec();
+  if (latency.size() != latency_.size()) {
+    throw std::runtime_error("OnlineReTierer: snapshot population mismatch");
+  }
+  latency_ = std::move(latency);
+  const std::size_t flags = source.checked_count(source.get_u64(), 1);
+  if (flags != inactive_.size()) {
+    throw std::runtime_error("OnlineReTierer: snapshot population mismatch");
+  }
+  for (std::size_t c = 0; c < flags; ++c) inactive_[c] = source.get_bool();
+  const std::size_t tiers = source.checked_count(source.get_u64(), 8);
+  tiers_.members.assign(tiers, {});
+  for (std::vector<std::size_t>& tier : tiers_.members) {
+    tier = source.get_size_vec();
+  }
+  tiers_.avg_latency = source.get_f64_vec();
+  tiers_.dropouts = source.get_size_vec();
+}
+
 }  // namespace tifl::core

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/tiering.h"
+#include "util/serial.h"
 
 namespace tifl::core {
 
@@ -69,6 +70,12 @@ class OnlineReTierer {
   double latency(std::size_t client) const { return latency_.at(client); }
   const std::vector<bool>& inactive() const { return inactive_; }
   const RetierConfig& config() const { return config_; }
+
+  // Checkpoint/resume: EMA estimates, live flags and the current tier
+  // partition.  restore_state expects a retierer built for the same
+  // population size (the config itself is not serialized).
+  void save_state(util::ByteSink& sink) const;
+  void restore_state(util::ByteSource& source);
 
  private:
   RetierConfig config_;

@@ -245,6 +245,15 @@ fl::AsyncRunResult TiflSystem::run_async(
     tiers_match_profile_ = false;
     return tiers_.members;
   };
+  // Durability: the retierer's decayed latency estimates and active set
+  // ride inside the engine's snapshot, so a resumed run re-tiers exactly
+  // as the uninterrupted one would have.
+  hooks.save_state = [&retierer](util::ByteSink& sink) {
+    retierer.save_state(sink);
+  };
+  hooks.restore_state = [&retierer](util::ByteSource& source) {
+    retierer.restore_state(source);
+  };
   engine.set_lifecycle_hooks(std::move(hooks));
   fl::AsyncRunResult out = engine.run(seed_override);
 

@@ -1,17 +1,21 @@
 #include "fl/async_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
 #include "fl/aggregator.h"
 #include "fl/evaluation.h"
 #include "fl/policy.h"
+#include "fl/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
+#include "sim/event_log.h"
 #include "sim/sharded_event_queue.h"
 #include "util/log.h"
 #include "util/segmented_id_set.h"
@@ -173,6 +177,13 @@ struct AsyncMetrics {
   // bookends.
   obs::Counter& setup_ns;
   obs::Counter& finalize_ns;
+  // Durability: snapshot writes (count/bytes/wall time) and the fault
+  // model's lost-then-retried vs permanently-dropped update deliveries.
+  obs::Counter& checkpoint_writes;
+  obs::Counter& checkpoint_bytes;
+  obs::Counter& checkpoint_write_ns;
+  obs::Counter& lost_updates;
+  obs::Counter& dropped_updates;
   obs::Histo& staleness;
   obs::Histo& event_batch;
   obs::Histo& barrier_tasks;
@@ -193,11 +204,227 @@ AsyncMetrics& async_metrics() {
       reg.counter("async.barriers"),
       reg.counter("async.setup_ns"),
       reg.counter("async.finalize_ns"),
+      reg.counter("checkpoint.writes"),
+      reg.counter("checkpoint.bytes"),
+      reg.counter("checkpoint.write_ns"),
+      reg.counter("fault.lost_updates"),
+      reg.counter("fault.dropped_updates"),
       reg.histogram("async.staleness"),
       reg.histogram("async.event_batch"),
       reg.histogram("async.barrier_tasks"),
   };
   return m;
+}
+
+// --- snapshot payload helpers -----------------------------------------------
+// The payload wrapped by fl::save_snapshot is one flat ByteSink stream;
+// these helpers encode the composite pieces both run paths share.
+
+constexpr std::uint64_t kSnapStatic = 0;   // run_static payload tag
+constexpr std::uint64_t kSnapDynamic = 1;  // run_dynamic payload tag
+
+void put_rng(util::ByteSink& sink, const util::Rng& rng) {
+  for (std::uint64_t word : rng.state()) sink.put_u64(word);
+}
+
+void get_rng(util::ByteSource& source, util::Rng& rng) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& word : state) word = source.get_u64();
+  rng.set_state(state);
+}
+
+void put_update(util::ByteSink& sink, const LocalUpdate& update) {
+  sink.put_f32_vec(update.weights);
+  sink.put_u64(update.num_samples);
+  sink.put_f64(update.train_loss);
+  sink.put_f64(update.train_accuracy);
+}
+
+LocalUpdate get_update(util::ByteSource& source) {
+  LocalUpdate update;
+  update.weights = source.get_f32_vec();
+  update.num_samples = static_cast<std::size_t>(source.get_u64());
+  update.train_loss = source.get_f64();
+  update.train_accuracy = source.get_f64();
+  return update;
+}
+
+void put_records(util::ByteSink& sink,
+                 const std::vector<RoundRecord>& records) {
+  sink.put_u64(records.size());
+  for (const RoundRecord& r : records) {
+    sink.put_u64(r.round);
+    sink.put_f64(r.virtual_time);
+    sink.put_f64(r.round_latency);
+    sink.put_f64(r.global_accuracy);
+    sink.put_f64(r.global_loss);
+    sink.put_f64(r.train_loss);
+    sink.put_i64(r.selected_tier);
+    sink.put_size_vec(r.selected_clients);
+  }
+}
+
+std::vector<RoundRecord> get_records(util::ByteSource& source) {
+  const std::size_t count = source.checked_count(source.get_u64(), 8 * 7);
+  std::vector<RoundRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RoundRecord r;
+    r.round = static_cast<std::size_t>(source.get_u64());
+    r.virtual_time = source.get_f64();
+    r.round_latency = source.get_f64();
+    r.global_accuracy = source.get_f64();
+    r.global_loss = source.get_f64();
+    r.train_loss = source.get_f64();
+    r.selected_tier = static_cast<int>(source.get_i64());
+    r.selected_clients = source.get_size_vec();
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void put_queue(util::ByteSink& sink, const sim::ShardedEventQueue& queue) {
+  sink.put_f64(queue.now());
+  sink.put_u64(queue.next_seq());
+  const std::vector<sim::Event> events = queue.pending();
+  sink.put_u64(events.size());
+  for (const sim::Event& e : events) {
+    sink.put_f64(e.time);
+    sink.put_u64(e.seq);
+    sink.put_u64(e.kind);
+    sink.put_u64(e.actor);
+  }
+}
+
+void get_queue(util::ByteSource& source, sim::ShardedEventQueue& queue) {
+  const double now = source.get_f64();
+  const std::uint64_t next_seq = source.get_u64();
+  const std::size_t count = source.checked_count(source.get_u64(), 32);
+  std::vector<sim::Event> events(count);
+  for (sim::Event& e : events) {
+    e.time = source.get_f64();
+    e.seq = source.get_u64();
+    e.kind = source.get_u64();
+    e.actor = source.get_u64();
+  }
+  queue.restore(now, next_seq, events);
+}
+
+// The merged metrics view at checkpoint time: the process-global registry
+// plus the queue's per-shard registries (which only fold into the global
+// one at finalize).  Restored wholesale into the global registry on
+// resume, so the resumed run's finalize-time totals equal the
+// uninterrupted run's for every deterministic instrument.
+void put_metrics(util::ByteSink& sink, const sim::ShardedEventQueue& queue) {
+  obs::Registry merged;
+  merged.merge_from(obs::Registry::global());
+  queue.merge_metrics_into(merged);
+  util::ByteSink blob;
+  merged.save(blob);
+  sink.put_string(blob.bytes());
+}
+
+void get_metrics(util::ByteSource& source) {
+  const std::string blob = source.get_string();
+  util::ByteSource blob_source(blob);
+  obs::Registry::global().restore(blob_source);
+}
+
+// Guards a resume against a drifted configuration: every knob that shapes
+// the deterministic trajectory is folded in.  Deliberately excluded:
+// shards and barrier_window (bit-invariant runtime knobs — a snapshot
+// taken at --shards 8 may resume at --shards 1), fault.crash_at (the
+// crash point is process fate, not trajectory) and the durability paths
+// themselves.
+std::uint64_t config_fingerprint(const EngineConfig& config,
+                                 const AsyncConfig& async, std::uint64_t seed,
+                                 std::size_t num_tiers,
+                                 std::size_t num_clients,
+                                 std::size_t weight_count) {
+  const auto f = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  std::uint64_t h = util::mix_seed(0xD0C5, seed);
+  h = util::mix_seed(h, static_cast<std::uint64_t>(async.staleness),
+                     f(async.poly_alpha));
+  h = util::mix_seed(h, async.total_updates, async.clients_per_tier_round);
+  h = util::mix_seed(h, f(async.time_budget_seconds), async.eval_every);
+  h = util::mix_seed(h, f(async.churn.join_rate), f(async.churn.leave_rate));
+  h = util::mix_seed(h, f(async.churn.slowdown_rate),
+                     f(async.churn.slowdown_log_mu));
+  h = util::mix_seed(h, f(async.churn.slowdown_log_sigma), async.churn.seed);
+  h = util::mix_seed(h, f(async.reprofile_every),
+                     async.dynamic_lifecycle ? 1 : 0);
+  h = util::mix_seed(h, f(async.fault.loss_prob), async.fault.max_retries);
+  h = util::mix_seed(h, f(async.fault.backoff_base),
+                     f(async.fault.backoff_factor));
+  h = util::mix_seed(h, f(async.fault.backoff_max), async.fault.seed);
+  h = util::mix_seed(h, config.local.epochs, config.local.batch_size);
+  h = util::mix_seed(h, f(config.local.optimizer.lr),
+                     f(config.lr_decay_per_round));
+  h = util::mix_seed(h, static_cast<std::uint64_t>(config.local.optimizer.kind),
+                     config.eval_chunk);
+  h = util::mix_seed(h, f(config.local.dp_clip_norm),
+                     f(config.local.dp_noise_sigma));
+  h = util::mix_seed(h, num_tiers, num_clients);
+  h = util::mix_seed(h, weight_count);
+  return h;
+}
+
+// Common payload prologue: path tag, fingerprint, dimensions, policy
+// identity.  Readers validate every field before touching the rest.
+void put_prologue(util::ByteSink& sink, std::uint64_t tag,
+                  std::uint64_t fingerprint, std::size_t num_tiers,
+                  std::size_t num_clients, std::size_t weight_count,
+                  const std::string& policy_name) {
+  sink.put_u64(tag);
+  sink.put_u64(fingerprint);
+  sink.put_u64(num_tiers);
+  sink.put_u64(num_clients);
+  sink.put_u64(weight_count);
+  sink.put_string(policy_name);
+}
+
+void check_prologue(util::ByteSource& source, std::uint64_t tag,
+                    std::uint64_t fingerprint, std::size_t num_tiers,
+                    std::size_t num_clients, std::size_t weight_count,
+                    const std::string& policy_name) {
+  const std::uint64_t snap_tag = source.get_u64();
+  if (snap_tag != tag) {
+    throw std::runtime_error(
+        "AsyncEngine: snapshot was taken on the " +
+        std::string(snap_tag == kSnapDynamic ? "dynamic" : "static") +
+        " path but this configuration runs the " +
+        std::string(tag == kSnapDynamic ? "dynamic" : "static") + " path");
+  }
+  if (source.get_u64() != fingerprint) {
+    throw std::runtime_error(
+        "AsyncEngine: snapshot config fingerprint mismatch (resume requires "
+        "the same seed, population, schedule and fault configuration)");
+  }
+  if (source.get_u64() != num_tiers || source.get_u64() != num_clients ||
+      source.get_u64() != weight_count) {
+    throw std::runtime_error(
+        "AsyncEngine: snapshot population/model dimensions mismatch");
+  }
+  const std::string snap_policy = source.get_string();
+  if (snap_policy != policy_name) {
+    throw std::runtime_error("AsyncEngine: snapshot was taken with policy '" +
+                             snap_policy + "' but '" + policy_name +
+                             "' is installed");
+  }
+}
+
+// Opens (or, on resume, truncates to the snapshot's processed-event
+// horizon) the append-only event log.  A fresh run clobbers any stale log
+// under the same name, mirroring how metrics/trace outputs behave.
+void open_event_log(sim::EventLogWriter& log, const std::string& path,
+                    bool resuming, std::uint64_t processed_events) {
+  if (path.empty()) return;
+  if (resuming) {
+    log.truncate_to(path, processed_events);
+  } else {
+    std::remove(path.c_str());
+    log.open(path);
+  }
 }
 
 }  // namespace
@@ -271,6 +498,14 @@ void AsyncEngine::validate() const {
   }
   if (std::isnan(async_.barrier_window) || async_.barrier_window < 0.0) {
     throw std::invalid_argument("AsyncEngine: negative or NaN barrier_window");
+  }
+  if (std::isnan(async_.checkpoint_every) || async_.checkpoint_every < 0.0) {
+    throw std::invalid_argument(
+        "AsyncEngine: negative or NaN checkpoint_every");
+  }
+  if (async_.checkpoint_every > 0.0 && async_.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "AsyncEngine: checkpoint_every > 0 requires a checkpoint_path");
   }
   for (double rate : {async_.churn.join_rate, async_.churn.leave_rate,
                       async_.churn.slowdown_rate}) {
@@ -400,6 +635,17 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
   std::vector<std::size_t> parked_at(num_tiers, 0);
   std::vector<std::size_t> staleness_scratch(num_tiers, 0);
 
+  // --- durability state ------------------------------------------------------
+  sim::FaultModel fault(async_.fault, seed);
+  // Redelivery attempts for the tier's lost completion (the static path's
+  // unit of delivery is the whole tier round).
+  std::vector<std::size_t> retry_count(num_tiers, 0);
+  double next_checkpoint_due = async_.checkpoint_every > 0.0
+                                   ? async_.checkpoint_every
+                                   : std::numeric_limits<double>::infinity();
+  bool last_evaluated = false;
+  bool budget_exhausted = false;
+
   const auto dispatch = [&](std::size_t tier) {
     parked[tier] = 0;
     const std::vector<std::size_t>& members = tier_members_[tier];
@@ -497,16 +743,172 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
           std::chrono::steady_clock::now() - setup_start)
           .count()));
 
-  for (std::size_t t = 0; t < num_tiers; ++t) {
-    if (!tier_members_[t].empty() && scheduled < async_.total_updates) {
-      dispatch(t);
+  // --- snapshot payload (static path) ----------------------------------------
+  // Serializes every loop-local that determines the run's future: stream
+  // positions, per-tier server state, in-flight rounds (trained at
+  // dispatch, so their updates travel with the snapshot), the queue, the
+  // fault/policy state and the merged metrics view.  Restore is the exact
+  // mirror; both sides stream through the same flat ByteSink layout.
+  const std::uint64_t fingerprint = config_fingerprint(
+      config_, async_, seed, num_tiers, clients_->size(), global.size());
+  const auto save_state = [&](util::ByteSink& sink) {
+    put_prologue(sink, kSnapStatic, fingerprint, num_tiers, clients_->size(),
+                 global.size(), policy.name());
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      put_rng(sink, rngs.selection[t]);
+      put_rng(sink, rngs.latency[t]);
+    }
+    sink.put_f32_vec(global);
+    for (const std::vector<float>& model : tier_models) {
+      sink.put_f32_vec(model);
+    }
+    sink.put_size_vec(tier_updates);
+    sink.put_size_vec(last_submit_version);
+    sink.put_f64_vec(tier_lr);
+    sink.put_f64_vec(staleness_sum);
+    put_records(sink, out.result.rounds);
+    sink.put_f64_vec(current_weights);
+    sink.put_u64(dispatch_seq);
+    sink.put_u64(scheduled);
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      sink.put_bool(parked[t] != 0);
+    }
+    sink.put_size_vec(parked_at);
+    sink.put_size_vec(retry_count);
+    for (const PendingRound& round : pending) {
+      sink.put_size_vec(round.selected);
+      sink.put_u64(round.updates.size());
+      for (const LocalUpdate& update : round.updates) {
+        put_update(sink, update);
+      }
+      sink.put_u64(round.dispatch_version);
+      sink.put_f64(round.latency);
+    }
+    sink.put_bool(last_evaluated);
+    sink.put_u64(out.processed_events);
+    sink.put_u64(out.max_event_batch);
+    sink.put_f64(next_checkpoint_due);
+    put_queue(sink, queue);
+    {
+      util::ByteSink blob;
+      fault.save_state(blob);
+      sink.put_string(blob.bytes());
+    }
+    {
+      util::ByteSink blob;
+      policy.save_state(blob);
+      sink.put_string(blob.bytes());
+    }
+    put_metrics(sink, queue);
+  };
+
+  const bool resuming = !async_.resume_path.empty();
+  if (resuming) {
+    const std::string payload = load_snapshot(async_.resume_path);
+    util::ByteSource source(payload);
+    check_prologue(source, kSnapStatic, fingerprint, num_tiers,
+                   clients_->size(), global.size(), policy.name());
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      get_rng(source, rngs.selection[t]);
+      get_rng(source, rngs.latency[t]);
+    }
+    global = source.get_f32_vec();
+    for (std::vector<float>& model : tier_models) {
+      model = source.get_f32_vec();
+    }
+    tier_updates = source.get_size_vec();
+    last_submit_version = source.get_size_vec();
+    tier_lr = source.get_f64_vec();
+    staleness_sum = source.get_f64_vec();
+    out.result.rounds = get_records(source);
+    current_weights = source.get_f64_vec();
+    dispatch_seq = static_cast<std::size_t>(source.get_u64());
+    scheduled = static_cast<std::size_t>(source.get_u64());
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      parked[t] = source.get_bool() ? 1 : 0;
+    }
+    parked_at = source.get_size_vec();
+    retry_count = source.get_size_vec();
+    for (PendingRound& round : pending) {
+      round.selected = source.get_size_vec();
+      const std::size_t updates = source.checked_count(source.get_u64(), 8);
+      round.updates.assign(updates, LocalUpdate{});
+      for (LocalUpdate& update : round.updates) {
+        update = get_update(source);
+      }
+      round.dispatch_version = static_cast<std::size_t>(source.get_u64());
+      round.latency = source.get_f64();
+    }
+    last_evaluated = source.get_bool();
+    out.processed_events = static_cast<std::size_t>(source.get_u64());
+    out.max_event_batch = static_cast<std::size_t>(source.get_u64());
+    // The stored due point documents the crashed run's cadence; the
+    // resumed run recomputes it from its *own* config (a resume without
+    // --checkpoint must never attempt a write).
+    (void)source.get_f64();
+    get_queue(source, queue);
+    next_checkpoint_due =
+        async_.checkpoint_every > 0.0
+            ? (std::floor(queue.now() / async_.checkpoint_every) + 1.0) *
+                  async_.checkpoint_every
+            : std::numeric_limits<double>::infinity();
+    {
+      const std::string blob = source.get_string();
+      util::ByteSource blob_source(blob);
+      fault.restore_state(blob_source);
+    }
+    {
+      const std::string blob = source.get_string();
+      util::ByteSource blob_source(blob);
+      policy.restore_state(blob_source);
+    }
+    get_metrics(source);
+    util::log_info("async: resumed from ", async_.resume_path, " at version ",
+                   out.result.rounds.size(), ", t=", queue.now());
+  }
+
+  sim::EventLogWriter event_log;
+  open_event_log(event_log, async_.event_log_path, resuming,
+                 out.processed_events);
+
+  const auto write_checkpoint = [&]() {
+    const auto start = std::chrono::steady_clock::now();
+    util::ByteSink sink;
+    save_state(sink);
+    const std::size_t bytes =
+        save_snapshot(async_.checkpoint_path, sink.bytes());
+    if (event_log.is_open()) event_log.sync();
+    metrics.checkpoint_writes.add();
+    metrics.checkpoint_bytes.add(bytes);
+    metrics.checkpoint_write_ns.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    if (obs::Tracer* t = obs::tracer()) {
+      t->instant(queue.now(), "durability", "checkpoint", /*actor=*/0,
+                 {obs::field("version", out.result.rounds.size()),
+                  obs::field("events", out.processed_events)});
+    }
+  };
+
+  if (!resuming) {
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      if (!tier_members_[t].empty() && scheduled < async_.total_updates) {
+        dispatch(t);
+      }
     }
   }
 
-  bool last_evaluated = false;
-  bool budget_exhausted = false;
   std::vector<sim::Event> batch;  // reused across pop_batch calls
   while (!queue.empty() && !budget_exhausted) {
+    if (fault.crash_at() > 0.0 && queue.peek().time >= fault.crash_at()) {
+      // The injected kill point: flush the log (a real SIGKILL would leave
+      // at most a torn tail, which the reader tolerates) and die *before*
+      // popping or drawing anything, so the crashed run's streams stay
+      // aligned with the uninterrupted oracle it is diffed against.
+      if (event_log.is_open()) event_log.sync();
+      throw sim::SimulatedCrash(queue.peek().time);
+    }
     // Drain simultaneous completions in one heap pass.  Events scheduled
     // by the handlers below land at strictly later (time, seq) keys, so
     // per-event handling in batch order replays the one-pop-at-a-time
@@ -517,7 +919,41 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
     for (const sim::Event& event : batch) {
       ++out.processed_events;
       metrics.events.add();
+      if (event_log.is_open()) event_log.append(event);
       const std::size_t tier = static_cast<std::size_t>(event.actor);
+      if (fault.active()) {
+        if (fault.lose_update()) {
+          metrics.lost_updates.add();
+          if (retry_count[tier] < async_.fault.max_retries) {
+            // Lost in transit: park the round and retry the delivery after
+            // a deterministic backoff (no RNG draw — the rescheduled event
+            // flows through the queue, so the retry is shard-invariant).
+            ++retry_count[tier];
+            queue.schedule(fault.backoff(retry_count[tier]), /*kind=*/0,
+                           /*actor=*/tier);
+            if (obs::Tracer* t = obs::tracer()) {
+              t->instant(queue.now(), "fault", "lost",
+                         static_cast<std::int64_t>(tier),
+                         {obs::field("attempt", retry_count[tier])});
+            }
+            continue;
+          }
+          // Retries exhausted: the round's updates are gone for good (the
+          // timeout case).  Un-count the dispatch and restart the tier so
+          // the run still converges to total_updates versions.
+          metrics.dropped_updates.add();
+          retry_count[tier] = 0;
+          --scheduled;
+          if (obs::Tracer* t = obs::tracer()) {
+            t->instant(queue.now(), "fault", "dropped",
+                       static_cast<std::int64_t>(tier),
+                       {obs::field("retries", async_.fault.max_retries)});
+          }
+          if (scheduled < async_.total_updates) dispatch(tier);
+          continue;
+        }
+        retry_count[tier] = 0;
+      }
       PendingRound& round = pending[tier];
 
       obs::ScopedPhase agg_phase(&phases, obs::Phase::kAggregate);
@@ -630,6 +1066,15 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
         }
       }
     }
+    // Checkpoint at batch boundaries once virtual time crosses the due
+    // point: the trigger is a pure function of event times (never a queue
+    // event), so it is shard-count invariant and perturbs no seqs.
+    if (!budget_exhausted && queue.now() >= next_checkpoint_due) {
+      write_checkpoint();
+      next_checkpoint_due =
+          (std::floor(queue.now() / async_.checkpoint_every) + 1.0) *
+          async_.checkpoint_every;
+    }
   }
 
   // A time-budget break (or a carry-forward cadence) can leave the last
@@ -730,6 +1175,8 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   std::vector<std::size_t> flight_dispatch_version(num_clients, 0);
   std::vector<std::size_t> flight_tier(num_clients, 0);
   std::vector<LocalUpdate> flight_update(num_clients);
+  // Redelivery attempts for a lost in-flight update (fault injection).
+  std::vector<std::size_t> flight_retries(num_clients, 0);
 
   std::vector<util::SegmentedIdSet> tier_sets;
   tier_sets.reserve(num_tiers);
@@ -881,6 +1328,13 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   std::vector<std::size_t> parked_at(num_tiers, 0);
   std::vector<std::size_t> staleness_scratch(num_tiers, 0);
 
+  // --- durability state ------------------------------------------------------
+  sim::FaultModel fault(async_.fault, seed);
+  double next_checkpoint_due = async_.checkpoint_every > 0.0
+                                   ? async_.checkpoint_every
+                                   : std::numeric_limits<double>::infinity();
+  const bool resuming = !async_.resume_path.empty();
+
   const auto dispatch = [&](std::size_t tier) {
     DynRound& round = rounds[tier];
     round.active = false;
@@ -1006,6 +1460,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           latency_scale[c];
       in_flight[c] = 1;
       ++in_flight_count;
+      flight_retries[c] = 0;
       sorted_insert(inflight_by_tier[tier], c);
       task_of[c] = task_index;
       flight_tier[c] = tier;
@@ -1050,11 +1505,13 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
                         /*actor=*/0);
     }
   };
-  schedule_next_churn();
-  if (async_.reprofile_every > 0.0) {
-    queue.schedule_at(async_.reprofile_every,
-                      static_cast<std::uint64_t>(sim::EventKind::kReProfile),
-                      /*actor=*/0);
+  if (!resuming) {
+    schedule_next_churn();
+    if (async_.reprofile_every > 0.0) {
+      queue.schedule_at(async_.reprofile_every,
+                        static_cast<std::uint64_t>(sim::EventKind::kReProfile),
+                        /*actor=*/0);
+    }
   }
 
   metrics.setup_ns.add(static_cast<std::uint64_t>(
@@ -1062,8 +1519,308 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           std::chrono::steady_clock::now() - setup_start)
           .count()));
 
-  for (std::size_t t = 0; t < num_tiers; ++t) {
-    if (!tier_sets[t].empty()) dispatch(t);
+  bool last_evaluated = false;
+  bool stopped = false;
+  double window_end = -std::numeric_limits<double>::infinity();
+
+  // --- snapshot payload (dynamic path) ---------------------------------------
+  // Everything the event loop's future depends on: stream positions,
+  // per-tier server state, the evolved membership, in-flight cohorts
+  // (trained updates travel with the snapshot; untrained cohorts travel
+  // as their deferred TrainTask), churn/re-tierer/policy/fault state, the
+  // queue, and the merged metrics view.
+  const std::uint64_t fingerprint = config_fingerprint(
+      config_, async_, seed, num_tiers, num_clients, weight_count);
+  const auto save_state = [&](util::ByteSink& sink) {
+    put_prologue(sink, kSnapDynamic, fingerprint, num_tiers, num_clients,
+                 weight_count, policy.name());
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      put_rng(sink, rngs.selection[t]);
+      put_rng(sink, rngs.latency[t]);
+    }
+    sink.put_f32_vec(global);
+    for (const std::vector<float>& model : tier_models) {
+      sink.put_f32_vec(model);
+    }
+    sink.put_size_vec(tier_updates);
+    sink.put_size_vec(last_submit_version);
+    sink.put_f64_vec(tier_lr);
+    sink.put_f64_vec(staleness_sum);
+    put_records(sink, out.result.rounds);
+    sink.put_f64_vec(current_weights);
+    sink.put_u64(dispatch_seq);
+    for (const std::vector<std::size_t>& members : flat_tiers()) {
+      sink.put_size_vec(members);
+    }
+    // Latency multipliers, sparse: only clients a slowdown touched.
+    std::uint64_t scaled = 0;
+    for (double s : latency_scale) scaled += s != 1.0 ? 1 : 0;
+    sink.put_u64(scaled);
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      if (latency_scale[c] != 1.0) {
+        sink.put_u64(c);
+        sink.put_f64(latency_scale[c]);
+      }
+    }
+    // In-flight cohort members, ascending id order (restore re-buckets
+    // inflight_by_tier from tier_of, so per-tier lists stay sorted).
+    sink.put_u64(in_flight_count);
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      if (!in_flight[c]) continue;
+      sink.put_u64(c);
+      sink.put_u64(flight_tier[c]);
+      sink.put_f64(flight_dispatch_time[c]);
+      sink.put_u64(flight_dispatch_version[c]);
+      sink.put_f64(arrival_time[c]);
+      sink.put_u64(flight_retries[c]);
+      const bool trained = !flight_update[c].weights.empty();
+      sink.put_bool(trained);
+      if (trained) put_update(sink, flight_update[c]);
+    }
+    for (const DynRound& round : rounds) {
+      sink.put_bool(round.active);
+      sink.put_u64(round.awaiting);
+      sink.put_u64(round.arrivals);
+      sink.put_f64(round.weight_total);
+      sink.put_f64_vec(round.accum);
+    }
+    // Deferred window tasks, their membership pointers, the open window.
+    sink.put_u64(window_tasks.size());
+    for (const TrainTask& task : window_tasks) {
+      sink.put_size_vec(task.members);
+      sink.put_f32_vec(task.snapshot);
+      sink.put_f64(task.lr);
+      sink.put_u64(task.seq);
+      sink.put_bool(task.done);
+    }
+    std::uint64_t tasked = 0;
+    for (std::size_t t : task_of) tasked += t != kNoTask ? 1 : 0;
+    sink.put_u64(tasked);
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      if (task_of[c] != kNoTask) {
+        sink.put_u64(c);
+        sink.put_u64(task_of[c]);
+      }
+    }
+    sink.put_f64(window_end);
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      sink.put_bool(parked[t] != 0);
+    }
+    sink.put_size_vec(parked_at);
+    {
+      util::ByteSink blob;
+      churn.save_state(blob);
+      sink.put_string(blob.bytes());
+    }
+    sink.put_bool(pending_churn.has_value());
+    if (pending_churn.has_value()) {
+      sink.put_f64(pending_churn->time);
+      sink.put_u64(static_cast<std::uint64_t>(pending_churn->kind));
+      sink.put_u64(pending_churn->pick);
+      sink.put_f64(pending_churn->factor);
+    }
+    {
+      util::ByteSink blob;
+      if (hooks_.save_state) hooks_.save_state(blob);
+      sink.put_string(blob.bytes());
+    }
+    sink.put_bool(last_evaluated);
+    sink.put_u64(out.join_count);
+    sink.put_u64(out.leave_count);
+    sink.put_u64(out.slowdown_count);
+    sink.put_u64(out.reprofile_count);
+    sink.put_u64(out.processed_events);
+    sink.put_u64(out.max_event_batch);
+    sink.put_f64(next_checkpoint_due);
+    put_queue(sink, queue);
+    {
+      util::ByteSink blob;
+      fault.save_state(blob);
+      sink.put_string(blob.bytes());
+    }
+    {
+      util::ByteSink blob;
+      policy.save_state(blob);
+      sink.put_string(blob.bytes());
+    }
+    put_metrics(sink, queue);
+  };
+
+  if (resuming) {
+    const std::string payload = load_snapshot(async_.resume_path);
+    util::ByteSource source(payload);
+    check_prologue(source, kSnapDynamic, fingerprint, num_tiers, num_clients,
+                   weight_count, policy.name());
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      get_rng(source, rngs.selection[t]);
+      get_rng(source, rngs.latency[t]);
+    }
+    global = source.get_f32_vec();
+    for (std::vector<float>& model : tier_models) {
+      model = source.get_f32_vec();
+    }
+    tier_updates = source.get_size_vec();
+    last_submit_version = source.get_size_vec();
+    tier_lr = source.get_f64_vec();
+    staleness_sum = source.get_f64_vec();
+    out.result.rounds = get_records(source);
+    current_weights = source.get_f64_vec();
+    dispatch_seq = static_cast<std::size_t>(source.get_u64());
+    // Rebuild every membership view from the snapshot's flat tiers.
+    std::fill(live.begin(), live.end(), 0);
+    std::fill(tier_of.begin(), tier_of.end(), kNoTier);
+    live_set.clear();
+    inactive_set.clear();
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      tiers_flat[t] = source.get_size_vec();
+      tier_sets[t].clear();
+      tier_dirty[t] = 0;
+      for (std::size_t id : tiers_flat[t]) {
+        if (id >= num_clients) {
+          throw std::runtime_error(
+              "AsyncEngine: snapshot member out of range");
+        }
+        live[id] = 1;
+        tier_of[id] = t;
+        tier_sets[t].insert(id);
+      }
+    }
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      (live[c] ? live_set : inactive_set).insert(c);
+    }
+    std::fill(latency_scale.begin(), latency_scale.end(), 1.0);
+    const std::size_t scaled = source.checked_count(source.get_u64(), 16);
+    for (std::size_t i = 0; i < scaled; ++i) {
+      const std::size_t c = static_cast<std::size_t>(source.get_u64());
+      latency_scale.at(c) = source.get_f64();
+    }
+    std::fill(in_flight.begin(), in_flight.end(), 0);
+    for (std::vector<std::size_t>& list : inflight_by_tier) list.clear();
+    in_flight_count = source.checked_count(source.get_u64(), 8);
+    for (std::size_t i = 0; i < in_flight_count; ++i) {
+      const std::size_t c = static_cast<std::size_t>(source.get_u64());
+      in_flight.at(c) = 1;
+      flight_tier[c] = static_cast<std::size_t>(source.get_u64());
+      flight_dispatch_time[c] = source.get_f64();
+      flight_dispatch_version[c] = static_cast<std::size_t>(source.get_u64());
+      arrival_time[c] = source.get_f64();
+      flight_retries[c] = static_cast<std::size_t>(source.get_u64());
+      flight_update[c] =
+          source.get_bool() ? get_update(source) : LocalUpdate{};
+      inflight_by_tier[tier_of[c]].push_back(c);
+    }
+    for (DynRound& round : rounds) {
+      round.active = source.get_bool();
+      round.awaiting = static_cast<std::size_t>(source.get_u64());
+      round.arrivals = static_cast<std::size_t>(source.get_u64());
+      round.weight_total = source.get_f64();
+      round.accum = source.get_f64_vec();
+    }
+    window_tasks.clear();
+    const std::size_t task_count = source.checked_count(source.get_u64(), 8);
+    for (std::size_t i = 0; i < task_count; ++i) {
+      TrainTask task;
+      task.members = source.get_size_vec();
+      task.snapshot = source.get_f32_vec();
+      task.lr = source.get_f64();
+      task.seq = static_cast<std::size_t>(source.get_u64());
+      task.done = source.get_bool();
+      window_tasks.push_back(std::move(task));
+    }
+    std::fill(task_of.begin(), task_of.end(), kNoTask);
+    const std::size_t tasked = source.checked_count(source.get_u64(), 16);
+    for (std::size_t i = 0; i < tasked; ++i) {
+      const std::size_t c = static_cast<std::size_t>(source.get_u64());
+      task_of.at(c) = static_cast<std::size_t>(source.get_u64());
+    }
+    window_end = source.get_f64();
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      parked[t] = source.get_bool() ? 1 : 0;
+    }
+    parked_at = source.get_size_vec();
+    {
+      const std::string blob = source.get_string();
+      util::ByteSource blob_source(blob);
+      churn.restore_state(blob_source);
+    }
+    if (source.get_bool()) {
+      sim::LifecycleEvent event;
+      event.time = source.get_f64();
+      event.kind = static_cast<sim::EventKind>(source.get_u64());
+      event.pick = source.get_u64();
+      event.factor = source.get_f64();
+      pending_churn = event;
+    } else {
+      pending_churn.reset();
+    }
+    {
+      const std::string blob = source.get_string();
+      if (hooks_.restore_state && !blob.empty()) {
+        util::ByteSource blob_source(blob);
+        hooks_.restore_state(blob_source);
+      }
+    }
+    last_evaluated = source.get_bool();
+    out.join_count = static_cast<std::size_t>(source.get_u64());
+    out.leave_count = static_cast<std::size_t>(source.get_u64());
+    out.slowdown_count = static_cast<std::size_t>(source.get_u64());
+    out.reprofile_count = static_cast<std::size_t>(source.get_u64());
+    out.processed_events = static_cast<std::size_t>(source.get_u64());
+    out.max_event_batch = static_cast<std::size_t>(source.get_u64());
+    // The stored due point documents the crashed run's cadence; the
+    // resumed run recomputes it from its *own* config (a resume without
+    // --checkpoint must never attempt a write).
+    (void)source.get_f64();
+    get_queue(source, queue);
+    next_checkpoint_due =
+        async_.checkpoint_every > 0.0
+            ? (std::floor(queue.now() / async_.checkpoint_every) + 1.0) *
+                  async_.checkpoint_every
+            : std::numeric_limits<double>::infinity();
+    {
+      const std::string blob = source.get_string();
+      util::ByteSource blob_source(blob);
+      fault.restore_state(blob_source);
+    }
+    {
+      const std::string blob = source.get_string();
+      util::ByteSource blob_source(blob);
+      policy.restore_state(blob_source);
+    }
+    get_metrics(source);
+    util::log_info("async-dyn: resumed from ", async_.resume_path,
+                   " at version ", out.result.rounds.size(),
+                   ", t=", queue.now());
+  }
+
+  sim::EventLogWriter event_log;
+  open_event_log(event_log, async_.event_log_path, resuming,
+                 out.processed_events);
+
+  const auto write_checkpoint = [&]() {
+    const auto start = std::chrono::steady_clock::now();
+    util::ByteSink sink;
+    save_state(sink);
+    const std::size_t bytes =
+        save_snapshot(async_.checkpoint_path, sink.bytes());
+    if (event_log.is_open()) event_log.sync();
+    metrics.checkpoint_writes.add();
+    metrics.checkpoint_bytes.add(bytes);
+    metrics.checkpoint_write_ns.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    if (obs::Tracer* t = obs::tracer()) {
+      t->instant(queue.now(), "durability", "checkpoint", /*actor=*/0,
+                 {obs::field("version", out.result.rounds.size()),
+                  obs::field("events", out.processed_events)});
+    }
+  };
+
+  if (!resuming) {
+    for (std::size_t t = 0; t < num_tiers; ++t) {
+      if (!tier_sets[t].empty()) dispatch(t);
+    }
   }
 
   // Virtual-time barrier: run every deferred task dispatched inside the
@@ -1081,11 +1838,14 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     window_tasks.clear();
   };
 
-  bool last_evaluated = false;
-  bool stopped = false;
-  double window_end = -std::numeric_limits<double>::infinity();
   std::vector<sim::Event> batch;  // reused across pop_batch calls
   while (!queue.empty() && !stopped) {
+    // Injected server crash: fires strictly between batches (and before
+    // any window flush), so the last checkpoint is a consistent prefix.
+    if (fault.crash_at() > 0.0 && queue.peek().time >= fault.crash_at()) {
+      if (event_log.is_open()) event_log.sync();
+      throw sim::SimulatedCrash(queue.peek().time);
+    }
     if (queue.peek().time > window_end) {
       // The next event opens a new barrier window [T, T + window]: flush
       // the cohorts the closing window deferred.  Window boundaries are a
@@ -1102,6 +1862,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     for (const sim::Event& event : batch) {
       ++out.processed_events;
       metrics.events.add();
+      if (event_log.is_open()) event_log.append(event);
       // Budget crossings must be caught on *any* event kind: the churn and
       // reprofile streams re-arm forever, so an update-starved run (e.g.
       // heavy leave rates) would otherwise spin on lifecycle events
@@ -1127,6 +1888,44 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
             metrics.stale_events.add();
             break;
           }
+          // Injected network loss: one Bernoulli draw per delivery attempt,
+          // in pop order.  Decided *before* run_task so an untrained cohort
+          // stays deferred across retries.
+          if (fault.active() && fault.lose_update()) {
+            metrics.lost_updates.add();
+            if (flight_retries[c] < async_.fault.max_retries) {
+              ++flight_retries[c];
+              arrival_time[c] = queue.now() + fault.backoff(flight_retries[c]);
+              queue.schedule_at(
+                  arrival_time[c],
+                  static_cast<std::uint64_t>(sim::EventKind::kClientUpdate),
+                  event.actor);
+              if (obs::Tracer* t = obs::tracer()) {
+                t->instant(queue.now(), "fault", "lost",
+                           static_cast<std::int64_t>(c),
+                           {obs::field("attempt", flight_retries[c])});
+              }
+              break;
+            }
+            // Retries exhausted: the update is gone for good.  The client
+            // stays live and eligible for its tier's next cohort.
+            metrics.dropped_updates.add();
+            if (obs::Tracer* t = obs::tracer()) {
+              t->instant(queue.now(), "fault", "dropped",
+                         static_cast<std::int64_t>(c),
+                         {obs::field("retries", flight_retries[c])});
+            }
+            flight_retries[c] = 0;
+            in_flight[c] = 0;
+            --in_flight_count;
+            sorted_erase(inflight_by_tier[tier_of[c]], c);
+            flight_update[c] = LocalUpdate{};
+            DynRound& lost_round = rounds[flight_tier[c]];
+            --lost_round.awaiting;
+            if (lost_round.awaiting == 0) complete_round(flight_tier[c]);
+            break;
+          }
+          flight_retries[c] = 0;
           // The cohort may still be awaiting its window barrier: train it
           // now.  Deferred tasks are order-independent, so an early flush
           // is byte-identical to flushing at the barrier.
@@ -1451,6 +2250,15 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
           break;
         }
       }
+    }
+    // Checkpoint at batch boundaries once virtual time crosses the due
+    // point: the trigger is a pure function of event times (never a queue
+    // event), so it is shard-count invariant and perturbs no seqs.
+    if (!stopped && queue.now() >= next_checkpoint_due) {
+      write_checkpoint();
+      next_checkpoint_due =
+          (std::floor(queue.now() / async_.checkpoint_every) + 1.0) *
+          async_.checkpoint_every;
     }
   }
 

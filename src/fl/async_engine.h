@@ -45,7 +45,9 @@
 #include "nn/sequential.h"
 #include "sim/churn_model.h"
 #include "sim/event_queue.h"
+#include "sim/fault_model.h"
 #include "sim/latency_model.h"
+#include "util/serial.h"
 
 namespace tifl::util {
 class ThreadPool;
@@ -123,6 +125,28 @@ struct AsyncConfig {
   // byte-identical results; the window only widens the batch of
   // train-parallelism between barriers.
   double barrier_window = 0.0;
+
+  // --- durability ------------------------------------------------------------
+  // Virtual seconds between full-run snapshots (fl::save_snapshot into
+  // `checkpoint_path`); 0 disables checkpointing.  A snapshot captures the
+  // complete resumable state — model + per-tier models, RNG stream
+  // positions, policy and re-tierer state, in-flight cohorts, the event
+  // queue — so a killed run resumed from it replays the uninterrupted run
+  // byte for byte.  Checkpoints fire at batch boundaries (never as queue
+  // events), so enabling them perturbs no (time, seq) keys.
+  double checkpoint_every = 0.0;
+  std::string checkpoint_path;  // required when checkpoint_every > 0
+  // Load this snapshot and continue the run it captured instead of
+  // starting fresh.  The snapshot's config fingerprint, population and
+  // policy must match; the shard count and barrier window may differ
+  // (both are bit-invariant knobs).
+  std::string resume_path;
+  // Append-only CRC-framed log of processed events (sim::EventLogWriter);
+  // truncated to the snapshot's horizon on resume.  Empty = off.
+  std::string event_log_path;
+  // Seeded fault injection: server crash point + client update loss with
+  // deterministic retry/backoff (see sim::FaultModel).
+  sim::FaultConfig fault;
 };
 
 // Callbacks the dynamic lifecycle path raises toward the tiering layer
@@ -145,6 +169,12 @@ struct LifecycleHooks {
   // tier_count() lists over live clients).  Pending rounds keep running;
   // the new membership only affects future sampling.
   std::function<std::vector<std::vector<std::size_t>>()> retier;
+  // Durability seam: serialize/restore the tiering layer's online state
+  // (core::TiflSystem wires these to OnlineReTierer::save_state /
+  // restore_state) into the engine's run snapshot, so a resumed run
+  // re-tiers from the exact EMA estimates the killed run had.
+  std::function<void(util::ByteSink&)> save_state;
+  std::function<void(util::ByteSource&)> restore_state;
 };
 
 struct AsyncRunResult {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace tifl::fl {
 
@@ -159,6 +160,15 @@ class SelectionPolicy {
   virtual void on_retier(std::span<const std::vector<std::size_t>> members) {
     (void)members;
   }
+
+  // --- checkpoint/resume ------------------------------------------------------
+  // Serialize/restore the policy's mutable state (probabilities, credits,
+  // accuracy histories, ...).  Stateless policies — every selection a pure
+  // function of the SelectionContext and its RNG stream — keep the no-op
+  // default; the engine's snapshot still records the policy name and
+  // rejects a resume under a different policy.
+  virtual void save_state(util::ByteSink& sink) const { (void)sink; }
+  virtual void restore_state(util::ByteSource& source) { (void)source; }
 };
 
 class VanillaPolicy final : public SelectionPolicy {

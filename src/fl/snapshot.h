@@ -1,0 +1,45 @@
+// Versioned, CRC-guarded snapshot container — the durable envelope for a
+// complete resumable run state (extending the nn::checkpoint flat-weight
+// format from "just the model" to "the whole engine").
+//
+// File layout (little-endian):
+//   8-byte magic "TIFLSNP1"
+//   u32  format version (kSnapshotVersion)
+//   u64  payload byte count
+//   u32  crc32 over the payload bytes
+//   payload (engine-defined, built with util::ByteSink)
+//
+// Write path durability: the snapshot is written to a temporary file in
+// the *same directory*, fsync'd, and renamed over the target — so readers
+// only ever observe either the previous complete snapshot or the new one,
+// never a torn write (the rethinkdb serializer discipline).  A process
+// killed mid-checkpoint therefore always leaves a loadable file behind.
+//
+// Read path safety: magic, version, size (validated against the actual
+// file size before any allocation) and CRC are all checked before a byte
+// of payload reaches the engine; every failure is a clean
+// std::runtime_error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tifl::fl {
+
+inline constexpr char kSnapshotMagic[8] = {'T', 'I', 'F', 'L',
+                                           'S', 'N', 'P', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+// Atomically replaces `path` with a snapshot wrapping `payload`; returns
+// the total bytes written (header + payload).  Throws std::runtime_error
+// on any I/O failure (the temp file is removed on error).
+std::size_t save_snapshot(const std::string& path, std::string_view payload);
+
+// Loads and validates the snapshot at `path`, returning its payload.
+// Throws std::runtime_error on missing file, foreign magic, unsupported
+// version, a size header inconsistent with the file, or a CRC mismatch.
+std::string load_snapshot(const std::string& path);
+
+}  // namespace tifl::fl

@@ -1,5 +1,6 @@
 #include "nn/checkpoint.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -42,6 +43,23 @@ std::vector<float> load_weights(const std::string& path) {
   if (!in) {
     throw std::runtime_error("load_weights: truncated header in " + path);
   }
+  // Validate the count against the bytes actually present before sizing
+  // the vector: a corrupted 8-byte count must fail cleanly, not attempt a
+  // multi-GB allocation.
+  const std::streampos payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streampos file_end = in.tellg();
+  if (payload_start < 0 || file_end < payload_start) {
+    throw std::runtime_error("load_weights: cannot size " + path);
+  }
+  const std::uint64_t available =
+      static_cast<std::uint64_t>(file_end - payload_start);
+  if (count > available / sizeof(float)) {
+    throw std::runtime_error(
+        "load_weights: header count exceeds file size in " + path +
+        " (corrupt checkpoint)");
+  }
+  in.seekg(payload_start);
   std::vector<float> weights(count);
   in.read(reinterpret_cast<char*>(weights.data()),
           static_cast<std::streamsize>(count * sizeof(float)));
@@ -49,7 +67,27 @@ std::vector<float> load_weights(const std::string& path) {
                  static_cast<std::streamsize>(count * sizeof(float))) {
     throw std::runtime_error("load_weights: truncated payload in " + path);
   }
+  for (float w : weights) {
+    if (!std::isfinite(w)) {
+      throw std::runtime_error(
+          "load_weights: non-finite weight in " + path +
+          " (corrupt checkpoint)");
+    }
+  }
   return weights;
+}
+
+std::uint64_t weights_fnv1a(std::span<const float> weights) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (float w : weights) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &w, sizeof(bits));
+    for (int b = 0; b < 4; ++b) {
+      hash ^= (bits >> (8 * b)) & 0xFFu;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
 }
 
 }  // namespace tifl::nn

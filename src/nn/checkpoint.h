@@ -6,6 +6,8 @@
 // weight_count(), mirroring the FL weight-exchange contract.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -14,8 +16,15 @@ namespace tifl::nn {
 // Writes `weights` to `path`; throws std::runtime_error on I/O failure.
 void save_weights(const std::string& path, const std::vector<float>& weights);
 
-// Reads a checkpoint written by save_weights; throws std::runtime_error
-// on missing file, bad magic, or truncated payload.
+// Reads a checkpoint written by save_weights; throws std::runtime_error on
+// missing file, bad magic, a header count inconsistent with the actual
+// file size (validated *before* any allocation — a corrupted count must
+// not drive a multi-GB resize), truncated payload, or non-finite weights.
 std::vector<float> load_weights(const std::string& path);
+
+// FNV-1a over the raw float bit patterns — the canonical model identity
+// hash shared by bench_scale, tifl_run and the resume byte-identity tests
+// (two models hash equal iff their weights are bit-identical).
+std::uint64_t weights_fnv1a(std::span<const float> weights);
 
 }  // namespace tifl::nn

@@ -124,6 +124,42 @@ void Histo::merge_from(const Histo& other) noexcept {
   }
 }
 
+void Histo::save(util::ByteSink& sink) const {
+  // Sparse (index, count) pairs: most of the 164 buckets are empty.
+  std::uint64_t nonzero = 0;
+  for (const auto& c : counts_) {
+    if (c.load(std::memory_order_relaxed) > 0) ++nonzero;
+  }
+  sink.put_u64(nonzero);
+  for (int b = 0; b < util::hdr::kBucketCount; ++b) {
+    const std::uint64_t n = counts_[b].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    sink.put_u32(static_cast<std::uint32_t>(b));
+    sink.put_u64(n);
+  }
+  sink.put_u64(count_.load(std::memory_order_relaxed));
+  sink.put_f64(sum_.load(std::memory_order_relaxed));
+  sink.put_f64(min_.load(std::memory_order_relaxed));
+  sink.put_f64(max_.load(std::memory_order_relaxed));
+}
+
+void Histo::restore(util::ByteSource& source) {
+  reset();
+  const std::size_t nonzero = source.checked_count(source.get_u64(), 12);
+  for (std::size_t i = 0; i < nonzero; ++i) {
+    const std::uint32_t b = source.get_u32();
+    const std::uint64_t n = source.get_u64();
+    if (b >= static_cast<std::uint32_t>(util::hdr::kBucketCount)) {
+      throw std::runtime_error("Histo::restore: bucket index out of range");
+    }
+    counts_[b].store(n, std::memory_order_relaxed);
+  }
+  count_.store(source.get_u64(), std::memory_order_relaxed);
+  sum_.store(source.get_f64(), std::memory_order_relaxed);
+  min_.store(source.get_f64(), std::memory_order_relaxed);
+  max_.store(source.get_f64(), std::memory_order_relaxed);
+}
+
 std::vector<Histo::Bucket> Histo::buckets() const {
   std::vector<Bucket> out;
   for (int b = 0; b < util::hdr::kBucketCount; ++b) {
@@ -213,6 +249,44 @@ void Registry::merge_from(const Registry& other) {
   // bucket contents outside its lock only races with concurrent records —
   // the same relaxed-atomic tolerance every snapshot already has.
   for (const auto& [name, h] : histos) histogram(name).merge_from(*h);
+}
+
+void Registry::save(util::ByteSink& sink) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink.put_u64(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    sink.put_string(name);
+    sink.put_u64(c->value());
+  }
+  sink.put_u64(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    sink.put_string(name);
+    sink.put_f64(g->value());
+  }
+  sink.put_u64(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    sink.put_string(name);
+    h->save(sink);
+  }
+}
+
+void Registry::restore(util::ByteSource& source) {
+  const std::size_t ncounters = source.checked_count(source.get_u64(), 16);
+  for (std::size_t i = 0; i < ncounters; ++i) {
+    const std::string name = source.get_string();
+    const std::uint64_t v = source.get_u64();
+    if (v > 0) counter(name).add(v);
+  }
+  const std::size_t ngauges = source.checked_count(source.get_u64(), 16);
+  for (std::size_t i = 0; i < ngauges; ++i) {
+    const std::string name = source.get_string();
+    gauge(name).set_max(source.get_f64());
+  }
+  const std::size_t nhistos = source.checked_count(source.get_u64(), 16);
+  for (std::size_t i = 0; i < nhistos; ++i) {
+    const std::string name = source.get_string();
+    histogram(name).restore(source);
+  }
 }
 
 std::string Registry::to_json() const {

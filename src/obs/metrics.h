@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/serial.h"
 
 namespace tifl::obs {
 
@@ -119,6 +120,12 @@ class Histo {
   };
   std::vector<Bucket> buckets() const;
 
+  // Checkpoint/resume: full lossless state (sparse bucket counts plus the
+  // exact count/sum/min/max aggregates — buckets() alone quantizes).
+  // restore() replaces this histogram's contents wholesale.
+  void save(util::ByteSink& sink) const;
+  void restore(util::ByteSource& source);
+
  private:
   std::atomic<std::uint64_t> counts_[util::hdr::kBucketCount] = {};
   std::atomic<std::uint64_t> count_{0};
@@ -151,6 +158,13 @@ class Registry {
   // "histograms" sub-objects, keys in lexicographic order.  Histograms
   // report count/sum/min/max/mean and p50/p90/p99 estimates.
   std::string to_json() const;
+
+  // Checkpoint/resume: serializes every instrument (name-sorted, so the
+  // bytes are deterministic); restore() adds the saved values back into
+  // this registry's instruments, creating them on first sight — call on a
+  // reset registry to reproduce the saved state exactly.
+  void save(util::ByteSink& sink) const;
+  void restore(util::ByteSource& source);
 
   // Same snapshot restricted to instruments where `keep(name)` is true —
   // how determinism tests drop host-dependent instruments (wall-clock

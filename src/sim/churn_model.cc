@@ -70,6 +70,26 @@ std::optional<LifecycleEvent> ChurnModel::next() {
   return event;
 }
 
+void ChurnModel::save_state(util::ByteSink& sink) const {
+  for (const Stream& stream : streams_) {
+    for (std::uint64_t word : stream.rng.state()) sink.put_u64(word);
+    sink.put_f64(stream.pending.time);
+    sink.put_u64(stream.pending.pick);
+    sink.put_f64(stream.pending.factor);
+  }
+}
+
+void ChurnModel::restore_state(util::ByteSource& source) {
+  for (Stream& stream : streams_) {
+    std::array<std::uint64_t, 4> words;
+    for (std::uint64_t& word : words) word = source.get_u64();
+    stream.rng.set_state(words);
+    stream.pending.time = source.get_f64();
+    stream.pending.pick = source.get_u64();
+    stream.pending.factor = source.get_f64();
+  }
+}
+
 std::vector<LifecycleEvent> ChurnModel::generate(double horizon) const {
   ChurnModel copy = *this;
   std::vector<LifecycleEvent> events;

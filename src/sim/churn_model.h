@@ -22,6 +22,7 @@
 
 #include "sim/event_queue.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace tifl::sim {
 
@@ -67,6 +68,12 @@ class ChurnModel {
   // The merged stream up to virtual time `horizon` (exclusive) — the
   // test/debug view.  Pure: does not perturb this model's next().
   std::vector<LifecycleEvent> generate(double horizon) const;
+
+  // Checkpoint/resume: per-stream RNG positions and the pending head of
+  // each stream.  restore_state expects a model constructed with the same
+  // config; rates and kinds are config-derived and not serialized.
+  void save_state(util::ByteSink& sink) const;
+  void restore_state(util::ByteSource& source);
 
  private:
   struct Stream {

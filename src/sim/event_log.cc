@@ -1,0 +1,133 @@
+#include "sim/event_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serial.h"
+
+namespace tifl::sim {
+
+namespace {
+
+std::string encode_record(const Event& event) {
+  util::ByteSink sink;
+  sink.put_f64(event.time);
+  sink.put_u64(event.seq);
+  sink.put_u64(event.kind);
+  sink.put_u64(event.actor);
+  sink.put_u32(util::crc32(sink.bytes()));
+  return sink.take();
+}
+
+}  // namespace
+
+void EventLogWriter::open(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("event log: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    close();
+    throw std::runtime_error("event log: cannot stat " + path);
+  }
+  if (st.st_size == 0) {
+    if (::write(fd_, kEventLogMagic, sizeof(kEventLogMagic)) !=
+        static_cast<ssize_t>(sizeof(kEventLogMagic))) {
+      close();
+      throw std::runtime_error("event log: cannot write magic to " + path);
+    }
+    return;
+  }
+  // Existing file: verify the magic before appending behind it.
+  std::ifstream in(path, std::ios::binary);
+  char magic[sizeof(kEventLogMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kEventLogMagic, sizeof(magic)) != 0) {
+    close();
+    throw std::runtime_error("event log: bad magic in " + path);
+  }
+}
+
+void EventLogWriter::truncate_to(const std::string& path,
+                                 std::uint64_t records) {
+  close();
+  // Count the valid prefix first: a torn tail shorter than `records`
+  // means the snapshot references history the log never durably held.
+  const std::vector<Event> valid = read_event_log(path);
+  if (valid.size() < records) {
+    throw std::runtime_error(
+        "event log: " + path + " holds " + std::to_string(valid.size()) +
+        " valid records, snapshot expects " + std::to_string(records));
+  }
+  const off_t keep = static_cast<off_t>(sizeof(kEventLogMagic) +
+                                        records * kEventLogRecordSize);
+  if (::truncate(path.c_str(), keep) != 0) {
+    throw std::runtime_error("event log: cannot truncate " + path + ": " +
+                             std::strerror(errno));
+  }
+  open(path);
+}
+
+void EventLogWriter::append(const Event& event) {
+  if (fd_ < 0) return;
+  const std::string record = encode_record(event);
+  if (::write(fd_, record.data(), record.size()) !=
+      static_cast<ssize_t>(record.size())) {
+    throw std::runtime_error("event log: short write");
+  }
+}
+
+void EventLogWriter::sync() {
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+void EventLogWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<Event> read_event_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("event log: cannot open " + path);
+  }
+  char magic[sizeof(kEventLogMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kEventLogMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("event log: bad magic in " + path);
+  }
+  std::vector<Event> events;
+  char record[kEventLogRecordSize];
+  for (;;) {
+    in.read(record, sizeof(record));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(record))) {
+      break;  // torn tail: the valid prefix ends here
+    }
+    util::ByteSource source(std::string_view(record, sizeof(record)));
+    Event event;
+    event.time = source.get_f64();
+    event.seq = source.get_u64();
+    event.kind = source.get_u64();
+    event.actor = source.get_u64();
+    const std::uint32_t crc = source.get_u32();
+    if (crc != util::crc32(record, kEventLogRecordSize - 4)) {
+      break;  // corrupt record: stop at the last good one
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
+}  // namespace tifl::sim

@@ -1,0 +1,65 @@
+// Append-only, CRC-framed log of processed simulation events — the
+// durable record that pairs with fl::Snapshot (rethinkdb's log-structured
+// serializer is the exemplar: fixed-size framed records, each guarded by
+// its own checksum, with a reader that tolerates a torn tail).
+//
+// File layout:
+//   8-byte magic "TIFLELG1"
+//   repeated records of exactly kRecordSize bytes:
+//     f64 time | u64 seq | u64 kind | u64 actor | u32 crc32(first 32 bytes)
+//
+// A process killed mid-write leaves at most one partial record at the
+// tail; `read_event_log` stops cleanly at the first short or
+// CRC-mismatched record instead of throwing, so recovery always sees the
+// longest valid prefix.  `EventLogWriter::truncate_to` trims the log back
+// to a checkpoint's processed-event horizon on resume, after which the
+// full-run and crash+resume logs are byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace tifl::sim {
+
+inline constexpr char kEventLogMagic[8] = {'T', 'I', 'F', 'L',
+                                           'E', 'L', 'G', '1'};
+inline constexpr std::size_t kEventLogRecordSize = 8 + 8 + 8 + 8 + 4;
+
+class EventLogWriter {
+ public:
+  EventLogWriter() = default;
+  ~EventLogWriter() { close(); }
+  EventLogWriter(const EventLogWriter&) = delete;
+  EventLogWriter& operator=(const EventLogWriter&) = delete;
+
+  // Opens `path` for appending, writing the magic when the file is new or
+  // empty.  Throws std::runtime_error when the file cannot be opened or
+  // carries a foreign magic.
+  void open(const std::string& path);
+
+  // Truncates the log to its first `records` valid records (dropping any
+  // torn tail), then reopens for appending — the resume entry point.
+  // Throws when the log holds fewer valid records than requested.
+  void truncate_to(const std::string& path, std::uint64_t records);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  void append(const Event& event);
+  // fsyncs buffered records (called at checkpoint boundaries, so the log
+  // is never behind the snapshot that references it).
+  void sync();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// The longest valid record prefix of the log at `path`.  Throws
+// std::runtime_error when the file is missing or the magic is foreign;
+// torn or corrupt tails terminate the scan silently.
+std::vector<Event> read_event_log(const std::string& path);
+
+}  // namespace tifl::sim

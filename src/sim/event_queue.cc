@@ -178,4 +178,21 @@ void EventQueue::reset() {
   now_ = 0.0;
 }
 
+std::vector<Event> EventQueue::pending() const {
+  std::vector<Event> out = heap_;
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+void EventQueue::restore(double now, std::uint64_t next_seq,
+                         std::span<const Event> events) {
+  heap_.assign(events.begin(), events.end());
+  std::make_heap(heap_.begin(), heap_.end(), after);
+  now_ = now;
+  next_seq_ = next_seq;
+}
+
 }  // namespace tifl::sim

@@ -104,6 +104,19 @@ class EventQueue {
   // counting so pre/post-reset events never collide.
   void reset();
 
+  // --- checkpoint/resume surface --------------------------------------------
+  // Next seq schedule() would assign; with pending() this captures the
+  // queue's full deterministic state.
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
+  // All pending events in (time, seq) pop order, non-destructively.
+  std::vector<Event> pending() const;
+  // Replaces the queue's state wholesale (clock, seq counter, pending
+  // set) — the restore half of a snapshot.  Deliberately records nothing
+  // into the metrics registry: the checkpoint already carries the counts
+  // accumulated when these events were first scheduled.
+  void restore(double now, std::uint64_t next_seq,
+               std::span<const Event> events);
+
  private:
   std::vector<Event> heap_;  // binary min-heap ordered by (time, seq)
   double now_ = 0.0;

@@ -1,0 +1,46 @@
+#include "sim/fault_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace tifl::sim {
+
+FaultModel::FaultModel(FaultConfig config, std::uint64_t run_seed)
+    : config_(config) {
+  if (std::isnan(config_.loss_prob) || config_.loss_prob < 0.0 ||
+      config_.loss_prob >= 1.0) {
+    throw std::invalid_argument("FaultModel: loss_prob must be in [0, 1)");
+  }
+  if (std::isnan(config_.crash_at) || config_.crash_at < 0.0) {
+    throw std::invalid_argument("FaultModel: negative or NaN crash_at");
+  }
+  if (std::isnan(config_.backoff_base) || config_.backoff_base < 0.0 ||
+      std::isnan(config_.backoff_max) || config_.backoff_max < 0.0) {
+    throw std::invalid_argument("FaultModel: negative or NaN backoff");
+  }
+  if (std::isnan(config_.backoff_factor) || config_.backoff_factor <= 0.0) {
+    throw std::invalid_argument("FaultModel: backoff factor must be > 0");
+  }
+  const std::uint64_t seed =
+      config_.seed != 0 ? config_.seed : util::mix_seed(run_seed, 0xFA07);
+  rng_ = util::Rng(seed);
+}
+
+double FaultModel::backoff(std::size_t attempt) const {
+  double wait = config_.backoff_base;
+  for (std::size_t k = 1; k < attempt; ++k) wait *= config_.backoff_factor;
+  return std::min(wait, config_.backoff_max);
+}
+
+void FaultModel::save_state(util::ByteSink& sink) const {
+  for (std::uint64_t word : rng_.state()) sink.put_u64(word);
+}
+
+void FaultModel::restore_state(util::ByteSource& source) {
+  std::array<std::uint64_t, 4> words;
+  for (std::uint64_t& word : words) word = source.get_u64();
+  rng_.set_state(words);
+}
+
+}  // namespace tifl::sim

@@ -218,6 +218,30 @@ void ShardedEventQueue::reset() {
   now_ = 0.0;
 }
 
+std::vector<Event> ShardedEventQueue::pending() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for (const Shard& shard : heaps_) {
+    out.insert(out.end(), shard.heap.begin(), shard.heap.end());
+  }
+  std::sort(out.begin(), out.end(), before_key);
+  return out;
+}
+
+void ShardedEventQueue::restore(double now, std::uint64_t next_seq,
+                                std::span<const Event> events) {
+  for (Shard& shard : heaps_) shard.heap.clear();
+  for (const Event& event : events) {
+    heaps_[shard_of(event.actor)].heap.push_back(event);
+  }
+  for (Shard& shard : heaps_) {
+    std::make_heap(shard.heap.begin(), shard.heap.end(), after);
+  }
+  size_ = events.size();
+  now_ = now;
+  next_seq_ = next_seq;
+}
+
 void ShardedEventQueue::merge_metrics_into(obs::Registry& target) const {
   for (const std::unique_ptr<obs::Registry>& registry : registries_) {
     target.merge_from(*registry);

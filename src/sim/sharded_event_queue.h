@@ -61,6 +61,19 @@ class ShardedEventQueue {
   void pop_until(double horizon, std::vector<Event>& out);
   void reset();
 
+  // --- checkpoint/resume surface ---------------------------------------------
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
+  // All pending events across every shard in (time, seq) pop order — the
+  // shard-count-invariant view a snapshot stores, so a run checkpointed at
+  // --shards 8 can resume at --shards 1 and vice versa.
+  std::vector<Event> pending() const;
+  // Replaces the queue's state wholesale, redistributing events to their
+  // owning shards under *this* queue's shard count.  Records nothing into
+  // the per-shard metrics registries (the snapshot carries the original
+  // counts; re-counting here would double them in the merged view).
+  void restore(double now, std::uint64_t next_seq,
+               std::span<const Event> events);
+
   // --- sharding surface ------------------------------------------------------
   std::size_t shard_count() const noexcept { return heaps_.size(); }
   std::size_t shard_of(std::uint64_t actor) const noexcept;

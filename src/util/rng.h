@@ -13,6 +13,7 @@
 // compiler can inline next() into tight sampling loops.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cmath>
 #include <limits>
@@ -172,6 +173,16 @@ class Rng {
       last = i++;
     }
     return last;
+  }
+
+  // Stream-position capture for checkpoint/resume: the four xoshiro256**
+  // words fully determine every future draw, so saving and restoring them
+  // resumes the stream bit-identically mid-sequence.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
   }
 
   // In-place Fisher–Yates shuffle.

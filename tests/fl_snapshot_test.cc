@@ -1,0 +1,280 @@
+// Snapshot container hardening: every single-bit flip and every
+// truncation of a golden snapshot must surface as a clean
+// std::runtime_error — never a crash, hang, giant allocation or silently
+// wrong payload.  Plus round-trip equality for the serialized substates
+// the engine snapshot is built from: RNG streams, event-queue horizon,
+// churn streams, fault streams and stateful policy state.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_policy.h"
+#include "fl/snapshot.h"
+#include "sim/churn_model.h"
+#include "sim/event_queue.h"
+#include "sim/fault_model.h"
+#include "sim/sharded_event_queue.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace tifl {
+namespace {
+
+std::string golden_payload() {
+  util::ByteSink sink;
+  sink.put_u64(0xDEADBEEFCAFEF00DULL);
+  sink.put_f64(3.14159);
+  sink.put_string("tier state");
+  sink.put_f32_vec({1.5f, -2.5f, 0.0f});
+  sink.put_size_vec({7, 8, 9});
+  return sink.take();
+}
+
+std::string write_golden(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  fl::save_snapshot(path, golden_payload());
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FlSnapshot, RoundTripsPayloadBytes) {
+  const std::string path = write_golden("roundtrip.snap");
+  EXPECT_EQ(fl::load_snapshot(path), golden_payload());
+}
+
+TEST(FlSnapshot, OverwriteIsAtomicReplacement) {
+  const std::string path = write_golden("overwrite.snap");
+  util::ByteSink next;
+  next.put_string("second generation");
+  fl::save_snapshot(path, next.bytes());
+  EXPECT_EQ(fl::load_snapshot(path), next.bytes());
+}
+
+TEST(FlSnapshot, MissingFileThrows) {
+  EXPECT_THROW(fl::load_snapshot(::testing::TempDir() + "/absent.snap"),
+               std::runtime_error);
+}
+
+TEST(FlSnapshot, EveryBitFlipIsRejected) {
+  const std::string path = write_golden("bitflip.snap");
+  const std::string pristine = slurp(path);
+  ASSERT_FALSE(pristine.empty());
+  const std::string victim = ::testing::TempDir() + "/bitflip_victim.snap";
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = pristine;
+      corrupt[byte] = static_cast<char>(
+          static_cast<unsigned char>(corrupt[byte]) ^ (1u << bit));
+      spit(victim, corrupt);
+      EXPECT_THROW(fl::load_snapshot(victim), std::runtime_error)
+          << "byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(FlSnapshot, EveryTruncationIsRejected) {
+  const std::string path = write_golden("truncate.snap");
+  const std::string pristine = slurp(path);
+  const std::string victim = ::testing::TempDir() + "/truncate_victim.snap";
+  for (std::size_t keep = 0; keep < pristine.size(); ++keep) {
+    spit(victim, pristine.substr(0, keep));
+    EXPECT_THROW(fl::load_snapshot(victim), std::runtime_error)
+        << "accepted at " << keep << " of " << pristine.size() << " bytes";
+  }
+}
+
+TEST(FlSnapshot, TrailingGarbageIsRejected) {
+  const std::string path = write_golden("trailing.snap");
+  spit(::testing::TempDir() + "/trailing_victim.snap",
+       slurp(path) + "extra");
+  EXPECT_THROW(
+      fl::load_snapshot(::testing::TempDir() + "/trailing_victim.snap"),
+      std::runtime_error);
+}
+
+// --- substate round trips -----------------------------------------------------
+
+TEST(FlSnapshot, RngStreamRoundTripsThroughStateWords) {
+  util::Rng rng(util::mix_seed(42, 7));
+  for (int i = 0; i < 100; ++i) rng.next();  // advance mid-stream
+  const std::array<std::uint64_t, 4> words = rng.state();
+
+  util::Rng restored(1);  // deliberately different seed
+  restored.set_state(words);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next(), restored.next());
+  }
+}
+
+TEST(FlSnapshot, EventQueueHorizonRoundTrips) {
+  sim::EventQueue queue;
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    queue.schedule(rng.uniform() * 10.0, /*kind=*/i % 4,
+                   /*actor=*/static_cast<std::uint64_t>(i % 16));
+  }
+  std::vector<sim::Event> drained;
+  queue.pop_batch(drained);  // advance the clock mid-run
+
+  const double now = queue.now();
+  const std::uint64_t next_seq = queue.next_seq();
+  const std::vector<sim::Event> pending = queue.pending();
+
+  sim::EventQueue restored;
+  restored.restore(now, next_seq, pending);
+  EXPECT_EQ(restored.now(), now);
+  EXPECT_EQ(restored.size(), queue.size());
+  while (!queue.empty()) {
+    ASSERT_FALSE(restored.empty());
+    const sim::Event a = queue.pop();
+    const sim::Event b = restored.pop();
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.actor, b.actor);
+  }
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(FlSnapshot, ShardedQueueRestoresAcrossShardCounts) {
+  // A horizon captured from a 2-shard queue must replay identically when
+  // restored into 1-, 4- and 8-shard queues: the shard partitioning is a
+  // performance choice, never part of the durable state.
+  sim::ShardedEventQueue source_queue(2, 64);
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    source_queue.schedule(rng.uniform() * 20.0, /*kind=*/1,
+                          /*actor=*/static_cast<std::uint64_t>(
+                              rng.next() % 64));
+  }
+  std::vector<sim::Event> drained;
+  source_queue.pop_batch(drained);
+
+  const double now = source_queue.now();
+  const std::uint64_t next_seq = source_queue.next_seq();
+  const std::vector<sim::Event> pending = source_queue.pending();
+
+  std::vector<sim::Event> reference;
+  {
+    sim::ShardedEventQueue replay(2, 64);
+    replay.restore(now, next_seq, pending);
+    while (!replay.empty()) reference.push_back(replay.pop());
+  }
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    sim::ShardedEventQueue replay(shards, 64);
+    replay.restore(now, next_seq, pending);
+    std::vector<sim::Event> events;
+    while (!replay.empty()) events.push_back(replay.pop());
+    ASSERT_EQ(events.size(), reference.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].seq, reference[i].seq) << "shards=" << shards;
+    }
+  }
+}
+
+TEST(FlSnapshot, ChurnModelStreamRoundTrips) {
+  sim::ChurnConfig config;
+  config.join_rate = 0.1;
+  config.leave_rate = 0.1;
+  config.slowdown_rate = 0.2;
+  sim::ChurnModel churn(config, /*run_seed=*/17);
+  for (int i = 0; i < 25; ++i) churn.next();
+
+  util::ByteSink sink;
+  churn.save_state(sink);
+
+  sim::ChurnModel restored(config, /*run_seed=*/17);
+  util::ByteSource source(sink.bytes());
+  restored.restore_state(source);
+  for (int i = 0; i < 50; ++i) {
+    const std::optional<sim::LifecycleEvent> a = churn.next();
+    const std::optional<sim::LifecycleEvent> b = restored.next();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->time, b->time);
+    EXPECT_EQ(a->kind, b->kind);
+    EXPECT_EQ(a->pick, b->pick);
+    EXPECT_EQ(a->factor, b->factor);
+  }
+}
+
+TEST(FlSnapshot, FaultModelStreamRoundTrips) {
+  sim::FaultConfig config;
+  config.loss_prob = 0.3;
+  sim::FaultModel fault(config, /*run_seed=*/23);
+  for (int i = 0; i < 40; ++i) fault.lose_update();
+
+  util::ByteSink sink;
+  fault.save_state(sink);
+
+  sim::FaultModel restored(config, /*run_seed=*/23);
+  util::ByteSource source(sink.bytes());
+  restored.restore_state(source);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fault.lose_update(), restored.lose_update()) << "draw " << i;
+  }
+}
+
+TEST(FlSnapshot, AdaptivePolicyStateRoundTrips) {
+  core::TierInfo tiers;
+  tiers.members = testing::two_tiers(10);
+  tiers.avg_latency = {1.0, 2.0};
+  core::AdaptiveConfig config;
+  config.clients_per_round = 4;
+  config.interval = 2;
+  core::AdaptiveTierPolicy policy(tiers, config, /*total_rounds=*/40);
+
+  // Drive the credit/probability state away from its initial values.
+  for (std::size_t round = 0; round < 12; ++round) {
+    fl::RoundFeedback feedback;
+    feedback.round = round;
+    feedback.submitting_tier = static_cast<int>(round % 2);
+    feedback.tier_accuracies = {0.5 + 0.01 * static_cast<double>(round),
+                                0.4 + 0.02 * static_cast<double>(round)};
+    policy.observe(feedback);
+  }
+
+  util::ByteSink sink;
+  policy.save_state(sink);
+
+  core::AdaptiveTierPolicy restored(tiers, config, /*total_rounds=*/40);
+  util::ByteSource source(sink.bytes());
+  restored.restore_state(source);
+
+  // Identical RNG streams + identical restored state => identical picks.
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  for (std::size_t round = 12; round < 24; ++round) {
+    fl::SelectionContext context_a;
+    context_a.round = round;
+    context_a.tier = static_cast<int>(round % 2);
+    context_a.candidates = tiers.members[context_a.tier];
+    context_a.rng = &rng_a;
+    fl::SelectionContext context_b = context_a;
+    context_b.rng = &rng_b;
+    EXPECT_EQ(policy.select(context_a).clients,
+              restored.select(context_b).clients)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace tifl

@@ -1,0 +1,89 @@
+// Flat-weight checkpoint hardening: corrupted counts fail before
+// allocating, non-finite payloads are rejected, and the FNV-1a weight
+// hash is stable and collision-visible at single-bit granularity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/checkpoint.h"
+
+namespace tifl::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(NnCheckpoint, RoundTripsWeights) {
+  const std::vector<float> weights = {1.5f, -2.25f, 0.0f, 3.0e-20f};
+  const std::string path = temp_path("weights_roundtrip.bin");
+  save_weights(path, weights);
+  EXPECT_EQ(load_weights(path), weights);
+}
+
+TEST(NnCheckpoint, MissingFileAndBadMagicThrow) {
+  EXPECT_THROW(load_weights(temp_path("weights_missing.bin")),
+               std::runtime_error);
+  const std::string path = temp_path("weights_magic.bin");
+  std::ofstream(path, std::ios::binary) << "garbage-not-a-checkpoint";
+  EXPECT_THROW(load_weights(path), std::runtime_error);
+}
+
+TEST(NnCheckpoint, CorruptedCountFailsBeforeAllocating) {
+  const std::string path = temp_path("weights_count.bin");
+  save_weights(path, {1.0f, 2.0f});
+  // Overwrite the 8-byte count header with a huge value; the loader must
+  // reject it against the actual file size instead of resizing to ~4 EiB.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(8);
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max() / 8;
+  file.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  file.close();
+  EXPECT_THROW(load_weights(path), std::runtime_error);
+}
+
+TEST(NnCheckpoint, TruncatedPayloadThrows) {
+  const std::string path = temp_path("weights_short.bin");
+  save_weights(path, {1.0f, 2.0f, 3.0f});
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  out.close();
+  EXPECT_THROW(load_weights(path), std::runtime_error);
+}
+
+TEST(NnCheckpoint, NonFinitePayloadIsRejected) {
+  for (float poison : {std::numeric_limits<float>::quiet_NaN(),
+                       std::numeric_limits<float>::infinity(),
+                       -std::numeric_limits<float>::infinity()}) {
+    const std::string path = temp_path("weights_poison.bin");
+    save_weights(path, {1.0f, poison, 3.0f});
+    EXPECT_THROW(load_weights(path), std::runtime_error);
+  }
+}
+
+TEST(NnCheckpoint, WeightHashSeesSingleBitFlips) {
+  std::vector<float> weights = {0.5f, -1.25f, 2.0f};
+  const std::uint64_t base = weights_fnv1a(weights);
+  EXPECT_EQ(base, weights_fnv1a(weights));  // stable
+  std::uint32_t bits;
+  std::memcpy(&bits, &weights[1], sizeof(bits));
+  bits ^= 1u;  // lowest mantissa bit
+  std::memcpy(&weights[1], &bits, sizeof(bits));
+  EXPECT_NE(base, weights_fnv1a(weights));
+  EXPECT_NE(weights_fnv1a({}), 0u);  // FNV offset basis, not zero
+}
+
+}  // namespace
+}  // namespace tifl::nn

@@ -1,0 +1,163 @@
+// Append-only CRC-framed event log: round trips, torn-tail tolerance,
+// mid-file corruption containment and resume-time truncation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/event_log.h"
+
+namespace tifl::sim {
+namespace {
+
+std::vector<Event> sample_events(std::size_t count) {
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < count; ++i) {
+    Event event;
+    event.time = 0.25 * static_cast<double>(i);
+    event.seq = i;
+    event.kind = i % 5;
+    event.actor = i * 3;
+    events.push_back(event);
+  }
+  return events;
+}
+
+void expect_events_equal(const std::vector<Event>& a,
+                         const std::vector<Event>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].actor, b[i].actor) << i;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(EventLog, AppendReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/elog_roundtrip.bin";
+  std::remove(path.c_str());
+  const std::vector<Event> events = sample_events(20);
+  {
+    EventLogWriter writer;
+    writer.open(path);
+    for (const Event& event : events) writer.append(event);
+    writer.sync();
+  }
+  expect_events_equal(read_event_log(path), events);
+}
+
+TEST(EventLog, ReopenAppendsAfterExistingRecords) {
+  const std::string path = ::testing::TempDir() + "/elog_reopen.bin";
+  std::remove(path.c_str());
+  const std::vector<Event> events = sample_events(10);
+  {
+    EventLogWriter writer;
+    writer.open(path);
+    for (std::size_t i = 0; i < 5; ++i) writer.append(events[i]);
+  }
+  {
+    EventLogWriter writer;
+    writer.open(path);
+    for (std::size_t i = 5; i < 10; ++i) writer.append(events[i]);
+  }
+  expect_events_equal(read_event_log(path), events);
+}
+
+TEST(EventLog, TornTailIsDroppedSilently) {
+  const std::string path = ::testing::TempDir() + "/elog_torn.bin";
+  std::remove(path.c_str());
+  const std::vector<Event> events = sample_events(8);
+  {
+    EventLogWriter writer;
+    writer.open(path);
+    for (const Event& event : events) writer.append(event);
+  }
+  const std::string pristine = slurp(path);
+  // Chop the file mid-record at every offset inside the last record: the
+  // reader must return exactly the first 7 records, never throw.
+  for (std::size_t cut = 1; cut < kEventLogRecordSize; ++cut) {
+    spit(path, pristine.substr(0, pristine.size() - cut));
+    const std::vector<Event> read = read_event_log(path);
+    expect_events_equal(read,
+                        {events.begin(), events.begin() + 7});
+  }
+}
+
+TEST(EventLog, CorruptRecordTerminatesTheScan) {
+  const std::string path = ::testing::TempDir() + "/elog_corrupt.bin";
+  std::remove(path.c_str());
+  const std::vector<Event> events = sample_events(8);
+  {
+    EventLogWriter writer;
+    writer.open(path);
+    for (const Event& event : events) writer.append(event);
+  }
+  std::string bytes = slurp(path);
+  // Flip one byte in the 4th record's payload: records 0-2 survive, the
+  // scan stops at the corruption (a CRC mismatch, not a torn tail).
+  const std::size_t offset = 8 + 3 * kEventLogRecordSize + 4;
+  bytes[offset] = static_cast<char>(
+      static_cast<unsigned char>(bytes[offset]) ^ 0xFF);
+  spit(path, bytes);
+  expect_events_equal(read_event_log(path),
+                      {events.begin(), events.begin() + 3});
+}
+
+TEST(EventLog, ForeignMagicIsRejected) {
+  const std::string path = ::testing::TempDir() + "/elog_magic.bin";
+  spit(path, "NOTANLOG-and-some-padding-bytes-here");
+  EXPECT_THROW(read_event_log(path), std::runtime_error);
+  EventLogWriter writer;
+  EXPECT_THROW(writer.open(path), std::runtime_error);
+  EXPECT_THROW(read_event_log(::testing::TempDir() + "/elog_missing.bin"),
+               std::runtime_error);
+}
+
+TEST(EventLog, TruncateToTrimsBackToTheHorizon) {
+  const std::string path = ::testing::TempDir() + "/elog_truncate.bin";
+  std::remove(path.c_str());
+  const std::vector<Event> events = sample_events(12);
+  {
+    EventLogWriter writer;
+    writer.open(path);
+    for (const Event& event : events) writer.append(event);
+  }
+  {
+    // Resume at a horizon of 5 processed events, then replay 5..12.
+    EventLogWriter writer;
+    writer.truncate_to(path, 5);
+    for (std::size_t i = 5; i < 12; ++i) writer.append(events[i]);
+  }
+  expect_events_equal(read_event_log(path), events);
+}
+
+TEST(EventLog, TruncatePastTheValidPrefixThrows) {
+  const std::string path = ::testing::TempDir() + "/elog_overtrim.bin";
+  std::remove(path.c_str());
+  {
+    EventLogWriter writer;
+    writer.open(path);
+    for (const Event& event : sample_events(3)) writer.append(event);
+  }
+  EventLogWriter writer;
+  EXPECT_THROW(writer.truncate_to(path, 4), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tifl::sim

@@ -1,0 +1,118 @@
+// ByteSink/ByteSource: little-endian round trips, bit-exact float
+// encoding, and clean failure on truncation or corrupt length prefixes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/serial.h"
+
+namespace tifl::util {
+namespace {
+
+TEST(Serial, ScalarRoundTrips) {
+  ByteSink sink;
+  sink.put_u8(0xAB);
+  sink.put_u32(0xDEADBEEFu);
+  sink.put_u64(0x0123456789ABCDEFULL);
+  sink.put_i64(-42);
+  sink.put_f64(-0.1);
+  sink.put_f32(3.5f);
+  sink.put_bool(true);
+  sink.put_bool(false);
+
+  ByteSource source(sink.bytes());
+  EXPECT_EQ(source.get_u8(), 0xAB);
+  EXPECT_EQ(source.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(source.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(source.get_i64(), -42);
+  EXPECT_EQ(source.get_f64(), -0.1);
+  EXPECT_EQ(source.get_f32(), 3.5f);
+  EXPECT_TRUE(source.get_bool());
+  EXPECT_FALSE(source.get_bool());
+  EXPECT_TRUE(source.exhausted());
+}
+
+TEST(Serial, LittleEndianLayoutIsExplicit) {
+  ByteSink sink;
+  sink.put_u32(0x01020304u);
+  const std::string& bytes = sink.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(Serial, FloatsRoundTripBitExactly) {
+  // Signed zero, subnormals, infinities and NaN payloads all survive:
+  // the codec moves IEEE-754 bit patterns, not values.
+  const std::vector<double> doubles = {
+      -0.0, std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(), 1.0 / 3.0};
+  ByteSink sink;
+  for (double v : doubles) sink.put_f64(v);
+  ByteSource source(sink.bytes());
+  for (double v : doubles) {
+    const double read = source.get_f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(read),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(Serial, VectorAndStringRoundTrips) {
+  ByteSink sink;
+  sink.put_string(std::string_view("he\0llo", 6));  // embedded NUL survives
+  sink.put_string("");
+  sink.put_f32_vec({1.0f, -2.0f});
+  sink.put_f64_vec({});
+  sink.put_u64_vec({5, 6, 7});
+  sink.put_size_vec({9});
+
+  ByteSource source(sink.bytes());
+  EXPECT_EQ(source.get_string(), std::string("he\0llo", 6));
+  EXPECT_EQ(source.get_string(), "");
+  EXPECT_EQ(source.get_f32_vec(), (std::vector<float>{1.0f, -2.0f}));
+  EXPECT_TRUE(source.get_f64_vec().empty());
+  EXPECT_EQ(source.get_u64_vec(), (std::vector<std::uint64_t>{5, 6, 7}));
+  EXPECT_EQ(source.get_size_vec(), (std::vector<std::size_t>{9}));
+}
+
+TEST(Serial, TruncatedReadsThrow) {
+  ByteSink sink;
+  sink.put_u64(1);
+  const std::string bytes = sink.bytes();
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    ByteSource source(std::string_view(bytes).substr(0, keep));
+    EXPECT_THROW(source.get_u64(), std::runtime_error) << keep;
+  }
+}
+
+TEST(Serial, CorruptLengthPrefixFailsBeforeAllocating) {
+  // A huge count with a handful of bytes behind it must throw from the
+  // prefix check, not attempt a multi-GB vector resize.
+  ByteSink sink;
+  sink.put_u64(std::numeric_limits<std::uint64_t>::max());
+  sink.put_u32(0);
+  ByteSource f32s(sink.bytes());
+  EXPECT_THROW(f32s.get_f32_vec(), std::runtime_error);
+  ByteSource strings(sink.bytes());
+  EXPECT_THROW(strings.get_string(), std::runtime_error);
+  ByteSource sizes(sink.bytes());
+  EXPECT_THROW(sizes.get_size_vec(), std::runtime_error);
+}
+
+TEST(Serial, Crc32MatchesTheIeeeReferenceVector) {
+  // The canonical check value for CRC-32/IEEE ("check" in the catalogue).
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  // Any flipped bit changes the sum.
+  EXPECT_NE(crc32("123456788"), crc32("123456789"));
+}
+
+}  // namespace
+}  // namespace tifl::util

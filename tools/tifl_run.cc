@@ -53,6 +53,34 @@
 //   --report                print the wall-clock phase profile
 //                           (profile/select/train/aggregate/eval)
 //
+// Durability & fault injection (async engine only):
+//   --checkpoint FILE       snapshot target; written atomically (temp +
+//                           fsync + rename), so the file is always a
+//                           complete, loadable snapshot
+//   --checkpoint-every SECS virtual-time checkpoint period (requires
+//                           --checkpoint)                            [0]
+//   --resume FILE           resume a run from a snapshot; the completed
+//                           run is byte-identical to the uninterrupted
+//                           one (same final model hash, same trace
+//                           suffix) at every --shards count
+//   --event-log FILE        append-only CRC-framed record of every
+//                           processed event (torn tails tolerated; on
+//                           resume the log is truncated back to the
+//                           snapshot's event horizon)
+//   --fault-loss P          per-delivery update loss probability; lost
+//                           updates retry with exponential backoff    [0]
+//   --fault-retries N       retry budget before an update is dropped  [3]
+//   --fault-backoff SECS    base retry backoff (doubles per attempt) [0.5]
+//   --fault-crash-at T      inject a server crash at virtual time T;
+//                           the process exits with status 3 and the
+//                           last checkpoint stays loadable            [0]
+//   --fault-seed S          pin the fault stream independently of
+//                           --seed (0 = derive from the run seed)     [0]
+//
+// All output locations (--csv, --metrics-out, --trace-out, --checkpoint,
+// --event-log) are checked for writability up front: an unwritable
+// directory fails fast with a clear message before any data loads.
+//
 // With --engine async every tier trains at its own cadence; --policy
 // drives per-tier member selection (e.g. `--policy adaptive` runs Alg. 2
 // against the async per-tier accuracies; omit it for the default uniform
@@ -65,15 +93,23 @@
 // with their own staleness, and ReProfile events migrate clients between
 // tiers with tier models intact.  --churn 0 --reprofile-every 0 replays
 // the static async engine bit for bit.
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
 
 #include "core/policy_registry.h"
 #include "fl/policy_registry.h"
+#include "nn/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scenarios.h"
+#include "sim/fault_model.h"
 #include "util/log.h"
 
 namespace {
@@ -108,6 +144,17 @@ void print_usage() {
       "  --metrics-out FILE   metrics registry snapshot (JSON)\n"
       "  --trace-out FILE     structured event trace (JSONL)\n"
       "  --report             wall-clock phase profile table\n"
+      "  --checkpoint FILE    atomic snapshot target (async)\n"
+      "  --checkpoint-every SECS  virtual-time checkpoint period [0]\n"
+      "  --resume FILE        resume from a snapshot; byte-identical to\n"
+      "                       the uninterrupted run\n"
+      "  --event-log FILE     append-only CRC-framed event record\n"
+      "  --fault-loss P       update loss probability [0]\n"
+      "  --fault-retries N    retries before an update is dropped [3]\n"
+      "  --fault-backoff SECS base retry backoff, doubles per try [0.5]\n"
+      "  --fault-crash-at T   inject a server crash at virtual time T\n"
+      "                       (exit status 3)\n"
+      "  --fault-seed S       pin the fault stream (0 = derive) [0]\n"
       "\n"
       "selection policies (from the registry):\n";
   for (const std::string& name : registry.names()) {
@@ -119,6 +166,34 @@ void print_usage() {
     for (std::size_t pad = name.size(); pad < 14; ++pad) std::cout << ' ';
     std::cout << "[" << engines << "]  " << entry.summary << "\n";
   }
+}
+
+// Fail fast on unwritable output locations *before* any data loads: a
+// multi-minute run must not die at the end because --metrics-out pointed
+// into a read-only (or missing) directory.
+void require_writable(const std::string& flag, const std::string& path) {
+  if (path.empty()) return;
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  if (::access(dir.c_str(), W_OK) != 0) {
+    throw std::runtime_error("--" + flag + " " + path + ": directory '" +
+                             dir + "' is not writable (" +
+                             std::strerror(errno) + ")");
+  }
+  // An existing target must itself be replaceable.
+  if (::access(path.c_str(), F_OK) == 0 &&
+      ::access(path.c_str(), W_OK) != 0) {
+    throw std::runtime_error("--" + flag + " " + path +
+                             ": file exists and is not writable");
+  }
+}
+
+std::string hash_hex(std::span<const float> weights) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0')
+      << nn::weights_fnv1a(weights);
+  return out.str();
 }
 
 ScenarioConfig from_flags(const util::Cli& cli, const BenchOptions& options) {
@@ -200,6 +275,12 @@ int main(int argc, char** argv) {
                                   " (debug | info | warn | error)");
     }
     util::set_log_level(*level);
+
+    require_writable("csv", cli.get("csv", ""));
+    require_writable("metrics-out", cli.get("metrics-out", ""));
+    require_writable("trace-out", cli.get("trace-out", ""));
+    require_writable("checkpoint", cli.get("checkpoint", ""));
+    require_writable("event-log", cli.get("event-log", ""));
 
     ScenarioConfig config = from_flags(cli, options);
     config.time_budget_seconds = cli.get_double("time-budget", 0.0);
@@ -288,6 +369,17 @@ int main(int argc, char** argv) {
       async.shards =
           static_cast<std::size_t>(cli.get_int("shards", 1));
       async.barrier_window = cli.get_double("barrier-window", 0.0);
+      async.checkpoint_every = cli.get_double("checkpoint-every", 0.0);
+      async.checkpoint_path = cli.get("checkpoint", "");
+      async.resume_path = cli.get("resume", "");
+      async.event_log_path = cli.get("event-log", "");
+      async.fault.loss_prob = cli.get_double("fault-loss", 0.0);
+      async.fault.crash_at = cli.get_double("fault-crash-at", 0.0);
+      async.fault.max_retries =
+          static_cast<std::size_t>(cli.get_int("fault-retries", 3));
+      async.fault.backoff_base = cli.get_double("fault-backoff", 0.5);
+      async.fault.seed =
+          static_cast<std::uint64_t>(cli.get_int("fault-seed", 0));
 
       // --policy drives per-tier member selection; unset keeps the
       // engine's default uniform self-sampling (bit-identical to the
@@ -319,6 +411,9 @@ int main(int argc, char** argv) {
                      util::format_double(result.final_accuracy() * 100, 2)});
       table.add_row({"best accuracy [%]",
                      util::format_double(result.best_accuracy() * 100, 2)});
+      // FNV-1a over the final weight bits: the one-line byte-identity
+      // probe the kill-and-resume smoke diffs across runs.
+      table.add_row({"final model hash", hash_hex(run.final_weights)});
       if (churn > 0.0 || async.reprofile_every > 0.0) {
         table.add_row({"joins / leaves", std::to_string(run.join_count) +
                                              " / " +
@@ -363,6 +458,13 @@ int main(int argc, char** argv) {
       result.write_csv(csv);
       std::cout << "per-round series written to " << csv << "\n";
     }
+  } catch (const sim::SimulatedCrash& crash) {
+    // Injected server crash (--fault-crash-at): distinct exit status so
+    // harnesses can tell "crashed as asked" from real failures.  The last
+    // checkpoint written before the crash point is complete and loadable.
+    std::cerr << "tifl_run: simulated crash at t=" << crash.time()
+              << " (resume with --resume)\n";
+    return 3;
   } catch (const std::exception& error) {
     std::cerr << "tifl_run: " << error.what() << "\n";
     return 1;
