@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -15,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
+#include "obs/wall_time.h"
 #include "sim/event_log.h"
 #include "sim/sharded_event_queue.h"
 #include "util/log.h"
@@ -593,7 +593,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
                                        SelectionPolicy& policy) {
   const std::size_t num_tiers = tier_members_.size();
   AsyncMetrics& metrics = async_metrics();
-  const auto setup_start = std::chrono::steady_clock::now();
+  const auto setup_start = obs::wall_now();
   obs::PhaseTimer phases;
 
   TierRngs rngs = make_tier_rngs(seed, num_tiers);
@@ -738,10 +738,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
     }
   };
 
-  metrics.setup_ns.add(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - setup_start)
-          .count()));
+  metrics.setup_ns.add(obs::wall_ns_count_since(setup_start));
 
   // --- snapshot payload (static path) ----------------------------------------
   // Serializes every loop-local that determines the run's future: stream
@@ -872,7 +869,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
                  out.processed_events);
 
   const auto write_checkpoint = [&]() {
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = obs::wall_now();
     util::ByteSink sink;
     save_state(sink);
     const std::size_t bytes =
@@ -880,10 +877,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
     if (event_log.is_open()) event_log.sync();
     metrics.checkpoint_writes.add();
     metrics.checkpoint_bytes.add(bytes);
-    metrics.checkpoint_write_ns.add(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count()));
+    metrics.checkpoint_write_ns.add(obs::wall_ns_count_since(start));
     if (obs::Tracer* t = obs::tracer()) {
       t->instant(queue.now(), "durability", "checkpoint", /*actor=*/0,
                  {obs::field("version", out.result.rounds.size()),
@@ -1086,7 +1080,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
     out.result.rounds.back().global_loss = r.loss;
   }
 
-  const auto finalize_start = std::chrono::steady_clock::now();
+  const auto finalize_start = obs::wall_now();
   finalize_result(out, std::move(global), tier_updates, staleness_sum,
                   std::move(current_weights));
   out.result.phases = phases.stats();
@@ -1097,10 +1091,7 @@ AsyncRunResult AsyncEngine::run_static(std::uint64_t seed,
   // Fold the per-shard queue registries into the process-global snapshot
   // under the single-queue instrument names (sim.events_popped etc.).
   queue.merge_metrics_into(obs::Registry::global());
-  metrics.finalize_ns.add(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - finalize_start)
-          .count()));
+  metrics.finalize_ns.add(obs::wall_ns_count_since(finalize_start));
   return out;
 }
 
@@ -1118,7 +1109,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   const std::size_t num_tiers = tier_members_.size();
   const std::size_t num_clients = clients_->size();
   AsyncMetrics& metrics = async_metrics();
-  const auto setup_start = std::chrono::steady_clock::now();
+  const auto setup_start = obs::wall_now();
   obs::PhaseTimer phases;
   if (async_.reprofile_every > 0.0 && !hooks_.retier) {
     throw std::invalid_argument(
@@ -1514,10 +1505,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     }
   }
 
-  metrics.setup_ns.add(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - setup_start)
-          .count()));
+  metrics.setup_ns.add(obs::wall_ns_count_since(setup_start));
 
   bool last_evaluated = false;
   bool stopped = false;
@@ -1798,7 +1786,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
                  out.processed_events);
 
   const auto write_checkpoint = [&]() {
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = obs::wall_now();
     util::ByteSink sink;
     save_state(sink);
     const std::size_t bytes =
@@ -1806,10 +1794,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     if (event_log.is_open()) event_log.sync();
     metrics.checkpoint_writes.add();
     metrics.checkpoint_bytes.add(bytes);
-    metrics.checkpoint_write_ns.add(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count()));
+    metrics.checkpoint_write_ns.add(obs::wall_ns_count_since(start));
     if (obs::Tracer* t = obs::tracer()) {
       t->instant(queue.now(), "durability", "checkpoint", /*actor=*/0,
                  {obs::field("version", out.result.rounds.size()),
@@ -2269,7 +2254,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
     out.result.rounds.back().global_loss = r.loss;
   }
 
-  const auto finalize_start = std::chrono::steady_clock::now();
+  const auto finalize_start = obs::wall_now();
   finalize_result(out, std::move(global), tier_updates, staleness_sum,
                   std::move(current_weights));
   out.result.phases = phases.stats();
@@ -2278,10 +2263,7 @@ AsyncRunResult AsyncEngine::run_dynamic(std::uint64_t seed,
   // Fold the per-shard queue registries into the process-global snapshot
   // under the single-queue instrument names (sim.events_popped etc.).
   queue.merge_metrics_into(obs::Registry::global());
-  metrics.finalize_ns.add(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - finalize_start)
-          .count()));
+  metrics.finalize_ns.add(obs::wall_ns_count_since(finalize_start));
   return out;
 }
 

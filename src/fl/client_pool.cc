@@ -145,7 +145,7 @@ ClientPool::Lease ClientPool::lease(std::size_t id) {
   }
   PoolMetrics& metrics = pool_metrics();
   Segment& segment = *segments_[segment_of(id)];
-  std::lock_guard<std::mutex> lock(segment.mutex);
+  util::MutexLock lock(segment.mutex);
   auto it = segment.cache.find(id);
   if (it == segment.cache.end()) {
     // Miss: generate the shard from its view.  Virtual clients carry no
@@ -174,7 +174,7 @@ ClientPool::Lease ClientPool::lease(std::size_t id) {
 
 void ClientPool::release(std::size_t id) {
   Segment& segment = *segments_[segment_of(id)];
-  std::lock_guard<std::mutex> lock(segment.mutex);
+  util::MutexLock lock(segment.mutex);
   const auto it = segment.cache.find(id);
   if (it == segment.cache.end() || it->second->pins == 0) return;
   if (--it->second->pins == 0) {

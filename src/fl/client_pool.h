@@ -29,13 +29,14 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "data/partition.h"
 #include "fl/client.h"
 #include "sim/resource_profile.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tifl::fl {
 
@@ -128,16 +129,18 @@ class ClientPool {
   };
 
   // One cache segment: unique_ptr-held because the mutex pins it in
-  // place.  `capacity` is this segment's share of the pool capacity.
+  // place.  `capacity` is this segment's share of the pool capacity
+  // (set once at rebuild, read-only afterwards — not guarded).
   struct Segment {
-    mutable std::mutex mutex;
-    std::unordered_map<std::size_t, std::unique_ptr<Entry>> cache;
-    std::list<std::size_t> lru;  // unpinned entries, most recent first
+    mutable util::Mutex mutex;
+    std::unordered_map<std::size_t, std::unique_ptr<Entry>> cache
+        GUARDED_BY(mutex);
+    std::list<std::size_t> lru GUARDED_BY(mutex);  // unpinned, MRU first
     std::size_t capacity = 0;
   };
 
   void release(std::size_t id);
-  void evict_overflow_locked(Segment& segment);
+  void evict_overflow_locked(Segment& segment) REQUIRES(segment.mutex);
   void rebuild_segments(std::size_t n);
 
   // Materialized backend (null for virtual).

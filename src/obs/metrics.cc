@@ -174,9 +174,10 @@ std::vector<Histo::Bucket> Histo::buckets() const {
 
 namespace {
 
+// Caller holds the registry mutex; the map reference is one of its
+// guarded members.
 template <typename Map>
-auto& lookup(Map& map, std::mutex& mutex, std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex);
+auto& lookup_locked(Map& map, std::string_view name) {
   auto it = map.find(name);
   if (it == map.end()) {
     it = map.emplace(std::string(name),
@@ -204,19 +205,22 @@ void append_json_string(std::string& out, std::string_view s) {
 }  // namespace
 
 Counter& Registry::counter(std::string_view name) {
-  return lookup(counters_, mutex_, name);
+  util::MutexLock lock(mutex_);
+  return lookup_locked(counters_, name);
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  return lookup(gauges_, mutex_, name);
+  util::MutexLock lock(mutex_);
+  return lookup_locked(gauges_, name);
 }
 
 Histo& Registry::histogram(std::string_view name) {
-  return lookup(histograms_, mutex_, name);
+  util::MutexLock lock(mutex_);
+  return lookup_locked(histograms_, name);
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -230,7 +234,7 @@ void Registry::merge_from(const Registry& other) {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, const Histo*>> histos;
   {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    util::MutexLock lock(other.mutex_);
     for (const auto& [name, c] : other.counters_) {
       counters.emplace_back(name, c->value());
     }
@@ -252,7 +256,7 @@ void Registry::merge_from(const Registry& other) {
 }
 
 void Registry::save(util::ByteSink& sink) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   sink.put_u64(counters_.size());
   for (const auto& [name, c] : counters_) {
     sink.put_string(name);
@@ -295,7 +299,7 @@ std::string Registry::to_json() const {
 
 std::string Registry::to_json(
     const std::function<bool(std::string_view)>& keep) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {

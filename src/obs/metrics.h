@@ -26,13 +26,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/mutex.h"
 #include "util/serial.h"
+#include "util/thread_annotations.h"
 
 namespace tifl::obs {
 
@@ -139,12 +140,12 @@ class Histo {
 // updates never touch the lock.
 class Registry {
  public:
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histo& histogram(std::string_view name);
+  Counter& counter(std::string_view name) EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) EXCLUDES(mutex_);
+  Histo& histogram(std::string_view name) EXCLUDES(mutex_);
 
   // Zeroes every registered instrument.  References stay valid.
-  void reset();
+  void reset() EXCLUDES(mutex_);
 
   // Folds every instrument of `other` into this registry, creating
   // same-named instruments on first sight: counters and histograms sum
@@ -152,37 +153,42 @@ class Registry {
   // max — the high-water interpretation every built-in gauge uses.
   // Merging per-shard registries in shard-index order therefore yields
   // one snapshot whose values do not depend on how work was sharded.
-  void merge_from(const Registry& other);
+  void merge_from(const Registry& other) EXCLUDES(mutex_);
 
   // Deterministic snapshot: one JSON object with "counters", "gauges" and
   // "histograms" sub-objects, keys in lexicographic order.  Histograms
   // report count/sum/min/max/mean and p50/p90/p99 estimates.
-  std::string to_json() const;
+  std::string to_json() const EXCLUDES(mutex_);
 
   // Checkpoint/resume: serializes every instrument (name-sorted, so the
   // bytes are deterministic); restore() adds the saved values back into
   // this registry's instruments, creating them on first sight — call on a
   // reset registry to reproduce the saved state exactly.
-  void save(util::ByteSink& sink) const;
-  void restore(util::ByteSource& source);
+  void save(util::ByteSink& sink) const EXCLUDES(mutex_);
+  void restore(util::ByteSource& source) EXCLUDES(mutex_);
 
   // Same snapshot restricted to instruments where `keep(name)` is true —
   // how determinism tests drop host-dependent instruments (wall-clock
   // `*_ns` histograms, cache-locality `pool.*` counters) before comparing
   // runs byte for byte.
-  std::string to_json(
-      const std::function<bool(std::string_view)>& keep) const;
+  std::string to_json(const std::function<bool(std::string_view)>& keep) const
+      EXCLUDES(mutex_);
 
   // The process-wide registry every built-in instrumentation site uses.
   static Registry& global();
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   // std::map: stable addresses via unique_ptr and sorted iteration for
-  // free.  Lookup cost only matters at registration time.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histo>, std::less<>> histograms_;
+  // free.  Lookup cost only matters at registration time.  The maps are
+  // guarded; the *instruments* they point to are lock-free atomics, which
+  // is why handing out plain references is safe.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histo>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace tifl::obs

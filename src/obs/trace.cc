@@ -1,7 +1,6 @@
 #include "obs/trace.h"
 
 #include <atomic>
-#include <mutex>
 
 #include "obs/metrics.h"
 
@@ -10,7 +9,6 @@ namespace tifl::obs {
 namespace {
 
 std::atomic<Tracer*> g_tracer{nullptr};
-std::mutex g_write_mutex;
 
 void append_quoted(std::string& line, std::string_view s) {
   line += '"';
@@ -69,12 +67,12 @@ void Tracer::write(double ts, double dur, std::string_view cat,
     line += '}';
   }
   line += "}\n";
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  util::MutexLock lock(mutex_);
   out_->write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 
 void Tracer::flush() {
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  util::MutexLock lock(mutex_);
   out_->flush();
 }
 

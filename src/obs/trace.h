@@ -31,6 +31,9 @@
 #include <string>
 #include <string_view>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace tifl::obs {
 
 // One "args" entry.  Only the active member for `kind` is read.
@@ -80,14 +83,15 @@ class Tracer {
     write(ts, -1.0, cat, name, actor, args);
   }
 
-  void flush();
+  void flush() EXCLUDES(mutex_);
 
  private:
   void write(double ts, double dur, std::string_view cat,
              std::string_view name, std::int64_t actor,
-             std::initializer_list<Field> args);
+             std::initializer_list<Field> args) EXCLUDES(mutex_);
 
-  std::ostream* out_;
+  util::Mutex mutex_;
+  std::ostream* out_ GUARDED_BY(mutex_);
 };
 
 // Process-global tracer; null (the default) disables all built-in sites.

@@ -1,0 +1,41 @@
+// Wall-clock access for the observability layer — the one sanctioned
+// gateway to host time for phase/overhead profiling.
+//
+// Determinism contract: simulation logic (src/{sim,fl,core,nn,data}) runs
+// on virtual time only; `tools/tifl_lint` rejects direct `steady_clock` /
+// `system_clock` / `time()` use there.  Profiling those subsystems is
+// still legitimate — setup cost, per-pop latency, engine finalize time —
+// so they measure through these helpers instead: the readings feed
+// wall-clock-only instruments (`*_ns` counters and histograms) that every
+// determinism comparison already filters out, and grepping for
+// `obs::wall_` enumerates every site where host time can leak in.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tifl::obs {
+
+using WallTime = std::chrono::steady_clock::time_point;
+
+inline WallTime wall_now() noexcept {
+  return std::chrono::steady_clock::now();
+}
+
+// Nanoseconds elapsed since `start`, as the double the `*_ns` histograms
+// record.
+inline double wall_ns_since(WallTime start) noexcept {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(
+             wall_now() - start)
+      .count();
+}
+
+// Nanoseconds elapsed since `start`, truncated — for the integer `*_ns`
+// counters (async.setup_ns / finalize_ns / train_ns).
+inline std::uint64_t wall_ns_count_since(WallTime start) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_now() - start)
+          .count());
+}
+
+}  // namespace tifl::obs

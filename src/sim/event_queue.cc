@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/wall_time.h"
 
 namespace tifl::sim {
 
@@ -56,12 +56,6 @@ bool sample_now(std::atomic<std::uint64_t>& counter) {
 std::atomic<std::uint64_t> g_schedule_ops{0};
 std::atomic<std::uint64_t> g_pop_ops{0};
 
-double wall_ns_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 }  // namespace
 
 std::uint64_t EventQueue::schedule(double delay, std::uint64_t kind,
@@ -79,13 +73,12 @@ std::uint64_t EventQueue::schedule_at(double time, std::uint64_t kind,
   }
   QueueMetrics& metrics = queue_metrics();
   const bool timed = sample_now(g_schedule_ops);
-  const auto start = timed ? std::chrono::steady_clock::now()
-                           : std::chrono::steady_clock::time_point{};
+  const auto start = timed ? obs::wall_now() : obs::WallTime{};
   const std::uint64_t seq = next_seq_++;
   heap_.push_back(Event{.time = time, .seq = seq, .kind = kind,
                         .actor = actor});
   std::push_heap(heap_.begin(), heap_.end(), after);
-  if (timed) metrics.schedule_ns.record(wall_ns_since(start));
+  if (timed) metrics.schedule_ns.record(obs::wall_ns_since(start));
   metrics.scheduled.add();
   metrics.horizon.record(time - now_);
   metrics.depth_max.set_max(static_cast<double>(heap_.size()));
@@ -105,15 +98,14 @@ std::uint64_t EventQueue::schedule_bulk(std::span<const PendingEvent> events) {
   // would be O(batch log heap).  The rebuild permutes the heap *layout*
   // only — pop order is the strict total order on (time, seq) either way.
   const bool timed = sample_now(g_schedule_ops);
-  const auto start = timed ? std::chrono::steady_clock::now()
-                           : std::chrono::steady_clock::time_point{};
+  const auto start = timed ? obs::wall_now() : obs::WallTime{};
   for (const PendingEvent& event : events) {
     heap_.push_back(Event{.time = now_ + event.delay, .seq = next_seq_++,
                           .kind = event.kind, .actor = event.actor});
   }
   std::make_heap(heap_.begin(), heap_.end(), after);
   QueueMetrics& metrics = queue_metrics();
-  if (timed) metrics.schedule_ns.record(wall_ns_since(start));
+  if (timed) metrics.schedule_ns.record(obs::wall_ns_since(start));
   metrics.scheduled.add(events.size());
   for (const PendingEvent& event : events) {
     metrics.horizon.record(event.delay);
@@ -130,14 +122,13 @@ const Event& EventQueue::peek() const {
 Event EventQueue::pop() {
   if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty");
   const bool timed = sample_now(g_pop_ops);
-  const auto start = timed ? std::chrono::steady_clock::now()
-                           : std::chrono::steady_clock::time_point{};
+  const auto start = timed ? obs::wall_now() : obs::WallTime{};
   std::pop_heap(heap_.begin(), heap_.end(), after);
   const Event top = heap_.back();
   heap_.pop_back();
   now_ = top.time;
   QueueMetrics& metrics = queue_metrics();
-  if (timed) metrics.pop_ns.record(wall_ns_since(start));
+  if (timed) metrics.pop_ns.record(obs::wall_ns_since(start));
   metrics.popped.add();
   return top;
 }
@@ -145,8 +136,7 @@ Event EventQueue::pop() {
 void EventQueue::pop_batch(std::vector<Event>& out) {
   if (heap_.empty()) throw std::logic_error("EventQueue: pop_batch on empty");
   const bool timed = sample_now(g_pop_ops);
-  const auto start = timed ? std::chrono::steady_clock::now()
-                           : std::chrono::steady_clock::time_point{};
+  const auto start = timed ? obs::wall_now() : obs::WallTime{};
   out.clear();
   const double batch_time = heap_.front().time;
   // Repeated pop_heap keeps (time, seq) order within the batch — equal
@@ -158,7 +148,7 @@ void EventQueue::pop_batch(std::vector<Event>& out) {
   }
   now_ = batch_time;
   QueueMetrics& metrics = queue_metrics();
-  if (timed) metrics.pop_ns.record(wall_ns_since(start));
+  if (timed) metrics.pop_ns.record(obs::wall_ns_since(start));
   metrics.popped.add(out.size());
 }
 

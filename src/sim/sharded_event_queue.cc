@@ -1,9 +1,10 @@
 #include "sim/sharded_event_queue.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/wall_time.h"
 
 namespace tifl::sim {
 
@@ -23,12 +24,6 @@ bool before_key(const Event& a, const Event& b) {
 // Wall-clock cost sampling, one stride counter per shard (see
 // EventQueue's kLatencySampleMask): only every 64th op reads the clock.
 constexpr std::uint64_t kLatencySampleMask = 63;
-
-double wall_ns_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 }  // namespace
 
@@ -78,14 +73,13 @@ std::uint64_t ShardedEventQueue::schedule_at(double time, std::uint64_t kind,
   }
   Shard& shard = shard_for(actor);
   const bool timed = (shard.schedule_ops++ & kLatencySampleMask) == 0;
-  const auto start = timed ? std::chrono::steady_clock::now()
-                           : std::chrono::steady_clock::time_point{};
+  const auto start = timed ? obs::wall_now() : obs::WallTime{};
   const std::uint64_t seq = next_seq_++;
   shard.heap.push_back(
       Event{.time = time, .seq = seq, .kind = kind, .actor = actor});
   std::push_heap(shard.heap.begin(), shard.heap.end(), after);
   ++size_;
-  if (timed) shard.schedule_ns->record(wall_ns_since(start));
+  if (timed) shard.schedule_ns->record(obs::wall_ns_since(start));
   shard.scheduled->add();
   shard.horizon->record(time - now_);
   // Global depth high-water mark, recorded once (shard 0's registry) so
@@ -152,14 +146,13 @@ const Event& ShardedEventQueue::peek() const {
 Event ShardedEventQueue::pop() {
   Shard& shard = heaps_[min_shard()];
   const bool timed = (shard.pop_ops++ & kLatencySampleMask) == 0;
-  const auto start = timed ? std::chrono::steady_clock::now()
-                           : std::chrono::steady_clock::time_point{};
+  const auto start = timed ? obs::wall_now() : obs::WallTime{};
   std::pop_heap(shard.heap.begin(), shard.heap.end(), after);
   const Event top = shard.heap.back();
   shard.heap.pop_back();
   --size_;
   now_ = top.time;
-  if (timed) shard.pop_ns->record(wall_ns_since(start));
+  if (timed) shard.pop_ns->record(obs::wall_ns_since(start));
   shard.popped->add();
   return top;
 }
@@ -176,8 +169,7 @@ void ShardedEventQueue::pop_batch(std::vector<Event>& out) {
   for (Shard& shard : heaps_) {
     if (shard.heap.empty() || shard.heap.front().time != batch_time) continue;
     const bool timed = (shard.pop_ops++ & kLatencySampleMask) == 0;
-    const auto start = timed ? std::chrono::steady_clock::now()
-                             : std::chrono::steady_clock::time_point{};
+    const auto start = timed ? obs::wall_now() : obs::WallTime{};
     std::size_t drained = 0;
     while (!shard.heap.empty() && shard.heap.front().time == batch_time) {
       std::pop_heap(shard.heap.begin(), shard.heap.end(), after);
@@ -185,7 +177,7 @@ void ShardedEventQueue::pop_batch(std::vector<Event>& out) {
       shard.heap.pop_back();
       ++drained;
     }
-    if (timed) shard.pop_ns->record(wall_ns_since(start));
+    if (timed) shard.pop_ns->record(obs::wall_ns_since(start));
     shard.popped->add(drained);
   }
   size_ -= out.size();

@@ -6,13 +6,16 @@
 #include <cstdio>
 #include <ctime>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace tifl::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+// Serializes formatting + the stderr write; stderr itself cannot carry a
+// GUARDED_BY, so the lock discipline is "writes go through log() only".
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -71,7 +74,7 @@ void log(LogLevel level, const std::string& message) {
   format_timestamp(stamp);
   char tid[8];
   std::snprintf(tid, sizeof(tid), "t%02u", thread_ordinal());
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << "[" << stamp << "] [" << level_name(level) << "] [" << tid
             << "] " << message << '\n';
 }

@@ -1,0 +1,68 @@
+// Capability-annotated mutex primitives for Clang -Wthread-safety.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// attributes, so code using them is invisible to the analysis.  These
+// thin wrappers add the annotations (and nothing else: Mutex is exactly a
+// std::mutex, MutexLock exactly a lock_guard) so that GUARDED_BY members
+// are actually checked wherever they are touched.  CondVar bridges to
+// std::condition_variable through an adopt/release dance, keeping the
+// capability model intact across waits.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tifl::util {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+// RAII scope lock over util::Mutex (lock_guard semantics).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+// Condition variable usable with util::Mutex.  wait() must be called with
+// the mutex held; it releases while blocking and reacquires before
+// returning, which to the analysis is simply "still held across the
+// call" — the same contract std::condition_variable has.
+class CondVar {
+ public:
+  void wait(Mutex& mutex) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> adopted(mutex.mutex_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();  // ownership stays with the caller's scope
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tifl::util

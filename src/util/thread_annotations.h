@@ -1,0 +1,58 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// The annotations turn the repository's lock discipline into a
+// compile-time contract: members carry GUARDED_BY(mutex), functions that
+// must run under a lock carry REQUIRES(mutex), and a Clang build with
+// -Wthread-safety (the `static-analysis` CI job) fails on any access that
+// violates the declared discipline.  GCC and MSVC see empty macros, so
+// the annotations cost nothing off Clang.
+//
+// The analysis only understands capability-annotated lock types, and
+// libstdc++'s std::mutex carries no annotations — use util::Mutex /
+// util::MutexLock / util::CondVar (util/mutex.h) instead of the raw std
+// types anywhere the discipline should be checked.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define TIFL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TIFL_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+// Type of a lock: the class itself is a capability.
+#define CAPABILITY(x) TIFL_THREAD_ANNOTATION__(capability(x))
+
+// RAII type that acquires in its constructor and releases in its
+// destructor.
+#define SCOPED_CAPABILITY TIFL_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data member readable/writable only while holding the given mutex.
+#define GUARDED_BY(x) TIFL_THREAD_ANNOTATION__(guarded_by(x))
+
+// Pointer member whose *pointee* is guarded by the given mutex.
+#define PT_GUARDED_BY(x) TIFL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Caller must hold the given mutex(es) before calling.
+#define REQUIRES(...) \
+  TIFL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  TIFL_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires/releases the mutex and holds/released it on return.
+#define ACQUIRE(...) TIFL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) TIFL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  TIFL_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT hold the given mutex (deadlock prevention).
+#define EXCLUDES(...) TIFL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (no acquisition).
+#define ASSERT_CAPABILITY(x) TIFL_THREAD_ANNOTATION__(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) TIFL_THREAD_ANNOTATION__(lock_returned(x))
+
+// Opt a function out of the analysis (rare; justify at the site).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TIFL_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -9,14 +9,15 @@
 // worker thread and degrade to serial execution instead of deadlocking.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tifl::util {
 
@@ -34,12 +35,12 @@ class ThreadPool {
   // Enqueue an arbitrary task; the future resolves when it has run.
   // Exceptions thrown by `fn` are captured in the future.
   template <typename Fn>
-  std::future<void> submit(Fn&& fn) {
+  std::future<void> submit(Fn&& fn) EXCLUDES(mutex_) {
     auto task = std::make_shared<std::packaged_task<void()>>(
         std::forward<Fn>(fn));
     std::future<void> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -78,13 +79,15 @@ class ThreadPool {
   static bool on_any_worker_thread() noexcept;
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
+  // Started in the constructor, joined in the destructor; never mutated
+  // in between, so reads (size(), on_worker_thread()) need no lock.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 // Process-wide pool, constructed on first use with hardware concurrency.

@@ -1,0 +1,307 @@
+// In-memory fixtures for the tifl_lint rule engine (tools/lint_rules.h):
+// per rule a hit, a miss, the allow(...) escape, and the comment/string
+// false-positive guards the tokenizer must provide.
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lint = tifl::lint;
+
+namespace {
+
+// Diagnostics for `source` as if it lived at `path`.
+std::vector<lint::Diagnostic> run(const std::string& path,
+                                  const std::string& source) {
+  return lint::lint_source(path, source);
+}
+
+std::size_t count_rule(const std::vector<lint::Diagnostic>& diags,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const lint::Diagnostic& d) { return d.rule == rule; }));
+}
+
+constexpr char kDetPath[] = "src/fl/some_file.cc";
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(LintRng, FlagsRandomDeviceInDeterminismDir) {
+  const auto diags = run(kDetPath, "std::random_device rd;\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "rng");
+  EXPECT_EQ(diags[0].line, 1u);
+  EXPECT_EQ(diags[0].file, kDetPath);
+}
+
+TEST(LintRng, FlagsCRandAndSrand) {
+  const auto diags = run(kDetPath, "int x = rand();\nsrand(42);\n");
+  EXPECT_EQ(count_rule(diags, "rng"), 2u);
+}
+
+TEST(LintRng, UtilRngIsTheSanctionedPath) {
+  const auto diags =
+      run(kDetPath, "util::Rng rng(seed);\nauto v = rng.uniform_index(n);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRng, MemberNamedRandIsNotTheCLibrary) {
+  const auto diags = run(kDetPath, "auto v = sampler.rand();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRng, OutsideDeterminismDirsNotFlagged) {
+  EXPECT_TRUE(run("tools/some_tool.cc", "std::random_device rd;\n").empty());
+  EXPECT_TRUE(run("src/util/entropy.cc", "std::random_device rd;\n").empty());
+}
+
+// --- wall-clock --------------------------------------------------------------
+
+TEST(LintWallClock, FlagsClocksInDeterminismDirs) {
+  for (const char* src : {"auto t = std::chrono::system_clock::now();\n",
+                          "auto t = std::chrono::steady_clock::now();\n",
+                          "std::time_t t = std::time(nullptr);\n",
+                          "gettimeofday(&tv, nullptr);\n"}) {
+    const auto diags = run("src/sim/some_file.cc", src);
+    EXPECT_EQ(count_rule(diags, "wall-clock"), 1u) << src;
+  }
+}
+
+TEST(LintWallClock, ZeroArgTimeMethodIsNotTheCLibrary) {
+  // sim::FaultModel::time() — an accessor, not <ctime>.
+  const auto diags = run("src/sim/fault_model.h",
+                         "double time() const noexcept { return time_; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintWallClock, MemberAndQualifiedTimeCallsAreNotFlagged) {
+  EXPECT_TRUE(run(kDetPath, "double t = clock.time(0);\n").empty());
+  EXPECT_TRUE(run(kDetPath, "double t = VirtualClock::time(x);\n").empty());
+}
+
+TEST(LintWallClock, ObsWallHelpersAreExempt) {
+  // The obs layer is the sanctioned wall-clock gateway.
+  const auto diags =
+      run("src/obs/wall_time.h", "return std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- unordered-iter ----------------------------------------------------------
+
+TEST(LintUnorderedIter, FlagsRangeForOverUnorderedMap) {
+  const auto diags = run(kDetPath,
+                         "std::unordered_map<int, double> weights;\n"
+                         "for (const auto& [k, v] : weights) sum += v;\n");
+  ASSERT_EQ(count_rule(diags, "unordered-iter"), 1u);
+  EXPECT_EQ(diags[0].line, 2u);
+}
+
+TEST(LintUnorderedIter, FlagsExplicitBeginEndWalk) {
+  const auto diags = run(kDetPath,
+                         "std::unordered_set<std::size_t> live;\n"
+                         "auto it = live.begin();\n");
+  EXPECT_EQ(count_rule(diags, "unordered-iter"), 1u);
+}
+
+TEST(LintUnorderedIter, PointLookupsAreFine) {
+  const auto diags = run(kDetPath,
+                         "std::unordered_map<std::size_t, Entry> cache;\n"
+                         "auto it = cache.find(id);\n"
+                         "if (it == cache.end()) return;\n"
+                         "cache.erase(id);\n"
+                         "if (cache.size() > cap) shrink();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintUnorderedIter, OrderedContainersAreFine) {
+  const auto diags = run(kDetPath,
+                         "std::map<int, double> weights;\n"
+                         "for (const auto& [k, v] : weights) sum += v;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- raw-thread --------------------------------------------------------------
+
+TEST(LintRawThread, FlagsStdThreadInSrc) {
+  const auto diags = run("src/obs/some_file.cc",
+                         "std::thread worker([] { spin(); });\n");
+  EXPECT_EQ(count_rule(diags, "raw-thread"), 1u);
+}
+
+TEST(LintRawThread, FlagsStdAsyncAndPthreadCreate) {
+  const auto diags = run(kDetPath,
+                         "auto f = std::async(std::launch::async, fn);\n"
+                         "pthread_create(&tid, nullptr, fn, nullptr);\n");
+  EXPECT_EQ(count_rule(diags, "raw-thread"), 2u);
+}
+
+TEST(LintRawThread, ThreadPoolImplementationIsExempt) {
+  const auto diags = run("src/util/thread_pool.cc",
+                         "std::vector<std::thread> workers_;\n"
+                         "auto id = std::this_thread::get_id();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRawThread, UnqualifiedThreadWordIsNotFlagged) {
+  // "thread" as a plain word (comments aside, e.g. a member named
+  // thread_count) must not trip the rule.
+  const auto diags = run(kDetPath, "std::size_t thread = pool.size();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- raw-io ------------------------------------------------------------------
+
+TEST(LintRawIo, FlagsPrintfAndCoutInSrc) {
+  const auto diags = run("src/core/some_file.cc",
+                         "printf(\"round %d\\n\", r);\n"
+                         "std::cout << accuracy << std::endl;\n");
+  EXPECT_EQ(count_rule(diags, "raw-io"), 2u);
+}
+
+TEST(LintRawIo, LoggerImplementationIsExempt) {
+  const auto diags = run("src/util/log.cc",
+                         "std::cerr << \"[\" << stamp << \"] \" << m;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRawIo, ToolsOwnTheirStdout) {
+  const auto diags =
+      run("tools/tifl_run.cc", "std::cout << table.render();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRawIo, SnprintfIsFormattingNotLogging) {
+  const auto diags =
+      run(kDetPath, "std::snprintf(buf, sizeof(buf), \"%d\", v);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- state-pairing -----------------------------------------------------------
+
+TEST(LintStatePairing, FlagsSaveWithoutRestore) {
+  const auto diags = run(kDetPath,
+                         "void save_state(util::ByteSink& sink) const;\n");
+  ASSERT_EQ(count_rule(diags, "state-pairing"), 1u);
+}
+
+TEST(LintStatePairing, PairedDeclarationsAreFine) {
+  const auto diags = run(kDetPath,
+                         "void save_state(util::ByteSink& sink) const;\n"
+                         "void restore_state(util::ByteSource& source);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- allow escapes -----------------------------------------------------------
+
+TEST(LintAllow, JustifiedEscapeWaivesSameLine) {
+  const auto diags = run(
+      kDetPath,
+      "std::time_t t = std::time(nullptr);  "
+      "// tifl-lint: allow(wall-clock): demo default seed, not sim state\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintAllow, JustifiedEscapeOnOwnLineWaivesNextLine) {
+  const auto diags =
+      run(kDetPath,
+          "// tifl-lint: allow(rng): hardware entropy for the CLI only\n"
+          "std::random_device rd;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintAllow, UnjustifiedEscapeDoesNotWaiveAndIsItselfAnError) {
+  const auto diags =
+      run(kDetPath, "std::random_device rd;  // tifl-lint: allow(rng)\n");
+  EXPECT_EQ(count_rule(diags, "rng"), 1u);
+  EXPECT_EQ(count_rule(diags, "unexplained-allow"), 1u);
+}
+
+TEST(LintAllow, UnusedEscapeIsAnError) {
+  const auto diags = run(
+      kDetPath, "int x = 3;  // tifl-lint: allow(rng): nothing here at all\n");
+  EXPECT_EQ(count_rule(diags, "unused-allow"), 1u);
+}
+
+TEST(LintAllow, UnknownRuleIsAnError) {
+  const auto diags = run(
+      kDetPath, "int x = 3;  // tifl-lint: allow(made-up): some reason\n");
+  EXPECT_EQ(count_rule(diags, "unknown-rule"), 1u);
+}
+
+TEST(LintAllow, EscapeForOtherRuleDoesNotWaive) {
+  const auto diags =
+      run(kDetPath,
+          "std::random_device rd;  // tifl-lint: allow(wall-clock): nope\n");
+  EXPECT_EQ(count_rule(diags, "rng"), 1u);
+  EXPECT_EQ(count_rule(diags, "unused-allow"), 1u);
+}
+
+// --- tokenizer false-positive guards -----------------------------------------
+
+TEST(LintTokenizer, CommentsDoNotTrip) {
+  const auto diags = run(kDetPath,
+                         "// never seed from std::random_device or rand()\n"
+                         "/* steady_clock would break determinism; so\n"
+                         "   would printf or std::thread here */\n"
+                         "int x = 0;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintTokenizer, StringAndCharLiteralsDoNotTrip) {
+  const auto diags = run(
+      kDetPath,
+      "const char* msg = \"do not call rand() or std::time(nullptr)\";\n"
+      "const char* raw = R\"(std::random_device in a raw string)\";\n"
+      "char c = 'r';\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintTokenizer, EscapedQuotesInsideStrings) {
+  const auto diags = run(
+      kDetPath,
+      "const char* s = \"escaped \\\" then rand() still inside\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintTokenizer, DigitSeparatorsAreNotCharLiterals) {
+  // 1'000'000 must not open a char literal that swallows "rand()" on the
+  // next line into a blanked region — and the rand() must still fire.
+  const auto diags = run(kDetPath,
+                         "std::size_t n = 1'000'000;\n"
+                         "int x = rand();\n");
+  EXPECT_EQ(count_rule(diags, "rng"), 1u);
+}
+
+TEST(LintTokenizer, LineNumbersSurviveBlockComments) {
+  const auto diags = run(kDetPath,
+                         "/* a\n   multi-line\n   comment */\n"
+                         "std::random_device rd;\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 4u);
+}
+
+// --- engine plumbing ---------------------------------------------------------
+
+TEST(LintEngine, DiagnosticsSortedByLine) {
+  const auto diags = run(kDetPath,
+                         "srand(1);\n"
+                         "int a = 0;\n"
+                         "int x = rand();\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_LT(diags[0].line, diags[1].line);
+}
+
+TEST(LintEngine, RuleNamesListsEveryRule) {
+  const auto& names = lint::rule_names();
+  for (const char* rule : {"rng", "wall-clock", "unordered-iter",
+                           "raw-thread", "raw-io", "state-pairing"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), rule), names.end())
+        << rule;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,609 @@
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace tifl::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// --- comment capture ---------------------------------------------------------
+
+struct Comment {
+  std::size_t start_line = 0;
+  std::size_t end_line = 0;
+  bool own_line = false;  // no code precedes the comment on start_line
+  std::string text;
+};
+
+// Raw-string prefixes the lexer must recognize before a quote.
+bool raw_string_prefix_ends_at(std::string_view s, std::size_t quote) {
+  static constexpr std::array<std::string_view, 5> kPrefixes = {
+      "R", "uR", "u8R", "UR", "LR"};
+  for (std::string_view prefix : kPrefixes) {
+    if (quote < prefix.size()) continue;
+    const std::size_t start = quote - prefix.size();
+    if (s.substr(start, prefix.size()) != prefix) continue;
+    if (start > 0 && is_ident_char(s[start - 1])) continue;
+    return true;
+  }
+  return false;
+}
+
+// --- allow-pragma parsing ----------------------------------------------------
+
+void parse_allows(const Comment& comment, std::vector<Allow>& out) {
+  std::string_view text = comment.text;
+  std::size_t pos = 0;
+  while ((pos = text.find("tifl-lint:", pos)) != std::string_view::npos) {
+    pos += std::string_view("tifl-lint:").size();
+    // Line of this pragma within a multi-line block comment.
+    const std::size_t line =
+        comment.start_line +
+        static_cast<std::size_t>(
+            std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                       '\n'));
+    std::size_t cursor = pos;
+    while (cursor < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[cursor])) != 0) {
+      ++cursor;
+    }
+    if (text.substr(cursor, 6) != "allow(") continue;
+    cursor += 6;
+    const std::size_t close = text.find(')', cursor);
+    if (close == std::string_view::npos) continue;
+    // Rule names are kebab-case; anything else (e.g. the `<rule>`
+    // placeholder documentation uses) is prose, not an escape.
+    const std::string_view name = text.substr(cursor, close - cursor);
+    if (name.empty() ||
+        !std::all_of(name.begin(), name.end(), [](char c) {
+          return (std::islower(static_cast<unsigned char>(c)) != 0) ||
+                 (std::isdigit(static_cast<unsigned char>(c)) != 0) ||
+                 c == '-';
+        })) {
+      continue;
+    }
+    Allow allow;
+    allow.line = line;
+    allow.target_line = comment.own_line ? comment.end_line + 1 : line;
+    allow.rule = std::string(name);
+    // Justified form: "allow(rule): non-empty reason".
+    std::size_t after = close + 1;
+    while (after < text.size() &&
+           (text[after] == ' ' || text[after] == '\t')) {
+      ++after;
+    }
+    if (after < text.size() && text[after] == ':') {
+      ++after;
+      while (after < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[after])) != 0) {
+        ++after;
+      }
+      allow.justified = after < text.size();
+    }
+    out.push_back(std::move(allow));
+    pos = close;
+  }
+}
+
+// --- token stream ------------------------------------------------------------
+
+struct Tok {
+  std::string_view text;
+  std::size_t line = 0;
+  bool ident = false;
+};
+
+std::vector<Tok> tokenize(std::string_view code) {
+  std::vector<Tok> toks;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      toks.push_back({code.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    // Two-char operators the rules care about; everything else is one char.
+    if ((c == ':' && i + 1 < code.size() && code[i + 1] == ':') ||
+        (c == '-' && i + 1 < code.size() && code[i + 1] == '>')) {
+      toks.push_back({code.substr(i, 2), line, false});
+      i += 2;
+      continue;
+    }
+    toks.push_back({code.substr(i, 1), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+bool prev_is(const std::vector<Tok>& toks, std::size_t i,
+             std::string_view text) {
+  return i > 0 && toks[i - 1].text == text;
+}
+
+// True when toks[i] is qualified as std::<name> (exactly, not foo::name).
+bool std_qualified(const std::vector<Tok>& toks, std::size_t i) {
+  return i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std";
+}
+
+// --- path scoping ------------------------------------------------------------
+
+struct Scope {
+  bool determinism = false;  // src/{sim,fl,core,nn,data}
+  bool in_src = false;
+  bool thread_pool_file = false;  // src/util/thread_pool.*
+  bool log_file = false;          // src/util/log.*
+};
+
+Scope classify(std::string_view path) {
+  Scope scope;
+  for (std::string_view dir :
+       {"src/sim/", "src/fl/", "src/core/", "src/nn/", "src/data/"}) {
+    if (path.starts_with(dir)) scope.determinism = true;
+  }
+  scope.in_src = path.starts_with("src/");
+  scope.thread_pool_file = path.starts_with("src/util/thread_pool.");
+  scope.log_file = path.starts_with("src/util/log.");
+  return scope;
+}
+
+// --- individual rules --------------------------------------------------------
+
+void add(std::vector<Diagnostic>& diags, std::string_view path,
+         std::size_t line, std::string_view rule, std::string message) {
+  diags.push_back(
+      {std::string(path), line, std::string(rule), std::move(message)});
+}
+
+void rule_rng(const std::vector<Tok>& toks, std::string_view path,
+              std::vector<Diagnostic>& diags) {
+  static constexpr std::array<std::string_view, 7> kBanned = {
+      "rand", "srand", "random_device", "drand48", "lrand48", "srand48",
+      "rand_r"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    if (std::find(kBanned.begin(), kBanned.end(), toks[i].text) ==
+        kBanned.end()) {
+      continue;
+    }
+    // Member access (foo.rand(), foo->rand()) is someone else's API, not
+    // the C library.
+    if (prev_is(toks, i, ".") || prev_is(toks, i, "->")) continue;
+    add(diags, path, toks[i].line, "rng",
+        "non-deterministic randomness source '" + std::string(toks[i].text) +
+            "' — derive streams from util::Rng (mix_seed) instead");
+  }
+}
+
+void rule_wall_clock(const std::vector<Tok>& toks, std::string_view path,
+                     std::vector<Diagnostic>& diags) {
+  static constexpr std::array<std::string_view, 10> kBanned = {
+      "system_clock", "steady_clock",  "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "localtime",
+      "localtime_r",  "gmtime",        "gmtime_r",
+      "strftime"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    const std::string_view name = toks[i].text;
+    if (std::find(kBanned.begin(), kBanned.end(), name) != kBanned.end()) {
+      add(diags, path, toks[i].line, "wall-clock",
+          "wall-clock source '" + std::string(name) +
+              "' — simulation code runs on virtual time; profile through "
+              "obs::wall_* instead");
+      continue;
+    }
+    // C `time(arg)`: unqualified or std::-qualified call with at least one
+    // argument.  Zero-arg `time()` is a member/declaration (e.g.
+    // FaultModel::time()), and `x.time(...)` is member access.
+    if (name != "time") continue;
+    if (prev_is(toks, i, ".") || prev_is(toks, i, "->")) continue;
+    if (i > 0 && toks[i - 1].text == "::" && !std_qualified(toks, i)) {
+      continue;  // Foo::time — qualified member, not <ctime>
+    }
+    if (i + 2 >= toks.size() || toks[i + 1].text != "(" ||
+        toks[i + 2].text == ")") {
+      continue;
+    }
+    add(diags, path, toks[i].line, "wall-clock",
+        "C library time() call — simulation code runs on virtual time");
+  }
+}
+
+void rule_unordered_iter(const std::vector<Tok>& toks, std::string_view path,
+                         std::vector<Diagnostic>& diags) {
+  static constexpr std::array<std::string_view, 4> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  // Pass 1: identifiers declared with an unordered type in this file.
+  std::vector<std::string_view> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident || std::find(kUnordered.begin(), kUnordered.end(),
+                                    toks[i].text) == kUnordered.end()) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j < toks.size() && toks[j].ident) names.push_back(toks[j].text);
+  }
+  if (names.empty()) return;
+  const auto is_tracked = [&](std::string_view name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // (a) range-for whose range expression mentions a tracked container.
+    if (toks[i].ident && toks[i].text == "for" && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (toks[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].ident && is_tracked(toks[j].text)) {
+          add(diags, path, toks[i].line, "unordered-iter",
+              "range-for over unordered container '" +
+                  std::string(toks[j].text) +
+                  "' — hash order is not deterministic; use an ordered "
+                  "container or sort a snapshot");
+          break;
+        }
+      }
+      continue;
+    }
+    // (b) explicit iterator walk: tracked.begin()/cbegin()/rbegin().
+    // `.end()` alone is deliberately not flagged — it is the sentinel in
+    // every `find(...) == x.end()` membership test; iteration needs a
+    // begin.
+    if (toks[i].ident &&
+        (toks[i].text == "begin" || toks[i].text == "cbegin" ||
+         toks[i].text == "rbegin" || toks[i].text == "crbegin") &&
+        (prev_is(toks, i, ".") || prev_is(toks, i, "->")) && i >= 2 &&
+        toks[i - 2].ident && is_tracked(toks[i - 2].text) &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      add(diags, path, toks[i].line, "unordered-iter",
+          "iteration over unordered container '" +
+              std::string(toks[i - 2].text) +
+              "' — hash order is not deterministic");
+    }
+  }
+}
+
+void rule_raw_thread(const std::vector<Tok>& toks, std::string_view path,
+                     std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    const std::string_view name = toks[i].text;
+    if (name == "pthread_create") {
+      add(diags, path, toks[i].line, "raw-thread",
+          "pthread_create — all parallelism goes through util::ThreadPool");
+      continue;
+    }
+    if ((name == "thread" || name == "jthread" || name == "async" ||
+         name == "this_thread") &&
+        std_qualified(toks, i)) {
+      add(diags, path, toks[i].line, "raw-thread",
+          "std::" + std::string(name) +
+              " — all parallelism goes through util::ThreadPool (its "
+              "nested-dispatch guard is what prevents oversubscription "
+              "and pool deadlock)");
+    }
+  }
+}
+
+void rule_raw_io(const std::vector<Tok>& toks, std::string_view path,
+                 std::vector<Diagnostic>& diags) {
+  static constexpr std::array<std::string_view, 6> kCStdio = {
+      "printf", "fprintf", "vprintf", "vfprintf", "puts", "putchar"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    const std::string_view name = toks[i].text;
+    if (std::find(kCStdio.begin(), kCStdio.end(), name) != kCStdio.end() &&
+        i + 1 < toks.size() && toks[i + 1].text == "(" &&
+        !prev_is(toks, i, ".") && !prev_is(toks, i, "->")) {
+      add(diags, path, toks[i].line, "raw-io",
+          std::string(name) +
+              " — logging goes through util::log_* (leveled, timestamped, "
+              "serialized)");
+      continue;
+    }
+    if ((name == "cout" || name == "cerr" || name == "clog") &&
+        std_qualified(toks, i)) {
+      add(diags, path, toks[i].line, "raw-io",
+          "std::" + std::string(name) +
+              " — logging goes through util::log_*; tools and benches own "
+              "their stdout, library code does not");
+    }
+  }
+}
+
+void rule_state_pairing(const std::vector<Tok>& toks, std::string_view path,
+                        std::vector<Diagnostic>& diags) {
+  std::size_t save_line = 0;
+  std::size_t restore_line = 0;
+  for (const Tok& tok : toks) {
+    if (!tok.ident) continue;
+    if (tok.text == "save_state" && save_line == 0) save_line = tok.line;
+    if (tok.text == "restore_state" && restore_line == 0) {
+      restore_line = tok.line;
+    }
+  }
+  if (save_line != 0 && restore_line == 0) {
+    add(diags, path, save_line, "state-pairing",
+        "save_state without restore_state in this file — one-sided "
+        "checkpoint plumbing cannot resume deterministically");
+  }
+  if (restore_line != 0 && save_line == 0) {
+    add(diags, path, restore_line, "state-pairing",
+        "restore_state without save_state in this file — one-sided "
+        "checkpoint plumbing cannot resume deterministically");
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "rng",        "wall-clock", "unordered-iter",
+      "raw-thread", "raw-io",     "state-pairing"};
+  return kNames;
+}
+
+Preprocessed preprocess(std::string_view source) {
+  Preprocessed result;
+  result.code.reserve(source.size());
+  std::vector<Comment> comments;
+
+  std::size_t line = 1;
+  bool line_has_code = false;
+  std::size_t i = 0;
+  const auto emit = [&](char c) { result.code.push_back(c); };
+  const auto blank = [&](char c) { emit(c == '\n' ? '\n' : ' '); };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      emit('\n');
+      ++line;
+      line_has_code = false;
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      Comment comment;
+      comment.start_line = line;
+      comment.own_line = !line_has_code;
+      emit(' ');
+      emit(' ');
+      i += 2;
+      while (i < source.size() && source[i] != '\n') {
+        comment.text.push_back(source[i]);
+        emit(' ');
+        ++i;
+      }
+      comment.end_line = line;
+      comments.push_back(std::move(comment));
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      Comment comment;
+      comment.start_line = line;
+      comment.own_line = !line_has_code;
+      emit(' ');
+      emit(' ');
+      i += 2;
+      while (i + 1 < source.size() &&
+             !(source[i] == '*' && source[i + 1] == '/')) {
+        comment.text.push_back(source[i]);
+        blank(source[i]);
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 < source.size()) {
+        emit(' ');
+        emit(' ');
+        i += 2;
+      } else {
+        i = source.size();  // unterminated: swallow to EOF
+      }
+      comment.end_line = line;
+      comments.push_back(std::move(comment));
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == '"' && raw_string_prefix_ends_at(source, i)) {
+      line_has_code = true;
+      emit('"');
+      ++i;
+      std::string delim;
+      while (i < source.size() && source[i] != '(') {
+        delim.push_back(source[i]);
+        emit(' ');
+        ++i;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = source.find(closer, i);
+      const std::size_t stop =
+          end == std::string_view::npos ? source.size() : end + closer.size();
+      while (i < stop) {
+        blank(source[i]);
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      continue;
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      line_has_code = true;
+      emit('"');
+      ++i;
+      while (i < source.size() && source[i] != '"' && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          emit(' ');
+          emit(' ');
+          i += 2;
+          continue;
+        }
+        emit(' ');
+        ++i;
+      }
+      if (i < source.size() && source[i] == '"') {
+        emit('"');
+        ++i;
+      }
+      continue;
+    }
+    // Char literal — but not a digit separator (1'000'000).
+    if (c == '\'' && (i == 0 || !is_ident_char(source[i - 1]))) {
+      line_has_code = true;
+      emit('\'');
+      ++i;
+      while (i < source.size() && source[i] != '\'' && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          emit(' ');
+          emit(' ');
+          i += 2;
+          continue;
+        }
+        emit(' ');
+        ++i;
+      }
+      if (i < source.size() && source[i] == '\'') {
+        emit('\'');
+        ++i;
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      line_has_code = true;
+    }
+    emit(c);
+    ++i;
+  }
+
+  for (const Comment& comment : comments) {
+    parse_allows(comment, result.allows);
+  }
+  return result;
+}
+
+std::vector<Diagnostic> lint_source(std::string_view path,
+                                    std::string_view source) {
+  const Scope scope = classify(path);
+  Preprocessed pre = preprocess(source);
+  const std::vector<Tok> toks = tokenize(pre.code);
+
+  std::vector<Diagnostic> raw;
+  if (scope.determinism) {
+    rule_rng(toks, path, raw);
+    rule_wall_clock(toks, path, raw);
+    rule_unordered_iter(toks, path, raw);
+  }
+  if (scope.in_src && !scope.thread_pool_file) {
+    rule_raw_thread(toks, path, raw);
+  }
+  if (scope.in_src && !scope.log_file) {
+    rule_raw_io(toks, path, raw);
+  }
+  if (scope.in_src) {
+    rule_state_pairing(toks, path, raw);
+  }
+
+  // Apply allow escapes.  A justified allow waives matching diagnostics on
+  // its target line; defective escapes become diagnostics themselves.
+  std::vector<Diagnostic> diags;
+  std::vector<bool> used(pre.allows.size(), false);
+  for (Diagnostic& diag : raw) {
+    bool waived = false;
+    for (std::size_t a = 0; a < pre.allows.size(); ++a) {
+      const Allow& allow = pre.allows[a];
+      if (allow.rule != diag.rule || allow.target_line != diag.line) continue;
+      used[a] = true;
+      // An unjustified escape matches but does not waive: the diagnostic
+      // stays and the escape is reported below.
+      if (allow.justified) waived = true;
+    }
+    if (!waived) diags.push_back(std::move(diag));
+  }
+  for (std::size_t a = 0; a < pre.allows.size(); ++a) {
+    const Allow& allow = pre.allows[a];
+    const auto& known = rule_names();
+    if (std::find(known.begin(), known.end(), allow.rule) == known.end()) {
+      add(diags, path, allow.line, "unknown-rule",
+          "allow(" + allow.rule + ") names no known rule (--rules lists them)");
+      continue;
+    }
+    if (!allow.justified) {
+      add(diags, path, allow.line, "unexplained-allow",
+          "allow(" + allow.rule +
+              ") without a justification — write 'allow(" + allow.rule +
+              "): <why this line is safe>'");
+      continue;
+    }
+    if (!used[a]) {
+      add(diags, path, allow.line, "unused-allow",
+          "allow(" + allow.rule +
+              ") waives nothing — stale escapes must be removed");
+    }
+  }
+
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return diags;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& fs_path,
+                                  const std::string& display_path) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) {
+    return {{display_path, 0, "io", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(display_path, buffer.str());
+}
+
+}  // namespace tifl::lint

@@ -1,0 +1,92 @@
+// tifl_lint rule engine: project-specific determinism and architecture
+// invariants, checked lexically over the source tree.
+//
+// TiFL's headline property is bit-reproducible tiered execution, and most
+// of the ways to lose it are one careless line: seeding from
+// std::random_device, branching on wall-clock time inside the simulator,
+// iterating an unordered container whose order feeds an aggregate,
+// spawning a thread outside the pool's nested-dispatch guard.  The
+// runtime byte-equality ctests catch these hours later; this engine
+// catches them at lint time with file:line diagnostics.
+//
+// The scanner is comment- and string-aware (diagnostics never fire inside
+// either), and every rule can be waived per line with an inline escape
+// that must carry a justification — a trailing comment of the form
+// `tifl-lint: allow(<rule>): <why this line is safe>` on the offending
+// line (or a comment-only line directly above it).  An escape with no
+// justification, for an unknown rule, or that matches no diagnostic is
+// itself an error — the allowlist can only ever shrink.
+//
+// Rules (see kRuleTable for the scoping matrix):
+//   rng             rand/srand/random_device/drand48/... in determinism
+//                   dirs (src/{sim,fl,core,nn,data}) — util::Rng only.
+//   wall-clock      system_clock/steady_clock/time(...)/gettimeofday in
+//                   determinism dirs — virtual time or obs::wall_* only.
+//   unordered-iter  iteration over std::unordered_{map,set} declared in
+//                   the same file, in determinism dirs — hash order is
+//                   not a stable order.
+//   raw-thread      std::thread/jthread/std::async/pthread_create in src/
+//                   outside util/thread_pool — the pool is the only
+//                   execution substrate (nested-dispatch guard lives
+//                   there).
+//   raw-io          printf/cout/cerr logging in src/ outside util/log —
+//                   logging goes through util::log_* (leveled, stamped,
+//                   serialized).
+//   state-pairing   a file declaring save_state must declare
+//                   restore_state and vice versa — one-sided checkpoint
+//                   plumbing is how resume drifts off the oracle.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tifl::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Every enforceable rule name, in reporting order.
+const std::vector<std::string>& rule_names();
+
+// An inline escape parsed from a comment.
+struct Allow {
+  std::size_t line = 0;         // line the pragma sits on
+  std::size_t target_line = 0;  // line it waives (next line when the
+                                // pragma is a comment-only line)
+  std::string rule;
+  bool justified = false;  // text after "allow(rule):" present
+};
+
+// Comment/string-aware scan result: `code` mirrors the input byte for
+// byte except that comment bodies and string/char literal contents are
+// blanked to spaces (newlines kept, so line/column arithmetic holds), and
+// `allows` lists every tifl-lint escape found in the stripped comments.
+struct Preprocessed {
+  std::string code;
+  std::vector<Allow> allows;
+};
+
+// Exposed for tests: the lexer alone.
+Preprocessed preprocess(std::string_view source);
+
+// Lints one in-memory source file.  `path` decides which rules apply
+// (repo-relative, e.g. "src/fl/policy.cc"); diagnostics come back sorted
+// by line.  Allow escapes are applied here: waived diagnostics are
+// dropped, and defective escapes (unknown rule, unjustified, unused)
+// surface as diagnostics of their own.
+std::vector<Diagnostic> lint_source(std::string_view path,
+                                    std::string_view source);
+
+// Reads and lints a file on disk; `display_path` (usually the path
+// relative to the repo root) is what diagnostics carry and what rule
+// scoping keys on.  Unreadable files produce a single "io" diagnostic.
+std::vector<Diagnostic> lint_file(const std::string& fs_path,
+                                  const std::string& display_path);
+
+}  // namespace tifl::lint

@@ -1,0 +1,105 @@
+// tifl_lint: the project determinism/architecture linter.
+//
+//   tifl_lint [--rules] [--quiet] <file-or-dir>...
+//
+// Walks the given files/directories (recursing into *.h, *.cc, *.cpp),
+// runs the lint_rules engine over each, and prints one
+// `file:line: [rule] message` diagnostic per finding.  Exit status: 0
+// when clean, 1 on any diagnostic, 2 on usage errors.  Run from the repo
+// root so rule scoping sees repo-relative paths (`tifl_lint src tools
+// tests` is the CI invocation).
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Forward slashes regardless of platform, no leading "./": rule scoping
+// matches on "src/..." prefixes.
+std::string display(const fs::path& path) {
+  std::string out = path.generic_string();
+  while (out.starts_with("./")) out.erase(0, 2);
+  return out;
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& files) {
+  if (fs::is_directory(root)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+    return;
+  }
+  files.push_back(root);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      for (const std::string& rule : tifl::lint::rule_names()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tifl_lint [--rules] [--quiet] <file-or-dir>...\n";
+      return 0;
+    }
+    if (arg.starts_with("-")) {
+      std::cerr << "tifl_lint: unknown option '" << arg << "'\n";
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: tifl_lint [--rules] [--quiet] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& path : paths) {
+    if (!fs::exists(path)) {
+      std::cerr << "tifl_lint: no such path: " << path << "\n";
+      return 2;
+    }
+    collect(path, files);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const fs::path& file : files) {
+    const std::vector<tifl::lint::Diagnostic> diags =
+        tifl::lint::lint_file(file.string(), display(file));
+    total += diags.size();
+    for (const tifl::lint::Diagnostic& diag : diags) {
+      std::cout << diag.file << ":" << diag.line << ": [" << diag.rule
+                << "] " << diag.message << "\n";
+    }
+  }
+  if (!quiet) {
+    std::cerr << "tifl_lint: " << files.size() << " files, " << total
+              << (total == 1 ? " diagnostic\n" : " diagnostics\n");
+  }
+  return total == 0 ? 0 : 1;
+}
