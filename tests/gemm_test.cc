@@ -223,7 +223,7 @@ TEST(GemmEpilogue, BiasAndReluMatchSeparatePasses) {
 TEST(GemmEpilogue, AppliesOnSmallAndStreamPaths) {
   // 8x8x8 (small path) and 4x200x300 (stream path: short C) against the
   // same manual epilogue.
-  for (const auto [m, k, n] :
+  for (const auto& [m, k, n] :
        {std::tuple<std::int64_t, std::int64_t, std::int64_t>{8, 8, 8},
         std::tuple<std::int64_t, std::int64_t, std::int64_t>{4, 200, 300}}) {
     const Tensor a = random_matrix(m, k, 41);
