@@ -292,6 +292,135 @@ fl::AsyncRunResult TiflSystem::run_async(
   return out;
 }
 
+fl::hier::HierRunResult TiflSystem::run_hier(
+    fl::hier::HierConfig hier, std::optional<fl::AsyncConfig> async,
+    std::optional<std::uint64_t> seed_override, fl::SelectionPolicy* policy) {
+  // A flat topology IS the flat federation: delegate to run_async so the
+  // full async feature set (policies, dynamic lifecycle, event log) keeps
+  // working behind `--regions 1`, byte-for-byte the non-hier run.
+  if (hier.topology.is_flat()) {
+    fl::AsyncRunResult flat = run_async(std::move(async), seed_override,
+                                        policy);
+    fl::hier::HierRunResult out;
+    out.collapsed = true;
+    out.result = flat.result;
+    out.final_weights = flat.final_weights;
+    out.processed_events = flat.processed_events;
+    out.max_event_batch = flat.max_event_batch;
+    out.node_rounds = {out.result.rounds.size()};
+    out.node_update_mass = {0};
+    for (std::size_t updates : flat.tier_updates) {
+      out.node_update_mass[0] += updates;
+    }
+    out.flat = std::move(flat);
+    return out;
+  }
+  if (policy != nullptr) {
+    throw std::invalid_argument(
+        "TiflSystem::run_hier: selection policies only apply to the flat "
+        "(collapse) path; multi-region leaves sample uniformly per tier");
+  }
+
+  fl::AsyncConfig resolved = async.value_or(config_.async);
+  if (resolved.total_updates == 0) {
+    resolved.total_updates = config_.engine.rounds;
+  }
+  if (resolved.clients_per_tier_round == 0) {
+    resolved.clients_per_tier_round = config_.clients_per_round;
+  }
+  if (resolved.time_budget_seconds == 0.0) {
+    resolved.time_budget_seconds = config_.engine.time_budget_seconds;
+  }
+  if (pool_->virtualized() && resolved.shards != pool_->cache_segments() &&
+      pool_->live_clients() == 0) {
+    pool_->set_cache_segments(resolved.shards);
+  }
+
+  const std::size_t num_clients = pool_->size();
+  hier.topology.validate(num_clients);
+  const std::vector<std::size_t> leaf_nodes = hier.topology.leaves();
+  const std::vector<std::size_t> region_of =
+      hier.topology.assign_clients(num_clients);
+
+  // Live population: whatever the current tiering admits (profiling
+  // dropouts — and leavers from a previous churned flat run — excluded).
+  std::vector<bool> live(num_clients, false);
+  for (const std::vector<std::size_t>& members : tiers_.members) {
+    for (std::size_t id : members) live[id] = true;
+  }
+
+  // §4.2 tiering per region: the same build_tiers algorithm over the same
+  // profiled latencies, with every client outside the region (or not
+  // live) treated as a dropout.
+  std::vector<std::vector<std::vector<std::size_t>>> leaf_tiers;
+  std::vector<TierInfo> leaf_partitions;
+  leaf_tiers.reserve(leaf_nodes.size());
+  leaf_partitions.reserve(leaf_nodes.size());
+  std::vector<std::vector<bool>> leaf_dropout(leaf_nodes.size());
+  for (std::size_t leaf = 0; leaf < leaf_nodes.size(); ++leaf) {
+    const fl::hier::NodeSpec& spec = hier.topology.nodes[leaf_nodes[leaf]];
+    const std::size_t num_tiers = std::max<std::size_t>(
+        1, spec.num_tiers > 0 ? spec.num_tiers : hier.tiers_per_region);
+    std::vector<bool> dropout(num_clients, true);
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      dropout[c] = !(live[c] && region_of[c] == leaf);
+    }
+    TierInfo partition = build_tiers(profile_.mean_latency, dropout,
+                                     num_tiers, config_.tiering);
+    leaf_tiers.push_back(partition.members);
+    leaf_partitions.push_back(std::move(partition));
+    leaf_dropout[leaf] = std::move(dropout);
+  }
+
+  fl::hier::TreeEngine engine(config_.engine, resolved, std::move(hier),
+                              factory_, &*pool_, tiers_.members,
+                              std::move(leaf_tiers), test_, latency_model_);
+
+  // One OnlineReTierer per leaf region: each rebuilds its own region's
+  // tiers from what that region's training rounds observed, exactly as
+  // the flat dynamic path does for the whole population.  Their EMA
+  // estimates ride the run snapshot (save/restore below) so a resumed
+  // run re-tiers identically.
+  std::vector<OnlineReTierer> retierers;
+  if (resolved.reprofile_every > 0.0) {
+    retierers.reserve(leaf_nodes.size());
+    for (std::size_t leaf = 0; leaf < leaf_nodes.size(); ++leaf) {
+      RetierConfig retier_config;
+      retier_config.num_tiers = leaf_partitions[leaf].tier_count();
+      retier_config.strategy = config_.tiering;
+      retier_config.ema_alpha = resolved.latency_ema_alpha;
+      // The just-built partition is verbatim build_tiers output over
+      // these exact inputs, so adopt it instead of re-tiering.
+      retierers.emplace_back(retier_config, profile_.mean_latency,
+                             std::move(leaf_dropout[leaf]),
+                             std::move(leaf_partitions[leaf]));
+    }
+    fl::hier::HierLifecycleHooks hooks;
+    hooks.observe = [&retierers](std::size_t leaf, std::size_t client,
+                                 double latency) {
+      retierers[leaf].observe(client, latency);
+    };
+    hooks.retier = [&retierers](std::size_t leaf) {
+      return retierers[leaf].rebuild().members;
+    };
+    hooks.save_state = [&retierers](util::ByteSink& sink) {
+      for (const OnlineReTierer& retierer : retierers) {
+        retierer.save_state(sink);
+      }
+    };
+    hooks.restore_state = [&retierers](util::ByteSource& source) {
+      for (OnlineReTierer& retierer : retierers) {
+        retierer.restore_state(source);
+      }
+    };
+    engine.set_lifecycle_hooks(std::move(hooks));
+  }
+
+  fl::hier::HierRunResult out = engine.run(seed_override);
+  prepend_profile_phases(out.result);
+  return out;
+}
+
 double TiflSystem::estimate_time(const std::string& table1_name) const {
   return estimate_time(table1_probs(table1_name, tiers_.tier_count()));
 }

@@ -27,6 +27,7 @@
 #include "fl/async_engine.h"
 #include "fl/client_pool.h"
 #include "fl/engine.h"
+#include "fl/hier/tree_engine.h"
 #include "fl/policy_registry.h"
 #include "obs/phase.h"
 
@@ -119,6 +120,24 @@ class TiflSystem {
   // bit.
   fl::AsyncRunResult run_async(
       std::optional<fl::AsyncConfig> async = {},
+      std::optional<std::uint64_t> seed_override = {},
+      fl::SelectionPolicy* policy = nullptr);
+
+  // Hierarchical multi-level aggregation (edge → regional → global):
+  // splits the population across the topology's leaf regions, re-runs the
+  // §4.2 tiering *per region* over the profiled latencies, and executes
+  // the aggregator tree on the async discrete-event timeline
+  // (fl::hier::TreeEngine).  `async` resolves exactly like run_async's;
+  // `--rounds` (total_updates) counts root aggregations.  A flat (single
+  // node) topology delegates to run_async outright — byte-for-byte the
+  // flat federation, with full policy / dynamic-lifecycle support —
+  // while multi-region trees accept a policy only on that collapse path.
+  // When async.reprofile_every > 0, one core::OnlineReTierer per leaf
+  // rebuilds that region's tier membership from observed latencies; the
+  // re-tierers' state rides the run snapshot, so --resume re-tiers
+  // exactly as the uninterrupted run would have.
+  fl::hier::HierRunResult run_hier(
+      fl::hier::HierConfig hier, std::optional<fl::AsyncConfig> async = {},
       std::optional<std::uint64_t> seed_override = {},
       fl::SelectionPolicy* policy = nullptr);
 

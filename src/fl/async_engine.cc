@@ -135,10 +135,13 @@ void finalize_result(AsyncRunResult& out, std::vector<float>&& global,
   }
 }
 
+}  // namespace
+
 // Recompute the global model as the staleness-weighted cross-tier average
-// (double-precision reduction in tier order, shared by both run paths).
-// `accum` is caller-owned scratch, hoisted out of the event loops: the
-// dynamic path aggregates once per client update.
+// (double-precision reduction in tier order, shared by both run paths and
+// the fl/hier aggregator tree).  `accum` is caller-owned scratch, hoisted
+// out of the event loops: the dynamic path aggregates once per client
+// update.
 void aggregate_global(const std::vector<std::vector<float>>& tier_models,
                       const std::vector<double>& weights,
                       std::vector<float>& global, std::vector<double>& accum) {
@@ -156,6 +159,8 @@ void aggregate_global(const std::vector<std::vector<float>>& tier_models,
     global[i] = static_cast<float>(accum[i]);
   }
 }
+
+namespace {
 
 // Engine-level instruments, resolved once.  Counter/histogram updates are
 // relaxed atomics; the trace layer is a branch-on-null when disabled.

@@ -79,6 +79,15 @@ std::vector<double> cross_tier_weights(StalenessFn fn, double alpha,
                                        std::span<const std::size_t> update_counts,
                                        std::span<const std::size_t> staleness);
 
+// Recompute `global` as the weighted average of `tier_models`
+// (double-precision reduction in slot order; zero-weight slots skipped).
+// `accum` is caller-owned scratch, hoisted out of event loops.  Shared
+// with the fl/hier aggregator tree, where a node's child (or tier) slots
+// play the role the flat engine's tiers play.
+void aggregate_global(const std::vector<std::vector<float>>& tier_models,
+                      const std::vector<double>& weights,
+                      std::vector<float>& global, std::vector<double>& accum);
+
 struct AsyncConfig {
   StalenessFn staleness = StalenessFn::kConstant;
   double poly_alpha = 0.5;            // kPolynomial decay exponent

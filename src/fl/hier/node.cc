@@ -1,0 +1,118 @@
+#include "fl/hier/node.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace tifl::fl::hier {
+
+namespace {
+
+void put_rng(util::ByteSink& sink, const util::Rng& rng) {
+  for (std::uint64_t word : rng.state()) sink.put_u64(word);
+}
+
+void get_rng(util::ByteSource& source, util::Rng& rng) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& word : state) word = source.get_u64();
+  rng.set_state(state);
+}
+
+void put_update(util::ByteSink& sink, const LocalUpdate& update) {
+  sink.put_f32_vec(update.weights);
+  sink.put_u64(update.num_samples);
+  sink.put_f64(update.train_loss);
+  sink.put_f64(update.train_accuracy);
+}
+
+LocalUpdate get_update(util::ByteSource& source) {
+  LocalUpdate update;
+  update.weights = source.get_f32_vec();
+  update.num_samples = static_cast<std::size_t>(source.get_u64());
+  update.train_loss = source.get_f64();
+  update.train_accuracy = source.get_f64();
+  return update;
+}
+
+}  // namespace
+
+void AggregatorNode::save_state(util::ByteSink& sink) const {
+  sink.put_u64(slot_count());
+  for (std::size_t s = 0; s < slot_count(); ++s) {
+    sink.put_f32_vec(slot_models[s]);
+    sink.put_u64(slot_updates[s]);
+    sink.put_u64(slot_last_version[s]);
+  }
+  sink.put_f32_vec(model);
+  sink.put_u64(version);
+  sink.put_u64(deliveries);
+  sink.put_u64(since_report);
+  sink.put_u64(update_mass);
+  sink.put_bool(offline);
+
+  sink.put_u64(tiers.size());
+  for (const std::vector<std::size_t>& members : tiers) {
+    sink.put_size_vec(members);
+  }
+  sink.put_f64_vec(tier_lr);
+  sink.put_f64_vec(staleness_sum);
+  for (const PendingTierRound& round : pending) {
+    sink.put_size_vec(round.selected);
+    sink.put_u64(round.updates.size());
+    for (const LocalUpdate& update : round.updates) put_update(sink, update);
+    sink.put_u64(round.dispatch_version);
+    sink.put_f64(round.latency);
+    sink.put_bool(round.active);
+  }
+  sink.put_size_vec(retry_count);
+  for (const util::Rng& rng : selection_rng) put_rng(sink, rng);
+  for (const util::Rng& rng : latency_rng) put_rng(sink, rng);
+  put_rng(sink, link_rng);
+}
+
+void AggregatorNode::restore_state(util::ByteSource& source) {
+  const std::size_t slots = source.checked_count(source.get_u64(), 24);
+  if (slots != slot_count()) {
+    throw std::runtime_error(
+        "hier::AggregatorNode: snapshot slot count mismatch");
+  }
+  for (std::size_t s = 0; s < slots; ++s) {
+    slot_models[s] = source.get_f32_vec();
+    slot_updates[s] = static_cast<std::size_t>(source.get_u64());
+    slot_last_version[s] = static_cast<std::size_t>(source.get_u64());
+  }
+  model = source.get_f32_vec();
+  version = static_cast<std::size_t>(source.get_u64());
+  deliveries = static_cast<std::size_t>(source.get_u64());
+  since_report = static_cast<std::size_t>(source.get_u64());
+  update_mass = static_cast<std::size_t>(source.get_u64());
+  offline = source.get_bool();
+
+  const std::size_t tier_count = source.checked_count(source.get_u64(), 8);
+  if (tier_count != tiers.size()) {
+    throw std::runtime_error(
+        "hier::AggregatorNode: snapshot tier count mismatch");
+  }
+  for (std::vector<std::size_t>& members : tiers) {
+    members = source.get_size_vec();
+  }
+  tier_lr = source.get_f64_vec();
+  staleness_sum = source.get_f64_vec();
+  for (PendingTierRound& round : pending) {
+    round.selected = source.get_size_vec();
+    const std::size_t count = source.checked_count(source.get_u64(), 24);
+    round.updates.clear();
+    round.updates.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      round.updates.push_back(get_update(source));
+    }
+    round.dispatch_version = static_cast<std::size_t>(source.get_u64());
+    round.latency = source.get_f64();
+    round.active = source.get_bool();
+  }
+  retry_count = source.get_size_vec();
+  for (util::Rng& rng : selection_rng) get_rng(source, rng);
+  for (util::Rng& rng : latency_rng) get_rng(source, rng);
+  get_rng(source, link_rng);
+}
+
+}  // namespace tifl::fl::hier

@@ -1,5 +1,6 @@
 #include "sim/churn_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -99,6 +100,46 @@ std::vector<LifecycleEvent> ChurnModel::generate(double horizon) const {
     events.push_back(*event);
   }
   return events;
+}
+
+std::vector<RegionalOutage> regional_outages(const ChurnConfig& config,
+                                             std::uint64_t run_seed,
+                                             std::size_t num_regions,
+                                             double horizon, double duration) {
+  if (num_regions == 0) {
+    throw std::invalid_argument("regional_outages: num_regions must be > 0");
+  }
+  if (std::isnan(duration) || duration <= 0.0) {
+    throw std::invalid_argument("regional_outages: duration must be > 0");
+  }
+  const ChurnModel model(config, run_seed);
+  std::vector<RegionalOutage> raw;
+  for (const LifecycleEvent& event : model.generate(horizon)) {
+    if (event.kind != EventKind::kClientLeave) continue;
+    raw.push_back(RegionalOutage{
+        static_cast<std::size_t>(event.pick % num_regions), event.time,
+        duration});
+  }
+  // Coalesce overlapping windows per region so a leaf's outage/rejoin
+  // events strictly alternate on the timeline.
+  std::sort(raw.begin(), raw.end(), [](const auto& a, const auto& b) {
+    return a.region != b.region ? a.region < b.region : a.start < b.start;
+  });
+  std::vector<RegionalOutage> merged;
+  for (const RegionalOutage& window : raw) {
+    if (!merged.empty() && merged.back().region == window.region &&
+        window.start <= merged.back().start + merged.back().duration) {
+      const double end = std::max(merged.back().start + merged.back().duration,
+                                  window.start + window.duration);
+      merged.back().duration = end - merged.back().start;
+      continue;
+    }
+    merged.push_back(window);
+  }
+  std::sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
+    return a.start != b.start ? a.start < b.start : a.region < b.region;
+  });
+  return merged;
 }
 
 }  // namespace tifl::sim

@@ -88,4 +88,26 @@ class ChurnModel {
   Stream streams_[3];  // join, leave, slowdown
 };
 
+// --- regional churn composition (fl/hier aggregator tree) -------------------
+// A whole leaf region going dark: every client of that leaf aggregator
+// drops at `start` and rejoins `duration` virtual seconds later.  Windows
+// are produced by mapping the churn model's *leave* stream onto regions
+// (region = pick % num_regions), so a regional-outage scenario replays
+// with the run seed exactly like client-level churn does.
+struct RegionalOutage {
+  std::size_t region = 0;  // leaf ordinal in the topology's leaf order
+  double start = 0.0;      // absolute virtual seconds
+  double duration = 0.0;   // > 0
+};
+
+// Deterministic pure function of (config, run_seed): one fixed-duration
+// outage window per leave event up to `horizon`, with overlapping windows
+// of the same region coalesced (so start/end events never interleave
+// within a region).  Sorted by (start, region).  Throws on num_regions ==
+// 0 or duration <= 0.
+std::vector<RegionalOutage> regional_outages(const ChurnConfig& config,
+                                             std::uint64_t run_seed,
+                                             std::size_t num_regions,
+                                             double horizon, double duration);
+
 }  // namespace tifl::sim

@@ -1,0 +1,435 @@
+// Aggregator-tree engine (fl/hier): the determinism oracle and the
+// regional failure modes.
+//
+//  - Collapse-to-flat: a depth-1 topology replays the flat AsyncEngine
+//    byte for byte — same final weights, same round series, byte-equal
+//    trace stream and metrics snapshot.
+//  - Multi-region runs are bit-reproducible across event-queue shard
+//    counts 1/2/4/8 and training thread pools 1/2/8.
+//  - Regional outages (sim::regional_outages composition) degrade the
+//    affected region gracefully and never break determinism.
+//  - A run crashed mid-tree and resumed from its checkpoint reproduces
+//    the uninterrupted run exactly.
+#include "fl/hier/tree_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fl/async_engine.h"
+#include "fl/client_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/churn_model.h"
+#include "sim/fault_model.h"
+#include "test_helpers.h"
+#include "util/thread_pool.h"
+
+namespace tifl::fl::hier {
+namespace {
+
+using testing::FederationBuilder;
+using testing::tiny_engine_config;
+using testing::tiny_factory;
+using testing::two_tiers;
+using testing::TinyFederation;
+
+constexpr std::size_t kClients = 12;
+
+std::uint64_t weight_hash(const std::vector<float>& weights) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (float w : weights) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &w, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (bits >> shift) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+// Host-dependent instruments (wall clocks, cache locality) and checkpoint
+// accounting (a crashed run writes checkpoints, the oracle run does not)
+// are excluded; everything else must match bit for bit.
+std::string metrics_snapshot() {
+  return obs::Registry::global().to_json([](std::string_view name) {
+    return !name.ends_with("_ns") && name.substr(0, 5) != "pool." &&
+           name.substr(0, 11) != "checkpoint." &&
+           name != "sim.schedule_horizon";
+  });
+}
+
+// The 12 clients split contiguously across two regions (matching
+// Topology::regions(2).assign_clients(12)), two tiers per region.
+std::vector<std::vector<std::vector<std::size_t>>> two_region_tiers() {
+  return {{{0, 1, 2}, {3, 4, 5}}, {{6, 7, 8}, {9, 10, 11}}};
+}
+
+AsyncConfig base_async() {
+  AsyncConfig async;
+  async.total_updates = 6;
+  async.clients_per_tier_round = 3;
+  async.eval_every = 2;
+  return async;
+}
+
+HierConfig two_regions(std::vector<sim::RegionalOutage> outages = {}) {
+  HierConfig hier;
+  hier.topology = Topology::regions(2);
+  hier.outages = std::move(outages);
+  return hier;
+}
+
+struct HierOutput {
+  HierRunResult run;
+  std::string trace;
+  std::string metrics;
+};
+
+// One tree run over the tiny federation with a fresh registry and tracer.
+// Throws sim::SimulatedCrash through.
+HierOutput run_tree(const HierConfig& hier, const AsyncConfig& async,
+                    std::size_t shards, std::size_t threads,
+                    HierLifecycleHooks hooks = {}) {
+  obs::Registry::global().reset();
+  HierOutput out;
+  std::ostringstream trace_out;
+  {
+    obs::Tracer tracer(&trace_out);
+    obs::TracerScope scope(&tracer);
+    TinyFederation fed =
+        FederationBuilder().clients(kClients).jitter(0.05).build();
+    ClientPool pool(&fed.clients);
+    AsyncConfig sharded = async;
+    sharded.shards = shards;
+    TreeEngine engine(tiny_engine_config(1), sharded, hier, tiny_factory(),
+                      &pool, two_tiers(kClients), two_region_tiers(),
+                      &fed.data.test, fed.latency);
+    engine.set_lifecycle_hooks(std::move(hooks));
+    util::ThreadPool workers(threads);
+    engine.set_thread_pool(&workers);
+    out.run = engine.run();
+    tracer.flush();
+  }
+  out.trace = trace_out.str();
+  out.metrics = metrics_snapshot();
+  return out;
+}
+
+void expect_identical(const HierOutput& a, const HierOutput& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.run.final_weights, b.run.final_weights) << label;
+  EXPECT_EQ(weight_hash(a.run.final_weights),
+            weight_hash(b.run.final_weights))
+      << label;
+  ASSERT_EQ(a.run.result.rounds.size(), b.run.result.rounds.size()) << label;
+  for (std::size_t i = 0; i < a.run.result.rounds.size(); ++i) {
+    EXPECT_EQ(a.run.result.rounds[i].selected_clients,
+              b.run.result.rounds[i].selected_clients)
+        << label << " round " << i;
+    EXPECT_DOUBLE_EQ(a.run.result.rounds[i].virtual_time,
+                     b.run.result.rounds[i].virtual_time)
+        << label << " round " << i;
+    EXPECT_DOUBLE_EQ(a.run.result.rounds[i].global_accuracy,
+                     b.run.result.rounds[i].global_accuracy)
+        << label << " round " << i;
+  }
+  EXPECT_EQ(a.run.node_rounds, b.run.node_rounds) << label;
+  EXPECT_EQ(a.run.processed_events, b.run.processed_events) << label;
+  EXPECT_EQ(a.trace, b.trace) << label;
+  EXPECT_EQ(a.metrics, b.metrics) << label;
+}
+
+// --- collapse-to-flat oracle -------------------------------------------------
+
+TEST(HierCollapse, FlatTopologyReplaysAsyncEngineByteForByte) {
+  const AsyncConfig async = base_async();
+
+  // Oracle: the flat engine run directly.
+  obs::Registry::global().reset();
+  std::ostringstream flat_trace;
+  AsyncRunResult oracle;
+  {
+    obs::Tracer tracer(&flat_trace);
+    obs::TracerScope scope(&tracer);
+    TinyFederation fed =
+        FederationBuilder().clients(kClients).jitter(0.05).build();
+    ClientPool pool(&fed.clients);
+    AsyncEngine engine(tiny_engine_config(1), async, tiny_factory(), &pool,
+                       two_tiers(kClients), &fed.data.test, fed.latency);
+    util::ThreadPool workers(2);
+    engine.set_thread_pool(&workers);
+    oracle = engine.run();
+    tracer.flush();
+  }
+  const std::string oracle_metrics = metrics_snapshot();
+
+  // Same federation through a depth-1 tree.
+  HierConfig flat;
+  flat.topology = Topology::flat();
+  const HierOutput collapsed = run_tree(flat, async, /*shards=*/1,
+                                        /*threads=*/2);
+
+  EXPECT_TRUE(collapsed.run.collapsed);
+  EXPECT_EQ(collapsed.run.final_weights, oracle.final_weights);
+  EXPECT_EQ(weight_hash(collapsed.run.final_weights),
+            weight_hash(oracle.final_weights));
+  ASSERT_EQ(collapsed.run.result.rounds.size(), oracle.result.rounds.size());
+  for (std::size_t i = 0; i < oracle.result.rounds.size(); ++i) {
+    EXPECT_EQ(collapsed.run.result.rounds[i].selected_clients,
+              oracle.result.rounds[i].selected_clients);
+    EXPECT_DOUBLE_EQ(collapsed.run.result.rounds[i].virtual_time,
+                     oracle.result.rounds[i].virtual_time);
+    EXPECT_DOUBLE_EQ(collapsed.run.result.rounds[i].global_accuracy,
+                     oracle.result.rounds[i].global_accuracy);
+  }
+  EXPECT_EQ(collapsed.trace, flat_trace.str());
+  EXPECT_EQ(collapsed.metrics, oracle_metrics);
+  // The collapse also forwards the flat engine's full result.
+  EXPECT_EQ(collapsed.run.flat.final_weights, oracle.final_weights);
+}
+
+// --- multi-region determinism ------------------------------------------------
+
+TEST(HierDeterminism, ShardAndPoolSizeInvariant) {
+  const AsyncConfig async = base_async();
+  const HierConfig hier = two_regions();
+  const HierOutput baseline = run_tree(hier, async, 1, 1);
+  EXPECT_FALSE(baseline.run.collapsed);
+  EXPECT_EQ(baseline.run.result.rounds.size(), async.total_updates);
+  EXPECT_GT(baseline.run.uplinks, 0u);
+  EXPECT_GT(baseline.run.downlinks, 0u);
+  EXPECT_GT(baseline.run.root_link_bytes, 0u);
+
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      if (shards == 1 && threads == 1) continue;
+      expect_identical(baseline, run_tree(hier, async, shards, threads),
+                       "shards=" + std::to_string(shards) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(HierDeterminism, SeedChangesTheTrajectory) {
+  const AsyncConfig async = base_async();
+  const HierConfig hier = two_regions();
+  obs::Registry::global().reset();
+  TinyFederation fed =
+      FederationBuilder().clients(kClients).jitter(0.05).build();
+  ClientPool pool(&fed.clients);
+  TreeEngine engine(tiny_engine_config(1), async, hier, tiny_factory(),
+                    &pool, two_tiers(kClients), two_region_tiers(),
+                    &fed.data.test, fed.latency);
+  const HierRunResult a = engine.run(std::uint64_t{111});
+  const HierRunResult b = engine.run(std::uint64_t{222});
+  EXPECT_NE(weight_hash(a.final_weights), weight_hash(b.final_weights));
+}
+
+// --- regional outages --------------------------------------------------------
+
+TEST(RegionalOutages, ComposesChurnIntoCoalescedSortedWindows) {
+  sim::ChurnConfig churn;
+  churn.leave_rate = 0.02;
+  const std::vector<sim::RegionalOutage> a =
+      sim::regional_outages(churn, 99, 3, 800.0, 60.0);
+  const std::vector<sim::RegionalOutage> b =
+      sim::regional_outages(churn, 99, 3, 800.0, 60.0);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].region, b[i].region);
+    EXPECT_DOUBLE_EQ(a[i].start, b[i].start);
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+    EXPECT_LT(a[i].region, 3u);
+    EXPECT_GE(a[i].start, 0.0);
+    EXPECT_GE(a[i].duration, 60.0);  // coalescing can only lengthen
+    if (i > 0) {
+      EXPECT_GE(a[i].start, a[i - 1].start);
+    }
+  }
+  // Same-region windows never overlap after coalescing.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      if (a[i].region != a[j].region) continue;
+      EXPECT_GE(a[j].start, a[i].start + a[i].duration);
+    }
+  }
+  EXPECT_THROW(sim::regional_outages(churn, 99, 0, 800.0, 60.0),
+               std::invalid_argument);
+  EXPECT_THROW(sim::regional_outages(churn, 99, 3, 800.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(RegionalOutages, DegradeGracefullyAndStayDeterministic) {
+  const AsyncConfig async = base_async();
+  // Region 0 (the fast clients, so tier rounds actually complete inside
+  // the window) drops mid-run and rejoins before the end.
+  const HierConfig hier =
+      two_regions({sim::RegionalOutage{/*region=*/0, /*start=*/0.5,
+                                       /*duration=*/1.0}});
+
+  const HierOutput out = run_tree(hier, async, 1, 2);
+  EXPECT_EQ(out.run.outage_count, 1u);
+  EXPECT_EQ(out.run.rejoin_count, 1u);
+  // Graceful degradation: the federation still completes every root round.
+  EXPECT_EQ(out.run.result.rounds.size(), async.total_updates);
+
+  // The outage changes the trajectory relative to the healthy run...
+  const HierOutput healthy = run_tree(two_regions(), async, 1, 2);
+  EXPECT_NE(weight_hash(out.run.final_weights),
+            weight_hash(healthy.run.final_weights));
+  // ...but never its reproducibility.
+  expect_identical(out, run_tree(hier, async, 8, 8), "outage shards=8");
+}
+
+// --- re-tiering hooks --------------------------------------------------------
+
+TEST(HierRetier, PerLeafHooksFireAndStayDeterministic) {
+  AsyncConfig async = base_async();
+  async.total_updates = 8;
+  async.reprofile_every = 3.0;
+
+  auto leaf_tiers = two_region_tiers();
+  std::size_t observed = 0;
+  HierLifecycleHooks hooks;
+  hooks.observe = [&observed](std::size_t, std::size_t, double) {
+    ++observed;
+  };
+  hooks.retier = [&leaf_tiers](std::size_t leaf) { return leaf_tiers[leaf]; };
+
+  const HierOutput out = run_tree(two_regions(), async, 1, 2, hooks);
+  EXPECT_GT(out.run.reprofile_count, 0u);
+  EXPECT_GT(observed, 0u);
+  EXPECT_EQ(out.run.result.rounds.size(), async.total_updates);
+
+  observed = 0;
+  expect_identical(out, run_tree(two_regions(), async, 4, 2, hooks),
+                   "retier shards=4");
+}
+
+TEST(HierRetier, ReprofileWithoutHooksThrows) {
+  AsyncConfig async = base_async();
+  async.reprofile_every = 3.0;
+  obs::Registry::global().reset();
+  TinyFederation fed =
+      FederationBuilder().clients(kClients).jitter(0.05).build();
+  ClientPool pool(&fed.clients);
+  TreeEngine engine(tiny_engine_config(1), async, two_regions(),
+                    tiny_factory(), &pool, two_tiers(kClients),
+                    two_region_tiers(), &fed.data.test, fed.latency);
+  EXPECT_THROW(engine.run(), std::invalid_argument);
+}
+
+// --- config validation -------------------------------------------------------
+
+TEST(HierValidation, RejectsUnsupportedFlatEngineFacilities) {
+  TinyFederation fed =
+      FederationBuilder().clients(kClients).jitter(0.05).build();
+  ClientPool pool(&fed.clients);
+  const auto make = [&](const AsyncConfig& async) {
+    return TreeEngine(tiny_engine_config(1), async, two_regions(),
+                      tiny_factory(), &pool, two_tiers(kClients),
+                      two_region_tiers(), &fed.data.test, fed.latency);
+  };
+  AsyncConfig churned = base_async();
+  churned.churn.join_rate = 0.1;
+  EXPECT_THROW(make(churned), std::invalid_argument);
+
+  AsyncConfig logged = base_async();
+  logged.event_log_path = "/tmp/hier_events.log";
+  EXPECT_THROW(make(logged), std::invalid_argument);
+
+  AsyncConfig zero = base_async();
+  zero.total_updates = 0;
+  EXPECT_THROW(make(zero), std::invalid_argument);
+
+  // Outage regions must exist.
+  AsyncConfig ok = base_async();
+  EXPECT_THROW(
+      TreeEngine(tiny_engine_config(1), ok,
+                 two_regions({sim::RegionalOutage{5, 1.0, 1.0}}),
+                 tiny_factory(), &pool, two_tiers(kClients),
+                 two_region_tiers(), &fed.data.test, fed.latency),
+      std::invalid_argument);
+}
+
+// --- crash + resume ----------------------------------------------------------
+
+TEST(HierResume, CrashedRunResumesToTheUninterruptedResult) {
+  const AsyncConfig async = base_async();
+  const HierConfig hier = two_regions();
+  const HierOutput full = run_tree(hier, async, 2, 2);
+  const double span = full.run.result.rounds.back().virtual_time;
+  const std::string snap = ::testing::TempDir() + "/hier_resume.snap";
+
+  AsyncConfig crashing = async;
+  crashing.checkpoint_every = 0.3 * span;
+  crashing.checkpoint_path = snap;
+  crashing.fault.crash_at = 0.65 * span;
+  bool crashed = false;
+  try {
+    run_tree(hier, crashing, 2, 2);
+  } catch (const sim::SimulatedCrash&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+
+  AsyncConfig resuming = async;
+  resuming.resume_path = snap;
+  const HierOutput resumed = run_tree(hier, resuming, 2, 2);
+  EXPECT_EQ(full.run.final_weights, resumed.run.final_weights);
+  ASSERT_EQ(full.run.result.rounds.size(),
+            resumed.run.result.rounds.size());
+  for (std::size_t i = 0; i < full.run.result.rounds.size(); ++i) {
+    EXPECT_EQ(full.run.result.rounds[i].selected_clients,
+              resumed.run.result.rounds[i].selected_clients);
+    EXPECT_DOUBLE_EQ(full.run.result.rounds[i].virtual_time,
+                     resumed.run.result.rounds[i].virtual_time);
+  }
+  EXPECT_EQ(full.run.processed_events, resumed.run.processed_events);
+  EXPECT_EQ(full.run.node_rounds, resumed.run.node_rounds);
+  // The resumed trace is a byte-exact suffix of the uninterrupted stream,
+  // and the restored metrics match the oracle's totals.
+  ASSERT_LE(resumed.trace.size(), full.trace.size());
+  EXPECT_EQ(full.trace.substr(full.trace.size() - resumed.trace.size()),
+            resumed.trace);
+  EXPECT_EQ(full.metrics, resumed.metrics);
+
+  // Resuming across shard counts is equally exact.
+  const HierOutput resumed8 = run_tree(hier, resuming, 8, 4);
+  EXPECT_EQ(full.run.final_weights, resumed8.run.final_weights);
+}
+
+TEST(HierResume, SnapshotRefusesADifferentTree) {
+  const AsyncConfig async = base_async();
+  const HierConfig hier = two_regions();
+  const std::string snap = ::testing::TempDir() + "/hier_mismatch.snap";
+
+  AsyncConfig crashing = async;
+  crashing.checkpoint_every = 1.0;
+  crashing.checkpoint_path = snap;
+  crashing.fault.crash_at = 4.0;
+  try {
+    run_tree(hier, crashing, 1, 1);
+  } catch (const sim::SimulatedCrash&) {
+  }
+
+  AsyncConfig resuming = async;
+  resuming.resume_path = snap;
+  // Different link latency = different tree fingerprint.
+  HierConfig other = two_regions();
+  other.topology.nodes[1].link.latency_seconds = 0.25;
+  EXPECT_THROW(run_tree(other, resuming, 1, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tifl::fl::hier

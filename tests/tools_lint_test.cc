@@ -195,6 +195,32 @@ TEST(LintStatePairing, PairedDeclarationsAreFine) {
   EXPECT_TRUE(diags.empty());
 }
 
+// The aggregator-tree subsystem (src/fl/hier/) is in the determinism set:
+// a new node type declaring save_state without its restore_state pair must
+// trip the rule there, exactly as it does for the flat engine's files.
+TEST(LintStatePairing, FiresOnHierNodeTypes) {
+  const auto diags = run("src/fl/hier/edge_cache.h",
+                         "class EdgeCache {\n"
+                         " public:\n"
+                         "  void save_state(util::ByteSink& sink) const;\n"
+                         "};\n");
+  ASSERT_EQ(count_rule(diags, "state-pairing"), 1u);
+  EXPECT_EQ(diags[0].file, "src/fl/hier/edge_cache.h");
+}
+
+TEST(LintStatePairing, PairedHierNodeTypesAreFine) {
+  const auto diags = run("src/fl/hier/edge_cache.h",
+                         "void save_state(util::ByteSink& sink) const;\n"
+                         "void restore_state(util::ByteSource& source);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRng, HierDirIsADeterminismDir) {
+  const auto diags =
+      run("src/fl/hier/tree_engine.cc", "std::random_device rd;\n");
+  ASSERT_EQ(count_rule(diags, "rng"), 1u);
+}
+
 // --- allow escapes -----------------------------------------------------------
 
 TEST(LintAllow, JustifiedEscapeWaivesSameLine) {

@@ -161,8 +161,12 @@ struct Scope {
 
 Scope classify(std::string_view path) {
   Scope scope;
+  // src/fl/hier/ is covered by the src/fl/ prefix; it is listed anyway so
+  // the aggregator-tree subsystem stays in the determinism set even if the
+  // flat engine ever moves out from under src/fl/.
   for (std::string_view dir :
-       {"src/sim/", "src/fl/", "src/core/", "src/nn/", "src/data/"}) {
+       {"src/sim/", "src/fl/", "src/fl/hier/", "src/core/", "src/nn/",
+        "src/data/"}) {
     if (path.starts_with(dir)) scope.determinism = true;
   }
   scope.in_src = path.starts_with("src/");

@@ -77,6 +77,22 @@
 //   --fault-seed S          pin the fault stream independently of
 //                           --seed (0 = derive from the run seed)     [0]
 //
+// Hierarchical aggregation (async engine only):
+//   --topology FILE         aggregator-tree topology file (see
+//                           src/fl/hier/topology.h for the format);
+//                           clients split across the leaf regions and
+//                           every inner node aggregates at its own
+//                           cadence over latency/bandwidth-costed links
+//   --regions N             shorthand for a root + N identical leaf
+//                           regions; --regions 1 collapses to the flat
+//                           async engine byte for byte               [0]
+//   --region-tiers M        tiers formed per leaf region              [2]
+//   --region-outage-rate R  regional outages per virtual second: all
+//                           clients of one leaf drop together and
+//                           rejoin after the outage window            [0]
+//   --region-outage-duration SECS  outage window length             [500]
+//   --region-outage-horizon SECS   outage sampling horizon          [5000]
+//
 // All output locations (--csv, --metrics-out, --trace-out, --checkpoint,
 // --event-log) are checked for writability up front: an unwritable
 // directory fails fast with a clear message before any data loads.
@@ -104,8 +120,10 @@
 #include <sstream>
 
 #include "core/policy_registry.h"
+#include "fl/hier/topology.h"
 #include "fl/policy_registry.h"
 #include "nn/checkpoint.h"
+#include "sim/churn_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scenarios.h"
@@ -155,6 +173,12 @@ void print_usage() {
       "  --fault-crash-at T   inject a server crash at virtual time T\n"
       "                       (exit status 3)\n"
       "  --fault-seed S       pin the fault stream (0 = derive) [0]\n"
+      "  --topology FILE      aggregator-tree topology file (async)\n"
+      "  --regions N          root + N leaf regions; 1 = flat [0]\n"
+      "  --region-tiers M     tiers per leaf region [2]\n"
+      "  --region-outage-rate R       regional outages per virtual sec [0]\n"
+      "  --region-outage-duration S   outage window length [500]\n"
+      "  --region-outage-horizon S    outage sampling horizon [5000]\n"
       "\n"
       "selection policies (from the registry):\n";
   for (const std::string& name : registry.names()) {
@@ -290,6 +314,12 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown --engine " + engine +
                                   " (sync | async)");
     }
+    if (engine != "async" &&
+        (!cli.get("topology", "").empty() || cli.get_int("regions", 0) > 0)) {
+      throw std::invalid_argument(
+          "--topology / --regions require --engine async: the aggregator "
+          "tree runs on the asynchronous event timeline");
+    }
     // Paper-scale populations never materialize a Client per id: beyond
     // 100k clients (or on request) the population is virtualized — lazy
     // shards over a shared permutation plus an LRU of in-flight clients.
@@ -397,6 +427,72 @@ int main(int argc, char** argv) {
               ")");
         }
       }
+      // --topology / --regions switch the run onto the aggregator tree.
+      const std::string topology_path = cli.get("topology", "");
+      const std::size_t regions =
+          static_cast<std::size_t>(cli.get_int("regions", 0));
+      if (!topology_path.empty() || regions > 0) {
+        fl::hier::HierConfig hier;
+        hier.topology = !topology_path.empty()
+                            ? fl::hier::Topology::load(topology_path)
+                            : fl::hier::Topology::regions(regions);
+        hier.tiers_per_region =
+            static_cast<std::size_t>(cli.get_int("region-tiers", 2));
+        const double outage_rate = cli.get_double("region-outage-rate", 0.0);
+        if (outage_rate > 0.0) {
+          sim::ChurnConfig outage_churn;
+          outage_churn.leave_rate = outage_rate;
+          hier.outages = sim::regional_outages(
+              outage_churn,
+              static_cast<std::uint64_t>(cli.get_int("seed", 1)),
+              hier.topology.leaves().size(),
+              cli.get_double("region-outage-horizon", 5000.0),
+              cli.get_double("region-outage-duration", 500.0));
+        }
+        const fl::hier::HierRunResult run =
+            scenario.system->run_hier(std::move(hier), async, {},
+                                      policy.get());
+        const fl::RunResult& result = run.result;
+
+        util::TablePrinter table({"metric", "value"});
+        table.add_row({"engine", result.policy_name});
+        table.add_row(
+            {"global versions", std::to_string(result.rounds.size())});
+        table.add_row({"training time [s]",
+                       util::format_double(result.total_time(), 1)});
+        table.add_row({"final accuracy [%]",
+                       util::format_double(result.final_accuracy() * 100, 2)});
+        table.add_row({"best accuracy [%]",
+                       util::format_double(result.best_accuracy() * 100, 2)});
+        table.add_row({"final model hash", hash_hex(run.final_weights)});
+        table.add_row({"tree nodes", std::to_string(run.node_rounds.size())});
+        if (!run.collapsed) {
+          table.add_row({"uplinks / downlinks",
+                         std::to_string(run.uplinks) + " / " +
+                             std::to_string(run.downlinks)});
+          table.add_row(
+              {"root link [bytes]", std::to_string(run.root_link_bytes)});
+          if (run.outage_count > 0 || run.rejoin_count > 0) {
+            table.add_row({"regional outages / rejoins",
+                           std::to_string(run.outage_count) + " / " +
+                               std::to_string(run.rejoin_count)});
+          }
+          if (run.reprofile_count > 0) {
+            table.add_row(
+                {"re-tierings", std::to_string(run.reprofile_count)});
+          }
+        }
+        std::cout << "\n" << table.to_string();
+        finish(result);
+
+        const std::string csv = cli.get("csv", "");
+        if (!csv.empty()) {
+          result.write_csv(csv);
+          std::cout << "per-version series written to " << csv << "\n";
+        }
+        return 0;
+      }
+
       const fl::AsyncRunResult run =
           scenario.system->run_async(async, {}, policy.get());
       const fl::RunResult& result = run.result;
